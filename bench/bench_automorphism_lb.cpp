@@ -1,0 +1,46 @@
+// E2 (Theorem 2.3): certifying fixed-point-free automorphisms of bounded-
+// depth trees requires Omega~(n) bits. Reproduced as a sandwich:
+//  - lower curve: the reduction's implied bound log2(T_3(n)) / r with r = 2,
+//    where T_3(n) is the exact count of rooted trees of height <= 3 ([42],
+//    computed with exact big-integer Euler transforms);
+//  - upper curve: the measured certificate size of the matching Theta(n log n)
+//    upper-bound scheme on doubled random trees.
+// Both curves are ~linear in n (up to log factors): no compact certification.
+#include <cstdio>
+
+#include "src/cert/engine.hpp"
+#include "src/graph/generators.hpp"
+#include "src/lowerbounds/tree_enumeration.hpp"
+#include "src/schemes/automorphism_scheme.hpp"
+#include "src/util/rng.hpp"
+
+int main() {
+  using namespace lcert;
+  Rng rng(2);
+
+  std::printf("E2 / Theorem 2.3: fixed-point-free automorphism needs Omega~(n) bits\n\n");
+  std::printf("%8s %20s %20s %14s\n", "n", "lower: log2 T_3(n)/2", "upper: scheme bits",
+              "upper/n");
+  for (std::size_t n : {16u, 32u, 64u, 128u, 256u, 512u}) {
+    const double lower = log2_tree_count(n, 3) / 2.0;
+
+    // Upper bound: a doubled random tree on ~2n vertices (always a yes-instance).
+    const std::size_t half = n;
+    const Graph base = make_random_tree(half, rng);
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    for (auto [u, v] : base.edges()) {
+      edges.emplace_back(u, v);
+      edges.emplace_back(u + half, v + half);
+    }
+    edges.emplace_back(0, half);
+    Graph doubled(2 * half, edges);
+    assign_random_ids(doubled, rng);
+    FpfAutomorphismScheme scheme;
+    const std::size_t upper = certified_size_bits(scheme, doubled);
+
+    std::printf("%8zu %20.1f %20zu %14.2f\n", n, lower, upper,
+                static_cast<double>(upper) / (2.0 * n));
+  }
+  std::printf("\npaper claim: both curves grow ~linearly in n — contrast with E1's flat MSO column.\n");
+  return 0;
+}

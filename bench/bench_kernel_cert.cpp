@@ -1,0 +1,38 @@
+// E5 (Theorem 2.6): FO/MSO certification on treedepth <= t graphs costs
+// O(t log n + f(t, phi)) bits. Sweeping n at fixed (t, phi) the certificate
+// size must be affine in log n — the kernel/type part is constant in n.
+#include <cstdio>
+
+#include "src/cert/engine.hpp"
+#include "src/graph/generators.hpp"
+#include "src/logic/formulas.hpp"
+#include "src/schemes/kernel_scheme.hpp"
+#include "src/schemes/treedepth_scheme.hpp"
+#include "src/util/bitio.hpp"
+#include "src/util/rng.hpp"
+
+int main() {
+  using namespace lcert;
+  Rng rng(5);
+
+  std::printf("E5 / Theorem 2.6: FO certification via certified kernels\n");
+  std::printf("phi = triangle-free (depth 3), t = 3, threshold k = 3\n\n");
+  std::printf("%8s %16s %16s %16s\n", "n", "kernel bits", "Thm2.4-only bits",
+              "kernel extra/bit");
+  const Formula phi = f_triangle_free();
+  for (std::size_t n : {64u, 256u, 1024u, 4096u, 16384u}) {
+    // Sparse instances are trees: triangle-free with certainty.
+    auto inst = make_bounded_treedepth_graph(n, 3, 0.0, rng);
+    assign_random_ids(inst.graph, rng);
+    RootedTree witness = inst.elimination_tree;
+    KernelMsoScheme scheme(phi, 3, 3, [witness](const Graph&) { return witness; });
+    TreedepthScheme base(3, [witness](const Graph&) { return witness; });
+    const std::size_t kernel_bits = certified_size_bits(scheme, inst.graph);
+    const std::size_t base_bits = certified_size_bits(base, inst.graph);
+    std::printf("%8zu %16zu %16zu %16zu\n", n, kernel_bits, base_bits,
+                kernel_bits - base_bits);
+  }
+  std::printf("\npaper claim: the last column (types + flags = f(t, phi)) is bounded in n;\n"
+              "the growth comes only from the O(t log n) Theorem 2.4 layer.\n");
+  return 0;
+}

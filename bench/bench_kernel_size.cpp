@@ -1,0 +1,66 @@
+// E6 (Proposition 6.2, ablation): kernel sizes and end-type counts vs (k, t).
+// The theoretical bound f_d(k,t) = 2^d * (k+1)^{f_{d+1}(k,t)} is a tower —
+// this is the non-elementary blow-up that makes Courcelle-style pipelines
+// impractical (repro note in DESIGN.md). Measured kernels on random instances
+// stay far below the bound but show the steep growth in t.
+#include <cstdio>
+
+#include "src/graph/generators.hpp"
+#include "src/kernel/reduce.hpp"
+#include "src/treedepth/elimination.hpp"
+#include "src/util/bignum.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace lcert;
+
+// f_d(k,t), capped: returns the bit length of the bound (the value itself
+// towers out of reach immediately).
+std::size_t bound_bits(std::size_t k, std::size_t t, std::size_t d) {
+  if (d >= t) return 1;
+  // f_d = 2^d * (k+1)^{f_{d+1}}; bitlen(f_d) ~ d + f_{d+1} * log2(k+1).
+  const std::size_t inner = bound_bits(k, t, d + 1);
+  if (inner > 40) return SIZE_MAX;  // > 2^40 exponent: report as "tower"
+  const BigNat f_inner = BigNat::pow(BigNat(2), inner);  // crude upper proxy
+  BigNat value = BigNat::pow(BigNat(k + 1), std::min<std::uint64_t>(f_inner.to_u64(), 1u << 20));
+  value *= BigNat::pow(BigNat(2), d);
+  return value.bit_length() > (1u << 22) ? SIZE_MAX : value.bit_length();
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(6);
+
+  std::printf("E6 / Proposition 6.2: kernel size census (n = 2000 instances)\n\n");
+  std::printf("%4s %4s %14s %14s %14s %16s\n", "t", "k", "kernel size", "end types",
+              "prunings", "f_1(k,t) bits");
+  for (std::size_t t : {2u, 3u, 4u}) {
+    for (std::size_t k : {1u, 2u, 3u}) {
+      auto inst = make_bounded_treedepth_graph(2000, t, 0.3, rng);
+      const RootedTree model = make_coherent(inst.graph, inst.elimination_tree);
+      const Kernelization kz = k_reduce(inst.graph, model, k);
+      const std::size_t bb = bound_bits(k, t, 1);
+      char bound_str[32];
+      if (bb == SIZE_MAX)
+        std::snprintf(bound_str, sizeof bound_str, "tower(>2^40)");
+      else
+        std::snprintf(bound_str, sizeof bound_str, "%zu", bb);
+      std::printf("%4zu %4zu %14zu %14zu %14zu %16s\n", t, k, kz.kernel.vertex_count(),
+                  kz.interner.size(), kz.pruning_operations, bound_str);
+    }
+  }
+  std::printf("\npaper claim: kernel size depends only on (k, t), not n — and the worst-case\n"
+              "bound is a tower, reproducing why the generic MSO->automaton route is\n"
+              "impractical while instance kernels stay small.\n");
+
+  std::printf("\nkernel size is n-independent (t=3, k=2):\n%10s %14s\n", "n", "kernel size");
+  for (std::size_t n : {200u, 2000u, 20000u}) {
+    auto inst = make_bounded_treedepth_graph(n, 3, 0.3, rng);
+    const RootedTree model = make_coherent(inst.graph, inst.elimination_tree);
+    const Kernelization kz = k_reduce(inst.graph, model, 2);
+    std::printf("%10zu %14zu\n", n, kz.kernel.vertex_count());
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// E8 (Corollary 2.7): P_t-minor-free and C_t-minor-free graphs have
+// O(log n)-bit certifications. P_t via treedepth + kernel; C_t via the
+// certified block decomposition with per-block kernels.
+#include <cstdio>
+
+#include "src/cert/engine.hpp"
+#include "src/graph/generators.hpp"
+#include "src/schemes/minor_free.hpp"
+#include "src/util/bitio.hpp"
+#include "src/util/rng.hpp"
+
+int main() {
+  using namespace lcert;
+  Rng rng(8);
+
+  std::printf("E8 / Corollary 2.7: minor-free certification\n\n");
+
+  std::printf("P_6-minor-free (random trees of height 2 => longest path <= 5):\n");
+  std::printf("%10s %14s %16s\n", "n", "max cert bits", "bits/log2(n)");
+  for (std::size_t n : {64u, 256u, 1024u, 4096u}) {
+    const RootedTree t = make_random_rooted_tree(n, 2, rng);
+    Graph g = t.to_graph();
+    assign_random_ids(g, rng);
+    // The rooted tree is its own elimination model (depth 3 <= t = 6).
+    RootedTree witness = t;
+    PtMinorFreeScheme scheme(6, [witness](const Graph&) { return witness; });
+    const std::size_t bits = certified_size_bits(scheme, g);
+    std::printf("%10zu %14zu %16.2f\n", n, bits, static_cast<double>(bits) / bits_for(n));
+  }
+
+  std::printf("\nC_4-minor-free (chains of triangles):\n");
+  std::printf("%10s %14s %16s\n", "n", "max cert bits", "bits/log2(n)");
+  for (std::size_t triangles : {8u, 32u, 128u, 512u}) {
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    for (std::size_t i = 0; i < triangles; ++i) {
+      const Vertex base = static_cast<Vertex>(2 * i);
+      edges.emplace_back(base, base + 1);
+      edges.emplace_back(base, base + 2);
+      edges.emplace_back(base + 1, base + 2);
+    }
+    Graph g(2 * triangles + 1, edges);
+    assign_random_ids(g, rng);
+    CtMinorFreeScheme scheme(4);
+    const std::size_t bits = certified_size_bits(scheme, g);
+    std::printf("%10zu %14zu %16.2f\n", g.vertex_count(), bits,
+                static_cast<double>(bits) / bits_for(g.vertex_count()));
+  }
+  std::printf("\npaper claim: both ratio columns stay bounded — O(log n) certificates.\n");
+  return 0;
+}

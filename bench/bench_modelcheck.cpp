@@ -1,0 +1,51 @@
+// E13 (Section 6, centralized payoff): model checking FO on bounded-treedepth
+// graphs through the kernel vs. brute force. The repro-band note says
+// "Courcelle-style automata are notoriously impractical"; the paper's own
+// kernelization is the practical counterpoint — evaluation cost collapses
+// from O(n^k) to O(n + |kernel|^k).
+#include <chrono>
+#include <cstdio>
+
+#include "src/graph/generators.hpp"
+#include "src/logic/eval.hpp"
+#include "src/logic/formulas.hpp"
+#include "src/logic/modelcheck.hpp"
+#include "src/util/rng.hpp"
+
+int main() {
+  using namespace lcert;
+  using clk = std::chrono::steady_clock;
+  Rng rng(13);
+  const Formula phi = f_triangle_free();  // FO depth 3
+
+  std::printf("E13 / Section 6: FO model checking via kernelization (phi = triangle-free)\n\n");
+  std::printf("%10s %12s %14s %14s %10s\n", "n", "kernel size", "kernel ms",
+              "brute ms", "agree");
+  for (std::size_t n : {12u, 100u, 1000u, 10000u, 50000u}) {
+    auto inst = make_bounded_treedepth_graph(n, 3, 0.25, rng);
+    const auto t0 = clk::now();
+    ModelCheckStats stats;
+    const bool via_kernel =
+        modelcheck_bounded_treedepth(inst.graph, phi, inst.elimination_tree, 0, &stats);
+    const double kernel_ms =
+        std::chrono::duration<double, std::milli>(clk::now() - t0).count();
+
+    double brute_ms = -1;
+    bool agree = true;
+    if (n <= 300) {  // O(n^3) evaluation: only feasible at small n
+      const auto t1 = clk::now();
+      const bool brute = evaluate(inst.graph, phi);
+      brute_ms = std::chrono::duration<double, std::milli>(clk::now() - t1).count();
+      agree = (brute == via_kernel);
+    }
+    if (brute_ms >= 0)
+      std::printf("%10zu %12zu %14.1f %14.1f %10s\n", n, stats.kernel_size, kernel_ms,
+                  brute_ms, agree ? "yes" : "NO(bug)");
+    else
+      std::printf("%10zu %12zu %14.1f %14s %10s\n", n, stats.kernel_size, kernel_ms,
+                  "infeasible", "-");
+  }
+  std::printf("\npaper claim: the kernel column is flat in n, so model checking scales to\n"
+              "sizes where the direct O(n^k) evaluation is hopeless.\n");
+  return 0;
+}

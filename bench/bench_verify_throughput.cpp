@@ -1,0 +1,84 @@
+// E10 (supporting): the verifier is genuinely local — per-vertex verification
+// time is independent of n (it depends on the degree and certificate size
+// only). google-benchmark micro-measurements of Scheme::verify.
+#include <benchmark/benchmark.h>
+
+#include "src/cert/engine.hpp"
+#include "src/graph/generators.hpp"
+#include "src/logic/formulas.hpp"
+#include "src/schemes/kernel_scheme.hpp"
+#include "src/schemes/mso_tree.hpp"
+#include "src/schemes/spanning_tree.hpp"
+#include "src/schemes/treedepth_scheme.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace lcert;
+
+struct Prepared {
+  Graph graph;
+  std::vector<Certificate> certs;
+  std::vector<View> views;
+};
+
+Prepared prepare(const Scheme& scheme, Graph g, Rng& rng) {
+  assign_random_ids(g, rng);
+  auto certs = scheme.assign(g);
+  if (!certs.has_value()) throw std::logic_error("bench: prover failed");
+  Prepared p{std::move(g), std::move(*certs), {}};
+  for (Vertex v = 0; v < p.graph.vertex_count(); ++v)
+    p.views.push_back(make_view(p.graph, p.certs, v));
+  return p;
+}
+
+void run_all_views(benchmark::State& state, const Scheme& scheme, const Prepared& p) {
+  for (auto _ : state) {
+    bool all = true;
+    for (const View& view : p.views) all = all && scheme.verify(view);
+    benchmark::DoNotOptimize(all);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.views.size()));
+}
+
+void BM_VerifyParity(benchmark::State& state) {
+  Rng rng(1);
+  VertexParityScheme scheme;
+  const auto p = prepare(scheme, make_random_tree(static_cast<std::size_t>(state.range(0)), rng),
+                         rng);
+  run_all_views(state, scheme, p);
+}
+BENCHMARK(BM_VerifyParity)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_VerifyMsoTree(benchmark::State& state) {
+  Rng rng(2);
+  MsoTreeScheme scheme(standard_tree_automata()[0]);  // "path"
+  const auto p = prepare(scheme, make_path(static_cast<std::size_t>(state.range(0))), rng);
+  run_all_views(state, scheme, p);
+}
+BENCHMARK(BM_VerifyMsoTree)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_VerifyTreedepth(benchmark::State& state) {
+  Rng rng(3);
+  auto inst = make_bounded_treedepth_graph(static_cast<std::size_t>(state.range(0)), 5, 0.3, rng);
+  RootedTree witness = inst.elimination_tree;
+  TreedepthScheme scheme(5, [witness](const Graph&) { return witness; });
+  const auto p = prepare(scheme, inst.graph, rng);
+  run_all_views(state, scheme, p);
+}
+BENCHMARK(BM_VerifyTreedepth)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_VerifyKernelMso(benchmark::State& state) {
+  Rng rng(4);
+  auto inst = make_bounded_treedepth_graph(static_cast<std::size_t>(state.range(0)), 3, 0.0, rng);
+  RootedTree witness = inst.elimination_tree;
+  KernelMsoScheme scheme(f_triangle_free(), 3, 3, [witness](const Graph&) { return witness; });
+  const auto p = prepare(scheme, inst.graph, rng);
+  run_all_views(state, scheme, p);
+}
+BENCHMARK(BM_VerifyKernelMso)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

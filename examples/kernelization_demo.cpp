@@ -1,0 +1,52 @@
+// The Section 6 pipeline, end to end: take a bounded-treedepth graph, build
+// its k-reduced kernel, audit G ≃_k kernel with Ehrenfeucht–Fraïssé games,
+// and certify an FO property through the kernel scheme (Theorem 2.6).
+#include <cstdio>
+
+#include "src/cert/engine.hpp"
+#include "src/graph/generators.hpp"
+#include "src/kernel/reduce.hpp"
+#include "src/logic/ef_game.hpp"
+#include "src/logic/eval.hpp"
+#include "src/logic/formulas.hpp"
+#include "src/schemes/kernel_scheme.hpp"
+#include "src/treedepth/elimination.hpp"
+#include "src/util/rng.hpp"
+
+int main() {
+  using namespace lcert;
+  Rng rng(11);
+
+  // A graph of treedepth <= 3 with ~60 vertices.
+  auto inst = make_bounded_treedepth_graph(60, 3, 0.4, rng);
+  assign_random_ids(inst.graph, rng);
+  const RootedTree model = make_coherent(inst.graph, inst.elimination_tree);
+  std::printf("graph: n=%zu m=%zu, coherent 3-model in hand\n",
+              inst.graph.vertex_count(), inst.graph.edge_count());
+
+  // Kernelize at several thresholds.
+  for (std::size_t k : {1u, 2u, 3u}) {
+    const Kernelization kz = k_reduce(inst.graph, model, k);
+    std::printf("k=%zu: kernel has %zu vertices (%zu prunings, %zu end types)\n", k,
+                kz.kernel.vertex_count(), kz.pruning_operations, kz.interner.size());
+  }
+
+  // Audit Proposition 6.3 on a small instance where EF games are affordable.
+  auto small = make_bounded_treedepth_graph(12, 3, 0.5, rng);
+  const RootedTree small_model = make_coherent(small.graph, small.elimination_tree);
+  const Kernelization kz2 = k_reduce(small.graph, small_model, 2);
+  std::printf("EF audit (n=12, k=2): G =_2 kernel? %s\n",
+              ef_equivalent(small.graph, kz2.kernel, 2) ? "yes" : "NO (bug)");
+
+  // Certify "triangle-free" on the big instance via Theorem 2.6.
+  const Formula phi = f_triangle_free();
+  RootedTree witness = inst.elimination_tree;
+  KernelMsoScheme scheme(phi, 3, 3, [witness](const Graph&) { return witness; });
+  if (!scheme.holds(inst.graph)) {
+    std::printf("instance has a triangle; kernel scheme correctly refuses\n");
+    return 0;
+  }
+  const std::size_t bits = certified_size_bits(scheme, inst.graph);
+  std::printf("Theorem 2.6 certificate for 'triangle-free': %zu bits per vertex\n", bits);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Hand-compiled UOP automata for MSO tree properties.
+//
+// This is the library's stand-in for the non-elementary MSO -> automaton
+// translation of [7] (see DESIGN.md §5): each automaton recognizes exactly
+// the *rooted* trees whose underlying unrooted tree has the property, for at
+// least one prover-chosen root (completeness) and for no rooted tree lacking
+// it (soundness). Each entry carries an independent combinatorial oracle on
+// the unrooted tree; tests exhaustively compare automaton and oracle on
+// random and enumerated trees.
+//
+// The subtle design point (and why the paper roots its trees): acceptance
+// must be root-monotone in the right way. For each automaton we document
+// which roots accept.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/automata/uop_automaton.hpp"
+#include "src/graph/graph.hpp"
+
+namespace lcert {
+
+/// "The underlying tree is a path." Any root on the path works; soundness
+/// holds for every root.
+UOPAutomaton aut_path();
+
+/// "The underlying tree is a star K_{1,m} (m >= 0)."
+UOPAutomaton aut_star();
+
+/// "The underlying tree is a caterpillar" (removing all leaves leaves a path
+/// or nothing). Accepting roots: any spine vertex.
+UOPAutomaton aut_caterpillar();
+
+/// "Maximum degree <= d" (d >= 1). Accepting from any root.
+UOPAutomaton aut_max_degree_le(std::size_t d);
+
+/// "The tree has a perfect matching." Accepting from any root.
+UOPAutomaton aut_perfect_matching();
+
+/// "The tree has a perfect code" (an independent set dominating every vertex
+/// exactly once, aka efficient dominating set). Accepting from any root.
+UOPAutomaton aut_perfect_code();
+
+/// "Some root sees height <= k", i.e. the unrooted tree has radius <= k.
+UOPAutomaton aut_radius_le(std::size_t k);
+
+/// "The independence number is at least c" (alpha(T) >= c, c >= 1). The MSO
+/// form quantifies a set plus c element variables; the automaton tracks the
+/// capped pair (best independent set containing the vertex, best avoiding it)
+/// and its transitions couple two capped sums over the children — the most
+/// demanding constraint shapes the unary-Presburger layer supports.
+UOPAutomaton aut_independent_set_ge(std::size_t c);
+
+/// "The number of leaves is at least c" — threshold counting; on rooted trees
+/// a leaf is a childless vertex, so the root (if childless) also counts;
+/// accepting roots: internal vertices (choose any non-leaf root; for n >= 3
+/// one always exists, and n <= 2 is special-cased by an extra state).
+UOPAutomaton aut_leaf_count_ge(std::size_t c);
+
+/// Named automaton + independent oracle over the *unrooted* tree.
+struct NamedAutomaton {
+  std::string name;
+  UOPAutomaton automaton;
+  bool (*oracle)(const Graph& tree);
+  /// Returns candidate roots guaranteeing completeness on yes-instances
+  /// (usually all vertices; restricted for caterpillar/leaf-count).
+  std::vector<Vertex> (*good_roots)(const Graph& tree);
+};
+
+std::vector<NamedAutomaton> standard_tree_automata();
+
+}  // namespace lcert

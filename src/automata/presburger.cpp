@@ -1,0 +1,198 @@
+#include "src/automata/presburger.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcert {
+
+bool IntervalBox::contains(const std::vector<std::size_t>& counts) const {
+  if (counts.size() != lo.size())
+    throw std::invalid_argument("IntervalBox::contains: wrong arity");
+  for (std::size_t q = 0; q < counts.size(); ++q)
+    if (counts[q] < lo[q] || (hi[q] != kUnbounded && counts[q] > hi[q])) return false;
+  return true;
+}
+
+bool IntervalBox::empty() const {
+  for (std::size_t q = 0; q < lo.size(); ++q)
+    if (hi[q] != kUnbounded && lo[q] > hi[q]) return true;
+  return false;
+}
+
+IntervalBox IntervalBox::intersect(const IntervalBox& other) const {
+  if (lo.size() != other.lo.size())
+    throw std::invalid_argument("IntervalBox::intersect: wrong arity");
+  IntervalBox out(lo.size());
+  for (std::size_t q = 0; q < lo.size(); ++q) {
+    out.lo[q] = std::max(lo[q], other.lo[q]);
+    out.hi[q] = std::min(hi[q], other.hi[q]);  // kUnbounded == SIZE_MAX sorts last
+  }
+  return out;
+}
+
+UnaryConstraint UnaryConstraint::le(std::size_t state, std::size_t bound) {
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::kLe;
+  n->state = state;
+  n->bound = bound;
+  return UnaryConstraint(std::move(n));
+}
+
+UnaryConstraint UnaryConstraint::ge(std::size_t state, std::size_t bound) {
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::kGe;
+  n->state = state;
+  n->bound = bound;
+  return UnaryConstraint(std::move(n));
+}
+
+UnaryConstraint UnaryConstraint::exactly(std::size_t state, std::size_t bound) {
+  return le(state, bound) && ge(state, bound);
+}
+
+UnaryConstraint UnaryConstraint::always_true() {
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::kTrue;
+  return UnaryConstraint(std::move(n));
+}
+
+UnaryConstraint UnaryConstraint::always_false() {
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::kFalse;
+  return UnaryConstraint(std::move(n));
+}
+
+UnaryConstraint UnaryConstraint::operator&&(const UnaryConstraint& rhs) const {
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::kAnd;
+  n->a = node_;
+  n->b = rhs.node_;
+  return UnaryConstraint(std::move(n));
+}
+
+UnaryConstraint UnaryConstraint::operator||(const UnaryConstraint& rhs) const {
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::kOr;
+  n->a = node_;
+  n->b = rhs.node_;
+  return UnaryConstraint(std::move(n));
+}
+
+UnaryConstraint UnaryConstraint::operator!() const {
+  auto n = std::make_shared<Node>();
+  n->kind = Kind::kNot;
+  n->a = node_;
+  return UnaryConstraint(std::move(n));
+}
+
+bool UnaryConstraint::eval(const std::vector<std::size_t>& counts) const {
+  struct Eval {
+    const std::vector<std::size_t>& counts;
+    bool run(const Node& n) const {
+      switch (n.kind) {
+        case Kind::kLe:
+          return counts.at(n.state) <= n.bound;
+        case Kind::kGe:
+          return counts.at(n.state) >= n.bound;
+        case Kind::kAnd:
+          return run(*n.a) && run(*n.b);
+        case Kind::kOr:
+          return run(*n.a) || run(*n.b);
+        case Kind::kNot:
+          return !run(*n.a);
+        case Kind::kTrue:
+          return true;
+        case Kind::kFalse:
+          return false;
+      }
+      throw std::logic_error("UnaryConstraint::eval: unreachable");
+    }
+  };
+  return Eval{counts}.run(*node_);
+}
+
+std::vector<IntervalBox> UnaryConstraint::to_boxes(std::size_t state_count) const {
+  struct Dnf {
+    std::size_t k;
+    std::vector<IntervalBox> run(const Node& n, bool negated) const {
+      switch (n.kind) {
+        case Kind::kTrue:
+          return negated ? std::vector<IntervalBox>{} : std::vector<IntervalBox>{IntervalBox(k)};
+        case Kind::kFalse:
+          return negated ? std::vector<IntervalBox>{IntervalBox(k)} : std::vector<IntervalBox>{};
+        case Kind::kLe: {
+          IntervalBox box(k);
+          if (!negated) {
+            box.hi.at(n.state) = n.bound;
+          } else {
+            box.lo.at(n.state) = n.bound + 1;  // ~(y<=c) == y >= c+1
+          }
+          return {box};
+        }
+        case Kind::kGe: {
+          IntervalBox box(k);
+          if (!negated) {
+            box.lo.at(n.state) = n.bound;
+          } else {
+            if (n.bound == 0) return {};  // ~(y>=0) is unsatisfiable
+            box.hi.at(n.state) = n.bound - 1;
+          }
+          return {box};
+        }
+        case Kind::kNot:
+          return run(*n.a, !negated);
+        case Kind::kAnd:
+        case Kind::kOr: {
+          const bool conjunctive = (n.kind == Kind::kAnd) != negated;
+          auto left = run(*n.a, negated);
+          auto right = run(*n.b, negated);
+          if (!conjunctive) {
+            left.insert(left.end(), right.begin(), right.end());
+            return left;
+          }
+          std::vector<IntervalBox> out;
+          for (const auto& a : left)
+            for (const auto& b : right) {
+              IntervalBox merged = a.intersect(b);
+              if (!merged.empty()) out.push_back(std::move(merged));
+            }
+          return out;
+        }
+      }
+      throw std::logic_error("UnaryConstraint::to_boxes: unreachable");
+    }
+  };
+  auto boxes = Dnf{state_count}.run(*node_, false);
+  // Drop empty boxes defensively (atoms can create lo > hi through intersect).
+  boxes.erase(std::remove_if(boxes.begin(), boxes.end(),
+                             [](const IntervalBox& b) { return b.empty(); }),
+              boxes.end());
+  return boxes;
+}
+
+std::string UnaryConstraint::to_string() const {
+  struct Render {
+    std::string run(const Node& n) const {
+      switch (n.kind) {
+        case Kind::kLe:
+          return "y" + std::to_string(n.state) + "<=" + std::to_string(n.bound);
+        case Kind::kGe:
+          return "y" + std::to_string(n.state) + ">=" + std::to_string(n.bound);
+        case Kind::kAnd:
+          return "(" + run(*n.a) + " & " + run(*n.b) + ")";
+        case Kind::kOr:
+          return "(" + run(*n.a) + " | " + run(*n.b) + ")";
+        case Kind::kNot:
+          return "~(" + run(*n.a) + ")";
+        case Kind::kTrue:
+          return "true";
+        case Kind::kFalse:
+          return "false";
+      }
+      return "?";
+    }
+  };
+  return Render{}.run(*node_);
+}
+
+}  // namespace lcert

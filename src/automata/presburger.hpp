@@ -1,0 +1,79 @@
+// Unary ordering Presburger constraints (Appendix C.2, following [7]/[36]).
+//
+//   p ::= t <= t | p & p | ~p        t ::= y | n | t + t
+//
+// restricted to *unary* constraints: each atom mentions a single variable, so
+// every atom normalizes to  y_q <= c  or  y_q >= c. A constraint is evaluated
+// against the multiset of children states (y_q = number of children in state
+// q). For the nondeterministic run search the constraint is compiled to a
+// disjunction of *interval boxes*: conjunctions assigning each state an
+// interval [lo, hi] (hi possibly unbounded).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lcert {
+
+/// One interval per state; kUnbounded for "no upper limit".
+struct IntervalBox {
+  static constexpr std::size_t kUnbounded = SIZE_MAX;
+
+  explicit IntervalBox(std::size_t state_count)
+      : lo(state_count, 0), hi(state_count, kUnbounded) {}
+
+  std::vector<std::size_t> lo;
+  std::vector<std::size_t> hi;
+
+  bool contains(const std::vector<std::size_t>& counts) const;
+  bool empty() const;
+  /// Intersection; may produce an empty box.
+  IntervalBox intersect(const IntervalBox& other) const;
+};
+
+/// AST for unary ordering Presburger constraints over y_0..y_{k-1}.
+class UnaryConstraint {
+ public:
+  /// y_state <= bound.
+  static UnaryConstraint le(std::size_t state, std::size_t bound);
+  /// y_state >= bound.
+  static UnaryConstraint ge(std::size_t state, std::size_t bound);
+  /// y_state == bound (sugar: le & ge).
+  static UnaryConstraint exactly(std::size_t state, std::size_t bound);
+  static UnaryConstraint always_true();
+  static UnaryConstraint always_false();
+
+  UnaryConstraint operator&&(const UnaryConstraint& rhs) const;
+  UnaryConstraint operator||(const UnaryConstraint& rhs) const;
+  UnaryConstraint operator!() const;
+
+  /// Direct evaluation on a counts vector.
+  bool eval(const std::vector<std::size_t>& counts) const;
+
+  /// DNF as interval boxes over `state_count` states. Negation is pushed to
+  /// atoms first (~(y<=c) == y>=c+1), so the result is exact. Empty boxes are
+  /// dropped; an unsatisfiable constraint yields an empty vector.
+  std::vector<IntervalBox> to_boxes(std::size_t state_count) const;
+
+  std::string to_string() const;
+
+ private:
+  enum class Kind { kLe, kGe, kAnd, kOr, kNot, kTrue, kFalse };
+
+  struct Node {
+    Kind kind;
+    std::size_t state = 0;
+    std::size_t bound = 0;
+    std::shared_ptr<const Node> a;
+    std::shared_ptr<const Node> b;
+  };
+
+  explicit UnaryConstraint(std::shared_ptr<const Node> n) : node_(std::move(n)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace lcert

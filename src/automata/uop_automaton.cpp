@@ -1,0 +1,192 @@
+#include "src/automata/uop_automaton.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/util/flow.hpp"
+
+namespace lcert {
+
+const UnaryConstraint& UOPAutomaton::transition(std::size_t state, std::size_t label) const {
+  if (state >= state_count || label >= label_count)
+    throw std::out_of_range("UOPAutomaton::transition: out of range");
+  return delta.at(state * label_count + label);
+}
+
+void UOPAutomaton::validate() const {
+  if (state_count == 0) throw std::invalid_argument("UOPAutomaton: no states");
+  if (state_names.size() != state_count || accepting.size() != state_count ||
+      delta.size() != state_count * label_count)
+    throw std::invalid_argument("UOPAutomaton: inconsistent sizes");
+}
+
+std::size_t AutomatonBuilder::add_state(std::string name, bool accepting) {
+  names_.push_back(std::move(name));
+  accepting_.push_back(accepting);
+  for (std::size_t l = 0; l < label_count_; ++l) delta_.emplace_back(std::nullopt);
+  return names_.size() - 1;
+}
+
+void AutomatonBuilder::set_transition(std::size_t state, UnaryConstraint c, std::size_t label) {
+  delta_.at(state * label_count_ + label) = std::move(c);
+}
+
+UOPAutomaton AutomatonBuilder::build() const {
+  UOPAutomaton a;
+  a.state_count = names_.size();
+  a.label_count = label_count_;
+  a.state_names = names_;
+  a.accepting = accepting_;
+  a.delta.reserve(delta_.size());
+  for (const auto& d : delta_)
+    a.delta.push_back(d.value_or(UnaryConstraint::always_false()));
+  a.validate();
+  return a;
+}
+
+namespace {
+
+std::size_t label_of(const std::vector<std::size_t>* labels, std::size_t v) {
+  return labels == nullptr ? 0 : labels->at(v);
+}
+
+}  // namespace
+
+bool is_accepting_run(const UOPAutomaton& a, const RootedTree& t, const Run& run,
+                      const std::vector<std::size_t>* labels) {
+  a.validate();
+  if (run.size() != t.size()) return false;
+  for (std::size_t v = 0; v < t.size(); ++v) {
+    if (run[v] >= a.state_count) return false;
+    std::vector<std::size_t> counts(a.state_count, 0);
+    for (std::size_t c : t.children(v)) ++counts[run[c]];
+    if (!a.transition(run[v], label_of(labels, v)).eval(counts)) return false;
+  }
+  return a.accepting[run[t.root()]];
+}
+
+namespace {
+
+// Can the children (with the given feasible sets) realize counts inside
+// `box`? If yes, writes the chosen state of each child into `assignment`.
+bool assign_children(const std::vector<std::size_t>& children,
+                     const std::vector<std::vector<bool>>& feasible,
+                     const IntervalBox& box, std::size_t state_count,
+                     std::vector<std::size_t>& assignment) {
+  const std::size_t m = children.size();
+  // Quick necessary check: sum of lower bounds must not exceed m.
+  std::size_t lo_sum = 0;
+  for (std::size_t q = 0; q < state_count; ++q) {
+    if (box.hi[q] != IntervalBox::kUnbounded && box.lo[q] > box.hi[q]) return false;
+    lo_sum += box.lo[q];
+  }
+  if (lo_sum > m) return false;
+
+  BoundedFlowProblem problem;
+  const std::size_t source = problem.add_node();
+  const std::size_t sink = problem.add_node();
+  std::vector<std::size_t> child_nodes(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    child_nodes[i] = problem.add_node();
+    problem.add_edge(source, child_nodes[i], 1, 1);
+  }
+  std::vector<std::size_t> state_nodes(state_count, SIZE_MAX);
+  std::vector<std::pair<std::size_t, std::pair<std::size_t, std::size_t>>> choice_edges;
+  for (std::size_t q = 0; q < state_count; ++q) {
+    state_nodes[q] = problem.add_node();
+    const std::int64_t hi =
+        box.hi[q] == IntervalBox::kUnbounded ? static_cast<std::int64_t>(m)
+                                             : static_cast<std::int64_t>(std::min(box.hi[q], m));
+    problem.add_edge(state_nodes[q], sink, static_cast<std::int64_t>(box.lo[q]), hi);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t q = 0; q < state_count; ++q) {
+      if (!feasible[children[i]][q]) continue;
+      const std::size_t e = problem.add_edge(child_nodes[i], state_nodes[q], 0, 1);
+      choice_edges.push_back({e, {i, q}});
+    }
+  }
+  problem.source = source;
+  problem.sink = sink;
+
+  std::vector<std::int64_t> flow;
+  if (!problem.feasible(flow)) return false;
+
+  assignment.assign(m, SIZE_MAX);
+  for (const auto& [e, iq] : choice_edges)
+    if (flow[e] == 1) assignment[iq.first] = iq.second;
+  for (std::size_t i = 0; i < m; ++i)
+    if (assignment[i] == SIZE_MAX)
+      throw std::logic_error("assign_children: flow left a child unassigned");
+  return true;
+}
+
+}  // namespace
+
+std::optional<Run> find_accepting_run(const UOPAutomaton& a, const RootedTree& t,
+                                      const std::vector<std::size_t>* labels) {
+  a.validate();
+  if (labels != nullptr && labels->size() != t.size())
+    throw std::invalid_argument("find_accepting_run: labels size mismatch");
+
+  // Pre-compute boxes per (state, label).
+  std::vector<std::vector<IntervalBox>> boxes(a.state_count * a.label_count);
+  for (std::size_t q = 0; q < a.state_count; ++q)
+    for (std::size_t l = 0; l < a.label_count; ++l)
+      boxes[q * a.label_count + l] = a.transition(q, l).to_boxes(a.state_count);
+
+  const auto order = t.preorder();
+
+  // Bottom-up feasibility.
+  std::vector<std::vector<bool>> feasible(t.size(),
+                                          std::vector<bool>(a.state_count, false));
+  std::vector<std::size_t> scratch_assignment;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t v = *it;
+    const auto children_span = t.children(v);
+    const std::vector<std::size_t> children(children_span.begin(), children_span.end());
+    for (std::size_t q = 0; q < a.state_count; ++q) {
+      for (const IntervalBox& box : boxes[q * a.label_count + label_of(labels, v)]) {
+        if (assign_children(children, feasible, box, a.state_count, scratch_assignment)) {
+          feasible[v][q] = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Pick an accepting feasible root state.
+  std::size_t root_state = SIZE_MAX;
+  for (std::size_t q = 0; q < a.state_count; ++q)
+    if (a.accepting[q] && feasible[t.root()][q]) {
+      root_state = q;
+      break;
+    }
+  if (root_state == SIZE_MAX) return std::nullopt;
+
+  // Top-down extraction.
+  Run run(t.size(), SIZE_MAX);
+  run[t.root()] = root_state;
+  for (std::size_t v : order) {
+    const std::size_t q = run[v];
+    const auto children_span = t.children(v);
+    if (children_span.empty()) continue;
+    const std::vector<std::size_t> children(children_span.begin(), children_span.end());
+    bool placed = false;
+    for (const IntervalBox& box : boxes[q * a.label_count + label_of(labels, v)]) {
+      std::vector<std::size_t> assignment;
+      if (assign_children(children, feasible, box, a.state_count, assignment)) {
+        for (std::size_t i = 0; i < children.size(); ++i) run[children[i]] = assignment[i];
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) throw std::logic_error("find_accepting_run: extraction failed");
+  }
+
+  if (!is_accepting_run(a, t, run, labels))
+    throw std::logic_error("find_accepting_run: produced a non-accepting run");
+  return run;
+}
+
+}  // namespace lcert

@@ -1,0 +1,145 @@
+#include "src/cert/audit.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace lcert {
+
+namespace {
+
+Certificate random_certificate(Rng& rng, std::size_t max_bits) {
+  const std::size_t bits = rng.index(max_bits + 1);
+  BitWriter w;
+  for (std::size_t i = 0; i < bits; ++i) w.write_bit(rng.coin());
+  return Certificate::from_writer(w);
+}
+
+Certificate flip_bit(const Certificate& c, std::size_t bit) {
+  Certificate out = c;
+  out.bytes[bit / 8] ^= static_cast<std::uint8_t>(0x80u >> (bit % 8));
+  return out;
+}
+
+bool accepted_everywhere(const Scheme& scheme, const Graph& g,
+                         const std::vector<Certificate>& certs) {
+  return verify_assignment(scheme, g, certs).all_accept;
+}
+
+}  // namespace
+
+std::optional<ForgedAssignment> attack_soundness(const Scheme& scheme,
+                                                 const Graph& no_instance,
+                                                 const std::vector<Certificate>* yes_template,
+                                                 Rng& rng, const AuditOptions& options) {
+  if (scheme.holds(no_instance))
+    throw std::invalid_argument("attack_soundness: instance satisfies the property");
+  const std::size_t n = no_instance.vertex_count();
+
+  // Attack 1: uniformly random certificates.
+  for (std::size_t trial = 0; trial < options.random_trials; ++trial) {
+    std::vector<Certificate> certs(n);
+    for (auto& c : certs) c = random_certificate(rng, options.max_random_bits);
+    if (accepted_everywhere(scheme, no_instance, certs))
+      return ForgedAssignment{std::move(certs), "random"};
+  }
+
+  // Attack 2: the empty assignment (schemes must not accept by default).
+  {
+    std::vector<Certificate> certs(n);
+    if (accepted_everywhere(scheme, no_instance, certs))
+      return ForgedAssignment{std::move(certs), "empty"};
+  }
+
+  if (yes_template != nullptr && yes_template->size() == n) {
+    // Attack 3: replay the honest certificates of a yes-instance.
+    if (options.try_replay && accepted_everywhere(scheme, no_instance, *yes_template))
+      return ForgedAssignment{*yes_template, "replay"};
+
+    // Attack 4: replay with certificates permuted between vertices.
+    if (options.try_replay) {
+      std::vector<Certificate> shuffled = *yes_template;
+      rng.shuffle(shuffled);
+      if (accepted_everywhere(scheme, no_instance, shuffled))
+        return ForgedAssignment{std::move(shuffled), "replay-shuffled"};
+    }
+
+    // Attack 5: single bit flips of the replayed template.
+    for (std::size_t trial = 0; trial < options.mutation_trials; ++trial) {
+      std::vector<Certificate> certs = *yes_template;
+      const Vertex v = static_cast<Vertex>(rng.index(n));
+      if (certs[v].bit_size == 0) continue;
+      certs[v] = flip_bit(certs[v], rng.index(certs[v].bit_size));
+      if (accepted_everywhere(scheme, no_instance, certs))
+        return ForgedAssignment{std::move(certs), "bit-flip"};
+    }
+  }
+
+  return std::nullopt;
+}
+
+namespace {
+
+// Enumerates all bit strings with 0..max_bits bits in a canonical order.
+std::vector<Certificate> all_certificates(std::size_t max_bits) {
+  std::vector<Certificate> out;
+  for (std::size_t bits = 0; bits <= max_bits; ++bits) {
+    const std::uint64_t limit = std::uint64_t{1} << bits;
+    for (std::uint64_t value = 0; value < limit; ++value) {
+      BitWriter w;
+      w.write(value, static_cast<unsigned>(bits));
+      out.push_back(Certificate::from_writer(w));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::optional<ForgedAssignment> exhaustive_soundness_attack(const Scheme& scheme,
+                                                            const Graph& no_instance,
+                                                            std::size_t max_bits) {
+  if (scheme.holds(no_instance))
+    throw std::invalid_argument("exhaustive_soundness_attack: instance satisfies the property");
+  const std::size_t n = no_instance.vertex_count();
+  const auto alphabet = all_certificates(max_bits);
+  double combos = 1;
+  for (std::size_t i = 0; i < n; ++i) combos *= static_cast<double>(alphabet.size());
+  if (combos > 2e7)
+    throw std::invalid_argument("exhaustive_soundness_attack: search space too large");
+
+  std::vector<std::size_t> pick(n, 0);
+  std::vector<Certificate> certs(n, alphabet[0]);
+  while (true) {
+    if (accepted_everywhere(scheme, no_instance, certs))
+      return ForgedAssignment{certs, "exhaustive"};
+    // Odometer increment.
+    std::size_t i = 0;
+    while (i < n) {
+      if (++pick[i] < alphabet.size()) {
+        certs[i] = alphabet[pick[i]];
+        break;
+      }
+      pick[i] = 0;
+      certs[i] = alphabet[0];
+      ++i;
+    }
+    if (i == n) break;
+  }
+  return std::nullopt;
+}
+
+void require_complete(const Scheme& scheme, const Graph& yes_instance) {
+  if (!scheme.holds(yes_instance))
+    throw std::invalid_argument("require_complete: instance does not satisfy the property");
+  const auto outcome = run_scheme(scheme, yes_instance);
+  if (!outcome.prover_succeeded)
+    throw std::logic_error(scheme.name() + ": prover failed on yes-instance");
+  if (!outcome.verification.all_accept) {
+    std::ostringstream os;
+    os << scheme.name() << ": verifier rejected honest certificates at vertices:";
+    for (Vertex v : outcome.verification.rejecting) os << ' ' << v;
+    throw std::logic_error(os.str());
+  }
+}
+
+}  // namespace lcert

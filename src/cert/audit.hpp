@@ -1,0 +1,54 @@
+// Adversarial auditing of schemes.
+//
+// Completeness is checked by running the prover; soundness cannot be proved
+// by testing, but it can be *attacked*: the auditor plays a malicious prover
+// that tries random certificates, bit-flips of honest certificates, replays
+// of certificates harvested from yes-instances, and (on tiny instances) the
+// full enumeration of all short certificate assignments. A sound scheme must
+// reject every attempt on a no-instance; any accepted forgery is a bug and is
+// returned for the test to display.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cert/engine.hpp"
+#include "src/cert/scheme.hpp"
+#include "src/util/rng.hpp"
+
+namespace lcert {
+
+struct ForgedAssignment {
+  std::vector<Certificate> certificates;
+  std::string attack;  ///< which attack produced it
+};
+
+struct AuditOptions {
+  std::size_t random_trials = 200;        ///< uniformly random certificates
+  std::size_t mutation_trials = 200;      ///< bit-flips of a template assignment
+  std::size_t max_random_bits = 64;       ///< length of random certificates
+  bool try_replay = true;                 ///< replay template certificates shuffled
+};
+
+/// Attacks the scheme's soundness on `no_instance` (must violate holds()).
+/// `yes_template`: optional honest certificates from a similar yes-instance,
+/// used for mutation/replay attacks. Returns a forgery if one is found.
+std::optional<ForgedAssignment> attack_soundness(
+    const Scheme& scheme, const Graph& no_instance,
+    const std::vector<Certificate>* yes_template, Rng& rng,
+    const AuditOptions& options = {});
+
+/// Exhaustively enumerates *all* assignments with certificates of at most
+/// `max_bits` bits per vertex (count = (2^{max_bits+1}-1)^n, so keep both
+/// tiny). Returns a forgery if any assignment is accepted everywhere.
+std::optional<ForgedAssignment> exhaustive_soundness_attack(const Scheme& scheme,
+                                                            const Graph& no_instance,
+                                                            std::size_t max_bits);
+
+/// Convenience: checks completeness on a yes-instance (prover succeeds and
+/// every vertex accepts); throws std::logic_error with diagnostics otherwise.
+void require_complete(const Scheme& scheme, const Graph& yes_instance);
+
+}  // namespace lcert

@@ -1,0 +1,43 @@
+#include "src/cert/ball.hpp"
+
+#include <stdexcept>
+
+namespace lcert {
+
+BallView make_ball_view(const Graph& g, const std::vector<Certificate>& certificates,
+                        Vertex v, std::size_t radius) {
+  if (certificates.size() != g.vertex_count())
+    throw std::invalid_argument("make_ball_view: wrong number of certificates");
+  const auto dist = g.bfs_distances(v);
+  std::vector<Vertex> members{v};
+  for (Vertex u = 0; u < g.vertex_count(); ++u)
+    if (u != v && dist[u] <= radius) members.push_back(u);
+
+  BallView view;
+  view.radius = radius;
+  view.ball = g.induced(members);
+  view.distance.reserve(members.size());
+  view.certificates.reserve(members.size());
+  for (Vertex u : members) {
+    view.distance.push_back(dist[u]);
+    view.certificates.push_back(certificates[u]);
+  }
+  return view;
+}
+
+bool check_diameter_le_2_at_radius_3(const BallView& view) {
+  if (view.radius < 3)
+    throw std::invalid_argument("check_diameter_le_2_at_radius_3: radius must be >= 3");
+  for (std::size_t d : view.distance)
+    if (d >= 3) return false;
+  return true;
+}
+
+bool decide_diameter_le_2_radius_3(const Graph& g) {
+  const std::vector<Certificate> empty(g.vertex_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    if (!check_diameter_le_2_at_radius_3(make_ball_view(g, empty, v, 3))) return false;
+  return true;
+}
+
+}  // namespace lcert

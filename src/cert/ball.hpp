@@ -1,0 +1,41 @@
+// Radius-d views (Appendix A.1).
+//
+// The paper fixes the verification radius to 1 and discusses why: with
+// radius-d views some properties need no certificates at all — e.g.
+// "diameter <= 2" is free at radius 3 but costs Omega~(n) at radius 1. This
+// module provides the locally-checkable-proofs-style view (the full induced
+// ball around a vertex, with IDs and certificates) and the paper's example
+// verifier, so the model gap is executable.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/cert/scheme.hpp"
+#include "src/graph/graph.hpp"
+
+namespace lcert {
+
+/// The radius-d ball around a vertex: the induced subgraph on all vertices at
+/// distance <= d, their IDs, distances and certificates. Vertex 0 of `ball`
+/// is the center.
+struct BallView {
+  Graph ball;                              ///< induced; IDs preserved
+  std::vector<std::size_t> distance;       ///< from the center, per ball vertex
+  std::vector<Certificate> certificates;   ///< per ball vertex
+  std::size_t radius = 0;
+};
+
+/// Builds vertex v's radius-d ball view.
+BallView make_ball_view(const Graph& g, const std::vector<Certificate>& certificates,
+                        Vertex v, std::size_t radius);
+
+/// Appendix A.1's example: with radius-3 views, "diameter <= 2" is decided
+/// with NO certificates — a vertex rejects iff its ball contains a vertex at
+/// distance exactly 3. Returns the verdict of the center.
+bool check_diameter_le_2_at_radius_3(const BallView& view);
+
+/// Convenience: runs the radius-3 verifier at every vertex (no certificates).
+bool decide_diameter_le_2_radius_3(const Graph& g);
+
+}  // namespace lcert

@@ -1,0 +1,57 @@
+#include "src/cert/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcert {
+
+View make_view(const Graph& g, const std::vector<Certificate>& certificates, Vertex v) {
+  if (certificates.size() != g.vertex_count())
+    throw std::invalid_argument("make_view: wrong number of certificates");
+  View view;
+  view.id = g.id(v);
+  view.certificate = certificates[v];
+  view.neighbors.reserve(g.degree(v));
+  for (Vertex w : g.neighbors(v)) view.neighbors.push_back({g.id(w), certificates[w]});
+  return view;
+}
+
+VerificationOutcome verify_assignment(const Scheme& scheme, const Graph& g,
+                                      const std::vector<Certificate>& certificates) {
+  VerificationOutcome out;
+  for (const Certificate& c : certificates) {
+    out.max_certificate_bits = std::max(out.max_certificate_bits, c.bit_size);
+    out.total_certificate_bits += c.bit_size;
+  }
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    bool ok;
+    try {
+      ok = scheme.verify(make_view(g, certificates, v));
+    } catch (const std::out_of_range&) {
+      // Truncated/garbage certificate: the verifier rejects.
+      ok = false;
+    }
+    if (!ok) out.rejecting.push_back(v);
+  }
+  out.all_accept = out.rejecting.empty();
+  return out;
+}
+
+SchemeOutcome run_scheme(const Scheme& scheme, const Graph& g) {
+  SchemeOutcome out;
+  const auto certificates = scheme.assign(g);
+  out.prover_succeeded = certificates.has_value();
+  if (out.prover_succeeded) out.verification = verify_assignment(scheme, g, *certificates);
+  return out;
+}
+
+std::size_t certified_size_bits(const Scheme& scheme, const Graph& g) {
+  const auto outcome = run_scheme(scheme, g);
+  if (!outcome.prover_succeeded)
+    throw std::logic_error(scheme.name() + ": prover failed on a yes-instance");
+  if (!outcome.verification.all_accept)
+    throw std::logic_error(scheme.name() + ": verifier rejected the prover's assignment");
+  return outcome.verification.max_certificate_bits;
+}
+
+}  // namespace lcert

@@ -1,0 +1,35 @@
+// Evaluation engine: runs a scheme's verifier at every vertex and accounts
+// certificate sizes in bits (the paper's performance measure).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/cert/scheme.hpp"
+
+namespace lcert {
+
+struct VerificationOutcome {
+  bool all_accept = false;
+  std::vector<Vertex> rejecting;        ///< vertices whose verifier said no
+  std::size_t max_certificate_bits = 0;
+  std::size_t total_certificate_bits = 0;
+};
+
+/// Runs the verifier everywhere under a given assignment.
+VerificationOutcome verify_assignment(const Scheme& scheme, const Graph& g,
+                                      const std::vector<Certificate>& certificates);
+
+struct SchemeOutcome {
+  bool prover_succeeded = false;
+  VerificationOutcome verification;
+};
+
+/// Prover + verifier end to end.
+SchemeOutcome run_scheme(const Scheme& scheme, const Graph& g);
+
+/// Certificate size (max bits) the prover uses on this yes-instance; throws
+/// if the prover fails or a verifier rejects — those are library bugs.
+std::size_t certified_size_bits(const Scheme& scheme, const Graph& g);
+
+}  // namespace lcert

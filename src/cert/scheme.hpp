@@ -1,0 +1,78 @@
+// The local certification model (Section 3.3).
+//
+// A scheme is a pair (prover, verifier). The prover sees the whole graph and
+// assigns one certificate per vertex; the verifier is strictly local with
+// radius exactly 1 (Appendix A.1): a vertex sees its own ID and certificate
+// plus the IDs and certificates of its neighbors — crucially NOT the edges
+// among the neighbors, and not n. Completeness and soundness are the paper's:
+// yes-instances have an accepting assignment, no-instances have none.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/util/bitio.hpp"
+
+namespace lcert {
+
+/// A certificate is an exact-length bit string.
+struct Certificate {
+  std::vector<std::uint8_t> bytes;
+  std::size_t bit_size = 0;
+
+  static Certificate from_writer(const BitWriter& w) { return {w.bytes(), w.bit_size()}; }
+  BitReader reader() const { return BitReader(bytes, bit_size); }
+  bool operator==(const Certificate&) const = default;
+};
+
+/// What a vertex sees about one neighbor.
+struct NeighborView {
+  VertexId id;
+  Certificate certificate;
+};
+
+/// The entire radius-1 view of a vertex.
+struct View {
+  VertexId id;
+  Certificate certificate;
+  std::vector<NeighborView> neighbors;
+
+  std::size_t degree() const noexcept { return neighbors.size(); }
+  bool has_neighbor_id(VertexId nid) const {
+    for (const auto& nb : neighbors)
+      if (nb.id == nid) return true;
+    return false;
+  }
+  const Certificate* neighbor_certificate(VertexId nid) const {
+    for (const auto& nb : neighbors)
+      if (nb.id == nid) return &nb.certificate;
+    return nullptr;
+  }
+};
+
+/// A local certification scheme for one graph property.
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// The certified property (ground truth used by the audit harness; it is
+  /// *not* available to the verifier).
+  virtual bool holds(const Graph& g) const = 0;
+
+  /// Prover: certificates for a yes-instance; std::nullopt when it cannot
+  /// certify (in particular on no-instances).
+  virtual std::optional<std::vector<Certificate>> assign(const Graph& g) const = 0;
+
+  /// Radius-1 local verifier.
+  virtual bool verify(const View& view) const = 0;
+};
+
+/// Builds vertex v's radius-1 view under a certificate assignment.
+View make_view(const Graph& g, const std::vector<Certificate>& certificates, Vertex v);
+
+}  // namespace lcert

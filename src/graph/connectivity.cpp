@@ -1,0 +1,128 @@
+#include "src/graph/connectivity.hpp"
+
+#include <algorithm>
+#include <stack>
+#include <stdexcept>
+
+namespace lcert {
+
+std::vector<std::size_t> connected_components(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::size_t> comp(n, SIZE_MAX);
+  std::size_t next = 0;
+  for (Vertex s = 0; s < n; ++s) {
+    if (comp[s] != SIZE_MAX) continue;
+    comp[s] = next;
+    std::vector<Vertex> stack{s};
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (Vertex w : g.neighbors(v))
+        if (comp[w] == SIZE_MAX) {
+          comp[w] = next;
+          stack.push_back(w);
+        }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+namespace {
+
+// Iterative Tarjan lowpoint computation shared by cut_vertices and blocks.
+struct LowpointState {
+  std::vector<std::size_t> disc, low, parent;
+  std::vector<bool> is_cut;
+  std::vector<std::vector<Vertex>> blocks;
+
+  explicit LowpointState(std::size_t n)
+      : disc(n, SIZE_MAX), low(n, SIZE_MAX), parent(n, SIZE_MAX), is_cut(n, false) {}
+};
+
+void run_tarjan(const Graph& g, LowpointState& st, bool collect_blocks) {
+  const std::size_t n = g.vertex_count();
+  std::size_t timer = 0;
+  std::vector<std::pair<Vertex, Vertex>> edge_stack;
+
+  for (Vertex start = 0; start < n; ++start) {
+    if (st.disc[start] != SIZE_MAX) continue;
+    // Explicit DFS stack of (vertex, next-neighbor-offset).
+    std::vector<std::pair<Vertex, std::size_t>> dfs;
+    dfs.emplace_back(start, 0);
+    st.disc[start] = st.low[start] = timer++;
+    std::size_t root_children = 0;
+
+    while (!dfs.empty()) {
+      auto& [v, offset] = dfs.back();
+      const auto nbrs = g.neighbors(v);
+      if (offset < nbrs.size()) {
+        const Vertex w = nbrs[offset++];
+        if (st.disc[w] == SIZE_MAX) {
+          st.parent[w] = v;
+          if (v == start) ++root_children;
+          if (collect_blocks) edge_stack.emplace_back(v, w);
+          st.disc[w] = st.low[w] = timer++;
+          dfs.emplace_back(w, 0);
+        } else if (w != st.parent[v] && st.disc[w] < st.disc[v]) {
+          if (collect_blocks) edge_stack.emplace_back(v, w);
+          st.low[v] = std::min(st.low[v], st.disc[w]);
+        }
+      } else {
+        dfs.pop_back();
+        if (!dfs.empty()) {
+          const Vertex p = dfs.back().first;
+          st.low[p] = std::min(st.low[p], st.low[v]);
+          if (st.low[v] >= st.disc[p]) {
+            // p separates v's subtree; the root case is handled after the loop.
+            if (p != start) st.is_cut[p] = true;
+            if (collect_blocks) {
+              // Pop the block's edges.
+              std::vector<Vertex> members;
+              auto add = [&members](Vertex x) {
+                if (std::find(members.begin(), members.end(), x) == members.end())
+                  members.push_back(x);
+              };
+              while (!edge_stack.empty()) {
+                auto [a, b] = edge_stack.back();
+                edge_stack.pop_back();
+                add(a);
+                add(b);
+                if (a == p && b == v) break;
+              }
+              st.blocks.push_back(std::move(members));
+            }
+          }
+        }
+      }
+    }
+    if (root_children >= 2) st.is_cut[start] = true;
+  }
+}
+
+}  // namespace
+
+std::vector<bool> cut_vertices(const Graph& g) {
+  if (!g.is_connected()) throw std::invalid_argument("cut_vertices: graph must be connected");
+  LowpointState st(g.vertex_count());
+  run_tarjan(g, st, /*collect_blocks=*/false);
+  return st.is_cut;
+}
+
+BlockCutDecomposition block_cut_decomposition(const Graph& g) {
+  if (!g.is_connected())
+    throw std::invalid_argument("block_cut_decomposition: graph must be connected");
+  LowpointState st(g.vertex_count());
+  run_tarjan(g, st, /*collect_blocks=*/true);
+
+  BlockCutDecomposition out;
+  out.blocks = std::move(st.blocks);
+  out.is_cut_vertex = std::move(st.is_cut);
+  if (g.vertex_count() == 1 && out.blocks.empty()) out.blocks.push_back({0});
+  out.blocks_of.assign(g.vertex_count(), {});
+  for (std::size_t b = 0; b < out.blocks.size(); ++b)
+    for (Vertex v : out.blocks[b]) out.blocks_of[v].push_back(b);
+  return out;
+}
+
+}  // namespace lcert

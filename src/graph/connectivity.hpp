@@ -1,0 +1,33 @@
+// Connectivity and 2-connectivity decomposition.
+//
+// Corollary 2.7's certification of C_t-minor-free graphs decomposes the graph
+// into 2-connected components (blocks) and certifies P_{t^2}-minor-freeness
+// inside each block; this module provides the block–cut structure.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace lcert {
+
+/// Component index per vertex (0-based); count = 1 + max entry.
+std::vector<std::size_t> connected_components(const Graph& g);
+
+/// Cut vertices (articulation points) of a connected graph.
+std::vector<bool> cut_vertices(const Graph& g);
+
+/// Block–cut decomposition of a connected graph.
+struct BlockCutDecomposition {
+  /// Each block is a set of vertices inducing a maximal 2-connected subgraph
+  /// (or a bridge edge / isolated vertex).
+  std::vector<std::vector<Vertex>> blocks;
+  /// blocks_of[v] = indices of the blocks containing v (>= 2 iff cut vertex).
+  std::vector<std::vector<std::size_t>> blocks_of;
+  std::vector<bool> is_cut_vertex;
+};
+
+BlockCutDecomposition block_cut_decomposition(const Graph& g);
+
+}  // namespace lcert

@@ -1,0 +1,133 @@
+#include "src/graph/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/util/rng.hpp"
+
+namespace lcert {
+
+Graph::Graph(std::size_t n, const std::vector<std::pair<Vertex, Vertex>>& edges)
+    : adjacency_(n), ids_(n) {
+  for (std::size_t v = 0; v < n; ++v) ids_[v] = static_cast<VertexId>(v + 1);
+  std::set<std::pair<Vertex, Vertex>> seen;
+  for (auto [u, v] : edges) {
+    if (u >= n || v >= n) throw std::out_of_range("Graph: edge endpoint out of range");
+    if (u == v) throw std::invalid_argument("Graph: loops are not allowed");
+    auto key = std::minmax(u, v);
+    if (!seen.insert({key.first, key.second}).second)
+      throw std::invalid_argument("Graph: duplicate edge");
+    adjacency_[u].push_back(v);
+    adjacency_[v].push_back(u);
+    ++edge_count_;
+  }
+  for (auto& nbrs : adjacency_) std::sort(nbrs.begin(), nbrs.end());
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  const auto& nbrs = adjacency_.at(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+void Graph::set_ids(std::vector<VertexId> ids) {
+  if (ids.size() != adjacency_.size())
+    throw std::invalid_argument("Graph::set_ids: wrong length");
+  std::unordered_set<VertexId> distinct;
+  for (VertexId id : ids) {
+    if (id == 0) throw std::invalid_argument("Graph::set_ids: IDs must be >= 1");
+    if (!distinct.insert(id).second)
+      throw std::invalid_argument("Graph::set_ids: duplicate ID");
+  }
+  ids_ = std::move(ids);
+}
+
+Vertex Graph::vertex_with_id(VertexId id) const {
+  for (Vertex v = 0; v < ids_.size(); ++v)
+    if (ids_[v] == id) return v;
+  throw std::out_of_range("Graph::vertex_with_id: no such ID");
+}
+
+std::vector<std::pair<Vertex, Vertex>> Graph::edges() const {
+  std::vector<std::pair<Vertex, Vertex>> out;
+  out.reserve(edge_count_);
+  for (Vertex u = 0; u < adjacency_.size(); ++u)
+    for (Vertex v : adjacency_[u])
+      if (u < v) out.emplace_back(u, v);
+  return out;
+}
+
+bool Graph::is_connected() const {
+  if (vertex_count() == 0) return false;
+  const auto dist = bfs_distances(0);
+  return std::none_of(dist.begin(), dist.end(),
+                      [](std::size_t d) { return d == SIZE_MAX; });
+}
+
+Graph Graph::induced(const std::vector<Vertex>& keep) const {
+  std::unordered_map<Vertex, Vertex> index_of;
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i] >= vertex_count()) throw std::out_of_range("Graph::induced: bad vertex");
+    if (!index_of.emplace(keep[i], i).second)
+      throw std::invalid_argument("Graph::induced: duplicate vertex");
+  }
+  std::vector<std::pair<Vertex, Vertex>> new_edges;
+  for (std::size_t i = 0; i < keep.size(); ++i)
+    for (Vertex w : adjacency_[keep[i]]) {
+      auto it = index_of.find(w);
+      if (it != index_of.end() && i < it->second) new_edges.emplace_back(i, it->second);
+    }
+  Graph out(keep.size(), new_edges);
+  std::vector<VertexId> ids(keep.size());
+  for (std::size_t i = 0; i < keep.size(); ++i) ids[i] = ids_[keep[i]];
+  out.set_ids(std::move(ids));
+  return out;
+}
+
+std::vector<std::size_t> Graph::bfs_distances(Vertex source) const {
+  std::vector<std::size_t> dist(vertex_count(), SIZE_MAX);
+  std::queue<Vertex> q;
+  dist.at(source) = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop();
+    for (Vertex w : adjacency_[v]) {
+      if (dist[w] == SIZE_MAX) {
+        dist[w] = dist[v] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  os << "Graph(n=" << vertex_count() << ", m=" << edge_count() << ")\n";
+  for (Vertex v = 0; v < vertex_count(); ++v) {
+    os << "  " << v << " (id=" << ids_[v] << "):";
+    for (Vertex w : adjacency_[v]) os << ' ' << w;
+    os << '\n';
+  }
+  return os.str();
+}
+
+void assign_random_ids(Graph& g, Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  const std::uint64_t range = static_cast<std::uint64_t>(n) * n + 1;
+  std::unordered_set<VertexId> chosen;
+  std::vector<VertexId> ids;
+  ids.reserve(n);
+  while (ids.size() < n) {
+    const VertexId candidate = rng.uniform(1, range);
+    if (chosen.insert(candidate).second) ids.push_back(candidate);
+  }
+  g.set_ids(std::move(ids));
+}
+
+}  // namespace lcert

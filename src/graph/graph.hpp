@@ -1,0 +1,71 @@
+// Core graph representation.
+//
+// Vertices are dense indices 0..n-1; every vertex additionally carries a
+// unique *identifier* from a polynomial range [1, n^c], as the certification
+// model requires (Section 3.3 of the paper). Algorithms work on indices;
+// certificates and verifiers only ever see identifiers, which is what keeps
+// the radius-1 model honest.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace lcert {
+
+using Vertex = std::size_t;
+using VertexId = std::uint64_t;
+
+/// Immutable simple graph with adjacency lists and external vertex IDs.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Builds a graph on `n` vertices with the given undirected edge list.
+  /// IDs default to 1..n. Duplicate edges and loops are rejected.
+  Graph(std::size_t n, const std::vector<std::pair<Vertex, Vertex>>& edges);
+
+  std::size_t vertex_count() const noexcept { return adjacency_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+
+  std::span<const Vertex> neighbors(Vertex v) const { return adjacency_.at(v); }
+  std::size_t degree(Vertex v) const { return adjacency_.at(v).size(); }
+
+  /// O(log deg) membership test (adjacency lists are kept sorted).
+  bool has_edge(Vertex u, Vertex v) const;
+
+  VertexId id(Vertex v) const { return ids_.at(v); }
+
+  /// Replaces the ID assignment; IDs must be distinct and >= 1.
+  void set_ids(std::vector<VertexId> ids);
+
+  /// Index of the vertex carrying `id`; throws if absent.
+  Vertex vertex_with_id(VertexId id) const;
+
+  /// All undirected edges, each once, with u < v.
+  std::vector<std::pair<Vertex, Vertex>> edges() const;
+
+  bool is_connected() const;
+
+  /// Subgraph induced by `keep` (order of `keep` defines new indices).
+  /// IDs are inherited from the original vertices.
+  Graph induced(const std::vector<Vertex>& keep) const;
+
+  /// BFS distances from `source`; unreachable = SIZE_MAX.
+  std::vector<std::size_t> bfs_distances(Vertex source) const;
+
+  /// Human-readable dump (small graphs, debugging and examples).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::vector<Vertex>> adjacency_;
+  std::vector<VertexId> ids_;
+  std::size_t edge_count_ = 0;
+};
+
+/// Assigns random distinct IDs from [1, n^2] (the model's polynomial range).
+void assign_random_ids(Graph& g, class Rng& rng);
+
+}  // namespace lcert

@@ -1,0 +1,29 @@
+// Graph serialization: a small text format for instances and DOT export for
+// inspection. Used by the CLI example and handy for bug reports.
+//
+// Text format ("lcert edge list"):
+//   n <vertex_count>
+//   [id <v> <identifier>]*     optional explicit IDs (default 1..n)
+//   e <u> <v>                  one line per edge, 0-based endpoints
+//   # comment lines and blank lines are ignored
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/graph.hpp"
+
+namespace lcert {
+
+/// Parses the edge-list format; throws std::invalid_argument with a line
+/// number on malformed input.
+Graph parse_edge_list(std::istream& in);
+Graph parse_edge_list(const std::string& text);
+
+/// Writes the same format (IDs included when not the default 1..n).
+std::string to_edge_list(const Graph& g);
+
+/// Graphviz DOT (undirected), with vertex IDs as labels.
+std::string to_dot(const Graph& g);
+
+}  // namespace lcert

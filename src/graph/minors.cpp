@@ -1,0 +1,149 @@
+#include "src/graph/minors.hpp"
+
+#include "src/graph/connectivity.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace lcert {
+
+namespace {
+
+// Depth-first extension of a simple path from `v`.
+struct PathSearch {
+  const Graph& g;
+  std::vector<bool> on_path;
+  std::size_t best = 0;
+  std::size_t stop_at;  // 0 = exhaustive
+
+  PathSearch(const Graph& graph, std::size_t stop)
+      : g(graph), on_path(graph.vertex_count(), false), stop_at(stop) {}
+
+  bool done() const { return stop_at != 0 && best >= stop_at; }
+
+  void extend(Vertex v, std::size_t length) {
+    on_path[v] = true;
+    best = std::max(best, length);
+    if (!done()) {
+      for (Vertex w : g.neighbors(v)) {
+        if (on_path[w]) continue;
+        extend(w, length + 1);
+        if (done()) break;
+      }
+    }
+    on_path[v] = false;
+  }
+};
+
+bool is_tree(const Graph& g) {
+  return g.edge_count() == g.vertex_count() - 1 && g.is_connected();
+}
+
+std::size_t tree_diameter_order(const Graph& g) {
+  // Double BFS: farthest vertex from an arbitrary start, then farthest from it.
+  const auto d0 = g.bfs_distances(0);
+  Vertex far = 0;
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    if (d0[v] != SIZE_MAX && d0[v] > d0[far]) far = v;
+  const auto d1 = g.bfs_distances(far);
+  std::size_t diameter = 0;
+  for (std::size_t d : d1)
+    if (d != SIZE_MAX) diameter = std::max(diameter, d);
+  return diameter + 1;  // vertices on the path
+}
+
+}  // namespace
+
+std::size_t longest_path_order(const Graph& g, std::size_t stop_at) {
+  if (g.vertex_count() == 0) return 0;
+  if (is_tree(g)) return tree_diameter_order(g);
+  PathSearch search(g, stop_at);
+  for (Vertex v = 0; v < g.vertex_count() && !search.done(); ++v)
+    search.extend(v, 1);
+  return search.best;
+}
+
+bool has_path_minor(const Graph& g, std::size_t t) {
+  if (t == 0) return true;
+  return longest_path_order(g, t) >= t;
+}
+
+namespace {
+
+struct CycleSearch {
+  const Graph& g;
+  std::vector<bool> on_path;
+  Vertex start = 0;
+  std::size_t best = 0;
+  std::size_t stop_at;
+
+  CycleSearch(const Graph& graph, std::size_t stop)
+      : g(graph), on_path(graph.vertex_count(), false), stop_at(stop) {}
+
+  bool done() const { return stop_at != 0 && best >= stop_at; }
+
+  void extend(Vertex v, std::size_t length) {
+    on_path[v] = true;
+    for (Vertex w : g.neighbors(v)) {
+      if (done()) break;
+      if (w == start && length >= 3) best = std::max(best, length);
+      // Only extend to vertices larger than start: each cycle is found from
+      // its minimum vertex, cutting the search space.
+      if (!on_path[w] && w > start) extend(w, length + 1);
+    }
+    on_path[v] = false;
+  }
+};
+
+}  // namespace
+
+namespace {
+
+std::size_t longest_cycle_in(const Graph& g, std::size_t stop_at) {
+  CycleSearch search(g, stop_at);
+  for (Vertex v = 0; v < g.vertex_count() && !search.done(); ++v) {
+    search.start = v;
+    search.extend(v, 1);
+  }
+  return search.best;
+}
+
+}  // namespace
+
+std::size_t longest_cycle_order(const Graph& g, std::size_t stop_at) {
+  // Every cycle lies inside one 2-connected block; searching per block keeps
+  // block-chain graphs (cacti and friends) from blowing up the backtracking.
+  const std::size_t n = g.vertex_count();
+  if (n < 3) return 0;
+  if (!g.is_connected()) {
+    // Components one by one (kernels and gadgets are connected, but stay safe).
+    const auto comp = connected_components(g);
+    std::size_t comp_count = 0;
+    for (std::size_t c : comp) comp_count = std::max(comp_count, c + 1);
+    std::size_t best = 0;
+    for (std::size_t c = 0; c < comp_count; ++c) {
+      std::vector<Vertex> members;
+      for (Vertex v = 0; v < n; ++v)
+        if (comp[v] == c) members.push_back(v);
+      if (members.size() < 3) continue;
+      best = std::max(best, longest_cycle_order(g.induced(members), stop_at));
+      if (stop_at != 0 && best >= stop_at) return best;
+    }
+    return best;
+  }
+  const auto bc = block_cut_decomposition(g);
+  std::size_t best = 0;
+  for (const auto& block : bc.blocks) {
+    if (block.size() < 3) continue;
+    best = std::max(best, longest_cycle_in(g.induced(block), stop_at));
+    if (stop_at != 0 && best >= stop_at) return best;
+  }
+  return best;
+}
+
+bool has_cycle_minor(const Graph& g, std::size_t t) {
+  if (t < 3) return longest_cycle_order(g, 3) >= 3;
+  return longest_cycle_order(g, t) >= t;
+}
+
+}  // namespace lcert

@@ -1,0 +1,31 @@
+// P_t / C_t minor tests.
+//
+// Corollary 2.7 certifies P_t-minor-free and C_t-minor-free graphs. For paths
+// and cycles, minor containment collapses to subgraph containment: G has a
+// P_t minor iff G contains a path on t vertices, and a C_t minor iff G has a
+// cycle of length >= t. Both tests are exact backtracking searches with early
+// exit; trees get a linear-time diameter shortcut. These are ground-truth
+// oracles for the schemes, used on moderate instance sizes.
+#pragma once
+
+#include <cstddef>
+
+#include "src/graph/graph.hpp"
+
+namespace lcert {
+
+/// Number of vertices on a longest simple path (exact; exponential worst case,
+/// linear on trees). `stop_at`: return early once a path with that many
+/// vertices is found (0 = no early exit).
+std::size_t longest_path_order(const Graph& g, std::size_t stop_at = 0);
+
+/// True iff G contains P_t (path on t vertices) as a minor == subgraph.
+bool has_path_minor(const Graph& g, std::size_t t);
+
+/// Length (vertex count) of a longest cycle; 0 if acyclic. `stop_at` as above.
+std::size_t longest_cycle_order(const Graph& g, std::size_t stop_at = 0);
+
+/// True iff G contains C_t as a minor, i.e. has a cycle of length >= t.
+bool has_cycle_minor(const Graph& g, std::size_t t);
+
+}  // namespace lcert

@@ -1,0 +1,105 @@
+#include "src/graph/rooted_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lcert {
+
+RootedTree::RootedTree(std::vector<std::size_t> parent)
+    : parent_(std::move(parent)), children_(parent_.size()), depth_(parent_.size(), SIZE_MAX) {
+  const std::size_t n = parent_.size();
+  if (n == 0) throw std::invalid_argument("RootedTree: empty");
+  std::size_t roots = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (parent_[v] == kNoParent) {
+      root_ = v;
+      ++roots;
+    } else if (parent_[v] >= n) {
+      throw std::out_of_range("RootedTree: parent out of range");
+    } else {
+      children_[parent_[v]].push_back(v);
+    }
+  }
+  if (roots != 1) throw std::invalid_argument("RootedTree: must have exactly one root");
+  // Compute depths iteratively (also detects cycles: unreachable vertices).
+  depth_[root_] = 0;
+  std::vector<std::size_t> stack{root_};
+  std::size_t visited = 0;
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    ++visited;
+    for (std::size_t c : children_[v]) {
+      depth_[c] = depth_[v] + 1;
+      stack.push_back(c);
+    }
+  }
+  if (visited != n) throw std::invalid_argument("RootedTree: parent array contains a cycle");
+}
+
+std::size_t RootedTree::height() const {
+  return *std::max_element(depth_.begin(), depth_.end());
+}
+
+bool RootedTree::is_ancestor(std::size_t a, std::size_t d) const {
+  std::size_t v = d;
+  while (v != kNoParent) {
+    if (v == a) return true;
+    v = parent_.at(v);
+  }
+  return false;
+}
+
+std::vector<std::size_t> RootedTree::ancestors(std::size_t v) const {
+  std::vector<std::size_t> out;
+  std::size_t cur = v;
+  while (cur != kNoParent) {
+    out.push_back(cur);
+    cur = parent_.at(cur);
+  }
+  return out;
+}
+
+std::vector<std::size_t> RootedTree::subtree(std::size_t v) const {
+  std::vector<std::size_t> out;
+  std::vector<std::size_t> stack{v};
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    out.push_back(u);
+    for (std::size_t c : children_[u]) stack.push_back(c);
+  }
+  return out;
+}
+
+Graph RootedTree::to_graph() const {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(size() - 1);
+  for (std::size_t v = 0; v < size(); ++v)
+    if (parent_[v] != kNoParent) edges.emplace_back(v, parent_[v]);
+  return Graph(size(), edges);
+}
+
+RootedTree RootedTree::from_graph(const Graph& g, Vertex root) {
+  const std::size_t n = g.vertex_count();
+  if (g.edge_count() != n - 1 || !g.is_connected())
+    throw std::invalid_argument("RootedTree::from_graph: not a tree");
+  std::vector<std::size_t> parent(n, kNoParent);
+  std::vector<bool> seen(n, false);
+  std::vector<Vertex> stack{root};
+  seen.at(root) = true;
+  while (!stack.empty()) {
+    const Vertex v = stack.back();
+    stack.pop_back();
+    for (Vertex w : g.neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        parent[w] = v;
+        stack.push_back(w);
+      }
+    }
+  }
+  return RootedTree(std::move(parent));
+}
+
+}  // namespace lcert

@@ -1,0 +1,65 @@
+// Rooted trees as a first-class structure.
+//
+// Several subsystems (tree automata runs, the kernelization's elimination
+// trees, the lower bound's depth-k tree unranking) manipulate rooted trees
+// directly; converting through Graph every time would lose the root and the
+// parent orientation. A RootedTree stores a parent array with children lists
+// derived on construction.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+
+namespace lcert {
+
+/// Rooted tree on vertices 0..n-1. parent[root] == NO_PARENT.
+class RootedTree {
+ public:
+  static constexpr std::size_t kNoParent = SIZE_MAX;
+
+  RootedTree() = default;
+
+  /// Builds from a parent array; validates that it encodes a single tree.
+  explicit RootedTree(std::vector<std::size_t> parent);
+
+  std::size_t size() const noexcept { return parent_.size(); }
+  std::size_t root() const noexcept { return root_; }
+  std::size_t parent(std::size_t v) const { return parent_.at(v); }
+  std::span<const std::size_t> children(std::size_t v) const { return children_.at(v); }
+  bool is_leaf(std::size_t v) const { return children_.at(v).empty(); }
+
+  /// Depth of v (root has depth 0).
+  std::size_t depth(std::size_t v) const { return depth_.at(v); }
+
+  /// Height of the tree = max depth. A single vertex has height 0.
+  std::size_t height() const;
+
+  /// True iff `a` is an ancestor of `d` (a vertex is its own ancestor).
+  bool is_ancestor(std::size_t a, std::size_t d) const;
+
+  /// Ancestors of v from v itself up to the root (inclusive).
+  std::vector<std::size_t> ancestors(std::size_t v) const;
+
+  /// Vertices of the subtree rooted at v (preorder).
+  std::vector<std::size_t> subtree(std::size_t v) const;
+
+  /// Vertices in an order where every parent precedes its children.
+  std::vector<std::size_t> preorder() const { return subtree(root_); }
+
+  /// The underlying undirected tree as a Graph (IDs default 1..n).
+  Graph to_graph() const;
+
+  /// Roots an undirected tree (must be connected and acyclic) at `root`.
+  static RootedTree from_graph(const Graph& g, Vertex root);
+
+ private:
+  std::vector<std::size_t> parent_;
+  std::vector<std::vector<std::size_t>> children_;
+  std::vector<std::size_t> depth_;
+  std::size_t root_ = 0;
+};
+
+}  // namespace lcert

@@ -1,0 +1,184 @@
+#include "src/graph/tree_iso.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace lcert {
+
+std::string ahu_encoding(const RootedTree& t, std::size_t v) {
+  std::vector<std::string> parts;
+  parts.reserve(t.children(v).size());
+  for (std::size_t c : t.children(v)) parts.push_back(ahu_encoding(t, c));
+  std::sort(parts.begin(), parts.end());
+  std::string out = "(";
+  for (const std::string& p : parts) out += p;
+  out += ")";
+  return out;
+}
+
+namespace {
+
+// Parses one "(...)" group starting at `pos`; creates vertices in `parent`.
+std::size_t parse_ahu(const std::string& s, std::size_t& pos,
+                      std::vector<std::size_t>& parent, std::size_t my_parent) {
+  if (pos >= s.size() || s[pos] != '(')
+    throw std::invalid_argument("tree_from_ahu: expected '('");
+  ++pos;
+  const std::size_t me = parent.size();
+  parent.push_back(my_parent);
+  while (pos < s.size() && s[pos] == '(') parse_ahu(s, pos, parent, me);
+  if (pos >= s.size() || s[pos] != ')')
+    throw std::invalid_argument("tree_from_ahu: expected ')'");
+  ++pos;
+  return me;
+}
+
+}  // namespace
+
+RootedTree tree_from_ahu(const std::string& encoding) {
+  std::vector<std::size_t> parent;
+  std::size_t pos = 0;
+  parse_ahu(encoding, pos, parent, RootedTree::kNoParent);
+  if (pos != encoding.size())
+    throw std::invalid_argument("tree_from_ahu: trailing characters");
+  return RootedTree(std::move(parent));
+}
+
+bool rooted_trees_isomorphic(const RootedTree& a, const RootedTree& b) {
+  return a.size() == b.size() && ahu_encoding(a) == ahu_encoding(b);
+}
+
+std::vector<Vertex> tree_centers(const Graph& tree) {
+  const std::size_t n = tree.vertex_count();
+  if (tree.edge_count() != n - 1 || !tree.is_connected())
+    throw std::invalid_argument("tree_centers: not a tree");
+  if (n == 1) return {0};
+  // Iteratively strip leaves.
+  std::vector<std::size_t> degree(n);
+  std::vector<Vertex> layer;
+  for (Vertex v = 0; v < n; ++v) {
+    degree[v] = tree.degree(v);
+    if (degree[v] == 1) layer.push_back(v);
+  }
+  std::size_t remaining = n;
+  std::vector<bool> removed(n, false);
+  while (remaining > 2) {
+    std::vector<Vertex> next;
+    for (Vertex v : layer) {
+      removed[v] = true;
+      --remaining;
+      for (Vertex w : tree.neighbors(v)) {
+        if (removed[w]) continue;
+        if (--degree[w] == 1) next.push_back(w);
+      }
+    }
+    layer = std::move(next);
+  }
+  std::vector<Vertex> centers;
+  for (Vertex v = 0; v < n; ++v)
+    if (!removed[v]) centers.push_back(v);
+  return centers;
+}
+
+namespace {
+
+// BFS restricted to one side of the removed center edge, returning a rooted
+// tree over original vertex labels via explicit maps.
+struct Half {
+  std::vector<Vertex> order;                 // new index -> original vertex
+  std::vector<std::size_t> parent;           // in new indices
+  RootedTree tree() const { return RootedTree(parent); }
+};
+
+Half extract_half(const Graph& tree, Vertex keep, Vertex drop) {
+  Half h;
+  std::vector<bool> seen(tree.vertex_count(), false);
+  std::vector<std::size_t> parent_orig(tree.vertex_count(), RootedTree::kNoParent);
+  seen[keep] = true;
+  seen[drop] = true;
+  h.order.push_back(keep);
+  for (std::size_t i = 0; i < h.order.size(); ++i) {
+    const Vertex v = h.order[i];
+    for (Vertex w : tree.neighbors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        parent_orig[w] = v;
+        h.order.push_back(w);
+      }
+    }
+  }
+  std::vector<std::size_t> new_index(tree.vertex_count(), SIZE_MAX);
+  for (std::size_t i = 0; i < h.order.size(); ++i) new_index[h.order[i]] = i;
+  h.parent.assign(h.order.size(), RootedTree::kNoParent);
+  for (std::size_t i = 1; i < h.order.size(); ++i)
+    h.parent[i] = new_index[parent_orig[h.order[i]]];
+  return h;
+}
+
+// Recursively builds an isomorphism between two isomorphic rooted trees by
+// pairing children with equal AHU encodings. `map_out[a_vertex] = b_vertex`
+// in the halves' local indices.
+void match_subtrees(const RootedTree& ta, std::size_t va, const RootedTree& tb,
+                    std::size_t vb, std::vector<std::size_t>& map_out) {
+  map_out[va] = vb;
+  std::multimap<std::string, std::size_t> b_children;
+  for (std::size_t c : tb.children(vb)) b_children.emplace(ahu_encoding(tb, c), c);
+  for (std::size_t c : ta.children(va)) {
+    auto it = b_children.find(ahu_encoding(ta, c));
+    if (it == b_children.end())
+      throw std::logic_error("match_subtrees: trees are not isomorphic");
+    const std::size_t cb = it->second;
+    b_children.erase(it);
+    match_subtrees(ta, c, tb, cb, map_out);
+  }
+}
+
+}  // namespace
+
+std::string canonical_tree_encoding(const Graph& tree) {
+  const auto centers = tree_centers(tree);
+  if (centers.size() == 1)
+    return "V" + ahu_encoding(RootedTree::from_graph(tree, centers[0]));
+  // Edge center: the sorted pair of half encodings is a canonical form, and
+  // the halves are exactly what the automorphism test needs.
+  std::string ea = ahu_encoding(extract_half(tree, centers[0], centers[1]).tree());
+  std::string eb = ahu_encoding(extract_half(tree, centers[1], centers[0]).tree());
+  if (eb < ea) std::swap(ea, eb);
+  return "E" + ea + "|" + eb;
+}
+
+bool unrooted_trees_isomorphic(const Graph& a, const Graph& b) {
+  return a.vertex_count() == b.vertex_count() &&
+         canonical_tree_encoding(a) == canonical_tree_encoding(b);
+}
+
+bool has_fixed_point_free_automorphism(const Graph& tree) {
+  const auto centers = tree_centers(tree);
+  if (centers.size() != 2) return false;
+  const Half a = extract_half(tree, centers[0], centers[1]);
+  const Half b = extract_half(tree, centers[1], centers[0]);
+  return ahu_encoding(a.tree()) == ahu_encoding(b.tree());
+}
+
+std::vector<Vertex> fixed_point_free_automorphism(const Graph& tree) {
+  const auto centers = tree_centers(tree);
+  if (centers.size() != 2) return {};
+  const Half a = extract_half(tree, centers[0], centers[1]);
+  const Half b = extract_half(tree, centers[1], centers[0]);
+  const RootedTree ta = a.tree();
+  const RootedTree tb = b.tree();
+  if (ahu_encoding(ta) != ahu_encoding(tb)) return {};
+  std::vector<std::size_t> local_map(ta.size(), SIZE_MAX);
+  match_subtrees(ta, ta.root(), tb, tb.root(), local_map);
+  std::vector<Vertex> sigma(tree.vertex_count(), SIZE_MAX);
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    const Vertex va = a.order[i];
+    const Vertex vb = b.order[local_map[i]];
+    sigma[va] = vb;
+    sigma[vb] = va;
+  }
+  return sigma;
+}
+
+}  // namespace lcert

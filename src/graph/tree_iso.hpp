@@ -1,0 +1,51 @@
+// Tree canonical forms, isomorphism, and fixed-point-free automorphisms.
+//
+// Theorem 2.3 certifies (and lower-bounds) the property "the tree has an
+// automorphism without fixed points". For trees this has a clean structural
+// characterization used by both the upper-bound scheme and the lower-bound
+// gadget: every tree automorphism stabilizes the center, so a fixed-point-free
+// automorphism exists iff the center is an *edge* whose two halves are
+// isomorphic rooted trees. Canonical forms are AHU encodings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/graph/rooted_tree.hpp"
+
+namespace lcert {
+
+/// AHU canonical encoding of the subtree rooted at `v` ("(" + sorted child
+/// encodings + ")"). Two rooted trees are isomorphic iff their root encodings
+/// are equal.
+std::string ahu_encoding(const RootedTree& t, std::size_t v);
+
+/// Canonical encoding of the whole rooted tree.
+inline std::string ahu_encoding(const RootedTree& t) { return ahu_encoding(t, t.root()); }
+
+/// Rebuilds a rooted tree from an AHU encoding (inverse of ahu_encoding up to
+/// isomorphism). Throws on malformed input.
+RootedTree tree_from_ahu(const std::string& encoding);
+
+bool rooted_trees_isomorphic(const RootedTree& a, const RootedTree& b);
+
+/// Center of an unrooted tree: one vertex, or two adjacent vertices.
+std::vector<Vertex> tree_centers(const Graph& tree);
+
+/// Canonical encoding of an unrooted tree (root at center; for an edge center,
+/// the lexicographically smaller combination).
+std::string canonical_tree_encoding(const Graph& tree);
+
+bool unrooted_trees_isomorphic(const Graph& a, const Graph& b);
+
+/// True iff the tree admits an automorphism with no fixed point.
+bool has_fixed_point_free_automorphism(const Graph& tree);
+
+/// Explicit witness: an automorphism (as a vertex permutation) with no fixed
+/// point, when one exists. Used by the upper-bound certification scheme.
+/// Returns an empty vector when none exists.
+std::vector<Vertex> fixed_point_free_automorphism(const Graph& tree);
+
+}  // namespace lcert

@@ -1,0 +1,101 @@
+#include "src/kernel/reduce.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "src/treedepth/elimination.hpp"
+
+namespace lcert {
+
+namespace {
+
+// Types of the *alive* restriction, bottom-up; dead vertices keep type 0
+// entries that are never read.
+std::vector<TypeId> alive_types(const Graph& g, const RootedTree& t,
+                                const std::vector<bool>& alive, TypeInterner& interner) {
+  std::vector<TypeId> type(t.size(), 0);
+  const auto order = t.preorder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t v = *it;
+    if (!alive[v]) continue;
+    TypeDef d;
+    d.ancestor_vector = ancestor_vector(g, t, static_cast<Vertex>(v));
+    std::map<TypeId, std::size_t> counts;
+    for (std::size_t c : t.children(v))
+      if (alive[c]) ++counts[type[c]];
+    for (const auto& [id, mult] : counts) d.children.emplace_back(id, mult);
+    type[v] = interner.intern(std::move(d));
+  }
+  return type;
+}
+
+}  // namespace
+
+Kernelization k_reduce(const Graph& g, const RootedTree& t, std::size_t k) {
+  if (k == 0) throw std::invalid_argument("k_reduce: k must be >= 1");
+  if (!is_coherent_model(g, t))
+    throw std::invalid_argument("k_reduce: model must be coherent");
+  const std::size_t n = g.vertex_count();
+
+  Kernelization out;
+  out.in_kernel.assign(n, true);
+  out.pruned.assign(n, false);
+  out.end_type.assign(n, 0);
+
+  // Deepest-first pruning, batched by level: prunings at the same depth are
+  // independent (each only changes the types of *shallower* vertices), so one
+  // type computation per level suffices — O(t * n log n) overall instead of
+  // O(#prunings * n).
+  std::vector<bool> alive(n, true);
+  std::size_t max_depth = 0;
+  for (std::size_t v = 0; v < n; ++v) max_depth = std::max(max_depth, t.depth(v));
+  for (std::size_t level = max_depth + 1; level-- > 0;) {
+    const auto type = alive_types(g, t, alive, out.interner);
+    for (std::size_t u = 0; u < n; ++u) {
+      if (!alive[u] || t.depth(u) != level) continue;
+      std::map<TypeId, std::size_t> counts;
+      for (std::size_t c : t.children(u))
+        if (alive[c]) ++counts[type[c]];
+      for (const auto& [victim_type, mult] : counts) {
+        if (mult <= k) continue;
+        std::size_t to_remove = mult - k;
+        for (std::size_t c : t.children(u)) {
+          if (to_remove == 0) break;
+          if (!alive[c] || type[c] != victim_type) continue;
+          out.pruned[c] = true;
+          for (std::size_t x : t.subtree(c)) {
+            if (!alive[x]) continue;
+            alive[x] = false;
+            out.end_type[x] = type[x];
+          }
+          ++out.pruning_operations;
+          --to_remove;
+        }
+      }
+    }
+  }
+  // Freeze the survivors' end types.
+  {
+    const auto type = alive_types(g, t, alive, out.interner);
+    for (std::size_t v = 0; v < n; ++v)
+      if (alive[v]) out.end_type[v] = type[v];
+  }
+
+  // Assemble the kernel as an induced subgraph plus the restricted model.
+  for (Vertex v = 0; v < n; ++v) {
+    out.in_kernel[v] = alive[v];
+    if (alive[v]) out.kept.push_back(v);
+  }
+  out.kernel = g.induced(out.kept);
+  std::vector<std::size_t> new_index(n, SIZE_MAX);
+  for (std::size_t i = 0; i < out.kept.size(); ++i) new_index[out.kept[i]] = i;
+  std::vector<std::size_t> parent(out.kept.size(), RootedTree::kNoParent);
+  for (std::size_t i = 0; i < out.kept.size(); ++i) {
+    const std::size_t p = t.parent(out.kept[i]);
+    if (p != RootedTree::kNoParent) parent[i] = new_index[p];  // parents survive pruning
+  }
+  out.kernel_model = RootedTree(std::move(parent));
+  return out;
+}
+
+}  // namespace lcert

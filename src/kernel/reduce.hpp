@@ -1,0 +1,36 @@
+// The k-reduced graph (kernel) of Section 6.1-6.2.
+//
+// A *valid pruning operation* removes the subtree of one child w of a vertex
+// u that has more than k children of w's type; reductions always prune at a
+// vertex of the largest possible depth, which makes *end types* well defined:
+// the type a vertex has when it is deleted (or its final type if kept).
+// Proposition 6.2 bounds the kernel size by a tower in (k, t); Proposition
+// 6.3 (audited via EF games in the tests) gives G ≃_k kernel(G).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/graph/rooted_tree.hpp"
+#include "src/kernel/types.hpp"
+
+namespace lcert {
+
+struct Kernelization {
+  /// The kernel H as a graph (vertex i of `kernel` is `kept[i]` in G).
+  Graph kernel;
+  std::vector<Vertex> kept;            ///< kernel index -> original vertex
+  std::vector<bool> in_kernel;         ///< per original vertex
+  std::vector<bool> pruned;            ///< v was the *root* of a pruned subtree
+  std::vector<TypeId> end_type;        ///< per original vertex (see paper §6.1)
+  RootedTree kernel_model;             ///< restriction of the model to H
+  TypeInterner interner;               ///< owns every TypeId above
+  std::size_t pruning_operations = 0;  ///< number of valid prunings applied
+};
+
+/// Computes a k-reduction of g with respect to the coherent model `t`.
+/// Requires k >= 1.
+Kernelization k_reduce(const Graph& g, const RootedTree& t, std::size_t k);
+
+}  // namespace lcert

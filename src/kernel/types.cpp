@@ -1,0 +1,152 @@
+#include "src/kernel/types.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace lcert {
+
+TypeId TypeInterner::intern(TypeDef def) {
+  std::sort(def.children.begin(), def.children.end());
+  if (auto it = index_.find(def); it != index_.end()) return it->second;
+  const TypeId id = defs_.size();
+  defs_.push_back(def);
+  index_.emplace(std::move(def), id);
+  return id;
+}
+
+void TypeInterner::serialize(TypeId id, BitWriter& w) const {
+  const TypeDef& d = def(id);
+  w.write_varnat(d.ancestor_vector.size());
+  for (bool bit : d.ancestor_vector) w.write_bit(bit);
+  w.write_varnat(d.children.size());
+  for (const auto& [child, mult] : d.children) {
+    w.write_varnat(mult);
+    serialize(child, w);
+  }
+}
+
+namespace {
+
+std::optional<TypeId> deserialize_rec(TypeInterner& interner, BitReader& r,
+                                      std::size_t& budget) {
+  if (budget == 0) return std::nullopt;
+  --budget;
+  TypeDef d;
+  const std::uint64_t anc_len = r.read_varnat();
+  if (anc_len > 4096) return std::nullopt;
+  d.ancestor_vector.resize(anc_len);
+  for (std::size_t i = 0; i < anc_len; ++i) d.ancestor_vector[i] = r.read_bit();
+  const std::uint64_t child_count = r.read_varnat();
+  if (child_count > 4096) return std::nullopt;
+  for (std::size_t i = 0; i < child_count; ++i) {
+    const std::uint64_t mult = r.read_varnat();
+    if (mult == 0 || mult > 4096) return std::nullopt;
+    const auto child = deserialize_rec(interner, r, budget);
+    if (!child.has_value()) return std::nullopt;
+    d.children.emplace_back(*child, mult);
+  }
+  // Reject duplicate child types: the canonical form merges them, and
+  // accepting both encodings would let a cheating prover present the same
+  // type two ways.
+  auto sorted = d.children;
+  std::sort(sorted.begin(), sorted.end());
+  for (std::size_t i = 1; i < sorted.size(); ++i)
+    if (sorted[i].first == sorted[i - 1].first) return std::nullopt;
+  return interner.intern(std::move(d));
+}
+
+}  // namespace
+
+std::optional<TypeId> TypeInterner::deserialize(BitReader& r, std::size_t max_nodes) {
+  std::size_t budget = max_nodes;
+  try {
+    return deserialize_rec(*this, r, budget);
+  } catch (const std::out_of_range&) {
+    return std::nullopt;  // truncated stream
+  }
+}
+
+std::size_t TypeInterner::expanded_size(TypeId id) const {
+  const TypeDef& d = def(id);
+  std::size_t total = 1;
+  for (const auto& [child, mult] : d.children) total += mult * expanded_size(child);
+  return total;
+}
+
+std::string TypeInterner::to_string(TypeId id) const {
+  const TypeDef& d = def(id);
+  std::ostringstream os;
+  os << "[";
+  for (bool b : d.ancestor_vector) os << (b ? '1' : '0');
+  os << "](";
+  bool first = true;
+  for (const auto& [child, mult] : d.children) {
+    if (!first) os << ",";
+    first = false;
+    os << mult << "x" << to_string(child);
+  }
+  os << ")";
+  return os.str();
+}
+
+std::vector<bool> ancestor_vector(const Graph& g, const RootedTree& t, Vertex v) {
+  const auto anc = t.ancestors(v);  // v first, root last
+  const std::size_t depth = t.depth(v);
+  std::vector<bool> out(depth, false);
+  // anc[i] is the ancestor at depth (depth - i); entry j of the vector refers
+  // to the ancestor at depth j, i.e. anc[depth - j].
+  for (std::size_t j = 0; j < depth; ++j) out[j] = g.has_edge(v, anc[depth - j]);
+  return out;
+}
+
+std::vector<TypeId> compute_types(const Graph& g, const RootedTree& t, TypeInterner& interner) {
+  std::vector<TypeId> type(t.size());
+  const auto order = t.preorder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t v = *it;
+    TypeDef d;
+    d.ancestor_vector = ancestor_vector(g, t, static_cast<Vertex>(v));
+    std::map<TypeId, std::size_t> counts;
+    for (std::size_t c : t.children(v)) ++counts[type[c]];
+    for (const auto& [id, mult] : counts) d.children.emplace_back(id, mult);
+    type[v] = interner.intern(std::move(d));
+  }
+  return type;
+}
+
+namespace {
+
+void expand_type(const TypeInterner& interner, TypeId id, std::size_t parent,
+                 std::vector<std::size_t>& parents, std::vector<TypeId>& node_type) {
+  const std::size_t me = parents.size();
+  parents.push_back(parent);
+  node_type.push_back(id);
+  for (const auto& [child, mult] : interner.def(id).children)
+    for (std::size_t i = 0; i < mult; ++i)
+      expand_type(interner, child, me, parents, node_type);
+}
+
+}  // namespace
+
+Graph realize_type(const TypeInterner& interner, TypeId root_type) {
+  if (!interner.def(root_type).ancestor_vector.empty())
+    throw std::invalid_argument("realize_type: root type must have an empty ancestor vector");
+  std::vector<std::size_t> parents;
+  std::vector<TypeId> node_type;
+  expand_type(interner, root_type, RootedTree::kNoParent, parents, node_type);
+  const RootedTree t(parents);
+
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (std::size_t v = 0; v < t.size(); ++v) {
+    const auto& vec = interner.def(node_type[v]).ancestor_vector;
+    if (vec.size() != t.depth(v))
+      throw std::invalid_argument("realize_type: ancestor vector length mismatch");
+    const auto anc = t.ancestors(v);  // v first, root last
+    for (std::size_t j = 0; j < vec.size(); ++j)
+      if (vec[j]) edges.emplace_back(v, anc[t.depth(v) - j]);
+  }
+  return Graph(t.size(), edges);
+}
+
+}  // namespace lcert

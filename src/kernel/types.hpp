@@ -1,0 +1,80 @@
+// Vertex types for the kernelization (Section 6.1).
+//
+// Fix a coherent t-model T of G. The *ancestor vector* of a vertex v at depth
+// i is the bit vector whose j-th coordinate says whether v is adjacent in G
+// to its ancestor at depth j (j = 0..i-1). The *type* of v is its subtree in
+// T with every node labeled by its ancestor vector — an unordered object, so
+// we represent types canonically: a type is (ancestor vector, sorted multiset
+// of children types) and types are hash-consed into integer TypeIds by a
+// TypeInterner. Two vertices have equal TypeIds iff they have equal types.
+//
+// Types also serialize to a self-describing bit string (used by the
+// Theorem 2.6 certificates, where the verifier has no shared interner); the
+// serialized size depends only on (k, t) after reduction — Proposition 6.2.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/graph/rooted_tree.hpp"
+#include "src/util/bitio.hpp"
+
+namespace lcert {
+
+using TypeId = std::size_t;
+
+/// Canonical definition of a type.
+struct TypeDef {
+  std::vector<bool> ancestor_vector;
+  /// Sorted (TypeId, multiplicity) pairs.
+  std::vector<std::pair<TypeId, std::size_t>> children;
+
+  bool operator<(const TypeDef& rhs) const {
+    if (ancestor_vector != rhs.ancestor_vector) return ancestor_vector < rhs.ancestor_vector;
+    return children < rhs.children;
+  }
+  bool operator==(const TypeDef& rhs) const = default;
+};
+
+/// Hash-consing table of types.
+class TypeInterner {
+ public:
+  TypeId intern(TypeDef def);
+  const TypeDef& def(TypeId id) const { return defs_.at(id); }
+  std::size_t size() const noexcept { return defs_.size(); }
+
+  /// Self-describing serialization (recursive; independent of the interner).
+  void serialize(TypeId id, BitWriter& w) const;
+
+  /// Deserializes into this interner; nullopt on malformed input or if the
+  /// recursion exceeds `max_nodes` expanded type nodes (adversarial guard).
+  std::optional<TypeId> deserialize(BitReader& r, std::size_t max_nodes = 1 << 20);
+
+  /// Number of vertices of the tree a type describes (with multiplicities).
+  std::size_t expanded_size(TypeId id) const;
+
+  /// Human-readable rendering, for diagnostics.
+  std::string to_string(TypeId id) const;
+
+ private:
+  std::map<TypeDef, TypeId> index_;
+  std::vector<TypeDef> defs_;
+};
+
+/// Ancestor vector of v under model t (position j = adjacency to the ancestor
+/// at depth j, for j = 0..depth(v)-1).
+std::vector<bool> ancestor_vector(const Graph& g, const RootedTree& t, Vertex v);
+
+/// Types of all vertices, bottom-up over the model.
+std::vector<TypeId> compute_types(const Graph& g, const RootedTree& t, TypeInterner& interner);
+
+/// Builds the graph a type describes: expand the type tree (each child type
+/// with its multiplicity) and connect every node to the ancestors its vector
+/// selects. Used by the Theorem 2.6 verifier to model-check the kernel.
+Graph realize_type(const TypeInterner& interner, TypeId root_type);
+
+}  // namespace lcert

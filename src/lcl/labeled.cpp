@@ -1,0 +1,40 @@
+#include "src/lcl/labeled.hpp"
+
+#include <stdexcept>
+
+namespace lcert {
+
+LabeledView make_labeled_view(const LabeledTreeInstance& instance,
+                              const std::vector<Certificate>& certificates, Vertex v) {
+  const Graph& g = instance.tree;
+  if (certificates.size() != g.vertex_count() || instance.labels.size() != g.vertex_count())
+    throw std::invalid_argument("make_labeled_view: size mismatch");
+  LabeledView view;
+  view.id = g.id(v);
+  view.label = instance.labels[v];
+  view.certificate = certificates[v];
+  for (Vertex w : g.neighbors(v))
+    view.neighbors.push_back({g.id(w), instance.labels[w], certificates[w]});
+  return view;
+}
+
+LabeledOutcome verify_labeled_assignment(const LabeledScheme& scheme,
+                                         const LabeledTreeInstance& instance,
+                                         const std::vector<Certificate>& certificates) {
+  LabeledOutcome out;
+  for (const Certificate& c : certificates)
+    out.max_certificate_bits = std::max(out.max_certificate_bits, c.bit_size);
+  for (Vertex v = 0; v < instance.tree.vertex_count(); ++v) {
+    bool ok;
+    try {
+      ok = scheme.verify(make_labeled_view(instance, certificates, v));
+    } catch (const std::out_of_range&) {
+      ok = false;
+    }
+    if (!ok) out.rejecting.push_back(v);
+  }
+  out.all_accept = out.rejecting.empty();
+  return out;
+}
+
+}  // namespace lcert

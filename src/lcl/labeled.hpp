@@ -1,0 +1,66 @@
+// Certification of labeled trees (Section 4, final remark; Appendix C.2).
+//
+// Theorem 2.2's proof "gives for free" the extension where vertices carry
+// constant-size input labels, in the spirit of locally checkable labelings:
+// the property is now about the labeled tree ("exactly one vertex is marked",
+// "the marked set is connected", ...), the UOP automaton's transitions depend
+// on the label, and the certificate is still (mod-3 counter, state) — O(1)
+// bits. Inputs differ from certificates: the verifier reads its own and its
+// neighbors' labels as trusted parts of the instance, while certificates are
+// adversarial.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cert/scheme.hpp"
+#include "src/graph/graph.hpp"
+
+namespace lcert {
+
+/// A tree network whose vertices carry input labels in [0, label_count).
+struct LabeledTreeInstance {
+  Graph tree;
+  std::vector<std::size_t> labels;
+};
+
+/// Radius-1 view over a labeled instance.
+struct LabeledView {
+  VertexId id;
+  std::size_t label;
+  Certificate certificate;
+  struct Neighbor {
+    VertexId id;
+    std::size_t label;
+    Certificate certificate;
+  };
+  std::vector<Neighbor> neighbors;
+};
+
+LabeledView make_labeled_view(const LabeledTreeInstance& instance,
+                              const std::vector<Certificate>& certificates, Vertex v);
+
+/// A certification scheme for properties of labeled trees.
+class LabeledScheme {
+ public:
+  virtual ~LabeledScheme() = default;
+  virtual std::string name() const = 0;
+  virtual bool holds(const LabeledTreeInstance& instance) const = 0;
+  virtual std::optional<std::vector<Certificate>> assign(
+      const LabeledTreeInstance& instance) const = 0;
+  virtual bool verify(const LabeledView& view) const = 0;
+};
+
+struct LabeledOutcome {
+  bool all_accept = false;
+  std::vector<Vertex> rejecting;
+  std::size_t max_certificate_bits = 0;
+};
+
+LabeledOutcome verify_labeled_assignment(const LabeledScheme& scheme,
+                                         const LabeledTreeInstance& instance,
+                                         const std::vector<Certificate>& certificates);
+
+}  // namespace lcert

@@ -1,0 +1,151 @@
+#include "src/lcl/lcl_library.hpp"
+
+#include <stdexcept>
+
+namespace lcert {
+
+namespace {
+
+using UC = UnaryConstraint;
+
+constexpr std::size_t kUnmarked = 0;
+constexpr std::size_t kMarked = 1;
+
+}  // namespace
+
+UOPAutomaton laut_unique_leader() {
+  AutomatonBuilder b(/*label_count=*/2);
+  const std::size_t none = b.add_state("none", false);  // no mark in the subtree
+  const std::size_t one = b.add_state("one", true);     // exactly one mark
+  // Unmarked vertex: marks below = sum over children.
+  b.set_transition(none, UC::exactly(one, 0), kUnmarked);
+  b.set_transition(one, UC::exactly(one, 1), kUnmarked);
+  // Marked vertex: contributes one mark itself; children must be clean.
+  b.set_transition(one, UC::exactly(one, 0), kMarked);
+  // A marked vertex with a marked subtree below has no state: > 1 leader.
+  return b.build();
+}
+
+UOPAutomaton laut_marked_count_ge(std::size_t c) {
+  if (c == 0) throw std::invalid_argument("laut_marked_count_ge: c must be >= 1");
+  AutomatonBuilder b(/*label_count=*/2);
+  // M_j = "the subtree contains exactly j marks" (j < c); M_c = ">= c marks".
+  std::vector<std::size_t> M(c + 1);
+  for (std::size_t j = 0; j <= c; ++j)
+    M[j] = b.add_state("M" + std::to_string(j), j == c);
+
+  // OR over compositions: children contribute j_i (capped at c), target sum s.
+  auto sum_eq = [&](std::size_t s) {
+    UC out = UC::always_false();
+    std::vector<std::size_t> counts(c + 1, 0);
+    auto emit = [&]() {
+      UC box = UC::always_true();
+      for (std::size_t j = 1; j <= c; ++j) box = box && UC::exactly(M[j], counts[j]);
+      out = out || box;
+    };
+    auto rec = [&](auto&& self, std::size_t j, std::size_t left) -> void {
+      if (j > c) {
+        if (left == 0) emit();
+        return;
+      }
+      for (std::size_t y = 0; y * j <= left; ++y) {
+        counts[j] = y;
+        self(self, j + 1, left - y * j);
+      }
+      counts[j] = 0;
+    };
+    rec(rec, 1, s);
+    return out;
+  };
+
+  for (std::size_t label : {kUnmarked, kMarked}) {
+    const std::size_t own = (label == kMarked) ? 1 : 0;
+    for (std::size_t j = 0; j < c; ++j) {
+      if (j < own) {
+        b.set_transition(M[j], UC::always_false(), label);
+        continue;
+      }
+      b.set_transition(M[j], sum_eq(j - own), label);
+    }
+    // M_c: children sum + own >= c, i.e. NOT (sum == 0 .. c-1-own).
+    UC small = UC::always_false();
+    for (std::size_t s = 0; own + s < c; ++s) small = small || sum_eq(s);
+    b.set_transition(M[c], !small, label);
+  }
+  return b.build();
+}
+
+UOPAutomaton laut_marked_connected() {
+  AutomatonBuilder b(/*label_count=*/2);
+  const std::size_t empty = b.add_state("empty", false);  // no marks below
+  const std::size_t top = b.add_state("top", true);       // connected, contains v
+  const std::size_t done = b.add_state("done", true);     // connected, strictly below
+  // Unmarked vertex: either nothing below, or exactly one child holds the
+  // whole marked component (as its top or already finished).
+  b.set_transition(empty, UC::exactly(top, 0) && UC::exactly(done, 0), kUnmarked);
+  b.set_transition(done,
+                   (UC::exactly(top, 1) && UC::exactly(done, 0)) ||
+                       (UC::exactly(top, 0) && UC::exactly(done, 1)),
+                   kUnmarked);
+  // Marked vertex: every child's marked part must be empty or glued to the
+  // child itself (state top); a finished component below would be detached.
+  b.set_transition(top, UC::exactly(done, 0), kMarked);
+  return b.build();
+}
+
+namespace {
+
+std::size_t marked_count(const LabeledTreeInstance& inst) {
+  std::size_t out = 0;
+  for (std::size_t l : inst.labels) out += (l == kMarked) ? 1 : 0;
+  return out;
+}
+
+bool oracle_unique_leader(const LabeledTreeInstance& inst) { return marked_count(inst) == 1; }
+
+constexpr std::size_t kCountBound = 3;
+
+bool oracle_marked_count_ge_3(const LabeledTreeInstance& inst) {
+  return marked_count(inst) >= kCountBound;
+}
+
+bool oracle_marked_connected(const LabeledTreeInstance& inst) {
+  const std::size_t n = inst.tree.vertex_count();
+  Vertex seed = SIZE_MAX;
+  std::size_t total = 0;
+  for (Vertex v = 0; v < n; ++v)
+    if (inst.labels[v] == kMarked) {
+      seed = v;
+      ++total;
+    }
+  if (total == 0) return false;
+  // BFS within the marked set.
+  std::vector<bool> seen(n, false);
+  std::vector<Vertex> stack{seed};
+  seen[seed] = true;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const Vertex v = stack.back();
+    stack.pop_back();
+    for (Vertex w : inst.tree.neighbors(v)) {
+      if (inst.labels[w] == kMarked && !seen[w]) {
+        seen[w] = true;
+        ++reached;
+        stack.push_back(w);
+      }
+    }
+  }
+  return reached == total;
+}
+
+}  // namespace
+
+std::vector<NamedLabeledAutomaton> standard_labeled_automata() {
+  return {
+      {"unique-leader", laut_unique_leader(), &oracle_unique_leader},
+      {"marked>=3", laut_marked_count_ge(kCountBound), &oracle_marked_count_ge_3},
+      {"marked-connected", laut_marked_connected(), &oracle_marked_connected},
+  };
+}
+
+}  // namespace lcert

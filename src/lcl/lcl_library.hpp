@@ -1,0 +1,39 @@
+// Labeled UOP automata for global properties of marked trees.
+//
+// Labels are binary marks (0 = unmarked, 1 = marked). The three properties
+// below are the classic examples of *globally* constrained labelings that a
+// radius-1 verifier cannot check without certificates (unlike proper coloring
+// or maximal independence, which are plain LCLs):
+//   - unique-leader: exactly one vertex is marked;
+//   - marked-count >= c: at least c vertices are marked;
+//   - marked-connected: the marked vertices form a non-empty connected set.
+// Each is recognized by a labeled UOP tree automaton with O(1) states, so
+// Theorem 2.2's scheme certifies it with O(1)-bit certificates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/automata/uop_automaton.hpp"
+#include "src/lcl/labeled.hpp"
+
+namespace lcert {
+
+/// "Exactly one vertex is marked."
+UOPAutomaton laut_unique_leader();
+
+/// "At least c vertices are marked" (c >= 1).
+UOPAutomaton laut_marked_count_ge(std::size_t c);
+
+/// "The marked set is non-empty and connected."
+UOPAutomaton laut_marked_connected();
+
+struct NamedLabeledAutomaton {
+  std::string name;
+  UOPAutomaton automaton;  ///< label_count == 2
+  bool (*oracle)(const LabeledTreeInstance&);
+};
+
+std::vector<NamedLabeledAutomaton> standard_labeled_automata();
+
+}  // namespace lcert

@@ -1,0 +1,83 @@
+#include "src/lcl/lcl_scheme.hpp"
+
+#include <stdexcept>
+
+#include "src/graph/rooted_tree.hpp"
+#include "src/util/bitio.hpp"
+
+namespace lcert {
+
+LclTreeScheme::LclTreeScheme(NamedLabeledAutomaton automaton)
+    : automaton_(std::move(automaton)),
+      state_bits_(bits_for(automaton_.automaton.state_count - 1)) {
+  automaton_.automaton.validate();
+  if (automaton_.automaton.label_count != 2)
+    throw std::invalid_argument("LclTreeScheme: expected binary labels");
+}
+
+bool LclTreeScheme::holds(const LabeledTreeInstance& instance) const {
+  const Graph& g = instance.tree;
+  if (g.edge_count() != g.vertex_count() - 1 || !g.is_connected())
+    throw std::invalid_argument(name() + ": instance outside the tree promise");
+  if (instance.labels.size() != g.vertex_count())
+    throw std::invalid_argument(name() + ": label vector size mismatch");
+  for (std::size_t l : instance.labels)
+    if (l >= 2) throw std::invalid_argument(name() + ": labels must be binary");
+  return automaton_.oracle(instance);
+}
+
+std::optional<std::vector<Certificate>> LclTreeScheme::assign(
+    const LabeledTreeInstance& instance) const {
+  if (!holds(instance)) return std::nullopt;
+  const Graph& g = instance.tree;
+  for (Vertex root = 0; root < g.vertex_count(); ++root) {
+    const RootedTree t = RootedTree::from_graph(g, root);
+    // Re-index the labels into the rooted tree's vertex order (identical: the
+    // rooted tree keeps graph indices).
+    const auto run = find_accepting_run(automaton_.automaton, t, &instance.labels);
+    if (!run.has_value()) continue;
+    std::vector<Certificate> certs(g.vertex_count());
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      BitWriter w;
+      w.write(t.depth(v) % 3, 2);
+      w.write((*run)[v], state_bits_ == 0 ? 1 : state_bits_);
+      certs[v] = Certificate::from_writer(w);
+    }
+    return certs;
+  }
+  return std::nullopt;
+}
+
+bool LclTreeScheme::verify(const LabeledView& view) const {
+  BitReader r = view.certificate.reader();
+  const std::uint64_t my_mod = r.read(2);
+  const std::uint64_t my_state = r.read(state_bits_ == 0 ? 1 : state_bits_);
+  if (my_mod > 2 || my_state >= automaton_.automaton.state_count) return false;
+  if (view.label >= automaton_.automaton.label_count) return false;
+
+  std::size_t parents = 0;
+  std::vector<std::size_t> child_state_counts(automaton_.automaton.state_count, 0);
+  for (const auto& nb : view.neighbors) {
+    BitReader nr = nb.certificate.reader();
+    const std::uint64_t nb_mod = nr.read(2);
+    const std::uint64_t nb_state = nr.read(state_bits_ == 0 ? 1 : state_bits_);
+    if (nb_mod > 2 || nb_state >= automaton_.automaton.state_count) return false;
+    if (nb_mod == (my_mod + 2) % 3) {
+      ++parents;
+    } else if (nb_mod == (my_mod + 1) % 3) {
+      ++child_state_counts[nb_state];
+    } else {
+      return false;
+    }
+  }
+  if (parents > 1) return false;
+  const bool is_root = (parents == 0);
+  if (is_root && my_mod != 0) return false;
+
+  if (!automaton_.automaton.transition(my_state, view.label).eval(child_state_counts))
+    return false;
+  if (is_root && !automaton_.automaton.accepting[my_state]) return false;
+  return true;
+}
+
+}  // namespace lcert

@@ -1,0 +1,32 @@
+// Theorem 2.2 for labeled trees: O(1)-bit certification of labeled-UOP
+// automaton languages. Same mod-3 orientation + state certificate as
+// MsoTreeScheme; the transition is looked up under the vertex's *input label*
+// which the radius-1 verifier reads directly from the instance.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/lcl/labeled.hpp"
+#include "src/lcl/lcl_library.hpp"
+
+namespace lcert {
+
+class LclTreeScheme final : public LabeledScheme {
+ public:
+  explicit LclTreeScheme(NamedLabeledAutomaton automaton);
+
+  std::string name() const override { return "lcl-tree[" + automaton_.name + "]"; }
+  bool holds(const LabeledTreeInstance& instance) const override;
+  std::optional<std::vector<Certificate>> assign(
+      const LabeledTreeInstance& instance) const override;
+  bool verify(const LabeledView& view) const override;
+
+  std::size_t certificate_bits() const noexcept { return 2 + state_bits_; }
+
+ private:
+  NamedLabeledAutomaton automaton_;
+  unsigned state_bits_;
+};
+
+}  // namespace lcert

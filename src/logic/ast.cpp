@@ -1,0 +1,150 @@
+#include "src/logic/ast.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace lcert {
+
+namespace {
+
+Formula make(FormulaKind kind, std::string a, std::string b, FormulaPtr ca, FormulaPtr cb) {
+  auto node = std::make_shared<FormulaNode>();
+  node->kind = kind;
+  node->var_a = std::move(a);
+  node->var_b = std::move(b);
+  node->child_a = std::move(ca);
+  node->child_b = std::move(cb);
+  return Formula(std::move(node));
+}
+
+void require_vertex_var(const std::string& v, const char* where) {
+  if (v.empty() || is_set_variable(v))
+    throw std::invalid_argument(std::string(where) + ": expected vertex variable, got '" + v + "'");
+}
+
+}  // namespace
+
+bool is_set_variable(const std::string& name) {
+  return !name.empty() && std::isupper(static_cast<unsigned char>(name.front())) != 0;
+}
+
+Formula eq(const std::string& x, const std::string& y) {
+  require_vertex_var(x, "eq");
+  require_vertex_var(y, "eq");
+  return make(FormulaKind::kEqual, x, y, nullptr, nullptr);
+}
+
+Formula adj(const std::string& x, const std::string& y) {
+  require_vertex_var(x, "adj");
+  require_vertex_var(y, "adj");
+  return make(FormulaKind::kAdjacent, x, y, nullptr, nullptr);
+}
+
+Formula mem(const std::string& x, const std::string& X) {
+  require_vertex_var(x, "mem");
+  if (!is_set_variable(X))
+    throw std::invalid_argument("mem: expected set variable, got '" + X + "'");
+  return make(FormulaKind::kMember, x, X, nullptr, nullptr);
+}
+
+Formula operator!(const Formula& f) {
+  return make(FormulaKind::kNot, {}, {}, f.ptr(), nullptr);
+}
+
+Formula operator&&(const Formula& a, const Formula& b) {
+  return make(FormulaKind::kAnd, {}, {}, a.ptr(), b.ptr());
+}
+
+Formula operator||(const Formula& a, const Formula& b) {
+  return make(FormulaKind::kOr, {}, {}, a.ptr(), b.ptr());
+}
+
+Formula implies(const Formula& a, const Formula& b) { return !a || b; }
+
+Formula iff(const Formula& a, const Formula& b) {
+  return implies(a, b) && implies(b, a);
+}
+
+Formula forall(const std::string& var, const Formula& body) {
+  const auto kind = is_set_variable(var) ? FormulaKind::kForallSet : FormulaKind::kForallVertex;
+  return make(kind, var, {}, body.ptr(), nullptr);
+}
+
+Formula exists(const std::string& var, const Formula& body) {
+  const auto kind = is_set_variable(var) ? FormulaKind::kExistsSet : FormulaKind::kExistsVertex;
+  return make(kind, var, {}, body.ptr(), nullptr);
+}
+
+Formula conjunction(const std::vector<Formula>& fs) {
+  if (fs.empty())
+    // A closed tautology ("every vertex equals itself"); costs quantifier depth 1.
+    return forall("taut_v", eq("taut_v", "taut_v"));
+  Formula out = fs.front();
+  for (std::size_t i = 1; i < fs.size(); ++i) out = out && fs[i];
+  return out;
+}
+
+Formula disjunction(const std::vector<Formula>& fs) {
+  if (fs.empty()) return !conjunction({});
+  Formula out = fs.front();
+  for (std::size_t i = 1; i < fs.size(); ++i) out = out || fs[i];
+  return out;
+}
+
+namespace {
+
+void render(const FormulaNode& n, std::string& out) {
+  switch (n.kind) {
+    case FormulaKind::kEqual:
+      out += n.var_a + " = " + n.var_b;
+      break;
+    case FormulaKind::kAdjacent:
+      out += "adj(" + n.var_a + ", " + n.var_b + ")";
+      break;
+    case FormulaKind::kMember:
+      out += n.var_a + " in " + n.var_b;
+      break;
+    case FormulaKind::kNot:
+      out += "~(";
+      render(*n.child_a, out);
+      out += ")";
+      break;
+    case FormulaKind::kAnd:
+      out += "(";
+      render(*n.child_a, out);
+      out += " & ";
+      render(*n.child_b, out);
+      out += ")";
+      break;
+    case FormulaKind::kOr:
+      out += "(";
+      render(*n.child_a, out);
+      out += " | ";
+      render(*n.child_b, out);
+      out += ")";
+      break;
+    case FormulaKind::kForallVertex:
+    case FormulaKind::kForallSet:
+      out += "forall " + n.var_a + ". (";
+      render(*n.child_a, out);
+      out += ")";
+      break;
+    case FormulaKind::kExistsVertex:
+    case FormulaKind::kExistsSet:
+      out += "exists " + n.var_a + ". (";
+      render(*n.child_a, out);
+      out += ")";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string Formula::to_string() const {
+  if (!node_) return "<empty>";
+  std::string out;
+  render(*node_, out);
+  return out;
+}
+
+}  // namespace lcert

@@ -1,0 +1,82 @@
+// FO / MSO formula AST (Section 3.2 of the paper).
+//
+// Grammar:  x = y | x - y (adjacency) | x in X | ~F | F & F | F | F
+//           | forall x. F | exists x. F | forall X. F | exists X. F
+// Vertex variables are lowercase-first names, set variables uppercase-first.
+// Formulas are immutable trees shared by shared_ptr; builders below give a
+// readable embedded DSL used by the formula library and the tests:
+//
+//   auto f = forall("x", exists("y", adj("x", "y") && !eq("x", "y")));
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lcert {
+
+enum class FormulaKind {
+  kEqual,         ///< x = y
+  kAdjacent,      ///< x - y
+  kMember,        ///< x in X
+  kNot,
+  kAnd,
+  kOr,
+  kForallVertex,
+  kExistsVertex,
+  kForallSet,
+  kExistsSet,
+};
+
+struct FormulaNode;
+using FormulaPtr = std::shared_ptr<const FormulaNode>;
+
+/// One AST node. Atoms use var_a/var_b; quantifiers use var_a as the bound
+/// variable and child_a as the body; boolean nodes use child_a/child_b.
+struct FormulaNode {
+  FormulaKind kind;
+  std::string var_a;
+  std::string var_b;
+  FormulaPtr child_a;
+  FormulaPtr child_b;
+};
+
+/// Value-semantics wrapper so formulas compose with &&, ||, !.
+class Formula {
+ public:
+  Formula() = default;
+  explicit Formula(FormulaPtr node) : node_(std::move(node)) {}
+
+  const FormulaNode& node() const { return *node_; }
+  FormulaPtr ptr() const { return node_; }
+  bool valid() const noexcept { return node_ != nullptr; }
+
+  /// Readable rendering (round-trips through the parser).
+  std::string to_string() const;
+
+ private:
+  FormulaPtr node_;
+};
+
+// ---- Builders ------------------------------------------------------------
+
+Formula eq(const std::string& x, const std::string& y);
+Formula adj(const std::string& x, const std::string& y);
+Formula mem(const std::string& x, const std::string& X);
+Formula operator!(const Formula& f);
+Formula operator&&(const Formula& a, const Formula& b);
+Formula operator||(const Formula& a, const Formula& b);
+Formula implies(const Formula& a, const Formula& b);
+Formula iff(const Formula& a, const Formula& b);
+/// Quantifiers dispatch on capitalization: uppercase-first = set variable.
+Formula forall(const std::string& var, const Formula& body);
+Formula exists(const std::string& var, const Formula& body);
+
+/// Conjunction / disjunction over a vector (true/false for empty input).
+Formula conjunction(const std::vector<Formula>& fs);
+Formula disjunction(const std::vector<Formula>& fs);
+
+/// True iff the name denotes a set variable (uppercase first letter).
+bool is_set_variable(const std::string& name);
+
+}  // namespace lcert

@@ -1,0 +1,68 @@
+#include "src/logic/ef_game.hpp"
+
+#include <vector>
+
+namespace lcert {
+
+namespace {
+
+struct GameState {
+  const Graph& g;
+  const Graph& h;
+  std::vector<Vertex> gs;  // positions played in g
+  std::vector<Vertex> hs;  // positions played in h
+
+  // Checks that appending (u, v) keeps the partial map an isomorphism of the
+  // induced substructures: equality pattern and adjacency must agree.
+  bool extension_ok(Vertex u, Vertex v) const {
+    for (std::size_t i = 0; i < gs.size(); ++i) {
+      if ((gs[i] == u) != (hs[i] == v)) return false;
+      if (g.has_edge(gs[i], u) != h.has_edge(hs[i], v)) return false;
+    }
+    return true;
+  }
+
+  bool duplicator_wins(std::size_t rounds) {
+    if (rounds == 0) return true;
+    // Spoiler tries both boards and every vertex; Duplicator needs a reply
+    // for each of Spoiler's options.
+    for (Vertex u = 0; u < g.vertex_count(); ++u) {
+      if (!duplicator_has_reply(u, /*spoiler_on_g=*/true, rounds)) return false;
+    }
+    for (Vertex v = 0; v < h.vertex_count(); ++v) {
+      if (!duplicator_has_reply(v, /*spoiler_on_g=*/false, rounds)) return false;
+    }
+    return true;
+  }
+
+  bool duplicator_has_reply(Vertex spoiler_move, bool spoiler_on_g, std::size_t rounds) {
+    const Graph& reply_board = spoiler_on_g ? h : g;
+    for (Vertex reply = 0; reply < reply_board.vertex_count(); ++reply) {
+      const Vertex u = spoiler_on_g ? spoiler_move : reply;
+      const Vertex v = spoiler_on_g ? reply : spoiler_move;
+      if (!extension_ok(u, v)) continue;
+      gs.push_back(u);
+      hs.push_back(v);
+      const bool wins = duplicator_wins(rounds - 1);
+      gs.pop_back();
+      hs.pop_back();
+      if (wins) return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+bool ef_equivalent(const Graph& g, const Graph& h, std::size_t rounds) {
+  GameState state{g, h, {}, {}};
+  return state.duplicator_wins(rounds);
+}
+
+std::size_t distinguishing_depth(const Graph& g, const Graph& h, std::size_t max_rounds) {
+  for (std::size_t r = 1; r <= max_rounds; ++r)
+    if (!ef_equivalent(g, h, r)) return r;
+  return 0;
+}
+
+}  // namespace lcert

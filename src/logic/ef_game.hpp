@@ -1,0 +1,25 @@
+// Ehrenfeucht–Fraïssé games (Theorem 3.3).
+//
+// Duplicator has a winning strategy in the k-round EF game on (G, H) iff
+// G and H satisfy the same FO sentences of quantifier depth <= k (G ≃_k H).
+// The kernelization (Proposition 6.3) promises G ≃_k kernel(G); this solver
+// is the independent auditor of that promise in the tests. Adversarial game
+// search, exponential in k — use on small structures.
+#pragma once
+
+#include <cstddef>
+
+#include "src/graph/graph.hpp"
+
+namespace lcert {
+
+/// True iff Duplicator wins the `rounds`-round EF game on (g, h),
+/// i.e. g ≃_rounds h.
+bool ef_equivalent(const Graph& g, const Graph& h, std::size_t rounds);
+
+/// When g and h are NOT ≃_k-equivalent, Spoiler wins; this returns a
+/// distinguishing quantifier depth: the smallest r <= max_rounds with
+/// !ef_equivalent(g, h, r), or 0 if none up to max_rounds.
+std::size_t distinguishing_depth(const Graph& g, const Graph& h, std::size_t max_rounds);
+
+}  // namespace lcert

@@ -1,0 +1,115 @@
+#include "src/logic/eval.hpp"
+
+#include <stdexcept>
+
+namespace lcert {
+
+namespace {
+
+struct Evaluator {
+  const Graph& g;
+
+  bool eval(const FormulaNode& n, Environment& env) const {
+    switch (n.kind) {
+      case FormulaKind::kEqual:
+        return vertex(n.var_a, env) == vertex(n.var_b, env);
+      case FormulaKind::kAdjacent:
+        return g.has_edge(vertex(n.var_a, env), vertex(n.var_b, env));
+      case FormulaKind::kMember: {
+        const Vertex v = vertex(n.var_a, env);
+        return (set(n.var_b, env) >> v) & 1u;
+      }
+      case FormulaKind::kNot:
+        return !eval(*n.child_a, env);
+      case FormulaKind::kAnd:
+        return eval(*n.child_a, env) && eval(*n.child_b, env);
+      case FormulaKind::kOr:
+        return eval(*n.child_a, env) || eval(*n.child_b, env);
+      case FormulaKind::kForallVertex:
+        return quantify_vertex(n, env, /*is_forall=*/true);
+      case FormulaKind::kExistsVertex:
+        return quantify_vertex(n, env, /*is_forall=*/false);
+      case FormulaKind::kForallSet:
+        return quantify_set(n, env, /*is_forall=*/true);
+      case FormulaKind::kExistsSet:
+        return quantify_set(n, env, /*is_forall=*/false);
+    }
+    throw std::logic_error("Evaluator: unreachable");
+  }
+
+  bool quantify_vertex(const FormulaNode& n, Environment& env, bool is_forall) const {
+    // Save and restore any shadowed binding.
+    const auto old = env.vertex_vars.find(n.var_a);
+    const bool had = old != env.vertex_vars.end();
+    const Vertex saved = had ? old->second : 0;
+    bool result = is_forall;
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      env.vertex_vars[n.var_a] = v;
+      const bool sub = eval(*n.child_a, env);
+      if (is_forall && !sub) {
+        result = false;
+        break;
+      }
+      if (!is_forall && sub) {
+        result = true;
+        break;
+      }
+    }
+    if (had)
+      env.vertex_vars[n.var_a] = saved;
+    else
+      env.vertex_vars.erase(n.var_a);
+    return result;
+  }
+
+  bool quantify_set(const FormulaNode& n, Environment& env, bool is_forall) const {
+    if (g.vertex_count() > 24)
+      throw std::invalid_argument("evaluate: set quantification needs n <= 24");
+    const auto old = env.set_vars.find(n.var_a);
+    const bool had = old != env.set_vars.end();
+    const std::uint64_t saved = had ? old->second : 0;
+    bool result = is_forall;
+    const std::uint64_t limit = std::uint64_t{1} << g.vertex_count();
+    for (std::uint64_t mask = 0; mask < limit; ++mask) {
+      env.set_vars[n.var_a] = mask;
+      const bool sub = eval(*n.child_a, env);
+      if (is_forall && !sub) {
+        result = false;
+        break;
+      }
+      if (!is_forall && sub) {
+        result = true;
+        break;
+      }
+    }
+    if (had)
+      env.set_vars[n.var_a] = saved;
+    else
+      env.set_vars.erase(n.var_a);
+    return result;
+  }
+
+  Vertex vertex(const std::string& name, const Environment& env) const {
+    auto it = env.vertex_vars.find(name);
+    if (it == env.vertex_vars.end())
+      throw std::invalid_argument("evaluate: unbound vertex variable '" + name + "'");
+    return it->second;
+  }
+
+  std::uint64_t set(const std::string& name, const Environment& env) const {
+    auto it = env.set_vars.find(name);
+    if (it == env.set_vars.end())
+      throw std::invalid_argument("evaluate: unbound set variable '" + name + "'");
+    return it->second;
+  }
+};
+
+}  // namespace
+
+bool evaluate(const Graph& g, const Formula& f, const Environment& env) {
+  if (!f.valid()) throw std::invalid_argument("evaluate: empty formula");
+  Environment scratch = env;
+  return Evaluator{g}.eval(f.node(), scratch);
+}
+
+}  // namespace lcert

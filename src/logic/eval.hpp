@@ -1,0 +1,29 @@
+// Brute-force FO/MSO model checking — the library's ground truth.
+//
+// Vertex quantifiers enumerate all n vertices; set quantifiers enumerate all
+// 2^n subsets (as 64-bit masks), so this is only usable on small graphs —
+// which is exactly its role: every scheme, automaton, and kernel in the
+// library is property-tested against this evaluator on small instances.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "src/graph/graph.hpp"
+#include "src/logic/ast.hpp"
+
+namespace lcert {
+
+/// Environment binding free variables (used to evaluate open formulas).
+struct Environment {
+  std::unordered_map<std::string, Vertex> vertex_vars;
+  std::unordered_map<std::string, std::uint64_t> set_vars;  // bitmask over vertices
+};
+
+/// Evaluates `f` on `g` under `env`. Throws std::invalid_argument on an
+/// unbound variable, and if a set quantifier is used with n > 24 (the subset
+/// enumeration would not terminate in reasonable time).
+bool evaluate(const Graph& g, const Formula& f, const Environment& env = {});
+
+}  // namespace lcert

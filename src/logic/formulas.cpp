@@ -1,0 +1,228 @@
+#include "src/logic/formulas.hpp"
+
+#include <algorithm>
+#include <functional>
+
+namespace lcert {
+
+Formula f_diameter_le_2() {
+  return forall("x", forall("y", eq("x", "y") || adj("x", "y") ||
+                                     exists("z", adj("x", "z") && adj("z", "y"))));
+}
+
+Formula f_triangle_free() {
+  return forall(
+      "x", forall("y", forall("z", !(adj("x", "y") && adj("y", "z") && adj("x", "z")))));
+}
+
+Formula f_clique() {
+  return forall("x", forall("y", eq("x", "y") || adj("x", "y")));
+}
+
+Formula f_has_dominating_vertex() {
+  return exists("x", forall("y", eq("x", "y") || adj("x", "y")));
+}
+
+Formula f_at_most_one_vertex() { return forall("x", forall("y", eq("x", "y"))); }
+
+namespace {
+
+std::string var(const char* prefix, std::size_t i) { return prefix + std::to_string(i); }
+
+// Pairwise distinctness of v_0..v_{k-1}.
+Formula all_distinct(const char* prefix, std::size_t k) {
+  std::vector<Formula> parts;
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = i + 1; j < k; ++j) parts.push_back(!eq(var(prefix, i), var(prefix, j)));
+  return conjunction(parts);
+}
+
+Formula exists_many(const char* prefix, std::size_t k, const Formula& body) {
+  Formula out = body;
+  for (std::size_t i = k; i-- > 0;) out = exists(var(prefix, i), out);
+  return out;
+}
+
+}  // namespace
+
+Formula f_at_least_k_vertices(std::size_t k) {
+  if (k <= 1) return exists("v0", eq("v0", "v0"));
+  return exists_many("v", k, all_distinct("v", k));
+}
+
+Formula f_independent_set_of_size(std::size_t k) {
+  std::vector<Formula> parts{all_distinct("v", k)};
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = i + 1; j < k; ++j) parts.push_back(!adj(var("v", i), var("v", j)));
+  return exists_many("v", k, conjunction(parts));
+}
+
+Formula f_has_path_subgraph(std::size_t t) {
+  if (t == 0) return f_at_least_k_vertices(1);
+  std::vector<Formula> parts{all_distinct("v", t)};
+  for (std::size_t i = 0; i + 1 < t; ++i) parts.push_back(adj(var("v", i), var("v", i + 1)));
+  return exists_many("v", t, conjunction(parts));
+}
+
+Formula f_max_degree_le(std::size_t d) {
+  // No vertex has d+1 distinct neighbors.
+  std::vector<Formula> parts{all_distinct("y", d + 1)};
+  for (std::size_t i = 0; i <= d; ++i) parts.push_back(adj("x", var("y", i)));
+  Formula witness = conjunction(parts);
+  Formula bad = witness;
+  for (std::size_t i = d + 1; i-- > 0;) bad = exists(var("y", i), bad);
+  return forall("x", !bad);
+}
+
+Formula f_two_colorable() {
+  return exists(
+      "X", forall("x", forall("y", implies(adj("x", "y"),
+                                           !iff(mem("x", "X"), mem("y", "X"))))));
+}
+
+Formula f_three_colorable() {
+  // Classes: X∩Y treated as invalid is unnecessary; color(v) =
+  // (v in X, v in Y) with (1,1) collapsed into (1,0) — adjacent vertices must
+  // differ in at least one of the two bits once (1,1) is forbidden.
+  Formula no_both = forall("z", !(mem("z", "X") && mem("z", "Y")));
+  Formula proper = forall(
+      "x", forall("y", implies(adj("x", "y"), !(iff(mem("x", "X"), mem("y", "X")) &&
+                                                iff(mem("x", "Y"), mem("y", "Y"))))));
+  return exists("X", exists("Y", no_both && proper));
+}
+
+Formula f_independent_dominating_set() {
+  Formula independent =
+      forall("x", forall("y", implies(mem("x", "X") && mem("y", "X"), !adj("x", "y"))));
+  Formula dominating = forall(
+      "x", mem("x", "X") || exists("y", mem("y", "X") && adj("x", "y")));
+  return exists("X", independent && dominating);
+}
+
+Formula f_leaf_dominated() {
+  // leaf(v): v has exactly one neighbor = exists u adj & forall w (adj -> w=u).
+  auto leaf = [](const std::string& v, const std::string& u, const std::string& w) {
+    return exists(u, adj(v, u) && forall(w, implies(adj(v, w), eq(w, u))));
+  };
+  return forall("x", leaf("x", "u1", "w1") ||
+                         exists("y", adj("x", "y") && leaf("y", "u2", "w2")));
+}
+
+namespace {
+
+bool check_diameter_le_2(const Graph& g) {
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    const auto dist = g.bfs_distances(v);
+    for (std::size_t d : dist)
+      if (d == SIZE_MAX || d > 2) return false;
+  }
+  return true;
+}
+
+bool check_triangle_free(const Graph& g) {
+  for (auto [u, v] : g.edges())
+    for (Vertex w : g.neighbors(u))
+      if (w != v && g.has_edge(w, v)) return false;
+  return true;
+}
+
+bool check_clique(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  return g.edge_count() == n * (n - 1) / 2;
+}
+
+bool check_dominating_vertex(const Graph& g) {
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    if (g.degree(v) == g.vertex_count() - 1) return true;
+  return false;
+}
+
+bool check_two_colorable(const Graph& g) {
+  std::vector<int> color(g.vertex_count(), -1);
+  for (Vertex s = 0; s < g.vertex_count(); ++s) {
+    if (color[s] != -1) continue;
+    color[s] = 0;
+    std::vector<Vertex> stack{s};
+    while (!stack.empty()) {
+      const Vertex v = stack.back();
+      stack.pop_back();
+      for (Vertex w : g.neighbors(v)) {
+        if (color[w] == -1) {
+          color[w] = 1 - color[v];
+          stack.push_back(w);
+        } else if (color[w] == color[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool check_three_colorable(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<int> color(n, -1);
+  std::function<bool(std::size_t)> go = [&](std::size_t v) -> bool {
+    if (v == n) return true;
+    for (int c = 0; c < 3; ++c) {
+      bool ok = true;
+      for (Vertex w : g.neighbors(v))
+        if (w < v && color[w] == c) {
+          ok = false;
+          break;
+        }
+      if (!ok) continue;
+      color[v] = c;
+      if (go(v + 1)) return true;
+      color[v] = -1;
+    }
+    return false;
+  };
+  return go(0);
+}
+
+bool check_independent_dominating_set(const Graph& g) {
+  // A maximal independent set is always independent dominating; connected
+  // non-empty graphs always have one.
+  return g.vertex_count() > 0;
+}
+
+bool check_max_degree_le_3(const Graph& g) {
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    if (g.degree(v) > 3) return false;
+  return true;
+}
+
+bool check_leaf_dominated(const Graph& g) {
+  auto is_leaf = [&g](Vertex v) { return g.degree(v) == 1; };
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    if (is_leaf(v)) continue;
+    bool ok = false;
+    for (Vertex w : g.neighbors(v))
+      if (is_leaf(w)) {
+        ok = true;
+        break;
+      }
+    if (!ok) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<NamedProperty> standard_properties() {
+  return {
+      {"diameter<=2", f_diameter_le_2(), &check_diameter_le_2},
+      {"triangle-free", f_triangle_free(), &check_triangle_free},
+      {"clique", f_clique(), &check_clique},
+      {"dominating-vertex", f_has_dominating_vertex(), &check_dominating_vertex},
+      {"2-colorable", f_two_colorable(), &check_two_colorable},
+      {"3-colorable", f_three_colorable(), &check_three_colorable},
+      {"independent-dominating-set", f_independent_dominating_set(),
+       &check_independent_dominating_set},
+      {"max-degree<=3", f_max_degree_le(3), &check_max_degree_le_3},
+      {"leaf-dominated", f_leaf_dominated(), &check_leaf_dominated},
+  };
+}
+
+}  // namespace lcert

@@ -1,0 +1,74 @@
+// Library of named FO/MSO sentences used across examples, tests and benches.
+//
+// Each sentence comes with the exact fragment the paper cares about:
+// quantifier depth (Lemma 2.1, Theorem 2.6's parameter k), whether it is
+// existential, and whether it is properly MSO. Ground-truth combinatorial
+// checkers for the same properties live next to the formulas so automata and
+// schemes can be validated three ways (formula eval, automaton run, direct
+// algorithm).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/logic/ast.hpp"
+
+namespace lcert {
+
+/// "Diameter at most 2": forall x forall y (x=y | x-y | exists z (x-z & z-y)).
+/// Section 2.2's example of a simple FO sentence with no compact certification.
+Formula f_diameter_le_2();
+
+/// "Triangle-free": forall x,y,z ~(x-y & y-z & x-z). Section 2.2's second example.
+Formula f_triangle_free();
+
+/// "The graph is a clique": forall x forall y (x=y | x-y). (Lemma A.3's list.)
+Formula f_clique();
+
+/// "There is a dominating vertex": exists x forall y (x=y | x-y). (Lemma A.3.)
+Formula f_has_dominating_vertex();
+
+/// "At most one vertex": forall x forall y (x=y). (Lemma A.3.)
+Formula f_at_most_one_vertex();
+
+/// "At least k vertices" — existential FO with k quantifiers (Lemma A.2).
+Formula f_at_least_k_vertices(std::size_t k);
+
+/// "Contains an independent set of size k" — existential FO (Lemma A.2).
+Formula f_independent_set_of_size(std::size_t k);
+
+/// "Contains a path on t vertices as a subgraph" — existential FO; on
+/// connected graphs this is exactly "has a P_t minor" (Corollary 2.7).
+Formula f_has_path_subgraph(std::size_t t);
+
+/// "Max degree <= d": forall x ~ exists y_0..y_d (distinct neighbors).
+Formula f_max_degree_le(std::size_t d);
+
+/// "Properly 2-colorable" — MSO with one set quantifier.
+Formula f_two_colorable();
+
+/// "Properly 3-colorable" — MSO with two set quantifiers (classes X, Y\X, rest).
+Formula f_three_colorable();
+
+/// "Has an independent dominating set" — MSO.
+Formula f_independent_dominating_set();
+
+/// "Every vertex is a leaf or adjacent to a leaf" (interesting on trees) — FO
+/// where "leaf" = degree exactly 1.
+Formula f_leaf_dominated();
+
+/// Named bundle: formula + metadata + a trusted direct checker, used to sweep
+/// tables in tests and benches.
+struct NamedProperty {
+  std::string name;
+  Formula formula;
+  bool (*direct_check)(const Graph&);  ///< independent combinatorial oracle
+};
+
+/// Properties with small quantifier depth for which we have independent
+/// checkers; every entry is safe to evaluate on graphs with <= 24 vertices.
+std::vector<NamedProperty> standard_properties();
+
+}  // namespace lcert

@@ -1,0 +1,286 @@
+#include "src/logic/metrics.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace lcert {
+
+namespace {
+
+bool is_existential_kind(FormulaKind k) {
+  return k == FormulaKind::kExistsVertex || k == FormulaKind::kExistsSet;
+}
+
+std::size_t depth_of(const FormulaNode& n) {
+  switch (n.kind) {
+    case FormulaKind::kEqual:
+    case FormulaKind::kAdjacent:
+    case FormulaKind::kMember:
+      return 0;
+    case FormulaKind::kNot:
+      return depth_of(*n.child_a);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      return std::max(depth_of(*n.child_a), depth_of(*n.child_b));
+    default:
+      return 1 + depth_of(*n.child_a);
+  }
+}
+
+}  // namespace
+
+std::size_t quantifier_depth(const Formula& f) {
+  if (!f.valid()) throw std::invalid_argument("quantifier_depth: empty formula");
+  return depth_of(f.node());
+}
+
+namespace {
+
+// 0 = no block seen yet, 1 = existential, 2 = universal.
+std::size_t alternations_of(const FormulaNode& n, int current_block) {
+  switch (n.kind) {
+    case FormulaKind::kEqual:
+    case FormulaKind::kAdjacent:
+    case FormulaKind::kMember:
+      return 0;
+    case FormulaKind::kNot:
+      return alternations_of(*n.child_a, current_block);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      return std::max(alternations_of(*n.child_a, current_block),
+                      alternations_of(*n.child_b, current_block));
+    default: {
+      const int block = is_existential_kind(n.kind) ? 1 : 2;
+      const std::size_t extra = (current_block != 0 && current_block != block) ? 1 : 0;
+      return extra + alternations_of(*n.child_a, block);
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t quantifier_alternations(const Formula& f) {
+  if (!f.valid()) throw std::invalid_argument("quantifier_alternations: empty formula");
+  return alternations_of(to_nnf(f).node(), 0);
+}
+
+namespace {
+
+bool uses_sets(const FormulaNode& n) {
+  switch (n.kind) {
+    case FormulaKind::kEqual:
+    case FormulaKind::kAdjacent:
+      return false;
+    case FormulaKind::kMember:
+    case FormulaKind::kForallSet:
+    case FormulaKind::kExistsSet:
+      return true;
+    case FormulaKind::kNot:
+      return uses_sets(*n.child_a);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      return uses_sets(*n.child_a) || uses_sets(*n.child_b);
+    default:
+      return uses_sets(*n.child_a);
+  }
+}
+
+Formula nnf(const FormulaNode& n, bool negated);
+
+Formula nnf_child(const FormulaPtr& p, bool negated) { return nnf(*p, negated); }
+
+Formula nnf(const FormulaNode& n, bool negated) {
+  switch (n.kind) {
+    case FormulaKind::kEqual: {
+      Formula atom = eq(n.var_a, n.var_b);
+      return negated ? !atom : atom;
+    }
+    case FormulaKind::kAdjacent: {
+      Formula atom = adj(n.var_a, n.var_b);
+      return negated ? !atom : atom;
+    }
+    case FormulaKind::kMember: {
+      Formula atom = mem(n.var_a, n.var_b);
+      return negated ? !atom : atom;
+    }
+    case FormulaKind::kNot:
+      return nnf_child(n.child_a, !negated);
+    case FormulaKind::kAnd: {
+      Formula a = nnf_child(n.child_a, negated);
+      Formula b = nnf_child(n.child_b, negated);
+      return negated ? (a || b) : (a && b);
+    }
+    case FormulaKind::kOr: {
+      Formula a = nnf_child(n.child_a, negated);
+      Formula b = nnf_child(n.child_b, negated);
+      return negated ? (a && b) : (a || b);
+    }
+    case FormulaKind::kForallVertex:
+    case FormulaKind::kForallSet: {
+      Formula body = nnf_child(n.child_a, negated);
+      return negated ? exists(n.var_a, body) : forall(n.var_a, body);
+    }
+    case FormulaKind::kExistsVertex:
+    case FormulaKind::kExistsSet: {
+      Formula body = nnf_child(n.child_a, negated);
+      return negated ? forall(n.var_a, body) : exists(n.var_a, body);
+    }
+  }
+  throw std::logic_error("nnf: unreachable");
+}
+
+bool only_existential(const FormulaNode& n) {
+  switch (n.kind) {
+    case FormulaKind::kEqual:
+    case FormulaKind::kAdjacent:
+    case FormulaKind::kMember:
+      return true;
+    case FormulaKind::kNot:
+      // NNF: negation only wraps atoms.
+      return only_existential(*n.child_a);
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      return only_existential(*n.child_a) && only_existential(*n.child_b);
+    case FormulaKind::kExistsVertex:
+    case FormulaKind::kExistsSet:
+      return only_existential(*n.child_a);
+    case FormulaKind::kForallVertex:
+    case FormulaKind::kForallSet:
+      return false;
+  }
+  throw std::logic_error("only_existential: unreachable");
+}
+
+void collect_free(const FormulaNode& n, std::set<std::string> bound,
+                  std::vector<std::string>& out, std::set<std::string>& seen) {
+  auto visit_var = [&](const std::string& v) {
+    if (!bound.count(v) && !seen.count(v)) {
+      seen.insert(v);
+      out.push_back(v);
+    }
+  };
+  switch (n.kind) {
+    case FormulaKind::kEqual:
+    case FormulaKind::kAdjacent:
+    case FormulaKind::kMember:
+      visit_var(n.var_a);
+      visit_var(n.var_b);
+      return;
+    case FormulaKind::kNot:
+      collect_free(*n.child_a, bound, out, seen);
+      return;
+    case FormulaKind::kAnd:
+    case FormulaKind::kOr:
+      collect_free(*n.child_a, bound, out, seen);
+      collect_free(*n.child_b, bound, out, seen);
+      return;
+    default:
+      bound.insert(n.var_a);
+      collect_free(*n.child_a, bound, out, seen);
+      return;
+  }
+}
+
+}  // namespace
+
+bool uses_set_quantifiers(const Formula& f) {
+  if (!f.valid()) throw std::invalid_argument("uses_set_quantifiers: empty formula");
+  return uses_sets(f.node());
+}
+
+Formula to_nnf(const Formula& f) {
+  if (!f.valid()) throw std::invalid_argument("to_nnf: empty formula");
+  return nnf(f.node(), false);
+}
+
+bool is_existential(const Formula& f) {
+  return only_existential(to_nnf(f).node());
+}
+
+std::vector<std::string> free_variables(const Formula& f) {
+  if (!f.valid()) throw std::invalid_argument("free_variables: empty formula");
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  collect_free(f.node(), {}, out, seen);
+  return out;
+}
+
+bool is_sentence(const Formula& f) { return free_variables(f).empty(); }
+
+namespace {
+
+// Renames every occurrence (bound and free) of variable `from` to `to`.
+Formula rename(const FormulaNode& n, const std::string& from, const std::string& to) {
+  auto fix = [&](const std::string& v) { return v == from ? to : v; };
+  switch (n.kind) {
+    case FormulaKind::kEqual:
+      return eq(fix(n.var_a), fix(n.var_b));
+    case FormulaKind::kAdjacent:
+      return adj(fix(n.var_a), fix(n.var_b));
+    case FormulaKind::kMember:
+      return mem(fix(n.var_a), fix(n.var_b));
+    case FormulaKind::kNot:
+      return !rename(*n.child_a, from, to);
+    case FormulaKind::kAnd:
+      return rename(*n.child_a, from, to) && rename(*n.child_b, from, to);
+    case FormulaKind::kOr:
+      return rename(*n.child_a, from, to) || rename(*n.child_b, from, to);
+    case FormulaKind::kForallVertex:
+    case FormulaKind::kForallSet:
+      return forall(fix(n.var_a), rename(*n.child_a, from, to));
+    case FormulaKind::kExistsVertex:
+    case FormulaKind::kExistsSet:
+      return exists(fix(n.var_a), rename(*n.child_a, from, to));
+  }
+  throw std::logic_error("rename: unreachable");
+}
+
+}  // namespace
+
+PrenexExistential prenex_existential(const Formula& f) {
+  if (!is_sentence(f)) throw std::invalid_argument("prenex_existential: not a sentence");
+  if (uses_set_quantifiers(f))
+    throw std::invalid_argument("prenex_existential: MSO sentence, expected FO");
+  Formula g = to_nnf(f);
+  if (!only_existential(g.node()))
+    throw std::invalid_argument("prenex_existential: sentence is not existential");
+
+  // Recursive hoisting with renaming apart.
+  std::size_t counter = 0;
+  std::vector<std::string> vars;
+  struct Hoister {
+    std::size_t& counter;
+    std::vector<std::string>& vars;
+    Formula run(const FormulaNode& n) {
+      switch (n.kind) {
+        case FormulaKind::kEqual:
+          return eq(n.var_a, n.var_b);
+        case FormulaKind::kAdjacent:
+          return adj(n.var_a, n.var_b);
+        case FormulaKind::kMember:
+          return mem(n.var_a, n.var_b);
+        case FormulaKind::kNot:
+          return !run(*n.child_a);
+        case FormulaKind::kAnd:
+          return run(*n.child_a) && run(*n.child_b);
+        case FormulaKind::kOr:
+          return run(*n.child_a) || run(*n.child_b);
+        case FormulaKind::kExistsVertex: {
+          const std::string fresh = "pw" + std::to_string(counter++);
+          vars.push_back(fresh);
+          Formula renamed = rename(n, n.var_a, fresh);
+          // renamed is exists fresh. body'; recurse into its body.
+          return run(*renamed.ptr()->child_a);
+        }
+        default:
+          throw std::logic_error("prenex_existential: unexpected node");
+      }
+    }
+  };
+  Formula matrix = Hoister{counter, vars}.run(g.node());
+  return {std::move(vars), std::move(matrix)};
+}
+
+}  // namespace lcert

@@ -1,0 +1,49 @@
+// Syntactic measures of formulas used by the meta-theorems.
+//
+// Lemma 2.1 is stated in terms of quantifier depth and the existential
+// fragment; Theorem 2.6's kernel parameter is the quantifier depth of the
+// sentence. These measures are computed on the AST; the existential test
+// works on the negation normal form so that ~exists is correctly counted as
+// a universal.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/logic/ast.hpp"
+
+namespace lcert {
+
+/// Maximum number of nested quantifiers (vertex and set alike).
+std::size_t quantifier_depth(const Formula& f);
+
+/// Number of alternations between existential and universal blocks along any
+/// root-to-atom path of the NNF (0 for quantifier-free or single-block).
+std::size_t quantifier_alternations(const Formula& f);
+
+/// True iff the formula uses a set quantifier or a membership atom (i.e. is
+/// properly MSO rather than FO).
+bool uses_set_quantifiers(const Formula& f);
+
+/// Negation normal form: negations pushed onto atoms, quantifiers dualized.
+Formula to_nnf(const Formula& f);
+
+/// True iff the NNF contains only existential quantifiers (Lemma A.2's class).
+bool is_existential(const Formula& f);
+
+/// True iff the formula is a *sentence* (no free variables).
+bool is_sentence(const Formula& f);
+
+/// Free variables (vertex and set), in first-occurrence order.
+std::vector<std::string> free_variables(const Formula& f);
+
+/// Prenex form of an existential FO sentence: returns the quantified vertex
+/// variables (renamed apart if needed) and the quantifier-free matrix.
+/// Throws if the sentence is not existential FO.
+struct PrenexExistential {
+  std::vector<std::string> variables;
+  Formula matrix;
+};
+PrenexExistential prenex_existential(const Formula& f);
+
+}  // namespace lcert

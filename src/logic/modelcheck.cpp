@@ -1,0 +1,50 @@
+#include "src/logic/modelcheck.hpp"
+
+#include <stdexcept>
+
+#include "src/kernel/reduce.hpp"
+#include "src/logic/eval.hpp"
+#include "src/logic/metrics.hpp"
+#include "src/treedepth/elimination.hpp"
+#include "src/treedepth/exact.hpp"
+#include "src/treedepth/heuristic.hpp"
+
+namespace lcert {
+
+bool modelcheck_bounded_treedepth(const Graph& g, const Formula& phi,
+                                  std::optional<RootedTree> model,
+                                  std::size_t threshold_override, ModelCheckStats* stats) {
+  if (!is_sentence(phi))
+    throw std::invalid_argument("modelcheck_bounded_treedepth: formula has free variables");
+  if (uses_set_quantifiers(phi) && threshold_override == 0)
+    throw std::invalid_argument(
+        "modelcheck_bounded_treedepth: MSO sentence needs an explicit threshold "
+        "(FO-depth thresholds are only proven for FO; see DESIGN.md)");
+
+  RootedTree coherent = [&] {
+    if (model.has_value()) {
+      if (!is_valid_model(g, *model))
+        throw std::invalid_argument("modelcheck_bounded_treedepth: invalid model");
+      return make_coherent(g, *model);
+    }
+    if (g.vertex_count() <= 20) return exact_treedepth_with_model(g).model;
+    return heuristic_elimination_tree(g);
+  }();
+
+  const std::size_t k =
+      threshold_override != 0 ? threshold_override : quantifier_depth(phi);
+  if (k == 0) {
+    // Quantifier-free sentences have no variables at all; evaluate directly.
+    return evaluate(g, phi);
+  }
+
+  const Kernelization kz = k_reduce(g, coherent, k);
+  if (stats != nullptr) {
+    stats->kernel_size = kz.kernel.vertex_count();
+    stats->reduction_threshold = k;
+    stats->model_depth = model_depth(coherent);
+  }
+  return evaluate(kz.kernel, phi);
+}
+
+}  // namespace lcert

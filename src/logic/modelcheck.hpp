@@ -1,0 +1,37 @@
+// Courcelle/Gajarský–Hliněný-style model checking on bounded-treedepth
+// graphs, the centralized payoff of Section 6's kernelization: evaluating an
+// FO sentence of quantifier depth k on G costs O(n^k) by brute force, but
+// only O(n + |kernel|^k) through the k-reduction, because G ≃_k kernel(G)
+// (Proposition 6.3) and the kernel's size depends on (k, t) alone
+// (Proposition 6.2). This is the decision procedure the certification scheme
+// of Theorem 2.6 runs at the root — exposed here as a standalone API.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "src/graph/graph.hpp"
+#include "src/graph/rooted_tree.hpp"
+#include "src/logic/ast.hpp"
+
+namespace lcert {
+
+struct ModelCheckStats {
+  std::size_t kernel_size = 0;
+  std::size_t reduction_threshold = 0;
+  std::size_t model_depth = 0;
+};
+
+/// Evaluates the FO sentence `phi` on `g` via kernelization.
+/// `model`: a valid elimination tree of g (made coherent internally); pass
+/// nullopt to let the library find one (exact for n <= 20, heuristic beyond).
+/// `threshold_override`: reduction threshold; defaults to quantifier_depth(phi),
+/// which is provably sufficient for FO. For properly-MSO sentences pass an
+/// explicit larger threshold (see DESIGN.md §7).
+/// Throws std::invalid_argument if phi is not a sentence or no model is found.
+bool modelcheck_bounded_treedepth(const Graph& g, const Formula& phi,
+                                  std::optional<RootedTree> model = std::nullopt,
+                                  std::size_t threshold_override = 0,
+                                  ModelCheckStats* stats = nullptr);
+
+}  // namespace lcert

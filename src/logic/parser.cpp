@@ -1,0 +1,123 @@
+#include "src/logic/parser.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace lcert {
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw std::invalid_argument("parse_formula: " + message + " at position " +
+                                std::to_string(pos));
+  }
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) ++pos;
+  }
+
+  bool try_consume(const std::string& token) {
+    skip_ws();
+    if (text.compare(pos, token.size(), token) == 0) {
+      // Word tokens must not swallow an identifier prefix.
+      if (std::isalpha(static_cast<unsigned char>(token.front()))) {
+        const std::size_t end = pos + token.size();
+        if (end < text.size() &&
+            (std::isalnum(static_cast<unsigned char>(text[end])) || text[end] == '_'))
+          return false;
+      }
+      pos += token.size();
+      return true;
+    }
+    return false;
+  }
+
+  void consume(const std::string& token) {
+    if (!try_consume(token)) fail("expected '" + token + "'");
+  }
+
+  std::string name() {
+    skip_ws();
+    const std::size_t start = pos;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) || text[pos] == '_'))
+      ++pos;
+    if (pos == start) fail("expected a variable name");
+    return text.substr(start, pos - start);
+  }
+
+  Formula formula() { return iff_level(); }
+
+  Formula iff_level() {
+    Formula left = impl_level();
+    while (try_consume("<->")) left = iff(left, impl_level());
+    return left;
+  }
+
+  Formula impl_level() {
+    Formula left = or_level();
+    if (try_consume("->")) return implies(left, impl_level());
+    return left;
+  }
+
+  Formula or_level() {
+    Formula left = and_level();
+    while (try_consume("|")) left = left || and_level();
+    return left;
+  }
+
+  Formula and_level() {
+    Formula left = unary();
+    while (try_consume("&")) left = left && unary();
+    return left;
+  }
+
+  Formula unary() {
+    skip_ws();
+    if (try_consume("~") || try_consume("!")) return !unary();
+    if (try_consume("forall")) {
+      const std::string v = name();
+      consume(".");
+      return forall(v, unary());
+    }
+    if (try_consume("exists")) {
+      const std::string v = name();
+      consume(".");
+      return exists(v, unary());
+    }
+    if (try_consume("(")) {
+      Formula inner = formula();
+      consume(")");
+      return inner;
+    }
+    if (try_consume("adj")) {
+      consume("(");
+      const std::string a = name();
+      consume(",");
+      const std::string b = name();
+      consume(")");
+      return adj(a, b);
+    }
+    // NAME "=" NAME | NAME "in" NAME
+    const std::string a = name();
+    if (try_consume("=")) return eq(a, name());
+    if (try_consume("in")) return mem(a, name());
+    fail("expected '=' or 'in' after variable '" + a + "'");
+  }
+};
+
+}  // namespace
+
+Formula parse_formula(const std::string& text) {
+  Parser p{text};
+  Formula out = p.formula();
+  p.skip_ws();
+  if (p.pos != text.size()) p.fail("trailing characters");
+  return out;
+}
+
+}  // namespace lcert

@@ -1,0 +1,25 @@
+// Textual syntax for FO/MSO formulas.
+//
+//   formula  := iff
+//   iff      := impl ("<->" impl)*
+//   impl     := or ("->" or)*            (right-associative)
+//   or       := and ("|" and)*
+//   and      := unary ("&" unary)*
+//   unary    := "~" unary | quantifier | atom | "(" formula ")"
+//   quant    := ("forall" | "exists") NAME "." unary
+//   atom     := "adj" "(" NAME "," NAME ")" | NAME "=" NAME | NAME "in" NAME
+//
+// Names starting with an uppercase letter are set variables. Round-trips
+// with Formula::to_string().
+#pragma once
+
+#include <string>
+
+#include "src/logic/ast.hpp"
+
+namespace lcert {
+
+/// Parses a formula; throws std::invalid_argument with position info on error.
+Formula parse_formula(const std::string& text);
+
+}  // namespace lcert

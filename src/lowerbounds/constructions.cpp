@@ -1,0 +1,209 @@
+#include "src/lowerbounds/constructions.hpp"
+
+#include <stdexcept>
+
+#include "src/lowerbounds/tree_enumeration.hpp"
+#include "src/treedepth/exact.hpp"
+#include "src/util/bignum.hpp"
+
+namespace lcert {
+
+// ---------------------------------------------------------------------------
+// FpfAutomorphismFamily.
+// ---------------------------------------------------------------------------
+
+FpfAutomorphismFamily::FpfAutomorphismFamily(std::size_t ell) : ell_(ell) {
+  if (ell == 0) throw std::invalid_argument("FpfAutomorphismFamily: ell must be >= 1");
+}
+
+namespace {
+
+// Padded encoding tree: tree_from_string plus plain leaf children of the root
+// so that every string of length ell yields the same vertex count.
+RootedTree padded_string_tree(const std::vector<bool>& s) {
+  const RootedTree base = tree_from_string(s);
+  std::size_t pad = 0;
+  for (bool b : s)
+    if (!b) pad += 2;  // each unset bit saved two path vertices
+  std::vector<std::size_t> parent(base.size() + pad);
+  for (std::size_t v = 0; v < base.size(); ++v) parent[v] = base.parent(v);
+  for (std::size_t i = 0; i < pad; ++i) parent[base.size() + i] = base.root();
+  return RootedTree(std::move(parent));
+}
+
+}  // namespace
+
+std::size_t FpfAutomorphismFamily::instance_size() const {
+  return 2 * (tree_from_string_size(ell_) + 1);
+}
+
+CcInstance FpfAutomorphismFamily::build(const std::vector<bool>& s_a,
+                                        const std::vector<bool>& s_b) const {
+  if (s_a.size() != ell_ || s_b.size() != ell_)
+    throw std::invalid_argument("FpfAutomorphismFamily::build: wrong string length");
+  const RootedTree ta = padded_string_tree(s_a);
+  const RootedTree tb = padded_string_tree(s_b);
+  const std::size_t m = ta.size();  // == tb.size() by padding
+
+  // Layout: 0 = alpha, 1 = beta, [2, 2+m) = Alice tree, [2+m, 2+2m) = Bob tree.
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.emplace_back(0, 1);
+  edges.emplace_back(0, 2 + ta.root());
+  edges.emplace_back(1, 2 + m + tb.root());
+  for (std::size_t v = 0; v < m; ++v) {
+    if (ta.parent(v) != RootedTree::kNoParent) edges.emplace_back(2 + v, 2 + ta.parent(v));
+    if (tb.parent(v) != RootedTree::kNoParent)
+      edges.emplace_back(2 + m + v, 2 + m + tb.parent(v));
+  }
+  Graph g(2 + 2 * m, edges);
+
+  // IDs: boundary gets 1..2, the sides get fixed consecutive IDs.
+  std::vector<VertexId> ids(g.vertex_count());
+  ids[0] = 1;
+  ids[1] = 2;
+  for (std::size_t v = 2; v < g.vertex_count(); ++v) ids[v] = static_cast<VertexId>(v + 1);
+  g.set_ids(std::move(ids));
+
+  CcInstance out;
+  out.graph = std::move(g);
+  out.side.assign(out.graph.vertex_count(), CcSide::kAlice);
+  out.side[0] = CcSide::kAlphaBoundary;
+  out.side[1] = CcSide::kBetaBoundary;
+  for (std::size_t v = 2 + m; v < out.graph.vertex_count(); ++v) out.side[v] = CcSide::kBob;
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TreedepthFamily.
+// ---------------------------------------------------------------------------
+
+TreedepthFamily::TreedepthFamily(std::size_t n, std::size_t subdivisions)
+    : n_(n), subdivisions_(subdivisions) {
+  if (n < 2) throw std::invalid_argument("TreedepthFamily: n must be >= 2");
+  ell_ = static_cast<std::size_t>(BigNat::factorial(n).bit_length() - 1);  // floor(log2 n!)
+}
+
+std::size_t TreedepthFamily::yes_treedepth() const noexcept {
+  return 1 + treedepth_of_cycle(8 + 4 * subdivisions_);
+}
+
+namespace {
+
+// Vertex layout for TreedepthFamily on matching size n:
+//   0:            the apex u
+//   1..4n:        V_alpha^1[i], V_alpha^2[i], V_beta^1[i], V_beta^2[i]
+//   4n+1..6n:     V_A^1[i], V_A^2[i]
+//   6n+1..8n:     V_B^1[i], V_B^2[i]
+struct Layout {
+  std::size_t n;
+  Vertex u() const { return 0; }
+  Vertex alpha(std::size_t layer, std::size_t i) const { return 1 + (layer - 1) * n + i; }
+  Vertex beta(std::size_t layer, std::size_t i) const { return 1 + 2 * n + (layer - 1) * n + i; }
+  Vertex a(std::size_t layer, std::size_t i) const { return 1 + 4 * n + (layer - 1) * n + i; }
+  Vertex b(std::size_t layer, std::size_t i) const { return 1 + 6 * n + (layer - 1) * n + i; }
+};
+
+}  // namespace
+
+CcInstance TreedepthFamily::build(const std::vector<bool>& s_a,
+                                  const std::vector<bool>& s_b) const {
+  if (s_a.size() != ell_ || s_b.size() != ell_)
+    throw std::invalid_argument("TreedepthFamily::build: wrong string length");
+  const Layout L{n_};
+  std::vector<std::pair<Vertex, Vertex>> edges;
+
+  // Fixed part E_P: the 2n disjoint paths (with the corner edges subdivided
+  // `subdivisions_` times to raise the threshold, per the k > 5 remark) and
+  // the apex.
+  std::size_t next_fresh = 8 * n_ + 1;
+  auto subdivided_edge = [&](Vertex from, Vertex to) {
+    Vertex cur = from;
+    for (std::size_t step = 0; step < subdivisions_; ++step) {
+      edges.emplace_back(cur, next_fresh);
+      cur = static_cast<Vertex>(next_fresh++);
+    }
+    edges.emplace_back(cur, to);
+  };
+  for (std::size_t layer = 1; layer <= 2; ++layer) {
+    for (std::size_t i = 0; i < n_; ++i) {
+      subdivided_edge(L.a(layer, i), L.alpha(layer, i));
+      edges.emplace_back(L.alpha(layer, i), L.beta(layer, i));
+      subdivided_edge(L.beta(layer, i), L.b(layer, i));
+      edges.emplace_back(L.u(), L.alpha(layer, i));
+    }
+  }
+
+  // Private matchings.
+  const auto pa = unrank_permutation(bignat_from_bits(s_a), n_);
+  const auto pb = unrank_permutation(bignat_from_bits(s_b), n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    edges.emplace_back(L.a(1, i), L.a(2, pa[i]));
+    edges.emplace_back(L.b(1, i), L.b(2, pb[i]));
+  }
+
+  Graph g(instance_size(), edges);
+  // IDs: boundary (u, alphas, betas) = 1..4n+1 in layout order; sides follow.
+  std::vector<VertexId> ids(g.vertex_count());
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) ids[v] = static_cast<VertexId>(v + 1);
+  g.set_ids(std::move(ids));
+
+  CcInstance out;
+  out.graph = std::move(g);
+  out.side.assign(out.graph.vertex_count(), CcSide::kBob);
+  out.side[L.u()] = CcSide::kAlphaBoundary;  // u behaves like V_alpha (Alice simulates it)
+  for (std::size_t layer = 1; layer <= 2; ++layer)
+    for (std::size_t i = 0; i < n_; ++i) {
+      out.side[L.alpha(layer, i)] = CcSide::kAlphaBoundary;
+      out.side[L.beta(layer, i)] = CcSide::kBetaBoundary;
+      out.side[L.a(layer, i)] = CcSide::kAlice;
+      out.side[L.b(layer, i)] = CcSide::kBob;
+    }
+  // Subdivision vertices: the first `subdivisions_` fresh vertices of each
+  // corner belong to the side of that corner (A corners to Alice, B corners
+  // to Bob), in the creation order of build().
+  std::size_t fresh = 8 * n_ + 1;
+  for (std::size_t layer = 1; layer <= 2; ++layer)
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t step = 0; step < subdivisions_; ++step)
+        out.side[fresh++] = CcSide::kAlice;  // A-corner chain
+      for (std::size_t step = 0; step < subdivisions_; ++step)
+        out.side[fresh++] = CcSide::kBob;  // B-corner chain
+    }
+  return out;
+}
+
+std::optional<RootedTree> TreedepthFamily::witness_model(const Graph& g) const {
+  // Components after removing the apex must be 8-cycles (equal matchings);
+  // root u and hang an optimal model per component.
+  const Layout L{n_};
+  const std::size_t n = g.vertex_count();
+  if (n != instance_size()) return std::nullopt;
+  std::vector<std::size_t> parent(n, RootedTree::kNoParent);
+  std::vector<bool> seen(n, false);
+  seen[L.u()] = true;
+  for (Vertex s = 1; s < n; ++s) {
+    if (seen[s]) continue;
+    std::vector<Vertex> comp{s};
+    seen[s] = true;
+    for (std::size_t i = 0; i < comp.size(); ++i)
+      for (Vertex w : g.neighbors(comp[i]))
+        if (!seen[w] && w != L.u()) {
+          seen[w] = true;
+          comp.push_back(w);
+        }
+    const std::size_t cycle_len = 8 + 4 * subdivisions_;
+    if (comp.size() != cycle_len) return std::nullopt;  // not a union of cycles
+    const Graph sub = g.induced(comp);
+    if (sub.edge_count() != cycle_len) return std::nullopt;
+    if (sub.vertex_count() > 20) return std::nullopt;  // exact solver guard
+    const auto model = exact_treedepth_with_model(sub);
+    if (model.treedepth > treedepth_of_cycle(cycle_len)) return std::nullopt;
+    for (std::size_t i = 0; i < comp.size(); ++i) {
+      const std::size_t p = model.model.parent(i);
+      parent[comp[i]] = (p == RootedTree::kNoParent) ? L.u() : comp[p];
+    }
+  }
+  return RootedTree(std::move(parent));
+}
+
+}  // namespace lcert

@@ -1,0 +1,77 @@
+// The two instance families used by the paper's lower bounds.
+//
+// FpfAutomorphismFamily (Appendix E.2, Theorem 2.3): V_alpha = {alpha},
+// V_beta = {beta}, E_P the path a - alpha - beta - b, and injections from
+// strings to rooted trees of height <= 3 hung at a and b, padded so both
+// sides always have the same vertex count. G(s_A, s_B) has a fixed-point-free
+// automorphism iff the two trees are isomorphic iff s_A == s_B: with equal
+// side sizes the only balanced edge is (alpha, beta), every automorphism
+// stabilizes the center, and a fixed-point-free one must swap the halves.
+//
+// TreedepthFamily (Section 7.3, Theorem 2.5): two layers of n disjoint paths
+// (V_A^j[i], V_alpha^j[i], V_beta^j[i], V_B^j[i]), an apex u complete to
+// V_alpha, and private matchings f(s_A) between V_A^1, V_A^2 and f(s_B)
+// between V_B^1, V_B^2, where f unranks a permutation (ell = floor(log2 n!)).
+// Lemma 7.3: treedepth 5 when the matchings are equal, >= 6 otherwise.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "src/graph/rooted_tree.hpp"
+#include "src/lowerbounds/framework.hpp"
+
+namespace lcert {
+
+class FpfAutomorphismFamily final : public CcFamily {
+ public:
+  explicit FpfAutomorphismFamily(std::size_t ell);
+
+  std::string name() const override { return "fpf-automorphism-family"; }
+  std::size_t string_length() const override { return ell_; }
+  std::size_t boundary_size() const override { return 2; }
+  CcInstance build(const std::vector<bool>& s_a, const std::vector<bool>& s_b) const override;
+
+  /// Vertices per instance (fixed thanks to padding).
+  std::size_t instance_size() const;
+
+ private:
+  std::size_t ell_;
+};
+
+class TreedepthFamily final : public CcFamily {
+ public:
+  /// `n`: matching size (>= 2). ell = floor(log2(n!)).
+  /// `subdivisions`: the paper's extension to thresholds k > 5 — each corner
+  /// edge (V_A^j[i], V_alpha^j[i]) and (V_beta^j[i], V_B^j[i]) is subdivided
+  /// `subdivisions` times, lengthening the cycles from 8 to 8+4*subdivisions,
+  /// which raises the yes/no treedepth threshold without touching the rest of
+  /// the argument (Section 7.3, final paragraph).
+  explicit TreedepthFamily(std::size_t n, std::size_t subdivisions = 0);
+
+  std::string name() const override { return "treedepth-family"; }
+  std::size_t string_length() const override { return ell_; }
+  /// V_alpha + V_beta + the apex u.
+  std::size_t boundary_size() const override { return 4 * n_ + 1; }
+  CcInstance build(const std::vector<bool>& s_a, const std::vector<bool>& s_b) const override;
+
+  std::size_t matching_size() const noexcept { return n_; }
+  /// 8n + 1 vertices plus 4n per subdivision round.
+  std::size_t instance_size() const noexcept {
+    return 8 * n_ + 1 + 4 * n_ * subdivisions_;
+  }
+
+  /// Treedepth of yes-instances: 1 (apex) + td(C_{8 + 4*subdivisions}).
+  std::size_t yes_treedepth() const noexcept;
+
+  /// The witness elimination tree for a yes-instance (u as the root, an
+  /// optimal model per cycle below); nullopt on no-instances.
+  std::optional<RootedTree> witness_model(const Graph& g) const;
+
+ private:
+  std::size_t n_;
+  std::size_t subdivisions_;
+  std::size_t ell_;
+};
+
+}  // namespace lcert

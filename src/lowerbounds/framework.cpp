@@ -1,0 +1,158 @@
+#include "src/lowerbounds/framework.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "src/cert/engine.hpp"
+
+namespace lcert {
+
+std::vector<Vertex> CcInstance::boundary() const {
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < side.size(); ++v)
+    if (side[v] == CcSide::kAlphaBoundary || side[v] == CcSide::kBetaBoundary)
+      out.push_back(v);
+  return out;
+}
+
+std::vector<Vertex> CcInstance::alice_vertices() const {
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < side.size(); ++v)
+    if (side[v] == CcSide::kAlice || side[v] == CcSide::kAlphaBoundary) out.push_back(v);
+  return out;
+}
+
+std::vector<Vertex> CcInstance::bob_vertices() const {
+  std::vector<Vertex> out;
+  for (Vertex v = 0; v < side.size(); ++v)
+    if (side[v] == CcSide::kBob || side[v] == CcSide::kBetaBoundary) out.push_back(v);
+  return out;
+}
+
+bool check_family_structure(const CcFamily& family, const CcInstance& instance) {
+  const Graph& g = instance.graph;
+  if (instance.side.size() != g.vertex_count()) return false;
+  // Forbidden adjacencies: V_A—V_B, V_A—V_beta, V_alpha—V_B.
+  for (auto [u, v] : g.edges()) {
+    const CcSide a = instance.side[u];
+    const CcSide b = instance.side[v];
+    auto bad = [](CcSide x, CcSide y) {
+      return (x == CcSide::kAlice && (y == CcSide::kBob || y == CcSide::kBetaBoundary)) ||
+             (x == CcSide::kAlphaBoundary && y == CcSide::kBob);
+    };
+    if (bad(a, b) || bad(b, a)) return false;
+  }
+  // Boundary IDs are 1..r.
+  const auto boundary = instance.boundary();
+  if (boundary.size() != family.boundary_size()) return false;
+  std::vector<VertexId> ids;
+  for (Vertex v : boundary) ids.push_back(g.id(v));
+  std::sort(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    if (ids[i] != i + 1) return false;
+  return true;
+}
+
+namespace {
+
+// Degree + sorted neighbor-ID profile of a vertex, keyed by its own ID.
+std::map<VertexId, std::vector<VertexId>> view_profiles(const Graph& g,
+                                                        const std::vector<Vertex>& vertices) {
+  std::map<VertexId, std::vector<VertexId>> out;
+  for (Vertex v : vertices) {
+    std::vector<VertexId> nbrs;
+    for (Vertex w : g.neighbors(v)) nbrs.push_back(g.id(w));
+    std::sort(nbrs.begin(), nbrs.end());
+    out[g.id(v)] = std::move(nbrs);
+  }
+  return out;
+}
+
+}  // namespace
+
+bool alice_views_independent_of_bob(const CcFamily& family, const std::vector<bool>& s_a,
+                                    const std::vector<bool>& x1, const std::vector<bool>& x2) {
+  const CcInstance g1 = family.build(s_a, x1);
+  const CcInstance g2 = family.build(s_a, x2);
+  return view_profiles(g1.graph, g1.alice_vertices()) ==
+         view_profiles(g2.graph, g2.alice_vertices());
+}
+
+std::optional<CutAndPlugResult> cut_and_plug_attack(
+    const Scheme& scheme, const CcFamily& family,
+    const std::vector<std::vector<bool>>& strings) {
+  struct Diagonal {
+    std::vector<Certificate> certs;
+    std::vector<std::pair<VertexId, Certificate>> boundary;  // sorted by ID
+  };
+  std::vector<Diagonal> diagonals(strings.size());
+
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    const CcInstance inst = family.build(strings[i], strings[i]);
+    const auto certs = scheme.assign(inst.graph);
+    if (!certs.has_value())
+      throw std::logic_error("cut_and_plug_attack: prover failed on a diagonal instance");
+    diagonals[i].certs = *certs;
+    for (Vertex v : inst.boundary())
+      diagonals[i].boundary.emplace_back(inst.graph.id(v), (*certs)[v]);
+    std::sort(diagonals[i].boundary.begin(), diagonals[i].boundary.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  for (std::size_t i = 0; i < strings.size(); ++i) {
+    for (std::size_t j = i + 1; j < strings.size(); ++j) {
+      if (diagonals[i].boundary != diagonals[j].boundary) continue;
+      // Boundary collision: splice certificates on the no-instance
+      // G(strings[i], strings[j]). Certificates are carried over by vertex
+      // ID: Alice-side from diagonal i, Bob-side (and boundary) from j —
+      // boundary certs agree anyway.
+      const CcInstance cross = family.build(strings[i], strings[j]);
+      const CcInstance diag_i = family.build(strings[i], strings[i]);
+      const CcInstance diag_j = family.build(strings[j], strings[j]);
+
+      auto certs_by_id = [](const CcInstance& inst, const std::vector<Certificate>& certs) {
+        std::map<VertexId, Certificate> out;
+        for (Vertex v = 0; v < inst.graph.vertex_count(); ++v)
+          out[inst.graph.id(v)] = certs[v];
+        return out;
+      };
+      const auto from_i = certs_by_id(diag_i, diagonals[i].certs);
+      const auto from_j = certs_by_id(diag_j, diagonals[j].certs);
+
+      std::vector<Certificate> forged(cross.graph.vertex_count());
+      for (Vertex v = 0; v < cross.graph.vertex_count(); ++v) {
+        const VertexId id = cross.graph.id(v);
+        const CcSide side = cross.side[v];
+        const bool alice_side =
+            side == CcSide::kAlice || side == CcSide::kAlphaBoundary;
+        const auto& table = alice_side ? from_i : from_j;
+        const auto it = table.find(id);
+        if (it == table.end())
+          throw std::logic_error("cut_and_plug_attack: ID mismatch across instances");
+        forged[v] = it->second;
+      }
+      if (verify_assignment(scheme, cross.graph, forged).all_accept)
+        return CutAndPlugResult{strings[i], strings[j], std::move(forged)};
+      // A collision that fails to splice would contradict Proposition 7.2's
+      // view-independence; surface it loudly.
+      throw std::logic_error("cut_and_plug_attack: boundary collision did not splice");
+    }
+  }
+  return std::nullopt;
+}
+
+std::size_t max_boundary_bits(const Scheme& scheme, const CcFamily& family,
+                              const std::vector<std::vector<bool>>& strings) {
+  std::size_t out = 0;
+  for (const auto& s : strings) {
+    const CcInstance inst = family.build(s, s);
+    const auto certs = scheme.assign(inst.graph);
+    if (!certs.has_value())
+      throw std::logic_error("max_boundary_bits: prover failed on a diagonal instance");
+    for (Vertex v : inst.boundary()) out = std::max(out, (*certs)[v].bit_size);
+  }
+  return out;
+}
+
+}  // namespace lcert

@@ -1,0 +1,83 @@
+// The two-party nondeterministic communication framework of Section 7.1.
+//
+// A family maps string pairs (s_A, s_B) to graphs G(s_A, s_B) whose vertex
+// set splits into V_A | V_alpha | V_beta | V_B such that Alice's private
+// edges touch only V_A and Bob's only V_B, and whose fixed part E_P uses only
+// the five allowed slabs. V_alpha + V_beta (the *boundary*) carry IDs 1..r.
+//
+// Proposition 7.2: if P holds on G(s_A, s_B) iff s_A == s_B, then any scheme
+// for P needs Omega(ell / r) bits, by turning the scheme into an EQUALITY
+// protocol whose certificate is the boundary's certificates.
+//
+// The executable counterpart of that proof is the *cut-and-plug auditor*:
+// honest certificates for G(s,s) and G(s',s') whose boundary restrictions
+// collide splice into a full accepting assignment for the no-instance
+// G(s, s'), because Alice-side views are independent of Bob's string. When
+// certificates are shorter than log2(#strings)/r, the pigeonhole guarantees a
+// collision — the auditor finds it and returns the forged assignment.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cert/scheme.hpp"
+#include "src/graph/graph.hpp"
+
+namespace lcert {
+
+enum class CcSide : std::uint8_t { kAlice, kAlphaBoundary, kBetaBoundary, kBob };
+
+struct CcInstance {
+  Graph graph;
+  std::vector<CcSide> side;  ///< per vertex
+
+  std::vector<Vertex> boundary() const;
+  /// Vertices Alice simulates: V_A + V_alpha.
+  std::vector<Vertex> alice_vertices() const;
+  std::vector<Vertex> bob_vertices() const;
+};
+
+/// A reduction family in the sense of Section 7.1.
+class CcFamily {
+ public:
+  virtual ~CcFamily() = default;
+  virtual std::string name() const = 0;
+  virtual std::size_t string_length() const = 0;  ///< ell
+  virtual std::size_t boundary_size() const = 0;  ///< r
+  virtual CcInstance build(const std::vector<bool>& s_a, const std::vector<bool>& s_b) const = 0;
+};
+
+/// Checks the structural promise of the framework on an instance: no
+/// Alice-side vertex is adjacent to V_B, no Bob-side vertex to V_A, boundary
+/// IDs are 1..r.
+bool check_family_structure(const CcFamily& family, const CcInstance& instance);
+
+/// The heart of Proposition 7.2, as a testable invariant: the radius-1 view
+/// of every Alice-side vertex in G(s_a, x) is the same graph-view for every
+/// x (degrees and neighbor IDs), and symmetrically for Bob.
+bool alice_views_independent_of_bob(const CcFamily& family, const std::vector<bool>& s_a,
+                                    const std::vector<bool>& x1, const std::vector<bool>& x2);
+
+struct CutAndPlugResult {
+  std::vector<bool> s_a, s_b;                ///< the colliding strings
+  std::vector<Certificate> forged;           ///< accepting certs on G(s_a, s_b)
+};
+
+/// Runs the pigeonhole attack over `strings` (pairwise distinct): collects
+/// honest boundary certificates of the diagonal instances G(s, s) and, upon a
+/// boundary collision, splices and returns the forged assignment for the
+/// off-diagonal no-instance (verified accepted before returning). Returns
+/// nullopt if all sampled boundaries are distinct (the scheme's certificates
+/// are too long for the pigeonhole at this sample size).
+std::optional<CutAndPlugResult> cut_and_plug_attack(const Scheme& scheme,
+                                                    const CcFamily& family,
+                                                    const std::vector<std::vector<bool>>& strings);
+
+/// Max boundary certificate bits over the diagonal instances of `strings` —
+/// the quantity Proposition 7.2 lower-bounds by log2(#strings)/r.
+std::size_t max_boundary_bits(const Scheme& scheme, const CcFamily& family,
+                              const std::vector<std::vector<bool>>& strings);
+
+}  // namespace lcert

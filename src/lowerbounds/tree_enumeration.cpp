@@ -1,0 +1,128 @@
+#include "src/lowerbounds/tree_enumeration.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lcert {
+
+namespace {
+
+// T[h][n] = # rooted trees, n vertices, height <= h. T[h] is obtained from
+// T[h-1] by an Euler transform (a tree of height <= h is a root plus a
+// multiset of height <= h-1 subtrees):
+//   M(0) = 1;  m * M(m) = sum_{i=1..m} c(i) * M(m - i),  c(i) = sum_{d|i} d*T[h-1][d]
+//   T[h][n] = M(n - 1).
+std::vector<BigNat> euler_multiset_counts(const std::vector<BigNat>& family,
+                                          std::size_t max_total) {
+  // c(i) = sum over divisors d of i of d * family[d].
+  std::vector<BigNat> c(max_total + 1, BigNat(0));
+  for (std::size_t d = 1; d <= max_total && d < family.size(); ++d) {
+    if (family[d].is_zero()) continue;
+    const BigNat weighted = BigNat(d) * family[d];
+    for (std::size_t i = d; i <= max_total; i += d) c[i] += weighted;
+  }
+  std::vector<BigNat> m(max_total + 1, BigNat(0));
+  m[0] = BigNat(1);
+  for (std::size_t total = 1; total <= max_total; ++total) {
+    BigNat acc(0);
+    for (std::size_t i = 1; i <= total; ++i) acc += c[i] * m[total - i];
+    BigNat q, rem;
+    BigNat::div_mod(acc, BigNat(total), q, rem);
+    if (!rem.is_zero()) throw std::logic_error("euler_multiset_counts: non-integral count");
+    m[total] = std::move(q);
+  }
+  return m;
+}
+
+}  // namespace
+
+BigNat count_rooted_trees(std::size_t n, std::size_t height) {
+  if (n == 0) return BigNat(0);
+  std::vector<BigNat> current(n + 1, BigNat(0));
+  current[1] = BigNat(1);  // height 0: single vertex
+  for (std::size_t h = 1; h <= height; ++h) {
+    const auto multisets = euler_multiset_counts(current, n - 1);
+    std::vector<BigNat> next(n + 1, BigNat(0));
+    for (std::size_t size = 1; size <= n; ++size) next[size] = multisets[size - 1];
+    current = std::move(next);
+  }
+  return current[n];
+}
+
+double log2_tree_count(std::size_t n, std::size_t height) {
+  const BigNat count = count_rooted_trees(n, height);
+  if (count.is_zero()) return -std::numeric_limits<double>::infinity();
+  // log2 via bit length and the top 62 bits.
+  const std::size_t bits = count.bit_length();
+  if (bits <= 62) return std::log2(static_cast<double>(count.to_u64()));
+  std::size_t shift = bits - 62;
+  BigNat shifted = count;
+  std::uint32_t dummy = 0;
+  while (shift > 0) {
+    const std::size_t step = std::min<std::size_t>(shift, 31);
+    shifted = shifted.div_u32(std::uint32_t{1} << step, dummy);
+    shift -= step;
+  }
+  return std::log2(static_cast<double>(shifted.to_u64())) + static_cast<double>(bits - 62);
+}
+
+RootedTree tree_from_string(const std::vector<bool>& s) {
+  // Root with one "broom" child per position i (0-based): a hub attached to
+  // the root carrying i+1 pendant leaves, plus, when s[i] is set, one pendant
+  // path of length 2 (giving height 3). Brooms for distinct (i, s_i) are
+  // pairwise non-isomorphic: the leaf count identifies i, the path marks s_i.
+  std::vector<std::size_t> parent{RootedTree::kNoParent};
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const std::size_t hub = parent.size();
+    parent.push_back(0);
+    for (std::size_t l = 0; l <= i; ++l) parent.push_back(hub);
+    if (s[i]) {
+      const std::size_t mid = parent.size();
+      parent.push_back(hub);
+      parent.push_back(mid);
+    }
+  }
+  return RootedTree(std::move(parent));
+}
+
+std::size_t tree_from_string_size(std::size_t ell) {
+  // 1 (root) + per position: hub + (i+1) leaves + up to 2 path vertices.
+  std::size_t n = 1;
+  for (std::size_t i = 0; i < ell; ++i) n += 2 + i + 2;  // worst case s_i = 1
+  return n;
+}
+
+std::vector<std::size_t> unrank_permutation(const BigNat& rank, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("unrank_permutation: n == 0");
+  // Factorial number system: digit[j] in [0, n-1-j]; digit[n-1] == 0.
+  BigNat rest = rank;
+  std::vector<std::size_t> digit(n, 0);
+  for (std::size_t radix = 2; radix <= n; ++radix) {
+    BigNat q, r;
+    BigNat::div_mod(rest, BigNat(static_cast<std::uint64_t>(radix)), q, r);
+    digit[n - radix] = static_cast<std::size_t>(r.to_u64());
+    rest = std::move(q);
+  }
+  if (!rest.is_zero()) throw std::invalid_argument("unrank_permutation: rank >= n!");
+
+  // Pick the digit-th unused element per position.
+  std::vector<std::size_t> unused(n);
+  for (std::size_t i = 0; i < n; ++i) unused[i] = i;
+  std::vector<std::size_t> perm(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    perm[j] = unused[digit[j]];
+    unused.erase(unused.begin() + static_cast<std::ptrdiff_t>(digit[j]));
+  }
+  return perm;
+}
+
+BigNat bignat_from_bits(const std::vector<bool>& bits) {
+  BigNat out(0);
+  for (bool b : bits) {
+    out *= BigNat(2);
+    if (b) out += BigNat(1);
+  }
+  return out;
+}
+
+}  // namespace lcert

@@ -1,0 +1,44 @@
+// Counting and encoding machinery behind Theorem 2.3.
+//
+// The lower bound needs (a) the *count* of non-isomorphic rooted trees of
+// height <= k on n vertices — [42] shows its logarithm is ~ (pi^2/6) n /
+// log^(k-2) n, which gives the Omega~(n) bound through Proposition 7.2 — and
+// (b) an *injection* from bit strings to such trees to build gadget
+// instances. The count is computed exactly with BigNat via height-stratified
+// Euler transforms; the executable injection is a simpler Theta(sqrt(n))-rate
+// encoding (index-marked brooms), which suffices for the gadget: the bound
+// curve in the bench uses the exact count, the instances only need
+// injectivity (see DESIGN.md §5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/graph/rooted_tree.hpp"
+#include "src/util/bignum.hpp"
+
+namespace lcert {
+
+/// Number of non-isomorphic rooted trees with exactly `n` vertices and height
+/// (edge count on a root-leaf path) at most `height`.
+BigNat count_rooted_trees(std::size_t n, std::size_t height);
+
+/// log2(count) as a double (for bound curves).
+double log2_tree_count(std::size_t n, std::size_t height);
+
+/// Injective map from bit strings to rooted trees of height <= 3. Trees for
+/// distinct strings are non-isomorphic. Vertex count is 1 + sum_i (2 + i + s_i).
+RootedTree tree_from_string(const std::vector<bool>& s);
+
+/// Number of vertices tree_from_string produces for strings of length ell.
+std::size_t tree_from_string_size(std::size_t ell);
+
+/// Unranks a permutation of {0..n-1} in the factorial number system;
+/// rank must be < n!. Injective: distinct ranks give distinct permutations.
+/// Used by the Theorem 2.5 gadget (strings -> matchings).
+std::vector<std::size_t> unrank_permutation(const BigNat& rank, std::size_t n);
+
+/// Packs a bit string into a BigNat (MSB first).
+BigNat bignat_from_bits(const std::vector<bool>& bits);
+
+}  // namespace lcert

@@ -1,0 +1,149 @@
+#include "src/schemes/automorphism_scheme.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "src/graph/tree_iso.hpp"
+
+namespace lcert {
+
+namespace {
+
+// Shared certificate: the tree's full edge list (IDs) and sigma as a pair
+// table. Trees make the description Theta(n log n) bits instead of n^2.
+struct FpfCert {
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::vector<std::pair<VertexId, VertexId>> sigma;
+
+  void encode(BitWriter& w) const {
+    w.write_varnat(edges.size());
+    for (auto [a, b] : edges) {
+      w.write_varnat(a);
+      w.write_varnat(b);
+    }
+    w.write_varnat(sigma.size());
+    for (auto [a, b] : sigma) {
+      w.write_varnat(a);
+      w.write_varnat(b);
+    }
+  }
+
+  static std::optional<FpfCert> decode(BitReader& r) {
+    FpfCert c;
+    const std::uint64_t m = r.read_varnat();
+    if (m > 1000000) return std::nullopt;
+    c.edges.resize(m);
+    for (auto& [a, b] : c.edges) {
+      a = r.read_varnat();
+      b = r.read_varnat();
+    }
+    const std::uint64_t n = r.read_varnat();
+    if (n > 1000000) return std::nullopt;
+    c.sigma.resize(n);
+    for (auto& [a, b] : c.sigma) {
+      a = r.read_varnat();
+      b = r.read_varnat();
+    }
+    return c;
+  }
+};
+
+bool is_tree_promise(const Graph& g) {
+  return g.vertex_count() >= 1 && g.edge_count() == g.vertex_count() - 1 && g.is_connected();
+}
+
+}  // namespace
+
+bool FpfAutomorphismScheme::holds(const Graph& g) const {
+  if (!is_tree_promise(g))
+    throw std::invalid_argument(name() + ": instance outside the tree promise");
+  return has_fixed_point_free_automorphism(g);
+}
+
+std::optional<std::vector<Certificate>> FpfAutomorphismScheme::assign(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  const auto sigma = fixed_point_free_automorphism(g);
+  FpfCert cert;
+  for (auto [u, v] : g.edges()) cert.edges.emplace_back(g.id(u), g.id(v));
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    cert.sigma.emplace_back(g.id(v), g.id(sigma[v]));
+  BitWriter w;
+  cert.encode(w);
+  const Certificate shared = Certificate::from_writer(w);
+  return std::vector<Certificate>(g.vertex_count(), shared);
+}
+
+bool FpfAutomorphismScheme::verify(const View& view) const {
+  for (const auto& nb : view.neighbors)
+    if (!(nb.certificate == view.certificate)) return false;
+
+  BitReader r = view.certificate.reader();
+  const auto c = FpfCert::decode(r);
+  if (!c.has_value()) return false;
+  const std::size_t n = c->sigma.size();
+  if (c->edges.size() + 1 != n) return false;  // a tree on n vertices
+
+  // sigma: a fixed-point-free involution-free... just a permutation with no
+  // fixed points over exactly the described vertex set.
+  std::unordered_map<VertexId, VertexId> sigma;
+  std::unordered_set<VertexId> domain, range;
+  for (auto [a, b] : c->sigma) {
+    if (a == b) return false;                          // fixed point
+    if (!sigma.emplace(a, b).second) return false;     // duplicate domain entry
+    domain.insert(a);
+    if (!range.insert(b).second) return false;         // not injective
+  }
+  if (domain != range) return false;                   // not a permutation of the set
+
+  // Described edges live on the described vertex set; collect adjacency.
+  std::unordered_map<VertexId, std::vector<VertexId>> adj;
+  std::unordered_set<std::uint64_t> edge_keys;
+  std::unordered_map<VertexId, std::size_t> index;
+  {
+    std::size_t next = 0;
+    for (VertexId id : domain) index[id] = next++;
+  }
+  for (auto [a, b] : c->edges) {
+    if (a == b || !domain.count(a) || !domain.count(b)) return false;
+    std::uint64_t key = std::min(index[a], index[b]) * n + std::max(index[a], index[b]);
+    if (!edge_keys.insert(key).second) return false;  // duplicate edge
+    adj[a].push_back(b);
+    adj[b].push_back(a);
+  }
+
+  // Our own described row must equal our actual neighborhood.
+  if (!domain.count(view.id)) return false;
+  std::vector<VertexId> described = adj[view.id];
+  std::vector<VertexId> actual;
+  for (const auto& nb : view.neighbors) actual.push_back(nb.id);
+  std::sort(described.begin(), described.end());
+  std::sort(actual.begin(), actual.end());
+  if (described != actual) return false;
+
+  // Described tree must be connected (n vertices, n-1 edges, connected =>
+  // tree; connectivity also rules out phantom components).
+  {
+    std::unordered_set<VertexId> seen;
+    std::vector<VertexId> stack{view.id};
+    seen.insert(view.id);
+    while (!stack.empty()) {
+      const VertexId x = stack.back();
+      stack.pop_back();
+      for (VertexId y : adj[x])
+        if (seen.insert(y).second) stack.push_back(y);
+    }
+    if (seen.size() != n) return false;
+  }
+
+  // sigma preserves described edges.
+  for (auto [a, b] : c->edges) {
+    const VertexId sa = sigma[a];
+    const VertexId sb = sigma[b];
+    const auto& row = adj[sa];
+    if (std::find(row.begin(), row.end(), sb) == row.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace lcert

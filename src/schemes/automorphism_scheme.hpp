@@ -1,0 +1,33 @@
+// Upper bound matching Theorem 2.3: certifying that a tree has a
+// fixed-point-free automorphism with O(n log n)-bit certificates.
+//
+// Theorem 2.3 proves an Omega~(n) lower bound; this scheme shows the
+// essentially matching upper bound, so the bench can display the sandwich.
+// Every tree automorphism stabilizes the center, so a fixed-point-free one
+// exists iff the center is an edge whose halves are isomorphic; the prover
+// publishes the automorphism sigma as an ID-pair table (the full description,
+// Theta(n log n) bits), every vertex checks the table is everywhere
+// fixed-point-free and an involution-consistent permutation of the IDs it can
+// see, and checks edge preservation for its own edges: sigma(v)'s neighbors
+// must match sigma applied to v's neighbors. The latter needs sigma(v)'s
+// neighborhood, which is included per-vertex (its *image row*).
+//
+// Promise model: instances are trees, as in Theorem 2.3.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/cert/scheme.hpp"
+
+namespace lcert {
+
+class FpfAutomorphismScheme final : public Scheme {
+ public:
+  std::string name() const override { return "fpf-automorphism"; }
+  bool holds(const Graph& g) const override;
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  bool verify(const View& view) const override;
+};
+
+}  // namespace lcert

@@ -1,0 +1,168 @@
+#include "src/schemes/depth2_fo.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "src/graph/generators.hpp"
+#include "src/logic/eval.hpp"
+#include "src/logic/metrics.hpp"
+#include "src/schemes/spanning_tree.hpp"
+
+namespace lcert {
+
+namespace {
+
+// Claimed predicate bits plus the evidence backing them:
+//  - the count tree certifies n, which decides P1 outright;
+//  - P2 (clique) claimed true is checked by everyone (degree == n-1);
+//    claimed false is backed by a tree rooted at a *deficient* vertex;
+//  - P3 (dominating vertex) claimed true is backed by a tree rooted at a
+//    dominator; claimed false is checked by everyone (degree < n-1).
+struct Depth2Cert {
+  bool p2 = false, p3 = false;
+  SpanningTreeCert count_tree;
+  SpanningTreeCert deficient_tree;  // present iff !p2
+  SpanningTreeCert dominator_tree;  // present iff p3
+
+  void encode(BitWriter& w) const {
+    w.write_bit(p2);
+    w.write_bit(p3);
+    count_tree.encode(w);
+    if (!p2) deficient_tree.encode(w);
+    if (p3) dominator_tree.encode(w);
+  }
+
+  static Depth2Cert decode(BitReader& r) {
+    Depth2Cert c;
+    c.p2 = r.read_bit();
+    c.p3 = r.read_bit();
+    c.count_tree = SpanningTreeCert::decode(r);
+    if (!c.p2) c.deficient_tree = SpanningTreeCert::decode(r);
+    if (c.p3) c.dominator_tree = SpanningTreeCert::decode(r);
+    return c;
+  }
+};
+
+bool is_clique(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  return g.edge_count() == n * (n - 1) / 2;
+}
+
+bool has_dominator(const Graph& g) {
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    if (g.degree(v) == g.vertex_count() - 1) return true;
+  return false;
+}
+
+}  // namespace
+
+std::size_t Depth2FoScheme::class_index(bool p1, bool p2, bool p3) {
+  if (p1) return 0;  // (1,1,1): K_1
+  if (p2) return 1;  // (0,1,1): clique with n >= 2
+  if (p3) return 2;  // (0,0,1): dominated non-clique
+  return 3;          // (0,0,0)
+}
+
+Depth2FoScheme::Depth2FoScheme(Formula phi) : phi_(std::move(phi)) {
+  if (!is_sentence(phi_) || uses_set_quantifiers(phi_))
+    throw std::invalid_argument("Depth2FoScheme: expected an FO sentence");
+  if (quantifier_depth(phi_) > 2)
+    throw std::invalid_argument("Depth2FoScheme: quantifier depth must be <= 2");
+  // Pin down the truth table on one representative per realizable class;
+  // Lemma A.3 guarantees depth-2 sentences cannot distinguish within a class
+  // (audited against random graphs by the tests).
+  table_[0] = evaluate(Graph(1, {}), phi_);      // K_1
+  table_[1] = evaluate(make_complete(3), phi_);  // clique
+  table_[2] = evaluate(make_star(4), phi_);      // dominated non-clique
+  table_[3] = evaluate(make_path(4), phi_);      // neither
+}
+
+bool Depth2FoScheme::holds(const Graph& g) const {
+  const bool p1 = g.vertex_count() <= 1;
+  return table_[class_index(p1, is_clique(g), has_dominator(g))];
+}
+
+std::optional<std::vector<Certificate>> Depth2FoScheme::assign(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  const std::size_t n = g.vertex_count();
+  Depth2Cert base;
+  base.p2 = is_clique(g);
+  base.p3 = has_dominator(g);
+
+  const auto count_fields = build_spanning_tree_cert(g, 0);
+  std::vector<SpanningTreeCert> deficient_fields, dominator_fields;
+  if (!base.p2) {
+    for (Vertex v = 0; v < n; ++v)
+      if (g.degree(v) != n - 1) {
+        deficient_fields = build_spanning_tree_cert(g, v);
+        break;
+      }
+  }
+  if (base.p3) {
+    for (Vertex v = 0; v < n; ++v)
+      if (g.degree(v) == n - 1) {
+        dominator_fields = build_spanning_tree_cert(g, v);
+        break;
+      }
+  }
+
+  std::vector<Certificate> out(n);
+  for (Vertex v = 0; v < n; ++v) {
+    Depth2Cert mine = base;
+    mine.count_tree = count_fields[v];
+    if (!base.p2) mine.deficient_tree = deficient_fields[v];
+    if (base.p3) mine.dominator_tree = dominator_fields[v];
+    BitWriter w;
+    mine.encode(w);
+    out[v] = Certificate::from_writer(w);
+  }
+  return out;
+}
+
+bool Depth2FoScheme::verify(const View& view) const {
+  BitReader r = view.certificate.reader();
+  const Depth2Cert mine = Depth2Cert::decode(r);
+  std::vector<Depth2Cert> nbs;
+  for (const auto& nb : view.neighbors) {
+    BitReader nr = nb.certificate.reader();
+    Depth2Cert c = Depth2Cert::decode(nr);
+    if (c.p2 != mine.p2 || c.p3 != mine.p3) return false;
+    nbs.push_back(c);
+  }
+
+  // Certified count (decides P1).
+  std::vector<SpanningTreeCert> count_fields;
+  for (const auto& nb : nbs) count_fields.push_back(nb.count_tree);
+  if (!check_spanning_tree_fields(view, mine.count_tree, count_fields, /*check_total=*/true))
+    return false;
+  const std::uint64_t n = mine.count_tree.claimed_total;
+  const bool p1 = (n <= 1);
+
+  // Class consistency over connected graphs: P1 -> P2,P3; (P2 & n>=2) -> P3.
+  if (p1 && (!mine.p2 || !mine.p3)) return false;
+  if (mine.p2 && n >= 2 && !mine.p3) return false;
+
+  // P2 claimed true: everyone is adjacent to everyone.
+  if (mine.p2 && view.degree() != n - 1) return false;
+  // P2 claimed false: certified tree rooted at a vertex that checks its own
+  // deficiency.
+  if (!mine.p2) {
+    std::vector<SpanningTreeCert> fields;
+    for (const auto& nb : nbs) fields.push_back(nb.deficient_tree);
+    if (!check_spanning_tree_fields(view, mine.deficient_tree, fields, false)) return false;
+    if (mine.deficient_tree.root_id == view.id && view.degree() == n - 1) return false;
+  }
+  // P3 claimed true: tree rooted at a vertex that checks it dominates.
+  if (mine.p3) {
+    std::vector<SpanningTreeCert> fields;
+    for (const auto& nb : nbs) fields.push_back(nb.dominator_tree);
+    if (!check_spanning_tree_fields(view, mine.dominator_tree, fields, false)) return false;
+    if (mine.dominator_tree.root_id == view.id && view.degree() != n - 1) return false;
+  }
+  // P3 claimed false: nobody dominates.
+  if (!mine.p3 && view.degree() == n - 1 && n >= 2) return false;
+
+  return table_[class_index(p1, mine.p2, mine.p3)];
+}
+
+}  // namespace lcert

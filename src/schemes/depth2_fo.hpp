@@ -1,0 +1,50 @@
+// Lemma A.3: FO sentences of quantifier depth <= 2 have O(log n)-bit
+// certifications.
+//
+// The proof shows any such sentence is, over connected graphs, semantically a
+// boolean combination of three base predicates:
+//   P1 "the graph has at most one vertex",
+//   P2 "the graph is a clique",
+//   P3 "the graph has a dominating vertex".
+// Only four predicate valuations are realizable by connected graphs —
+// (1,1,1), (0,1,1), (0,0,1), (0,0,0) — so the combination is pinned down by
+// evaluating phi on one representative per class (K_1, K_3, K_{1,3}, P_4);
+// the EF-equivalence behind this collapse is what the tests audit.
+//
+// Certification: the certified vertex count (Prop 3.4) plus the claimed
+// predicate bits; positive/negative evidence per bit is degree-based (P2:
+// every degree == n-1; ~P2: a certified spanning tree rooted at a deficient
+// vertex; P3: a tree rooted at a dominating vertex; ~P3: every degree < n-1).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "src/cert/scheme.hpp"
+#include "src/logic/ast.hpp"
+
+namespace lcert {
+
+class Depth2FoScheme final : public Scheme {
+ public:
+  /// `phi` must be an FO sentence of quantifier depth <= 2.
+  explicit Depth2FoScheme(Formula phi);
+
+  std::string name() const override { return "depth2-fo"; }
+  bool holds(const Graph& g) const override;
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  bool verify(const View& view) const override;
+
+  /// The truth table of phi over the four realizable predicate classes, in
+  /// the order (1,1,1), (0,1,1), (0,0,1), (0,0,0). Exposed for tests.
+  const std::array<bool, 4>& truth_table() const noexcept { return table_; }
+
+ private:
+  static std::size_t class_index(bool p1, bool p2, bool p3);
+
+  Formula phi_;
+  std::array<bool, 4> table_;
+};
+
+}  // namespace lcert

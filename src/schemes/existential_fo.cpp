@@ -1,0 +1,239 @@
+#include "src/schemes/existential_fo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/logic/eval.hpp"
+#include "src/schemes/spanning_tree.hpp"
+
+namespace lcert {
+
+namespace {
+
+std::size_t tri_index(std::size_t i, std::size_t j, std::size_t k) {
+  if (i > j) std::swap(i, j);
+  return i * k - i * (i + 1) / 2 + (j - i - 1);
+}
+
+struct ExistentialCert {
+  std::vector<VertexId> witness_ids;
+  std::vector<bool> matrix;                 // upper triangle over witnesses
+  std::vector<SpanningTreeCert> trees;      // one per witness
+
+  void encode(BitWriter& w) const {
+    w.write_varnat(witness_ids.size());
+    for (VertexId id : witness_ids) w.write_varnat(id);
+    for (bool b : matrix) w.write_bit(b);
+    for (const auto& t : trees) t.encode(w);
+  }
+
+  static std::optional<ExistentialCert> decode(BitReader& r) {
+    ExistentialCert c;
+    const std::uint64_t k = r.read_varnat();
+    if (k == 0 || k > 64) return std::nullopt;
+    c.witness_ids.resize(k);
+    for (auto& id : c.witness_ids) id = r.read_varnat();
+    c.matrix.resize(k * (k - 1) / 2);
+    for (std::size_t i = 0; i < c.matrix.size(); ++i) c.matrix[i] = r.read_bit();
+    c.trees.resize(k);
+    for (auto& t : c.trees) t = SpanningTreeCert::decode(r);
+    return c;
+  }
+};
+
+}  // namespace
+
+ExistentialFoScheme::ExistentialFoScheme(Formula phi)
+    : phi_(std::move(phi)), prenex_(prenex_existential(phi_)) {
+  if (prenex_.variables.empty())
+    throw std::invalid_argument("ExistentialFoScheme: sentence has no quantifier");
+}
+
+bool ExistentialFoScheme::holds(const Graph& g) const { return evaluate(g, phi_); }
+
+bool ExistentialFoScheme::eval_matrix(const std::vector<VertexId>& witness_ids,
+                                      const std::vector<bool>& adjacency) const {
+  const std::size_t k = witness_ids.size();
+  std::unordered_map<std::string, std::size_t> index;
+  for (std::size_t i = 0; i < k; ++i) index[prenex_.variables[i]] = i;
+
+  struct MatrixEval {
+    const std::vector<VertexId>& ids;
+    const std::vector<bool>& adj;
+    const std::unordered_map<std::string, std::size_t>& index;
+
+    std::size_t var(const std::string& name) const {
+      auto it = index.find(name);
+      if (it == index.end())
+        throw std::logic_error("ExistentialFoScheme: unbound matrix variable " + name);
+      return it->second;
+    }
+
+    bool run(const FormulaNode& n) const {
+      switch (n.kind) {
+        case FormulaKind::kEqual:
+          return ids[var(n.var_a)] == ids[var(n.var_b)];
+        case FormulaKind::kAdjacent: {
+          const std::size_t i = var(n.var_a);
+          const std::size_t j = var(n.var_b);
+          if (ids[i] == ids[j]) return false;  // same vertex, no loops
+          return adj[tri_index(i, j, ids.size())];
+        }
+        case FormulaKind::kNot:
+          return !run(*n.child_a);
+        case FormulaKind::kAnd:
+          return run(*n.child_a) && run(*n.child_b);
+        case FormulaKind::kOr:
+          return run(*n.child_a) || run(*n.child_b);
+        default:
+          throw std::logic_error("ExistentialFoScheme: quantifier in matrix");
+      }
+    }
+  };
+  return MatrixEval{witness_ids, adjacency, index}.run(prenex_.matrix.node());
+}
+
+std::optional<std::vector<Certificate>> ExistentialFoScheme::assign(const Graph& g) const {
+  const std::size_t k = prenex_.variables.size();
+  const std::size_t n = g.vertex_count();
+
+  // Backtracking witness search with three-valued pruning: a partial tuple
+  // whose matrix already evaluates to false (under "unknown" for unbound
+  // variables) is abandoned — without this, sentences with k >= 3 witnesses
+  // degenerate to blind n^k descent.
+  enum class Tri { kFalse, kTrue, kUnknown };
+  std::vector<Vertex> witnesses(k, 0);
+  Environment env;
+  auto partial = [&](auto&& self, const FormulaNode& node) -> Tri {
+    auto lookup = [&](const std::string& name) -> std::optional<Vertex> {
+      auto it = env.vertex_vars.find(name);
+      if (it == env.vertex_vars.end()) return std::nullopt;
+      return it->second;
+    };
+    switch (node.kind) {
+      case FormulaKind::kEqual: {
+        const auto a = lookup(node.var_a), b = lookup(node.var_b);
+        if (!a || !b) return Tri::kUnknown;
+        return *a == *b ? Tri::kTrue : Tri::kFalse;
+      }
+      case FormulaKind::kAdjacent: {
+        const auto a = lookup(node.var_a), b = lookup(node.var_b);
+        if (!a || !b) return Tri::kUnknown;
+        return g.has_edge(*a, *b) ? Tri::kTrue : Tri::kFalse;
+      }
+      case FormulaKind::kNot: {
+        const Tri inner = self(self, *node.child_a);
+        if (inner == Tri::kUnknown) return Tri::kUnknown;
+        return inner == Tri::kTrue ? Tri::kFalse : Tri::kTrue;
+      }
+      case FormulaKind::kAnd: {
+        const Tri a = self(self, *node.child_a);
+        if (a == Tri::kFalse) return Tri::kFalse;
+        const Tri b = self(self, *node.child_b);
+        if (b == Tri::kFalse) return Tri::kFalse;
+        return (a == Tri::kTrue && b == Tri::kTrue) ? Tri::kTrue : Tri::kUnknown;
+      }
+      case FormulaKind::kOr: {
+        const Tri a = self(self, *node.child_a);
+        if (a == Tri::kTrue) return Tri::kTrue;
+        const Tri b = self(self, *node.child_b);
+        if (b == Tri::kTrue) return Tri::kTrue;
+        return (a == Tri::kFalse && b == Tri::kFalse) ? Tri::kFalse : Tri::kUnknown;
+      }
+      default:
+        throw std::logic_error("ExistentialFoScheme: quantifier in matrix");
+    }
+  };
+  auto search = [&](auto&& self, std::size_t level) -> bool {
+    if (partial(partial, prenex_.matrix.node()) == Tri::kFalse) return false;
+    if (level == k) return evaluate(g, prenex_.matrix, env);
+    for (Vertex v = 0; v < n; ++v) {
+      witnesses[level] = v;
+      env.vertex_vars[prenex_.variables[level]] = v;
+      if (self(self, level + 1)) return true;
+      env.vertex_vars.erase(prenex_.variables[level]);
+    }
+    return false;
+  };
+  if (!search(search, 0)) return std::nullopt;
+
+  ExistentialCert cert;
+  cert.witness_ids.resize(k);
+  for (std::size_t i = 0; i < k; ++i) cert.witness_ids[i] = g.id(witnesses[i]);
+  cert.matrix.assign(k * (k - 1) / 2, false);
+  for (std::size_t i = 0; i < k; ++i)
+    for (std::size_t j = i + 1; j < k; ++j)
+      if (witnesses[i] != witnesses[j] && g.has_edge(witnesses[i], witnesses[j]))
+        cert.matrix[tri_index(i, j, k)] = true;
+
+  std::vector<std::vector<SpanningTreeCert>> trees(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    trees[i] = build_spanning_tree_cert(g, witnesses[i]);
+    // The total field is unused here; pin it so that no certificate bit is
+    // unchecked by the verifier.
+    for (auto& f : trees[i]) f.claimed_total = 0;
+  }
+
+  std::vector<Certificate> out(n);
+  for (Vertex v = 0; v < n; ++v) {
+    ExistentialCert mine = cert;
+    mine.trees.resize(k);
+    for (std::size_t i = 0; i < k; ++i) mine.trees[i] = trees[i][v];
+    BitWriter w;
+    mine.encode(w);
+    out[v] = Certificate::from_writer(w);
+  }
+  return out;
+}
+
+bool ExistentialFoScheme::verify(const View& view) const {
+  BitReader r = view.certificate.reader();
+  const auto mine = ExistentialCert::decode(r);
+  if (!mine.has_value()) return false;
+  const std::size_t k = prenex_.variables.size();
+  if (mine->witness_ids.size() != k) return false;
+
+  std::vector<ExistentialCert> nbs;
+  for (const auto& nb : view.neighbors) {
+    BitReader nr = nb.certificate.reader();
+    auto c = ExistentialCert::decode(nr);
+    if (!c.has_value()) return false;
+    // Agreement on witnesses and matrix.
+    if (c->witness_ids != mine->witness_ids || c->matrix != mine->matrix) return false;
+    nbs.push_back(std::move(*c));
+  }
+
+  // Spanning tree i proves witness i exists.
+  for (std::size_t i = 0; i < k; ++i) {
+    if (mine->trees[i].root_id != mine->witness_ids[i]) return false;
+    if (mine->trees[i].claimed_total != 0) return false;
+    std::vector<SpanningTreeCert> neighbor_fields;
+    neighbor_fields.reserve(nbs.size());
+    for (const auto& nb : nbs) neighbor_fields.push_back(nb.trees[i]);
+    if (!check_spanning_tree_fields(view, mine->trees[i], neighbor_fields,
+                                    /*check_total=*/false))
+      return false;
+  }
+
+  // If we are a witness, audit our matrix row.
+  for (std::size_t i = 0; i < k; ++i) {
+    if (mine->witness_ids[i] != view.id) continue;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (j == i) continue;
+      const bool claimed = mine->witness_ids[j] != view.id &&
+                           mine->matrix[tri_index(i, j, k)];
+      const bool actual = view.has_neighbor_id(mine->witness_ids[j]);
+      if (mine->witness_ids[j] == view.id) {
+        if (mine->matrix[tri_index(i, j, k)]) return false;  // self-loop claim
+      } else if (claimed != actual) {
+        return false;
+      }
+    }
+  }
+
+  // The quantifier-free matrix must hold under the claimed witnesses.
+  return eval_matrix(mine->witness_ids, mine->matrix);
+}
+
+}  // namespace lcert

@@ -1,0 +1,43 @@
+// Lemma A.2: existential FO sentences with k quantifiers have O(k log n)-bit
+// certifications.
+//
+// The prover exhibits witnesses v_1..v_k: every vertex receives the witness
+// ID list, the k x k adjacency matrix of the witnesses, and k spanning-tree
+// certifications, the i-th rooted at v_i. Verification: neighbors agree on
+// the list and matrix; the spanning trees prove each witness exists; each
+// witness v_i checks row i of the matrix against its actual neighborhood;
+// every vertex evaluates the quantifier-free matrix formula on (IDs, matrix).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/cert/scheme.hpp"
+#include "src/logic/ast.hpp"
+#include "src/logic/metrics.hpp"
+
+namespace lcert {
+
+class ExistentialFoScheme final : public Scheme {
+ public:
+  /// `phi` must be an existential FO sentence (checked at construction).
+  explicit ExistentialFoScheme(Formula phi);
+
+  std::string name() const override { return "existential-fo"; }
+  bool holds(const Graph& g) const override;
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  bool verify(const View& view) const override;
+
+  std::size_t witness_count() const noexcept { return prenex_.variables.size(); }
+
+ private:
+  /// Evaluates the quantifier-free matrix under a witness assignment given by
+  /// IDs and the adjacency matrix (no graph access).
+  bool eval_matrix(const std::vector<VertexId>& witness_ids,
+                   const std::vector<bool>& adjacency) const;
+
+  Formula phi_;
+  PrenexExistential prenex_;
+};
+
+}  // namespace lcert

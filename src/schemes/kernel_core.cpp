@@ -1,0 +1,142 @@
+#include "src/schemes/kernel_core.hpp"
+
+#include <map>
+
+#include "src/kernel/types.hpp"
+#include "src/schemes/treedepth_core.hpp"
+
+namespace lcert {
+
+namespace {
+
+struct KernelCert {
+  TdCore core;
+  std::vector<bool> pruned;   ///< index-parallel to core.list
+  std::vector<TypeId> types;  ///< ids in a verification-local interner
+
+  std::size_t depth() const { return core.depth(); }
+  std::size_t index_of_depth(std::size_t q) const { return depth() - q; }
+};
+
+std::optional<KernelCert> decode_kernel_cert(BitReader& r, TypeInterner& interner) {
+  KernelCert c;
+  auto core = TdCore::decode(r);
+  if (!core.has_value()) return std::nullopt;
+  c.core = std::move(*core);
+  const std::size_t len = c.core.list.size();
+  c.pruned.resize(len);
+  for (std::size_t i = 0; i < len; ++i) c.pruned[i] = r.read_bit();
+  c.types.resize(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    const auto id = interner.deserialize(r);
+    if (!id.has_value()) return std::nullopt;
+    c.types[i] = *id;
+  }
+  return c;
+}
+
+}  // namespace
+
+std::vector<Certificate> build_kernel_core_certs(const Graph& g, const RootedTree& model,
+                                                 const Kernelization& kz) {
+  const auto cores = build_td_cores(g, model);
+  std::vector<Certificate> out(g.vertex_count());
+  for (Vertex u = 0; u < g.vertex_count(); ++u) {
+    BitWriter w;
+    cores[u].encode(w);
+    for (std::size_t a : model.ancestors(u)) w.write_bit(kz.pruned[a]);
+    for (std::size_t a : model.ancestors(u)) kz.interner.serialize(kz.end_type[a], w);
+    out[u] = Certificate::from_writer(w);
+  }
+  return out;
+}
+
+bool verify_kernel_core(const View& view, std::size_t t, std::size_t k,
+                        const KernelPredicateFn& predicate) {
+  TypeInterner interner;  // verification-local; TypeIds comparable within it
+
+  BitReader r = view.certificate.reader();
+  const auto mine_opt = decode_kernel_cert(r, interner);
+  if (!mine_opt.has_value()) return false;
+  const KernelCert& mine = *mine_opt;
+  const std::size_t d = mine.depth();
+
+  std::vector<KernelCert> nbs;
+  std::vector<TdCore> nb_cores;
+  nbs.reserve(view.neighbors.size());
+  for (const auto& nb : view.neighbors) {
+    BitReader nr = nb.certificate.reader();
+    auto c = decode_kernel_cert(nr, interner);
+    if (!c.has_value()) return false;
+    nb_cores.push_back(c->core);
+    nbs.push_back(std::move(*c));
+  }
+
+  // The Theorem 2.4 layer: lists and fragments describe a real coherent model.
+  if (!verify_td_core(view, mine.core, nb_cores, t)) return false;
+
+  // Cross-check flags and end types on shared ancestors.
+  for (const auto& nb : nbs) {
+    const std::size_t shared = std::min(d, nb.depth());
+    for (std::size_t q = 0; q <= shared; ++q) {
+      if (nb.pruned[nb.index_of_depth(q)] != mine.pruned[mine.index_of_depth(q)]) return false;
+      if (nb.types[nb.index_of_depth(q)] != mine.types[mine.index_of_depth(q)]) return false;
+    }
+  }
+
+  // Own end type: ancestor vector must match the actual adjacency pattern.
+  const TypeDef& my_def = interner.def(mine.types[0]);
+  if (my_def.ancestor_vector.size() != d) return false;
+  for (std::size_t q = 0; q < d; ++q) {
+    const VertexId ancestor_id = mine.core.list[mine.index_of_depth(q)];
+    if (my_def.ancestor_vector[q] != view.has_neighbor_id(ancestor_id)) return false;
+  }
+
+  // Children census: coherence (certified above) guarantees every child
+  // subtree exposes a neighbor, so grouping deeper neighbors by the ancestor
+  // at depth d+1 enumerates our children exactly.
+  std::map<VertexId, std::pair<TypeId, bool>> children;
+  for (const auto& nb : nbs) {
+    if (nb.depth() <= d) continue;
+    const std::size_t idx = nb.index_of_depth(d + 1);
+    const VertexId child_id = nb.core.list[idx];
+    const auto claim = std::pair{nb.types[idx], static_cast<bool>(nb.pruned[idx])};
+    auto [it, inserted] = children.emplace(child_id, claim);
+    if (!inserted && it->second != claim) return false;
+  }
+
+  std::map<TypeId, std::size_t> kept_counts;
+  std::map<TypeId, bool> pruned_types;
+  for (const auto& [id, claim] : children) {
+    if (claim.second)
+      pruned_types[claim.first] = true;
+    else
+      ++kept_counts[claim.first];
+  }
+  for (const auto& [type, count] : kept_counts)
+    if (count > k) return false;  // a pruning was missed
+  for (const auto& [type, flag] : pruned_types) {
+    (void)flag;
+    auto it = kept_counts.find(type);
+    if (it == kept_counts.end() || it->second != k) return false;  // Lemma 6.1
+  }
+  std::map<TypeId, std::size_t> claimed;
+  for (const auto& [child, mult] : my_def.children) claimed[child] = mult;
+  if (claimed != kept_counts) return false;
+
+  // Root duties: never pruned; the kernel (== root's end type) satisfies the
+  // property.
+  if (d == 0) {
+    if (mine.pruned[0]) return false;
+    Graph kernel;
+    try {
+      kernel = realize_type(interner, mine.types[0]);
+    } catch (const std::exception&) {
+      return false;
+    }
+    if (!predicate(kernel)) return false;
+  }
+  return true;
+}
+
+}  // namespace lcert

@@ -1,0 +1,35 @@
+// Reusable core of the Theorem 2.6 certificate, shared by KernelMsoScheme and
+// the per-block layer of the C_t-minor-free scheme (Corollary 2.7).
+//
+// One "kernel core" certificate = Theorem 2.4 core (ancestor list + fragments)
+// + per-ancestor pruned flags + per-ancestor self-describing end types. The
+// verifier checks the whole Section 6.4 battery against a View; the caller
+// decides which vertices participate (the whole graph, or one block).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/cert/scheme.hpp"
+#include "src/graph/graph.hpp"
+#include "src/graph/rooted_tree.hpp"
+#include "src/kernel/reduce.hpp"
+
+namespace lcert {
+
+using KernelPredicateFn = std::function<bool(const Graph&)>;
+
+/// Prover side: per-vertex certificates for graph g with coherent model and a
+/// k-reduction of it.
+std::vector<Certificate> build_kernel_core_certs(const Graph& g, const RootedTree& model,
+                                                 const Kernelization& kz);
+
+/// Verifier side: the full Section 6.4 check at one vertex. `t` bounds the
+/// model depth, `k` is the reduction threshold; at the model root, `predicate`
+/// is evaluated on the realized kernel. The view's certificates must be
+/// kernel-core certificates (possibly extracted from a larger stream).
+bool verify_kernel_core(const View& view, std::size_t t, std::size_t k,
+                        const KernelPredicateFn& predicate);
+
+}  // namespace lcert

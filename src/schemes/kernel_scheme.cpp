@@ -1,0 +1,80 @@
+#include "src/schemes/kernel_scheme.hpp"
+
+#include <stdexcept>
+
+#include "src/kernel/reduce.hpp"
+#include "src/logic/eval.hpp"
+#include "src/schemes/kernel_core.hpp"
+#include "src/treedepth/elimination.hpp"
+#include "src/treedepth/exact.hpp"
+#include "src/treedepth/heuristic.hpp"
+
+namespace lcert {
+
+KernelMsoScheme::KernelMsoScheme(Formula phi, std::size_t t, std::size_t reduction_k,
+                                 WitnessProvider witness)
+    : property_name_(phi.valid() ? phi.to_string() : ""),
+      t_(t),
+      k_(reduction_k),
+      witness_(std::move(witness)) {
+  if (!phi.valid()) throw std::invalid_argument("KernelMsoScheme: empty formula");
+  if (t == 0 || reduction_k == 0)
+    throw std::invalid_argument("KernelMsoScheme: t and k must be >= 1");
+  predicate_ = [phi](const Graph& kernel) { return evaluate(kernel, phi); };
+}
+
+KernelMsoScheme::KernelMsoScheme(std::string property_name, KernelPredicate predicate,
+                                 std::size_t t, std::size_t reduction_k,
+                                 WitnessProvider witness)
+    : property_name_(std::move(property_name)),
+      predicate_(std::move(predicate)),
+      t_(t),
+      k_(reduction_k),
+      witness_(std::move(witness)) {
+  if (!predicate_) throw std::invalid_argument("KernelMsoScheme: empty predicate");
+  if (t == 0 || reduction_k == 0)
+    throw std::invalid_argument("KernelMsoScheme: t and k must be >= 1");
+}
+
+std::string KernelMsoScheme::name() const {
+  return "kernel-mso[t=" + std::to_string(t_) + ",k=" + std::to_string(k_) + "]";
+}
+
+std::optional<RootedTree> KernelMsoScheme::find_model(const Graph& g) const {
+  if (witness_) {
+    auto w = witness_(g);
+    if (w.has_value() && is_valid_model(g, *w) && model_depth(*w) <= t_)
+      return make_coherent(g, *w);
+  }
+  if (g.vertex_count() <= 20) {
+    const auto result = exact_treedepth_with_model(g);
+    if (result.treedepth <= t_) return result.model;
+    return std::nullopt;
+  }
+  RootedTree h = heuristic_elimination_tree(g);
+  if (model_depth(h) <= t_) return make_coherent(g, h);
+  return std::nullopt;
+}
+
+bool KernelMsoScheme::holds(const Graph& g) const {
+  const auto model = find_model(g);
+  if (!model.has_value()) return false;  // treedepth bound fails (or undecided)
+  // Evaluate on the kernel: bounded size regardless of n (Proposition 6.2),
+  // and equivalent to G for the relevant quantifier depth (Proposition 6.3).
+  const Kernelization kz = k_reduce(g, *model, k_);
+  return predicate_(kz.kernel);
+}
+
+std::optional<std::vector<Certificate>> KernelMsoScheme::assign(const Graph& g) const {
+  const auto model = find_model(g);
+  if (!model.has_value()) return std::nullopt;
+  const Kernelization kz = k_reduce(g, *model, k_);
+  if (!predicate_(kz.kernel)) return std::nullopt;
+  return build_kernel_core_certs(g, *model, kz);
+}
+
+bool KernelMsoScheme::verify(const View& view) const {
+  return verify_kernel_core(view, t_, k_, predicate_);
+}
+
+}  // namespace lcert

@@ -1,0 +1,297 @@
+#include "src/schemes/minor_free.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "src/graph/connectivity.hpp"
+#include "src/graph/minors.hpp"
+#include "src/kernel/reduce.hpp"
+#include "src/schemes/kernel_core.hpp"
+#include "src/schemes/treedepth_core.hpp"
+#include "src/treedepth/elimination.hpp"
+#include "src/treedepth/exact.hpp"
+#include "src/treedepth/heuristic.hpp"
+
+namespace lcert {
+
+// ---------------------------------------------------------------------------
+// P_t-minor-free.
+// ---------------------------------------------------------------------------
+
+PtMinorFreeScheme::PtMinorFreeScheme(std::size_t t, KernelMsoScheme::WitnessProvider witness)
+    : t_(t) {
+  if (t < 2) throw std::invalid_argument("PtMinorFreeScheme: t must be >= 2");
+  // P_t-minor-free graphs have treedepth <= t [41]; "no P_t subgraph" is an
+  // existential-FO property of quantifier depth t, so threshold t suffices.
+  inner_ = std::make_unique<KernelMsoScheme>(
+      "no-P" + std::to_string(t),
+      [t](const Graph& kernel) { return !has_path_minor(kernel, t); }, t, t,
+      std::move(witness));
+}
+
+bool PtMinorFreeScheme::holds(const Graph& g) const { return !has_path_minor(g, t_); }
+
+std::optional<std::vector<Certificate>> PtMinorFreeScheme::assign(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  return inner_->assign(g);
+}
+
+bool PtMinorFreeScheme::verify(const View& view) const { return inner_->verify(view); }
+
+// ---------------------------------------------------------------------------
+// C_t-minor-free.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct BlockEntry {
+  VertexId block_id_lo = 0;
+  VertexId block_id_hi = 0;
+  std::uint64_t bc_depth = 0;
+  VertexId anchor_id = 0;  ///< 0 for the BC-root block
+  Certificate blob;        ///< kernel-core sub-certificate for this block
+
+  std::pair<VertexId, VertexId> key() const { return {block_id_lo, block_id_hi}; }
+};
+
+struct CtCert {
+  std::vector<BlockEntry> entries;
+
+  void encode(BitWriter& w) const {
+    w.write_varnat(entries.size());
+    for (const auto& e : entries) {
+      w.write_varnat(e.block_id_lo);
+      w.write_varnat(e.block_id_hi);
+      w.write_varnat(e.bc_depth);
+      w.write_varnat(e.anchor_id);
+      w.write_varnat(e.blob.bit_size);
+      BitReader br = e.blob.reader();
+      std::size_t left = e.blob.bit_size;
+      while (left >= 64) {
+        w.write(br.read(64), 64);
+        left -= 64;
+      }
+      if (left > 0) w.write(br.read(static_cast<unsigned>(left)), static_cast<unsigned>(left));
+    }
+  }
+
+  static std::optional<CtCert> decode(BitReader& r) {
+    CtCert c;
+    const std::uint64_t m = r.read_varnat();
+    if (m > 4096) return std::nullopt;
+    c.entries.resize(m);
+    for (auto& e : c.entries) {
+      e.block_id_lo = r.read_varnat();
+      e.block_id_hi = r.read_varnat();
+      e.bc_depth = r.read_varnat();
+      e.anchor_id = r.read_varnat();
+      const std::uint64_t bits = r.read_varnat();
+      if (bits > (1u << 22)) return std::nullopt;
+      BitWriter w;
+      std::size_t left = bits;
+      while (left >= 64) {
+        w.write(r.read(64), 64);
+        left -= 64;
+      }
+      if (left > 0) w.write(r.read(static_cast<unsigned>(left)), static_cast<unsigned>(left));
+      e.blob = Certificate::from_writer(w);
+    }
+    return c;
+  }
+};
+
+// Coherent model of `block` rooted at local vertex `anchor` (kNoParent-style
+// free root when anchor == SIZE_MAX).
+RootedTree block_model(const Graph& block, std::size_t anchor_local) {
+  if (anchor_local == SIZE_MAX) {
+    if (block.vertex_count() <= 18) return exact_treedepth_with_model(block).model;
+    return heuristic_elimination_tree(block);
+  }
+  const std::size_t n = block.vertex_count();
+  std::vector<std::size_t> parent(n, RootedTree::kNoParent);
+  // Components of block - anchor, each modeled independently below the anchor.
+  std::vector<bool> seen(n, false);
+  seen[anchor_local] = true;
+  for (Vertex s = 0; s < n; ++s) {
+    if (seen[s]) continue;
+    std::vector<Vertex> comp{s};
+    seen[s] = true;
+    for (std::size_t i = 0; i < comp.size(); ++i)
+      for (Vertex w : block.neighbors(comp[i]))
+        if (!seen[w]) {
+          seen[w] = true;
+          comp.push_back(w);
+        }
+    const Graph sub = block.induced(comp);
+    const RootedTree sub_model = sub.vertex_count() <= 18
+                                     ? exact_treedepth_with_model(sub).model
+                                     : heuristic_elimination_tree(sub);
+    for (std::size_t i = 0; i < comp.size(); ++i) {
+      const std::size_t p = sub_model.parent(i);
+      parent[comp[i]] = (p == RootedTree::kNoParent) ? anchor_local : comp[p];
+    }
+  }
+  RootedTree model(parent);
+  return make_coherent(block, model);
+}
+
+}  // namespace
+
+CtMinorFreeScheme::CtMinorFreeScheme(std::size_t t, std::size_t reduction_k)
+    : t_(t), k_(reduction_k == 0 ? 2 * t : reduction_k) {
+  if (t < 3) throw std::invalid_argument("CtMinorFreeScheme: t must be >= 3");
+}
+
+bool CtMinorFreeScheme::holds(const Graph& g) const { return !has_cycle_minor(g, t_); }
+
+std::optional<std::vector<Certificate>> CtMinorFreeScheme::assign(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  const std::size_t n = g.vertex_count();
+  if (n == 1) return std::vector<Certificate>(1);  // no blocks, empty certificate
+
+  const auto bc = block_cut_decomposition(g);
+  const std::size_t block_count = bc.blocks.size();
+
+  // BC tree: BFS from the block containing vertex 0.
+  std::vector<std::uint64_t> depth(block_count, 0);
+  std::vector<std::size_t> anchor(block_count, SIZE_MAX);  // local anchor vertex
+  std::vector<bool> visited(block_count, false);
+  std::vector<std::size_t> queue{bc.blocks_of[0][0]};
+  visited[queue[0]] = true;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const std::size_t b = queue[i];
+    for (Vertex v : bc.blocks[b]) {
+      if (!bc.is_cut_vertex[v]) continue;
+      for (std::size_t child : bc.blocks_of[v]) {
+        if (visited[child]) continue;
+        visited[child] = true;
+        depth[child] = depth[b] + 1;
+        anchor[child] = v;
+        queue.push_back(child);
+      }
+    }
+  }
+
+  // Per block: induced subgraph, model rooted at the anchor, kernel, certs.
+  std::vector<CtCert> certs(n);
+  for (std::size_t b = 0; b < block_count; ++b) {
+    // Sort members so the block id (two smallest IDs) is well defined.
+    std::vector<Vertex> members = bc.blocks[b];
+    const Graph sub = g.induced(members);
+    std::size_t anchor_local = SIZE_MAX;
+    if (anchor[b] != SIZE_MAX) {
+      for (std::size_t i = 0; i < members.size(); ++i)
+        if (members[i] == anchor[b]) anchor_local = i;
+    }
+    RootedTree model = block_model(sub, anchor_local);
+    if (model_depth(model) > block_depth_bound()) return std::nullopt;
+    const Kernelization kz = k_reduce(sub, model, k_);
+    if (has_cycle_minor(kz.kernel, t_)) return std::nullopt;  // threshold too low
+    const auto blobs = build_kernel_core_certs(sub, model, kz);
+
+    std::vector<VertexId> ids;
+    for (Vertex m : members) ids.push_back(g.id(m));
+    std::sort(ids.begin(), ids.end());
+
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      BlockEntry e;
+      e.block_id_lo = ids[0];
+      e.block_id_hi = ids[1];
+      e.bc_depth = depth[b];
+      e.anchor_id = anchor[b] == SIZE_MAX ? 0 : g.id(anchor[b]);
+      e.blob = blobs[i];
+      certs[members[i]].entries.push_back(e);
+    }
+  }
+
+  std::vector<Certificate> out(n);
+  for (Vertex v = 0; v < n; ++v) {
+    BitWriter w;
+    certs[v].encode(w);
+    out[v] = Certificate::from_writer(w);
+  }
+  return out;
+}
+
+bool CtMinorFreeScheme::verify(const View& view) const {
+  BitReader r = view.certificate.reader();
+  const auto mine_opt = CtCert::decode(r);
+  if (!mine_opt.has_value()) return false;
+  const CtCert& mine = *mine_opt;
+
+  if (view.degree() == 0) return mine.entries.empty();  // n == 1 (connected promise)
+  if (mine.entries.empty()) return false;
+
+  std::vector<CtCert> nbs;
+  for (const auto& nb : view.neighbors) {
+    BitReader nr = nb.certificate.reader();
+    auto c = CtCert::decode(nr);
+    if (!c.has_value()) return false;
+    nbs.push_back(std::move(*c));
+  }
+
+  // Distinct block ids among my entries.
+  std::set<std::pair<VertexId, VertexId>> my_ids;
+  for (const auto& e : mine.entries)
+    if (!my_ids.insert(e.key()).second) return false;
+
+  // Every incident edge lies in exactly one common claimed block.
+  for (const auto& nb : nbs) {
+    std::size_t common = 0;
+    for (const auto& e : nb.entries) common += my_ids.count(e.key());
+    if (common != 1) return false;
+  }
+
+  // BC-tree rules at this vertex: unique minimum depth; all other entries one
+  // deeper and anchored here.
+  std::size_t min_index = 0;
+  for (std::size_t i = 1; i < mine.entries.size(); ++i)
+    if (mine.entries[i].bc_depth < mine.entries[min_index].bc_depth) min_index = i;
+  const std::uint64_t min_depth = mine.entries[min_index].bc_depth;
+  for (std::size_t i = 0; i < mine.entries.size(); ++i) {
+    const auto& e = mine.entries[i];
+    if (i == min_index) {
+      if (e.bc_depth == 0) {
+        if (e.anchor_id != 0) return false;
+      } else {
+        if (e.anchor_id == 0 || e.anchor_id == view.id) return false;
+      }
+    } else {
+      if (e.bc_depth != min_depth + 1) return false;
+      if (e.anchor_id != view.id) return false;
+    }
+  }
+
+  // Per-block checks.
+  const std::size_t t = t_;
+  const auto predicate = [t](const Graph& kernel) { return !has_cycle_minor(kernel, t); };
+  for (const auto& e : mine.entries) {
+    // Members among neighbors, with agreement on the BC fields.
+    View sub_view;
+    sub_view.id = view.id;
+    sub_view.certificate = e.blob;
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      for (const auto& ne : nbs[i].entries) {
+        if (ne.key() != e.key()) continue;
+        if (ne.bc_depth != e.bc_depth || ne.anchor_id != e.anchor_id) return false;
+        sub_view.neighbors.push_back({view.neighbors[i].id, ne.blob});
+      }
+    }
+    // The sub-certificate: Theorem 2.6 battery within the block, with the
+    // circumference predicate at the block's model root.
+    if (!verify_kernel_core(sub_view, block_depth_bound(), k_, predicate)) return false;
+    // A non-root block's anchor must be the block's model root (a certified
+    // real member of the block), grounding the BC recursion.
+    if (e.bc_depth > 0) {
+      BitReader br = e.blob.reader();
+      const auto core = TdCore::decode(br);
+      if (!core.has_value()) return false;
+      if (core->list.back() != e.anchor_id) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lcert

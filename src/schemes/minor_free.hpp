@@ -1,0 +1,75 @@
+// Corollary 2.7: P_t-minor-free and C_t-minor-free graphs have O(log n)-bit
+// certifications.
+//
+// P_t: on connected graphs, a P_t minor is exactly a P_t subgraph, and
+// P_t-minor-free graphs have treedepth at most t [41]; the scheme is
+// therefore Theorem 2.6's kernel machinery with the combinatorial kernel
+// predicate "no path on t vertices" (an existential-FO-depth-t property, so
+// reduction threshold t suffices).
+//
+// C_t: the corollary's route — a decomposition into 2-connected blocks, each
+// block certified C_t-minor-free. Per vertex, the certificate carries, for
+// every block containing it:
+//   - the block's per-block kernel-core sub-certificate (blocks of a
+//     C_t-minor-free graph are P_{t^2}-minor-free, hence treedepth <= t^2;
+//     the sub-predicate is "circumference < t" on the block's kernel);
+//   - the block-cut-tree fields: the block's depth in the BC tree and its
+//     anchor (the cut vertex toward the BC root), with the invariant that
+//     the anchor IS the root of the block's elimination tree, which the
+//     Theorem 2.4 layer proves to be a real member of the block.
+// Local rules (each vertex): every incident edge lies in exactly one common
+// claimed block; among the vertex's blocks exactly one has minimal BC-depth
+// and all others have depth min+1 and are anchored at the vertex itself;
+// a non-root block's anchor is never the vertex's min block's anchor rule
+// violation... — together these force the claimed blocks to tile the graph
+// as a forest of blocks, so every cycle of G lies inside a single certified
+// block.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/cert/scheme.hpp"
+#include "src/schemes/kernel_scheme.hpp"
+
+namespace lcert {
+
+/// P_t-minor-free certification (t >= 2).
+class PtMinorFreeScheme final : public Scheme {
+ public:
+  explicit PtMinorFreeScheme(std::size_t t,
+                             KernelMsoScheme::WitnessProvider witness = {});
+
+  std::string name() const override { return "Pt-minor-free[t=" + std::to_string(t_) + "]"; }
+  bool holds(const Graph& g) const override;
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  bool verify(const View& view) const override;
+
+ private:
+  std::size_t t_;
+  std::unique_ptr<KernelMsoScheme> inner_;
+};
+
+/// C_t-minor-free certification (t >= 3) via certified block decomposition.
+class CtMinorFreeScheme final : public Scheme {
+ public:
+  /// `reduction_k`: per-block kernel threshold (must preserve "circumference
+  /// < t"; the default 2t is validated empirically by the tests).
+  explicit CtMinorFreeScheme(std::size_t t, std::size_t reduction_k = 0);
+
+  std::string name() const override { return "Ct-minor-free[t=" + std::to_string(t_) + "]"; }
+  bool holds(const Graph& g) const override;
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  bool verify(const View& view) const override;
+
+  /// Treedepth budget used for block models: t^2 + 1 (the +1 pays for rooting
+  /// the model at the anchor cut vertex).
+  std::size_t block_depth_bound() const noexcept { return t_ * t_ + 1; }
+
+ private:
+  std::size_t t_;
+  std::size_t k_;
+};
+
+}  // namespace lcert

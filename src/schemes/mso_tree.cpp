@@ -1,0 +1,72 @@
+#include "src/schemes/mso_tree.hpp"
+
+#include <stdexcept>
+
+#include "src/graph/rooted_tree.hpp"
+#include "src/util/bitio.hpp"
+
+namespace lcert {
+
+MsoTreeScheme::MsoTreeScheme(NamedAutomaton automaton)
+    : automaton_(std::move(automaton)),
+      state_bits_(bits_for(automaton_.automaton.state_count - 1)) {
+  automaton_.automaton.validate();
+}
+
+bool MsoTreeScheme::holds(const Graph& g) const {
+  if (g.edge_count() != g.vertex_count() - 1 || !g.is_connected())
+    throw std::invalid_argument(name() + ": instance outside the tree promise");
+  return automaton_.oracle(g);
+}
+
+std::optional<std::vector<Certificate>> MsoTreeScheme::assign(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  for (Vertex root : automaton_.good_roots(g)) {
+    const RootedTree t = RootedTree::from_graph(g, root);
+    const auto run = find_accepting_run(automaton_.automaton, t);
+    if (!run.has_value()) continue;
+    std::vector<Certificate> certs(g.vertex_count());
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      BitWriter w;
+      w.write(t.depth(v) % 3, 2);
+      w.write((*run)[v], state_bits_ == 0 ? 1 : state_bits_);
+      certs[v] = Certificate::from_writer(w);
+    }
+    return certs;
+  }
+  return std::nullopt;  // no good root admitted a run: library bug, caught by tests
+}
+
+bool MsoTreeScheme::verify(const View& view) const {
+  BitReader r = view.certificate.reader();
+  const std::uint64_t my_mod = r.read(2);
+  const std::uint64_t my_state = r.read(state_bits_ == 0 ? 1 : state_bits_);
+  if (my_mod > 2 || my_state >= automaton_.automaton.state_count) return false;
+
+  // Decode neighbors and classify against the mod-3 counter.
+  std::size_t parents = 0;
+  std::vector<std::size_t> child_state_counts(automaton_.automaton.state_count, 0);
+  for (const auto& nb : view.neighbors) {
+    BitReader nr = nb.certificate.reader();
+    const std::uint64_t nb_mod = nr.read(2);
+    const std::uint64_t nb_state = nr.read(state_bits_ == 0 ? 1 : state_bits_);
+    if (nb_mod > 2 || nb_state >= automaton_.automaton.state_count) return false;
+    if (nb_mod == (my_mod + 2) % 3) {
+      ++parents;
+    } else if (nb_mod == (my_mod + 1) % 3) {
+      ++child_state_counts[nb_state];
+    } else {
+      return false;  // equal counters on an edge: inconsistent orientation
+    }
+  }
+  const bool is_root = (parents == 0);
+  if (parents > 1) return false;
+  if (is_root && my_mod != 0) return false;
+
+  // Automaton transition (and acceptance at the root).
+  if (!automaton_.automaton.transition(my_state).eval(child_state_counts)) return false;
+  if (is_root && !automaton_.automaton.accepting[my_state]) return false;
+  return true;
+}
+
+}  // namespace lcert

@@ -1,0 +1,47 @@
+// Theorem 2.2: any MSO property of trees has an O(1)-bit certification.
+//
+// Certificates carry (distance to a prover-chosen root, mod 3) and the
+// vertex's state in an accepting run of a UOP tree automaton recognizing the
+// property — 2 + ceil(log2 |Q|) bits, independent of n. The verifier
+// re-derives the orientation from the mod-3 counters (a classic argument
+// forces exactly one root on a tree), counts the states of its children, and
+// evaluates the automaton's Presburger transition; the root also checks
+// acceptance.
+//
+// The paper's certificate also embeds the (constant-size) description of the
+// automaton, which each vertex compares against the formula; here the
+// automaton is a parameter of the verifier — an equivalent constant-size
+// factoring, since prover and verifier share the property being certified.
+//
+// Promise model: instances are trees (the network itself). Acyclicity is not
+// re-certified — it cannot be with O(1) bits (Göös–Suomela) — so behaviour on
+// non-tree inputs is unspecified, exactly as in the paper.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/automata/library.hpp"
+#include "src/cert/scheme.hpp"
+
+namespace lcert {
+
+class MsoTreeScheme final : public Scheme {
+ public:
+  explicit MsoTreeScheme(NamedAutomaton automaton);
+
+  std::string name() const override { return "mso-tree[" + automaton_.name + "]"; }
+  bool holds(const Graph& g) const override;
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  bool verify(const View& view) const override;
+
+  /// Exact certificate width in bits (constant across n).
+  std::size_t certificate_bits() const noexcept { return 2 + state_bits_; }
+
+ private:
+  NamedAutomaton automaton_;
+  unsigned state_bits_;
+};
+
+}  // namespace lcert

@@ -1,0 +1,194 @@
+#include "src/schemes/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/graph/generators.hpp"
+#include "src/logic/eval.hpp"
+#include "src/logic/formulas.hpp"
+#include "src/schemes/automorphism_scheme.hpp"
+#include "src/schemes/depth2_fo.hpp"
+#include "src/schemes/existential_fo.hpp"
+#include "src/schemes/kernel_scheme.hpp"
+#include "src/schemes/minor_free.hpp"
+#include "src/schemes/mso_tree.hpp"
+#include "src/schemes/spanning_tree.hpp"
+#include "src/schemes/tree_depth_bounded.hpp"
+#include "src/schemes/tree_diameter.hpp"
+#include "src/schemes/treedepth_scheme.hpp"
+#include "src/schemes/universal.hpp"
+
+namespace lcert {
+
+namespace {
+
+Graph with_ids(Graph g, Rng& rng) {
+  assign_random_ids(g, rng);
+  return g;
+}
+
+Graph doubled_tree(std::size_t half, Rng& rng) {
+  const Graph base = make_random_tree(std::max<std::size_t>(half, 2), rng);
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  const std::size_t m = base.vertex_count();
+  for (auto [u, v] : base.edges()) {
+    edges.emplace_back(u, v);
+    edges.emplace_back(u + m, v + m);
+  }
+  edges.emplace_back(0, m);
+  return Graph(2 * m, edges);
+}
+
+// Every vertex gets a pendant twin leaf: the twin-matching is perfect.
+Graph twinned_tree(std::size_t half, Rng& rng) {
+  const Graph base = make_random_tree(std::max<std::size_t>(half, 2), rng);
+  const std::size_t m = base.vertex_count();
+  std::vector<std::pair<Vertex, Vertex>> edges = base.edges();
+  for (Vertex v = 0; v < m; ++v) edges.emplace_back(v, v + m);
+  return Graph(2 * m, edges);
+}
+
+Graph triangle_chain(std::size_t triangles) {
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  for (std::size_t i = 0; i < triangles; ++i) {
+    const Vertex base = static_cast<Vertex>(2 * i);
+    edges.emplace_back(base, base + 1);
+    edges.emplace_back(base, base + 2);
+    edges.emplace_back(base + 1, base + 2);
+  }
+  return Graph(2 * triangles + 1, edges);
+}
+
+}  // namespace
+
+std::vector<RegisteredScheme> scheme_registry() {
+  std::vector<RegisteredScheme> out;
+
+  out.push_back({"vertex-parity", "Prop 3.4: |V| is even, via certified spanning tree",
+                 [] { return std::make_unique<VertexParityScheme>(); },
+                 [](std::size_t n, Rng& rng) {
+                   return with_ids(make_random_tree(n + n % 2, rng), rng);
+                 },
+                 [](std::size_t n, Rng& rng) {
+                   return with_ids(make_random_tree(n | 1, rng), rng);
+                 }});
+
+  out.push_back({"mso-perfect-matching",
+                 "Thm 2.2: MSO 'has perfect matching' on trees, O(1) bits",
+                 [] {
+                   return std::make_unique<MsoTreeScheme>(standard_tree_automata()[4]);
+                 },
+                 [](std::size_t n, Rng& rng) { return with_ids(twinned_tree(n / 2, rng), rng); },
+                 [](std::size_t n, Rng& rng) {
+                   return with_ids(make_star((n | 1) < 3 ? 3 : (n | 1)), rng);
+                 }});
+
+  out.push_back({"mso-caterpillar", "Thm 2.2: MSO 'is a caterpillar' on trees, O(1) bits",
+                 [] {
+                   return std::make_unique<MsoTreeScheme>(standard_tree_automata()[2]);
+                 },
+                 [](std::size_t n, Rng& rng) {
+                   return with_ids(make_caterpillar(std::max<std::size_t>(n / 2, 1), 1), rng);
+                 },
+                 [](std::size_t, Rng& rng) {
+                   // A spider with three legs of length 2 is not a caterpillar.
+                   return with_ids(
+                       Graph(7, {{0, 1}, {1, 2}, {0, 3}, {3, 4}, {0, 5}, {5, 6}}), rng);
+                 }});
+
+  out.push_back({"treedepth-4", "Thm 2.4: treedepth <= 4, O(t log n) bits",
+                 [] { return std::make_unique<TreedepthScheme>(4); },
+                 [](std::size_t n, Rng& rng) {
+                   auto inst = make_bounded_treedepth_graph(std::min<std::size_t>(n, 18), 4,
+                                                            0.3, rng);
+                   return with_ids(std::move(inst.graph), rng);
+                 },
+                 [](std::size_t, Rng& rng) { return with_ids(make_path(16), rng); }});
+
+  out.push_back(
+      {"kernel-triangle-free", "Thm 2.6: FO 'triangle-free' on treedepth <= 3 graphs",
+       [] { return std::make_unique<KernelMsoScheme>(f_triangle_free(), 3, 3); },
+       [](std::size_t n, Rng& rng) {
+         auto inst = make_bounded_treedepth_graph(std::min<std::size_t>(n, 18), 3, 0.0, rng);
+         return with_ids(std::move(inst.graph), rng);
+       },
+       [](std::size_t, Rng& rng) {
+         return with_ids(Graph(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}), rng);
+       }});
+
+  out.push_back({"exists-is3", "Lemma A.2: existential FO, independent set of size 3",
+                 [] { return std::make_unique<ExistentialFoScheme>(f_independent_set_of_size(3)); },
+                 [](std::size_t n, Rng& rng) {
+                   return with_ids(make_star(std::max<std::size_t>(n, 4)), rng);
+                 },
+                 [](std::size_t, Rng& rng) { return with_ids(make_complete(5), rng); }});
+
+  out.push_back({"depth2-dominating", "Lemma A.3: depth-2 FO, has a dominating vertex",
+                 [] { return std::make_unique<Depth2FoScheme>(f_has_dominating_vertex()); },
+                 [](std::size_t n, Rng& rng) {
+                   return with_ids(make_star(std::max<std::size_t>(n, 2)), rng);
+                 },
+                 [](std::size_t, Rng& rng) { return with_ids(make_path(5), rng); }});
+
+  out.push_back({"p5-minor-free", "Cor 2.7: P_5-minor-free, O(log n) bits",
+                 [] { return std::make_unique<PtMinorFreeScheme>(5); },
+                 [](std::size_t n, Rng& rng) {
+                   return with_ids(make_star(std::max<std::size_t>(n, 3)), rng);
+                 },
+                 [](std::size_t, Rng& rng) { return with_ids(make_path(8), rng); }});
+
+  out.push_back({"c4-minor-free", "Cor 2.7: C_4-minor-free via block decomposition",
+                 [] { return std::make_unique<CtMinorFreeScheme>(4); },
+                 [](std::size_t n, Rng& rng) {
+                   return with_ids(triangle_chain(std::max<std::size_t>(n / 2, 1)), rng);
+                 },
+                 [](std::size_t, Rng& rng) { return with_ids(make_cycle(6), rng); }});
+
+  out.push_back({"fpf-automorphism",
+                 "Thm 2.3's matching upper bound: fixed-point-free automorphism of a tree",
+                 [] { return std::make_unique<FpfAutomorphismScheme>(); },
+                 [](std::size_t n, Rng& rng) { return with_ids(doubled_tree(n / 2, rng), rng); },
+                 [](std::size_t n, Rng& rng) {
+                   return with_ids(make_star(std::max<std::size_t>(n, 4)), rng);
+                 }});
+
+  out.push_back({"tree-height-4", "post-Thm 2.5 contrast: trees of radius <= 3, O(log k) bits",
+                 [] { return std::make_unique<TreeDepthBoundedScheme>(4); },
+                 [](std::size_t n, Rng& rng) {
+                   return with_ids(make_random_rooted_tree(n, 3, rng).to_graph(), rng);
+                 },
+                 [](std::size_t, Rng& rng) { return with_ids(make_path(12), rng); }});
+
+  out.push_back({"tree-diameter-4", "Sec 2.3: trees of diameter <= 4, O(log D) bits",
+                 [] { return std::make_unique<TreeDiameterScheme>(4); },
+                 [](std::size_t n, Rng& rng) {
+                   return with_ids(make_random_rooted_tree(n, 2, rng).to_graph(), rng);
+                 },
+                 [](std::size_t, Rng& rng) { return with_ids(make_path(9), rng); }});
+
+  out.push_back({"universal-triangle-free", "folklore O(n^2) baseline, any property",
+                 [] {
+                   return std::make_unique<UniversalScheme>(
+                       std::string("triangle-free"),
+                       UniversalScheme::Predicate(
+                           [](const Graph& g) { return evaluate(g, f_triangle_free()); }));
+                 },
+                 [](std::size_t n, Rng& rng) {
+                   return with_ids(make_random_tree(std::max<std::size_t>(n, 2), rng), rng);
+                 },
+                 [](std::size_t, Rng& rng) { return with_ids(make_complete(4), rng); }});
+
+  return out;
+}
+
+const RegisteredScheme& find_scheme(const std::string& key) {
+  static const std::vector<RegisteredScheme> registry = scheme_registry();
+  for (const auto& entry : registry)
+    if (entry.key == key) return entry;
+  std::ostringstream os;
+  os << "unknown scheme '" << key << "'; available:";
+  for (const auto& entry : registry) os << ' ' << entry.key;
+  throw std::out_of_range(os.str());
+}
+
+}  // namespace lcert

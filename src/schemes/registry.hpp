@@ -1,0 +1,35 @@
+// A registry of ready-made schemes, keyed by name.
+//
+// Drives the CLI example and the uniform audit sweep in the tests: every
+// registered scheme is subjected to the same completeness/soundness battery
+// on its own instance family, so adding a scheme here buys it the full
+// harness for free.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/cert/scheme.hpp"
+#include "src/util/rng.hpp"
+
+namespace lcert {
+
+struct RegisteredScheme {
+  std::string key;          ///< CLI name
+  std::string description;  ///< one line, with the paper pointer
+  std::function<std::unique_ptr<Scheme>()> make;
+  /// Generates a yes-instance of roughly the requested size (IDs assigned).
+  std::function<Graph(std::size_t n, Rng&)> yes_instance;
+  /// Generates a no-instance (IDs assigned); may return graphs of any size.
+  std::function<Graph(std::size_t n, Rng&)> no_instance;
+};
+
+/// All registered schemes.
+std::vector<RegisteredScheme> scheme_registry();
+
+/// Lookup by key; throws std::out_of_range listing valid keys.
+const RegisteredScheme& find_scheme(const std::string& key);
+
+}  // namespace lcert

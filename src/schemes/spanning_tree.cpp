@@ -1,0 +1,157 @@
+#include "src/schemes/spanning_tree.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace lcert {
+
+void SpanningTreeCert::encode(BitWriter& w) const {
+  w.write_varnat(root_id);
+  w.write_varnat(parent_id);
+  w.write_varnat(distance);
+  w.write_varnat(subtree_count);
+  w.write_varnat(claimed_total);
+}
+
+SpanningTreeCert SpanningTreeCert::decode(BitReader& r) {
+  SpanningTreeCert c;
+  c.root_id = r.read_varnat();
+  c.parent_id = r.read_varnat();
+  c.distance = r.read_varnat();
+  c.subtree_count = r.read_varnat();
+  c.claimed_total = r.read_varnat();
+  return c;
+}
+
+std::vector<SpanningTreeCert> build_spanning_tree_cert(const Graph& g, Vertex root) {
+  const std::size_t n = g.vertex_count();
+  if (!g.is_connected())
+    throw std::invalid_argument("build_spanning_tree_cert: graph must be connected");
+  std::vector<SpanningTreeCert> out(n);
+  std::vector<std::size_t> parent(n, SIZE_MAX);
+  std::vector<std::size_t> dist(n, SIZE_MAX);
+  std::vector<Vertex> order;
+  order.reserve(n);
+  std::queue<Vertex> q;
+  dist[root] = 0;
+  q.push(root);
+  while (!q.empty()) {
+    const Vertex v = q.front();
+    q.pop();
+    order.push_back(v);
+    for (Vertex w : g.neighbors(v))
+      if (dist[w] == SIZE_MAX) {
+        dist[w] = dist[v] + 1;
+        parent[w] = v;
+        q.push(w);
+      }
+  }
+  // Subtree counts bottom-up (reverse BFS order).
+  std::vector<std::uint64_t> count(n, 1);
+  for (std::size_t i = order.size(); i-- > 1;) count[parent[order[i]]] += count[order[i]];
+  for (Vertex v = 0; v < n; ++v) {
+    out[v].root_id = g.id(root);
+    out[v].parent_id = parent[v] == SIZE_MAX ? g.id(v) : g.id(parent[v]);
+    out[v].distance = dist[v];
+    out[v].subtree_count = count[v];
+    out[v].claimed_total = n;
+  }
+  return out;
+}
+
+bool check_spanning_tree_fields(const View& view, const SpanningTreeCert& mine,
+                                const std::vector<SpanningTreeCert>& neighbor_fields,
+                                bool check_total) {
+  // Agreement on the root and (optionally) the total.
+  for (const auto& nb : neighbor_fields) {
+    if (nb.root_id != mine.root_id) return false;
+    if (check_total && nb.claimed_total != mine.claimed_total) return false;
+  }
+  const bool is_root = (mine.root_id == view.id);
+  if (is_root) {
+    if (mine.distance != 0 || mine.parent_id != view.id) return false;
+  } else {
+    if (mine.distance == 0) return false;
+    // The parent must be a neighbor, one step closer.
+    bool found = false;
+    for (std::size_t i = 0; i < view.neighbors.size(); ++i) {
+      if (view.neighbors[i].id == mine.parent_id &&
+          neighbor_fields[i].distance + 1 == mine.distance) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  // Subtree count: 1 + counts of the neighbors that name me as their parent.
+  std::uint64_t children_sum = 0;
+  for (std::size_t i = 0; i < view.neighbors.size(); ++i) {
+    if (neighbor_fields[i].parent_id == view.id) {
+      if (neighbor_fields[i].distance != mine.distance + 1) return false;
+      children_sum += neighbor_fields[i].subtree_count;
+    }
+  }
+  if (mine.subtree_count != 1 + children_sum) return false;
+  if (check_total && is_root && mine.subtree_count != mine.claimed_total) return false;
+  return true;
+}
+
+namespace {
+
+std::vector<Certificate> encode_all(const std::vector<SpanningTreeCert>& fields) {
+  std::vector<Certificate> out;
+  out.reserve(fields.size());
+  for (const auto& f : fields) {
+    BitWriter w;
+    f.encode(w);
+    out.push_back(Certificate::from_writer(w));
+  }
+  return out;
+}
+
+struct DecodedNeighborhood {
+  SpanningTreeCert mine;
+  std::vector<SpanningTreeCert> neighbors;
+};
+
+DecodedNeighborhood decode_all(const View& view) {
+  DecodedNeighborhood d;
+  BitReader r = view.certificate.reader();
+  d.mine = SpanningTreeCert::decode(r);
+  d.neighbors.reserve(view.neighbors.size());
+  for (const auto& nb : view.neighbors) {
+    BitReader nr = nb.certificate.reader();
+    d.neighbors.push_back(SpanningTreeCert::decode(nr));
+  }
+  return d;
+}
+
+}  // namespace
+
+std::optional<std::vector<Certificate>> VertexParityScheme::assign(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  return encode_all(build_spanning_tree_cert(g, 0));
+}
+
+bool VertexParityScheme::verify(const View& view) const {
+  const auto d = decode_all(view);
+  if (!check_spanning_tree_fields(view, d.mine, d.neighbors, /*check_total=*/true))
+    return false;
+  // Everyone knows the certified total; the parity predicate is checked by
+  // every vertex (the root pinned the total to the true count).
+  return d.mine.claimed_total % 2 == 0;
+}
+
+std::optional<std::vector<Certificate>> VertexCountScheme::assign(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  return encode_all(build_spanning_tree_cert(g, 0));
+}
+
+bool VertexCountScheme::verify(const View& view) const {
+  const auto d = decode_all(view);
+  if (!check_spanning_tree_fields(view, d.mine, d.neighbors, /*check_total=*/true))
+    return false;
+  return d.mine.claimed_total == target_;
+}
+
+}  // namespace lcert

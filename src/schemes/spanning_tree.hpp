@@ -1,0 +1,66 @@
+// Spanning tree and vertex-count certification (Proposition 3.4).
+//
+// The classic O(log n)-bit toolbox: each vertex carries the root's ID, its
+// distance to the root, its parent's ID, and its subtree size. Locally, a
+// vertex checks that its parent is a neighbor one step closer to the root,
+// that everyone agrees on the root, and that its subtree count is 1 + the sum
+// of the counts of the neighbors that name it as parent. These primitives are
+// exposed both as reusable building blocks (the treedepth scheme embeds one
+// fragment per ancestor) and as standalone Schemes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/cert/scheme.hpp"
+#include "src/graph/graph.hpp"
+
+namespace lcert {
+
+/// Per-vertex spanning-tree fields.
+struct SpanningTreeCert {
+  VertexId root_id = 0;
+  VertexId parent_id = 0;  ///< own id at the root
+  std::uint64_t distance = 0;
+  std::uint64_t subtree_count = 1;
+  std::uint64_t claimed_total = 0;  ///< graph size claimed by the prover
+
+  void encode(BitWriter& w) const;
+  static SpanningTreeCert decode(BitReader& r);
+};
+
+/// Builds the BFS spanning tree of `g` rooted at `root` and fills all fields.
+std::vector<SpanningTreeCert> build_spanning_tree_cert(const Graph& g, Vertex root);
+
+/// Local check of the spanning-tree fields: parent pointer, distances,
+/// root agreement, and subtree counts; if `check_total`, the root also
+/// verifies subtree_count == claimed_total and everyone checks agreement on
+/// claimed_total.
+bool check_spanning_tree_fields(const View& view, const SpanningTreeCert& mine,
+                                const std::vector<SpanningTreeCert>& neighbor_fields,
+                                bool check_total);
+
+/// Scheme for a property of the vertex count: holds(g) == predicate(n).
+/// Demonstrates Proposition 3.4; "n is even" famously needs Theta(log n).
+class VertexParityScheme final : public Scheme {
+ public:
+  std::string name() const override { return "vertex-count-parity"; }
+  bool holds(const Graph& g) const override { return g.vertex_count() % 2 == 0; }
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  bool verify(const View& view) const override;
+};
+
+/// Scheme certifying the exact vertex count announced to every vertex.
+class VertexCountScheme final : public Scheme {
+ public:
+  explicit VertexCountScheme(std::uint64_t target) : target_(target) {}
+  std::string name() const override { return "vertex-count"; }
+  bool holds(const Graph& g) const override { return g.vertex_count() == target_; }
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  bool verify(const View& view) const override;
+
+ private:
+  std::uint64_t target_;
+};
+
+}  // namespace lcert

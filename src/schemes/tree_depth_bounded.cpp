@@ -1,0 +1,65 @@
+#include "src/schemes/tree_depth_bounded.hpp"
+
+#include <stdexcept>
+
+#include "src/graph/rooted_tree.hpp"
+#include "src/graph/tree_iso.hpp"
+#include "src/util/bitio.hpp"
+
+namespace lcert {
+
+TreeDepthBoundedScheme::TreeDepthBoundedScheme(std::size_t k) : k_(k) {
+  if (k == 0) throw std::invalid_argument("TreeDepthBoundedScheme: k must be >= 1");
+}
+
+std::size_t TreeDepthBoundedScheme::certificate_bits() const noexcept {
+  return bits_for(k_ - 1) == 0 ? 1 : bits_for(k_ - 1);
+}
+
+bool TreeDepthBoundedScheme::holds(const Graph& g) const {
+  if (g.edge_count() != g.vertex_count() - 1 || !g.is_connected())
+    throw std::invalid_argument(name() + ": instance outside the tree promise");
+  // Radius <= k-1: check from a center.
+  const auto centers = tree_centers(g);
+  const auto dist = g.bfs_distances(centers[0]);
+  for (std::size_t d : dist)
+    if (d >= k_) return false;
+  return true;
+}
+
+std::optional<std::vector<Certificate>> TreeDepthBoundedScheme::assign(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  const auto centers = tree_centers(g);
+  const auto dist = g.bfs_distances(centers[0]);
+  std::vector<Certificate> out(g.vertex_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    BitWriter w;
+    w.write(dist[v], static_cast<unsigned>(certificate_bits()));
+    out[v] = Certificate::from_writer(w);
+  }
+  return out;
+}
+
+bool TreeDepthBoundedScheme::verify(const View& view) const {
+  BitReader r = view.certificate.reader();
+  const std::uint64_t my_dist = r.read(static_cast<unsigned>(certificate_bits()));
+  if (my_dist >= k_) return false;
+  // On a tree, exact distances to a common root are locally enforceable:
+  // every non-root vertex needs exactly one neighbor one step closer, and no
+  // neighbor may differ by more than 1 (in a tree the unique parent carries
+  // dist-1 and all other neighbors dist+1).
+  std::size_t parents = 0;
+  for (const auto& nb : view.neighbors) {
+    BitReader nr = nb.certificate.reader();
+    const std::uint64_t nb_dist = nr.read(static_cast<unsigned>(certificate_bits()));
+    if (nb_dist + 1 == my_dist) {
+      ++parents;
+    } else if (nb_dist != my_dist + 1) {
+      return false;
+    }
+  }
+  if (my_dist == 0) return parents == 0;
+  return parents == 1;
+}
+
+}  // namespace lcert

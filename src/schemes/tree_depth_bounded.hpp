@@ -1,0 +1,34 @@
+// The O(log k) contrast noted after Theorem 2.5: on *trees*, "the tree has a
+// root making its height <= k-1" (i.e. it can be arranged as a depth-k rooted
+// tree) is certifiable with O(log k) bits — each vertex just stores its
+// distance to the prover-chosen root, which is at most k-1. The point of the
+// contrast: certifying treedepth <= k on general graphs costs Theta(log n)
+// (Theorems 2.4/2.5) while the tree analogue is independent of n.
+//
+// Promise model: instances are trees.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/cert/scheme.hpp"
+
+namespace lcert {
+
+class TreeDepthBoundedScheme final : public Scheme {
+ public:
+  explicit TreeDepthBoundedScheme(std::size_t k);
+
+  std::string name() const override { return "tree-height<" + std::to_string(k_); }
+  /// holds(g): g (a tree) has radius <= k-1, i.e. some root gives depth <= k levels.
+  bool holds(const Graph& g) const override;
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  bool verify(const View& view) const override;
+
+  std::size_t certificate_bits() const noexcept;
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace lcert

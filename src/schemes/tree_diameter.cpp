@@ -1,0 +1,94 @@
+#include "src/schemes/tree_diameter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/graph/rooted_tree.hpp"
+#include "src/util/bitio.hpp"
+
+namespace lcert {
+
+TreeDiameterScheme::TreeDiameterScheme(std::size_t diameter_bound) : d_(diameter_bound) {}
+
+std::size_t TreeDiameterScheme::certificate_bits() const noexcept {
+  const unsigned height_bits = bits_for(d_);
+  return 2 + (height_bits == 0 ? 1 : height_bits);
+}
+
+bool TreeDiameterScheme::holds(const Graph& g) const {
+  if (g.edge_count() != g.vertex_count() - 1 || !g.is_connected())
+    throw std::invalid_argument(name() + ": instance outside the tree promise");
+  // Diameter via double BFS.
+  const auto d0 = g.bfs_distances(0);
+  Vertex far = 0;
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    if (d0[v] > d0[far]) far = v;
+  const auto d1 = g.bfs_distances(far);
+  std::size_t diameter = 0;
+  for (std::size_t d : d1) diameter = std::max(diameter, d);
+  return diameter <= d_;
+}
+
+std::optional<std::vector<Certificate>> TreeDiameterScheme::assign(const Graph& g) const {
+  if (!holds(g)) return std::nullopt;
+  const RootedTree t = RootedTree::from_graph(g, 0);
+  // Heights bottom-up.
+  std::vector<std::size_t> height(g.vertex_count(), 0);
+  const auto order = t.preorder();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t v = *it;
+    for (std::size_t c : t.children(v)) height[v] = std::max(height[v], height[c] + 1);
+  }
+  const unsigned height_bits = static_cast<unsigned>(certificate_bits() - 2);
+  std::vector<Certificate> out(g.vertex_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    BitWriter w;
+    w.write(t.depth(v) % 3, 2);
+    w.write(height[v], height_bits);
+    out[v] = Certificate::from_writer(w);
+  }
+  return out;
+}
+
+bool TreeDiameterScheme::verify(const View& view) const {
+  const unsigned height_bits = static_cast<unsigned>(certificate_bits() - 2);
+  BitReader r = view.certificate.reader();
+  const std::uint64_t my_mod = r.read(2);
+  const std::uint64_t my_height = r.read(height_bits);
+  if (my_mod > 2 || my_height > d_) return false;
+
+  std::size_t parents = 0;
+  std::vector<std::uint64_t> child_heights;
+  for (const auto& nb : view.neighbors) {
+    BitReader nr = nb.certificate.reader();
+    const std::uint64_t nb_mod = nr.read(2);
+    const std::uint64_t nb_height = nr.read(height_bits);
+    if (nb_mod > 2) return false;
+    if (nb_mod == (my_mod + 2) % 3) {
+      ++parents;
+    } else if (nb_mod == (my_mod + 1) % 3) {
+      child_heights.push_back(nb_height);
+    } else {
+      return false;
+    }
+  }
+  if (parents > 1) return false;
+  if (parents == 0 && my_mod != 0) return false;  // root must carry counter 0
+
+  // Exact height: 0 for leaves, 1 + max child height otherwise.
+  std::uint64_t expected = 0;
+  for (std::uint64_t h : child_heights) expected = std::max(expected, h + 1);
+  if (my_height != expected) return false;
+
+  // Longest path topped at this vertex: two deepest children branches.
+  std::sort(child_heights.rbegin(), child_heights.rend());
+  std::uint64_t local_diameter = 0;
+  if (child_heights.size() >= 2) {
+    local_diameter = child_heights[0] + child_heights[1] + 2;
+  } else if (child_heights.size() == 1) {
+    local_diameter = child_heights[0] + 1;
+  }
+  return local_diameter <= d_;
+}
+
+}  // namespace lcert

@@ -1,0 +1,37 @@
+// Section 2.3's warm-up: certifying "diameter <= D" is hard in general (the
+// paper's Omega~(n) example) but easy on trees. The paper sketches an
+// O(log n) scheme (distance to a central root + depth of the subtree); this
+// implementation sharpens it to O(log D): a mod-3 counter orients the tree
+// toward a prover-chosen root (the same trick as Theorem 2.2), and each
+// vertex carries the height of its subtree. Heights are forced exact
+// bottom-up, and every vertex v checks that the longest path whose topmost
+// vertex is v — 2 plus the two largest child heights — fits in D; the maximum
+// of those local values over all v is exactly the diameter, for any rooting.
+//
+// Promise model: instances are trees.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/cert/scheme.hpp"
+
+namespace lcert {
+
+class TreeDiameterScheme final : public Scheme {
+ public:
+  explicit TreeDiameterScheme(std::size_t diameter_bound);
+
+  std::string name() const override { return "tree-diameter<=" + std::to_string(d_); }
+  bool holds(const Graph& g) const override;
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  bool verify(const View& view) const override;
+
+  /// 2 (mod-3 counter) + ceil(log2(D+1)) bits — independent of n.
+  std::size_t certificate_bits() const noexcept;
+
+ private:
+  std::size_t d_;
+};
+
+}  // namespace lcert

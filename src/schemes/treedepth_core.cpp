@@ -1,0 +1,157 @@
+#include "src/schemes/treedepth_core.hpp"
+
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "src/treedepth/elimination.hpp"
+
+namespace lcert {
+
+void TdCore::encode(BitWriter& w) const {
+  w.write_varnat(list.size() - 1);
+  for (VertexId id : list) w.write_varnat(id);
+  for (const TdFragment& f : frags) {
+    w.write_varnat(f.exit_root_id);
+    w.write_varnat(f.parent_id);
+    w.write_varnat(f.dist);
+  }
+}
+
+std::optional<TdCore> TdCore::decode(BitReader& r) {
+  TdCore c;
+  const std::uint64_t d = r.read_varnat();
+  if (d > 4096) return std::nullopt;  // adversarial input guard
+  c.list.resize(d + 1);
+  for (auto& id : c.list) id = r.read_varnat();
+  c.frags.resize(d);
+  for (auto& f : c.frags) {
+    f.exit_root_id = r.read_varnat();
+    f.parent_id = r.read_varnat();
+    f.dist = r.read_varnat();
+  }
+  return c;
+}
+
+bool td_suffix_comparable(const std::vector<VertexId>& a, const std::vector<VertexId>& b) {
+  const auto& shorter = a.size() <= b.size() ? a : b;
+  const auto& longer = a.size() <= b.size() ? b : a;
+  const std::size_t offset = longer.size() - shorter.size();
+  for (std::size_t i = 0; i < shorter.size(); ++i)
+    if (shorter[i] != longer[offset + i]) return false;
+  return true;
+}
+
+namespace {
+
+std::vector<VertexId> suffix_of(const std::vector<VertexId>& list, std::size_t len) {
+  return {list.end() - static_cast<std::ptrdiff_t>(len), list.end()};
+}
+
+}  // namespace
+
+std::vector<TdCore> build_td_cores(const Graph& g, const RootedTree& t) {
+  if (!is_coherent_model(g, t))
+    throw std::invalid_argument("build_td_cores: model must be coherent");
+  const std::size_t n = g.vertex_count();
+  std::vector<TdCore> certs(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (std::size_t a : t.ancestors(u)) certs[u].list.push_back(g.id(a));
+    certs[u].frags.resize(t.depth(u));
+  }
+
+  // One spanning tree per non-root vertex v: BFS over G_v from the exit vertex.
+  for (Vertex v = 0; v < n; ++v) {
+    if (t.parent(v) == RootedTree::kNoParent) continue;
+    const std::size_t k = t.depth(v);
+    const Vertex exit = exit_vertex(g, t, v);
+    const auto members = t.subtree(v);
+    std::unordered_map<Vertex, bool> in_subtree;
+    for (Vertex m : members) in_subtree[m] = true;
+    std::unordered_map<Vertex, Vertex> parent;
+    std::unordered_map<Vertex, std::uint64_t> dist;
+    std::queue<Vertex> q;
+    dist[exit] = 0;
+    q.push(exit);
+    while (!q.empty()) {
+      const Vertex x = q.front();
+      q.pop();
+      for (Vertex y : g.neighbors(x)) {
+        if (!in_subtree.count(y) || dist.count(y)) continue;
+        dist[y] = dist[x] + 1;
+        parent[y] = x;
+        q.push(y);
+      }
+    }
+    if (dist.size() != members.size())
+      throw std::logic_error("build_td_cores: G_v not connected (model not coherent?)");
+    for (Vertex u : members) {
+      TdFragment& f = certs[u].frags.at(k - 1);
+      f.exit_root_id = g.id(exit);
+      f.parent_id = (u == exit) ? g.id(u) : g.id(parent.at(u));
+      f.dist = dist.at(u);
+    }
+  }
+  return certs;
+}
+
+bool verify_td_core(const View& view, const TdCore& mine, const std::vector<TdCore>& nbs,
+                    std::size_t t) {
+  const std::size_t d = mine.depth();
+
+  // Step 1: depth bound, own ID first, root agreement.
+  if (d + 1 > t) return false;
+  if (mine.list.front() != view.id) return false;
+  for (std::size_t i = 0; i < nbs.size(); ++i) {
+    if (nbs[i].list.front() != view.neighbors[i].id) return false;
+    if (nbs[i].list.back() != mine.list.back()) return false;
+    // Step 2: ancestor-descendant comparability. (Equal-length lists cannot
+    // match: they start with distinct IDs.)
+    if (!td_suffix_comparable(mine.list, nbs[i].list)) return false;
+  }
+
+  // Step 3 is structural: decode() forces exactly d fragments.
+
+  // Step 4: per-ancestor spanning tree checks.
+  for (std::size_t k = 1; k <= d; ++k) {
+    const TdFragment& f = mine.frags[k - 1];
+    const auto my_suffix = suffix_of(mine.list, k + 1);
+
+    // Neighbors inside G_v (same (k+1)-suffix).
+    std::vector<std::size_t> inside;
+    for (std::size_t i = 0; i < nbs.size(); ++i) {
+      if (nbs[i].list.size() < k + 1) continue;
+      if (suffix_of(nbs[i].list, k + 1) == my_suffix) inside.push_back(i);
+    }
+    for (std::size_t i : inside)
+      if (nbs[i].frags[k - 1].exit_root_id != f.exit_root_id) return false;
+
+    const bool i_am_exit = (f.exit_root_id == view.id);
+    if (i_am_exit != (f.dist == 0)) return false;
+    if (i_am_exit) {
+      if (f.parent_id != view.id) return false;
+      // The exit vertex must touch v's parent: a neighbor whose *full* list
+      // is our k-suffix (Claim 1's witness).
+      const auto parent_list = suffix_of(mine.list, k);
+      bool found = false;
+      for (const auto& nb : nbs)
+        if (nb.list == parent_list) {
+          found = true;
+          break;
+        }
+      if (!found) return false;
+    } else {
+      bool found = false;
+      for (std::size_t i : inside) {
+        if (view.neighbors[i].id == f.parent_id && nbs[i].frags[k - 1].dist + 1 == f.dist) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace lcert

@@ -1,0 +1,53 @@
+// Shared core of the Theorem 2.4 certification, reused by Theorem 2.6.
+//
+// The kernel scheme (Section 6) embeds the full treedepth certificate — the
+// ancestor ID lists and the per-ancestor spanning-tree fragments — and adds
+// its own fields on top. This header exposes the certificate structure, the
+// prover-side construction from a coherent model, and the radius-1
+// verification of the Section 5 steps, so both schemes share one audited
+// implementation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/cert/scheme.hpp"
+#include "src/graph/graph.hpp"
+#include "src/graph/rooted_tree.hpp"
+
+namespace lcert {
+
+/// One spanning-tree fragment: this vertex's slice of the spanning tree of
+/// G_v for one ancestor v, rooted at v's exit vertex.
+struct TdFragment {
+  VertexId exit_root_id = 0;
+  VertexId parent_id = 0;
+  std::uint64_t dist = 0;
+};
+
+/// The Theorem 2.4 certificate of one vertex.
+struct TdCore {
+  std::vector<VertexId> list;     ///< ancestor IDs, own first, root last
+  std::vector<TdFragment> frags;  ///< frags[k-1] certifies G_{ancestor at depth k}
+
+  std::size_t depth() const { return list.size() - 1; }
+
+  void encode(BitWriter& w) const;
+  /// Decoding of adversarial input; nullopt on malformed structure.
+  static std::optional<TdCore> decode(BitReader& r);
+};
+
+/// Prover side: the per-vertex cores for a *coherent* model of g.
+std::vector<TdCore> build_td_cores(const Graph& g, const RootedTree& coherent_model);
+
+/// Verifier side: Section 5's steps 1-4 at one vertex. `t` is the depth bound
+/// (levels). `mine`/`nbs` must be pre-decoded; `nbs` is index-parallel to
+/// `view.neighbors`. Returns false on any violation.
+bool verify_td_core(const View& view, const TdCore& mine, const std::vector<TdCore>& nbs,
+                    std::size_t t);
+
+/// True iff one ancestor list is a suffix of the other.
+bool td_suffix_comparable(const std::vector<VertexId>& a, const std::vector<VertexId>& b);
+
+}  // namespace lcert

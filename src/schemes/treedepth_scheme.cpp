@@ -1,0 +1,82 @@
+#include "src/schemes/treedepth_scheme.hpp"
+
+#include <stdexcept>
+
+#include "src/schemes/treedepth_core.hpp"
+#include "src/treedepth/elimination.hpp"
+#include "src/treedepth/exact.hpp"
+#include "src/treedepth/heuristic.hpp"
+
+namespace lcert {
+
+namespace {
+
+std::optional<RootedTree> default_witness(const Graph& g, std::size_t t) {
+  if (g.vertex_count() <= 20) {
+    const auto result = exact_treedepth_with_model(g);
+    if (result.treedepth > t) return std::nullopt;
+    return result.model;
+  }
+  RootedTree h = heuristic_elimination_tree(g);
+  if (model_depth(h) > t) return std::nullopt;
+  return h;
+}
+
+}  // namespace
+
+TreedepthScheme::TreedepthScheme(std::size_t t, WitnessProvider witness)
+    : t_(t), witness_(std::move(witness)) {
+  if (t == 0) throw std::invalid_argument("TreedepthScheme: t must be >= 1");
+}
+
+bool TreedepthScheme::holds(const Graph& g) const {
+  if (witness_) {
+    const auto w = witness_(g);
+    if (w.has_value() && is_valid_model(g, *w) && model_depth(*w) <= t_) return true;
+    // A failed custom witness is inconclusive; fall through to the solver.
+  }
+  if (g.vertex_count() <= 20) return exact_treedepth(g) <= t_;
+  if (model_depth(heuristic_elimination_tree(g)) <= t_) return true;
+  throw std::invalid_argument(
+      "TreedepthScheme::holds: no witness and the instance is too large for the exact solver");
+}
+
+std::optional<std::vector<Certificate>> TreedepthScheme::assign(const Graph& g) const {
+  std::optional<RootedTree> model;
+  if (witness_) {
+    auto w = witness_(g);
+    if (w.has_value() && is_valid_model(g, *w) && model_depth(*w) <= t_)
+      model = make_coherent(g, *w);
+  }
+  if (!model.has_value()) {
+    auto w = default_witness(g, t_);
+    if (!w.has_value()) return std::nullopt;
+    model = make_coherent(g, *w);
+  }
+
+  const auto cores = build_td_cores(g, *model);
+  std::vector<Certificate> out(g.vertex_count());
+  for (Vertex u = 0; u < g.vertex_count(); ++u) {
+    BitWriter w;
+    cores[u].encode(w);
+    out[u] = Certificate::from_writer(w);
+  }
+  return out;
+}
+
+bool TreedepthScheme::verify(const View& view) const {
+  BitReader r = view.certificate.reader();
+  const auto mine = TdCore::decode(r);
+  if (!mine.has_value()) return false;
+  std::vector<TdCore> nbs;
+  nbs.reserve(view.neighbors.size());
+  for (const auto& nb : view.neighbors) {
+    BitReader nr = nb.certificate.reader();
+    auto c = TdCore::decode(nr);
+    if (!c.has_value()) return false;
+    nbs.push_back(std::move(*c));
+  }
+  return verify_td_core(view, *mine, nbs, t_);
+}
+
+}  // namespace lcert

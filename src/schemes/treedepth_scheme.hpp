@@ -1,0 +1,60 @@
+// Theorem 2.4: "treedepth <= t" is certifiable with O(t log n) bits.
+//
+// Section 5's construction, implemented faithfully. On a yes-instance the
+// prover fixes a coherent elimination tree T of depth <= t and labels each
+// vertex u (at depth d, root at depth 0) with:
+//   - the list of IDs of u's ancestors, from u itself up to the root
+//     (d + 1 IDs);
+//   - for every ancestor v of u at depth k = 1..d (including u itself), u's
+//     fragment of a spanning tree of G_v rooted at the *exit vertex* of v
+//     (a vertex of G_v adjacent to v's parent, which exists by coherence):
+//     the exit vertex's ID, u's parent ID in that spanning tree, and u's
+//     distance to the exit vertex.
+//
+// The verifier implements the paper's four steps:
+//  (1) d + 1 <= t, the list starts with the vertex's own ID, and all
+//      neighbors agree on the root (last) ID;
+//  (2) every graph neighbor's list is suffix-comparable with ours (edges may
+//      only join ancestor-descendant pairs);
+//  (3) there are exactly d spanning-tree fragments;
+//  (4) for each k: the fragment is locally a correct spanning tree among the
+//      vertices sharing our (k+1)-suffix (i.e. the vertices of G_v), and if
+//      we are the fragment's root (the exit vertex) we have a graph neighbor
+//      whose full list is our k-suffix — that neighbor is v's parent, and its
+//      existence is what stitches the ancestor lists into a real elimination
+//      tree (Claim 1 of the paper).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "src/cert/scheme.hpp"
+#include "src/graph/rooted_tree.hpp"
+
+namespace lcert {
+
+class TreedepthScheme final : public Scheme {
+ public:
+  /// Supplies a witness elimination tree for assign(); the default tries the
+  /// exact solver (n <= 20) then the heuristic. Generated benchmark instances
+  /// install the generator's own witness to stay honest at scale.
+  using WitnessProvider = std::function<std::optional<RootedTree>(const Graph&)>;
+
+  explicit TreedepthScheme(std::size_t t, WitnessProvider witness = {});
+
+  std::string name() const override { return "treedepth<=" + std::to_string(t_); }
+
+  /// Ground truth. Uses the exact solver; requires n <= 20 unless the witness
+  /// provider already certifies the yes side.
+  bool holds(const Graph& g) const override;
+
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  bool verify(const View& view) const override;
+
+ private:
+  std::size_t t_;
+  WitnessProvider witness_;
+};
+
+}  // namespace lcert

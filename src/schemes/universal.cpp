@@ -1,0 +1,103 @@
+#include "src/schemes/universal.hpp"
+
+#include <algorithm>
+
+namespace lcert {
+
+namespace {
+
+struct Description {
+  std::vector<VertexId> ids;
+  std::vector<bool> adjacency;  // upper triangle, row-major
+
+  static std::size_t tri_index(std::size_t i, std::size_t j, std::size_t n) {
+    if (i > j) std::swap(i, j);
+    return i * n - i * (i + 1) / 2 + (j - i - 1);
+  }
+
+  bool edge(std::size_t i, std::size_t j, std::size_t n) const {
+    return adjacency[tri_index(i, j, n)];
+  }
+
+  void encode(BitWriter& w) const {
+    w.write_varnat(ids.size());
+    for (VertexId id : ids) w.write_varnat(id);
+    for (bool b : adjacency) w.write_bit(b);
+  }
+
+  static std::optional<Description> decode(BitReader& r) {
+    Description d;
+    const std::uint64_t n = r.read_varnat();
+    if (n == 0 || n > 100000) return std::nullopt;
+    d.ids.resize(n);
+    for (auto& id : d.ids) id = r.read_varnat();
+    d.adjacency.resize(n * (n - 1) / 2);
+    for (std::size_t i = 0; i < d.adjacency.size(); ++i) d.adjacency[i] = r.read_bit();
+    return d;
+  }
+
+  Graph materialize() const {
+    const std::size_t n = ids.size();
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t j = i + 1; j < n; ++j)
+        if (edge(i, j, n)) edges.emplace_back(i, j);
+    Graph g(n, edges);
+    g.set_ids(ids);
+    return g;
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<Certificate>> UniversalScheme::assign(const Graph& g) const {
+  if (!predicate_(g)) return std::nullopt;
+  Description d;
+  const std::size_t n = g.vertex_count();
+  d.ids.resize(n);
+  for (Vertex v = 0; v < n; ++v) d.ids[v] = g.id(v);
+  d.adjacency.assign(n * (n - 1) / 2, false);
+  for (auto [u, v] : g.edges()) d.adjacency[Description::tri_index(u, v, n)] = true;
+  BitWriter w;
+  d.encode(w);
+  const Certificate cert = Certificate::from_writer(w);
+  return std::vector<Certificate>(n, cert);
+}
+
+bool UniversalScheme::verify(const View& view) const {
+  // Identical description everywhere (bitwise suffices: encoding is canonical).
+  for (const auto& nb : view.neighbors)
+    if (!(nb.certificate == view.certificate)) return false;
+
+  BitReader r = view.certificate.reader();
+  const auto d = Description::decode(r);
+  if (!d.has_value()) return false;
+  const std::size_t n = d->ids.size();
+
+  // Distinct IDs, and locate ourselves.
+  std::size_t me = SIZE_MAX;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d->ids[i] == view.id) me = i;
+    for (std::size_t j = i + 1; j < n; ++j)
+      if (d->ids[i] == d->ids[j]) return false;
+  }
+  if (me == SIZE_MAX) return false;
+
+  // Our described row must equal our actual neighborhood (as ID sets).
+  std::vector<VertexId> described;
+  for (std::size_t j = 0; j < n; ++j)
+    if (j != me && d->edge(me, j, n)) described.push_back(d->ids[j]);
+  std::vector<VertexId> actual;
+  for (const auto& nb : view.neighbors) actual.push_back(nb.id);
+  std::sort(described.begin(), described.end());
+  std::sort(actual.begin(), actual.end());
+  if (described != actual) return false;
+
+  // The described graph must be connected (rules out padded phantom
+  // components) and must satisfy the property.
+  Graph described_graph = d->materialize();
+  if (!described_graph.is_connected()) return false;
+  return predicate_(described_graph);
+}
+
+}  // namespace lcert

@@ -1,0 +1,35 @@
+// The folklore universal certification (Section 1.2): give every vertex the
+// full description of the graph — adjacency matrix plus the ID table — and
+// let each vertex check (a) the description is identical to its neighbors',
+// (b) its own row matches its actual neighborhood, and (c) the described
+// graph satisfies the property. Works for ANY decidable property at O(n^2)
+// bits per vertex; it is the baseline every compact scheme is measured
+// against in the benches.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "src/cert/scheme.hpp"
+
+namespace lcert {
+
+class UniversalScheme final : public Scheme {
+ public:
+  using Predicate = std::function<bool(const Graph&)>;
+
+  UniversalScheme(std::string property_name, Predicate predicate)
+      : property_name_(std::move(property_name)), predicate_(std::move(predicate)) {}
+
+  std::string name() const override { return "universal[" + property_name_ + "]"; }
+  bool holds(const Graph& g) const override { return predicate_(g); }
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  bool verify(const View& view) const override;
+
+ private:
+  std::string property_name_;
+  Predicate predicate_;
+};
+
+}  // namespace lcert

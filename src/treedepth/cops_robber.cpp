@@ -1,0 +1,113 @@
+#include "src/treedepth/cops_robber.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "src/treedepth/elimination.hpp"
+
+namespace lcert {
+
+namespace {
+
+using Mask = std::uint32_t;
+
+Mask component_of(const Graph& g, Mask free_mask, Vertex seed) {
+  Mask comp = Mask{1} << seed;
+  Mask frontier = comp;
+  while (frontier != 0) {
+    const Vertex v = static_cast<Vertex>(__builtin_ctz(frontier));
+    frontier &= frontier - 1;
+    for (Vertex w : g.neighbors(v)) {
+      const Mask bit = Mask{1} << w;
+      if ((free_mask & bit) && !(comp & bit)) {
+        comp |= bit;
+        frontier |= bit;
+      }
+    }
+  }
+  return comp;
+}
+
+// Game value with the robber confined to the connected free region `region`:
+// cops announce a vertex v; if v is in the region, the robber relocates to
+// any component of region - v; cops pay 1 per placement. Placing outside the
+// robber's region is pointless, so the search restricts to v in region.
+struct GameSolver {
+  const Graph& g;
+  std::unordered_map<Mask, std::uint8_t> memo;
+
+  std::size_t value(Mask region) {
+    if (auto it = memo.find(region); it != memo.end()) return it->second;
+    if (__builtin_popcount(region) == 1) {
+      memo[region] = 1;
+      return 1;
+    }
+    std::size_t best = static_cast<std::size_t>(__builtin_popcount(region));
+    for (Mask rest = region; rest != 0; rest &= rest - 1) {
+      const Vertex v = static_cast<Vertex>(__builtin_ctz(rest));
+      const Mask after = region & ~(Mask{1} << v);
+      // Robber picks the worst component reachable from its current position;
+      // since it may relocate anywhere in `region` before the cop lands, it
+      // can reach every component of `after`.
+      std::size_t robber_best = 0;
+      Mask todo = after;
+      while (todo != 0) {
+        const Vertex seed = static_cast<Vertex>(__builtin_ctz(todo));
+        const Mask comp = component_of(g, after, seed);
+        todo &= ~comp;
+        robber_best = std::max(robber_best, value(comp));
+      }
+      best = std::min(best, 1 + robber_best);
+      if (best == 1) break;
+    }
+    memo[region] = static_cast<std::uint8_t>(best);
+    return best;
+  }
+};
+
+}  // namespace
+
+std::size_t cops_and_robber_number(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0 || n > 25) throw std::invalid_argument("cops_and_robber_number: n out of range");
+  if (!g.is_connected())
+    throw std::invalid_argument("cops_and_robber_number: graph must be connected");
+  GameSolver solver{g, {}};
+  return solver.value((Mask{1} << n) - 1);
+}
+
+std::size_t simulate_tree_strategy(const Graph& g, const RootedTree& t) {
+  if (!is_valid_model(g, t))
+    throw std::invalid_argument("simulate_tree_strategy: tree is not a model of g");
+  const std::size_t n = g.vertex_count();
+  if (n > 25) throw std::invalid_argument("simulate_tree_strategy: n out of range");
+
+  // The cop strategy: the robber's region is always the vertex set of some
+  // subtree minus already-shot ancestors; shoot the highest not-yet-shot
+  // vertex of the subtree containing the robber. Because every edge respects
+  // ancestry, the robber's component is contained in one child subtree after
+  // each shot. The adversarial robber picks the component maximizing the
+  // number of future shots, computed by recursion over subtrees.
+  //
+  // cost(v) = 1 + max over components of (subtree(v) - v) of cost(component
+  // root's subtree) — but a component of subtree(v) - v in g may span several
+  // children subtrees only if an edge joined them, impossible (edges respect
+  // ancestry and children subtrees are incomparable). So components after
+  // shooting v are unions of whole child subtrees? No: each component lies
+  // inside exactly one child subtree (edges inside subtree(v)-v stay within a
+  // child's subtree). The robber therefore picks the child subtree with the
+  // deepest strategy cost.
+  struct Rec {
+    const RootedTree& t;
+    std::size_t run(std::size_t v) const {
+      std::size_t worst = 0;
+      for (std::size_t c : t.children(v)) worst = std::max(worst, run(c));
+      return 1 + worst;
+    }
+  };
+  return Rec{t}.run(t.root());
+}
+
+}  // namespace lcert

@@ -1,0 +1,28 @@
+// Cops-and-robber characterization of treedepth ([33], used by Lemma 7.3).
+//
+// Immobile cops are placed one at a time; before each placement the position
+// is announced and the robber may move anywhere reachable without crossing an
+// already-placed cop. The minimum number of cops that guarantees capture is
+// exactly the treedepth. This module provides (a) the optimal game value by
+// adversarial search — an independent re-derivation of treedepth used to
+// cross-check the subset-DP solver — and (b) a simulator that plays the cop
+// strategy induced by an elimination tree against an optimal robber, the
+// argument used in the proof of Lemma 7.3.
+#pragma once
+
+#include <cstddef>
+
+#include "src/graph/graph.hpp"
+#include "src/graph/rooted_tree.hpp"
+
+namespace lcert {
+
+/// Optimal number of cops to catch the robber (== treedepth). n <= 25.
+std::size_t cops_and_robber_number(const Graph& g);
+
+/// Number of cops consumed when cops follow the elimination-tree strategy
+/// (always shoot the root of the robber's current subtree) and the robber
+/// plays optimally against it. Always >= treedepth and <= model_depth(t).
+std::size_t simulate_tree_strategy(const Graph& g, const RootedTree& t);
+
+}  // namespace lcert

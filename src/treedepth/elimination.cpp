@@ -1,0 +1,85 @@
+#include "src/treedepth/elimination.hpp"
+
+#include <stdexcept>
+
+namespace lcert {
+
+bool is_valid_model(const Graph& g, const RootedTree& t) {
+  if (g.vertex_count() != t.size()) return false;
+  for (auto [u, v] : g.edges())
+    if (!t.is_ancestor(u, v) && !t.is_ancestor(v, u)) return false;
+  return true;
+}
+
+bool is_coherent_model(const Graph& g, const RootedTree& t) {
+  if (!is_valid_model(g, t)) return false;
+  for (std::size_t v = 0; v < t.size(); ++v) {
+    for (std::size_t w : t.children(v)) {
+      bool found = false;
+      for (std::size_t x : t.subtree(w)) {
+        if (g.has_edge(x, v)) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+RootedTree make_coherent(const Graph& g, const RootedTree& t) {
+  if (!is_valid_model(g, t))
+    throw std::invalid_argument("make_coherent: not a valid model");
+  std::vector<std::size_t> parent(t.size());
+  for (std::size_t v = 0; v < t.size(); ++v) parent[v] = t.parent(v);
+
+  // Re-attachment loop (Lemma B.1). Each re-attachment strictly decreases the
+  // sum of depths, so this terminates.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    RootedTree cur(parent);
+    for (std::size_t v = 0; v < cur.size() && !changed; ++v) {
+      for (std::size_t w : cur.children(v)) {
+        const auto sub = cur.subtree(w);
+        bool adjacent_to_v = false;
+        for (std::size_t x : sub)
+          if (g.has_edge(x, v)) {
+            adjacent_to_v = true;
+            break;
+          }
+        if (adjacent_to_v) continue;
+        // Find the lowest proper ancestor of v adjacent to G_w; must exist
+        // since g is connected and all edges respect ancestry.
+        std::size_t attach = RootedTree::kNoParent;
+        for (std::size_t a = cur.parent(v); a != RootedTree::kNoParent; a = cur.parent(a)) {
+          for (std::size_t x : sub)
+            if (g.has_edge(x, a)) {
+              attach = a;
+              break;
+            }
+          if (attach != RootedTree::kNoParent) break;
+        }
+        if (attach == RootedTree::kNoParent)
+          throw std::logic_error("make_coherent: disconnected subtree (graph not connected?)");
+        parent[w] = attach;
+        changed = true;
+        break;
+      }
+    }
+  }
+  RootedTree out(parent);
+  if (!is_coherent_model(g, out)) throw std::logic_error("make_coherent: postcondition failed");
+  return out;
+}
+
+Vertex exit_vertex(const Graph& g, const RootedTree& t, Vertex v) {
+  const std::size_t p = t.parent(v);
+  if (p == RootedTree::kNoParent) throw std::invalid_argument("exit_vertex: root has none");
+  for (std::size_t x : t.subtree(v))
+    if (g.has_edge(x, p)) return x;
+  throw std::invalid_argument("exit_vertex: model is not coherent at this vertex");
+}
+
+}  // namespace lcert

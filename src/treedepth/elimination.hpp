@@ -1,0 +1,37 @@
+// Elimination trees (models) of a graph, Definition 3.1 and Remark 1.
+//
+// Convention: the paper alternates between counting levels and edges; we use
+// the standard convention throughout the library — the *depth of a model* is
+// the maximum number of vertices on a root-to-leaf path, and treedepth(G) is
+// the minimum model depth. Under this convention td(P_7) = 3, td(C_8) = 4 and
+// the Theorem 2.5 gadget has treedepth 5, matching Lemma 7.3 exactly.
+#pragma once
+
+#include <cstddef>
+
+#include "src/graph/graph.hpp"
+#include "src/graph/rooted_tree.hpp"
+
+namespace lcert {
+
+/// Depth of a model = number of levels = height in edges + 1.
+inline std::size_t model_depth(const RootedTree& t) { return t.height() + 1; }
+
+/// True iff `t` is a model of `g`: same vertex set and every edge of g joins
+/// an ancestor-descendant pair of t.
+bool is_valid_model(const Graph& g, const RootedTree& t);
+
+/// True iff the model is coherent: every child subtree G_w contains a vertex
+/// adjacent (in g) to the parent v (Section 3.1).
+bool is_coherent_model(const Graph& g, const RootedTree& t);
+
+/// Lemma B.1: rewires a valid model into a coherent one of no greater depth
+/// by repeatedly re-attaching offending subtrees to the lowest ancestor they
+/// connect to. Requires g connected and t a valid model.
+RootedTree make_coherent(const Graph& g, const RootedTree& t);
+
+/// Exit vertex of v (Section 5): a vertex of G_v adjacent to v's parent.
+/// Requires a coherent model; throws for the root.
+Vertex exit_vertex(const Graph& g, const RootedTree& t, Vertex v);
+
+}  // namespace lcert

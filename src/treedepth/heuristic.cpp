@@ -1,0 +1,86 @@
+#include "src/treedepth/heuristic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "src/treedepth/elimination.hpp"
+
+namespace lcert {
+
+namespace {
+
+// Chooses a split vertex for the component `comp`: the vertex minimizing the
+// eccentricity within the component (a BFS-based 2-approximation of the
+// center), breaking ties by maximum degree inside the component.
+Vertex choose_split(const Graph& g, const std::vector<Vertex>& comp,
+                    const std::vector<bool>& alive) {
+  if (comp.size() == 1) return comp[0];
+  // Double-BFS from an arbitrary vertex to find a peripheral vertex, then the
+  // midpoint of the longest shortest path approximates the center.
+  auto bfs = [&](Vertex s) {
+    std::vector<std::size_t> dist(g.vertex_count(), SIZE_MAX);
+    std::vector<Vertex> order{s};
+    dist[s] = 0;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const Vertex v = order[i];
+      for (Vertex w : g.neighbors(v))
+        if (alive[w] && dist[w] == SIZE_MAX) {
+          dist[w] = dist[v] + 1;
+          order.push_back(w);
+        }
+    }
+    return std::pair{dist, order};
+  };
+  auto [d0, order0] = bfs(comp[0]);
+  const Vertex far = order0.back();
+  auto [d1, order1] = bfs(far);
+  // Walk back from the other endpoint to the midpoint of the path.
+  const Vertex end = order1.back();
+  const std::size_t target = d1[end] / 2;
+  Vertex cur = end;
+  while (d1[cur] > target) {
+    for (Vertex w : g.neighbors(cur))
+      if (alive[w] && d1[w] + 1 == d1[cur]) {
+        cur = w;
+        break;
+      }
+  }
+  return cur;
+}
+
+void decompose(const Graph& g, std::vector<bool>& alive, const std::vector<Vertex>& comp,
+               std::size_t attach, std::vector<std::size_t>& parent) {
+  const Vertex v = choose_split(g, comp, alive);
+  parent[v] = attach;
+  alive[v] = false;
+  // Components of comp - v.
+  std::vector<bool> seen(g.vertex_count(), false);
+  for (Vertex s : comp) {
+    if (!alive[s] || seen[s]) continue;
+    std::vector<Vertex> sub{s};
+    seen[s] = true;
+    for (std::size_t i = 0; i < sub.size(); ++i)
+      for (Vertex w : g.neighbors(sub[i]))
+        if (alive[w] && !seen[w]) {
+          seen[w] = true;
+          sub.push_back(w);
+        }
+    decompose(g, alive, sub, v, parent);
+  }
+}
+
+}  // namespace
+
+RootedTree heuristic_elimination_tree(const Graph& g) {
+  if (!g.is_connected())
+    throw std::invalid_argument("heuristic_elimination_tree: graph must be connected");
+  std::vector<std::size_t> parent(g.vertex_count(), RootedTree::kNoParent);
+  std::vector<bool> alive(g.vertex_count(), true);
+  std::vector<Vertex> all(g.vertex_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v) all[v] = v;
+  decompose(g, alive, all, RootedTree::kNoParent, parent);
+  return make_coherent(g, RootedTree(std::move(parent)));
+}
+
+}  // namespace lcert

@@ -1,0 +1,19 @@
+// Heuristic elimination trees for graphs too large for the exact solver.
+//
+// The certification schemes need *some* valid coherent model on yes-instances
+// at benchmark scale; optimality is not required (Theorem 2.4's certificate
+// size is O(depth_of_model * log n), so a good heuristic keeps sizes honest).
+// Strategy: recursively split on a BFS-center-ish separator vertex; on trees
+// this recovers the optimal O(log n)-depth midpoint decomposition.
+#pragma once
+
+#include "src/graph/graph.hpp"
+#include "src/graph/rooted_tree.hpp"
+
+namespace lcert {
+
+/// A valid coherent elimination tree of g (connected). Depth is heuristic,
+/// not optimal; on paths/trees it is within a constant of optimal.
+RootedTree heuristic_elimination_tree(const Graph& g);
+
+}  // namespace lcert

@@ -1,0 +1,208 @@
+#include "src/util/bignum.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace lcert {
+
+BigNat::BigNat(std::uint64_t v) {
+  while (v != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+    v >>= 32;
+  }
+}
+
+BigNat BigNat::from_decimal(const std::string& s) {
+  if (s.empty()) throw std::invalid_argument("BigNat::from_decimal: empty string");
+  BigNat out;
+  for (char c : s) {
+    if (c < '0' || c > '9') throw std::invalid_argument("BigNat::from_decimal: bad digit");
+    out *= BigNat(10);
+    out += BigNat(static_cast<std::uint64_t>(c - '0'));
+  }
+  return out;
+}
+
+void BigNat::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigNat& BigNat::operator+=(const BigNat& rhs) {
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t sum = carry + limbs_[i];
+    if (i < rhs.limbs_.size()) sum += rhs.limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(sum & 0xFFFFFFFFu);
+    carry = sum >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return *this;
+}
+
+BigNat& BigNat::operator-=(const BigNat& rhs) {
+  if (*this < rhs) throw std::underflow_error("BigNat::operator-=: negative result");
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow -
+                        (i < rhs.limbs_.size() ? static_cast<std::int64_t>(rhs.limbs_[i]) : 0);
+    if (diff < 0) {
+      diff += (std::int64_t{1} << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    limbs_[i] = static_cast<std::uint32_t>(diff);
+  }
+  trim();
+  return *this;
+}
+
+BigNat& BigNat::operator*=(const BigNat& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<std::uint32_t> out(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      std::uint64_t cur = static_cast<std::uint64_t>(limbs_[i]) * rhs.limbs_[j] +
+                          out[i + j] + carry;
+      out[i + j] = static_cast<std::uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + rhs.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur & 0xFFFFFFFFu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+BigNat BigNat::div_u32(std::uint32_t divisor, std::uint32_t& remainder) const {
+  if (divisor == 0) throw std::domain_error("BigNat::div_u32: division by zero");
+  BigNat q;
+  q.limbs_.assign(limbs_.size(), 0);
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    std::uint64_t cur = (rem << 32) | limbs_[i];
+    q.limbs_[i] = static_cast<std::uint32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  q.trim();
+  remainder = static_cast<std::uint32_t>(rem);
+  return q;
+}
+
+void BigNat::div_mod(const BigNat& a, const BigNat& b, BigNat& quotient, BigNat& remainder) {
+  if (b.is_zero()) throw std::domain_error("BigNat::div_mod: division by zero");
+  // Bitwise long division: adequate for the sizes the library manipulates
+  // (tree counts with a few thousand bits).
+  quotient = BigNat();
+  remainder = BigNat();
+  const std::size_t bits = a.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    // remainder = remainder * 2 + bit_i(a)
+    remainder *= BigNat(2);
+    const std::uint32_t limb = a.limbs_[i / 32];
+    if ((limb >> (i % 32)) & 1u) remainder += BigNat(1);
+    // quotient bit
+    if (remainder >= b) {
+      remainder -= b;
+      // set bit i of quotient
+      const std::size_t limb_index = i / 32;
+      if (quotient.limbs_.size() <= limb_index) quotient.limbs_.resize(limb_index + 1, 0);
+      quotient.limbs_[limb_index] |= (std::uint32_t{1} << (i % 32));
+    }
+  }
+  quotient.trim();
+}
+
+std::strong_ordering BigNat::operator<=>(const BigNat& rhs) const noexcept {
+  if (limbs_.size() != rhs.limbs_.size())
+    return limbs_.size() <=> rhs.limbs_.size();
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != rhs.limbs_[i]) return limbs_[i] <=> rhs.limbs_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+std::size_t BigNat::bit_length() const noexcept {
+  if (limbs_.empty()) return 0;
+  std::uint32_t top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+double BigNat::to_double() const noexcept {
+  double out = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    out = out * 4294967296.0 + static_cast<double>(limbs_[i]);
+    if (out > std::numeric_limits<double>::max() / 4294967296.0 && i > 0)
+      return std::numeric_limits<double>::max();
+  }
+  return out;
+}
+
+std::uint64_t BigNat::to_u64() const {
+  if (limbs_.size() > 2) throw std::overflow_error("BigNat::to_u64: too large");
+  std::uint64_t out = 0;
+  if (limbs_.size() >= 2) out = static_cast<std::uint64_t>(limbs_[1]) << 32;
+  if (limbs_.size() >= 1) out |= limbs_[0];
+  return out;
+}
+
+std::string BigNat::to_decimal() const {
+  if (is_zero()) return "0";
+  std::string out;
+  BigNat cur = *this;
+  while (!cur.is_zero()) {
+    std::uint32_t rem = 0;
+    cur = cur.div_u32(10, rem);
+    out.push_back(static_cast<char>('0' + rem));
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+BigNat BigNat::pow(const BigNat& base, std::uint64_t exponent) {
+  BigNat result(1);
+  BigNat b = base;
+  while (exponent != 0) {
+    if (exponent & 1) result *= b;
+    exponent >>= 1;
+    if (exponent != 0) b *= b;
+  }
+  return result;
+}
+
+BigNat BigNat::factorial(std::uint64_t n) {
+  BigNat result(1);
+  for (std::uint64_t i = 2; i <= n; ++i) result *= BigNat(i);
+  return result;
+}
+
+BigNat BigNat::binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return BigNat(0);
+  k = std::min(k, n - k);
+  BigNat num(1);
+  for (std::uint64_t i = 0; i < k; ++i) num *= BigNat(n - i);
+  BigNat den = factorial(k);
+  BigNat q, r;
+  div_mod(num, den, q, r);
+  return q;
+}
+
+}  // namespace lcert

@@ -1,0 +1,65 @@
+// Arbitrary-precision naturals.
+//
+// Theorem 2.3's lower bound rests on the count of non-isomorphic rooted trees
+// of bounded depth ([42]); the counts overflow 64 bits long before the
+// injection from strings to trees becomes interesting, so the tree-unranking
+// machinery in src/lowerbounds/ needs exact big-integer arithmetic. Only the
+// operations that machinery uses are provided.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+#include <compare>
+
+namespace lcert {
+
+/// Unsigned arbitrary-precision integer, little-endian base-2^32 limbs.
+class BigNat {
+ public:
+  BigNat() = default;
+  BigNat(std::uint64_t v);  // NOLINT(google-explicit-constructor): numeric literal convenience
+
+  static BigNat from_decimal(const std::string& s);
+
+  bool is_zero() const noexcept { return limbs_.empty(); }
+
+  BigNat& operator+=(const BigNat& rhs);
+  BigNat& operator-=(const BigNat& rhs);  ///< Requires *this >= rhs.
+  BigNat& operator*=(const BigNat& rhs);
+
+  friend BigNat operator+(BigNat a, const BigNat& b) { return a += b; }
+  friend BigNat operator-(BigNat a, const BigNat& b) { return a -= b; }
+  friend BigNat operator*(BigNat a, const BigNat& b) { return a *= b; }
+
+  /// Division by a machine word; returns quotient, sets `remainder`.
+  BigNat div_u32(std::uint32_t divisor, std::uint32_t& remainder) const;
+
+  /// Floor division and modulo by another BigNat (schoolbook; fine for our sizes).
+  static void div_mod(const BigNat& a, const BigNat& b, BigNat& quotient, BigNat& remainder);
+
+  std::strong_ordering operator<=>(const BigNat& rhs) const noexcept;
+  bool operator==(const BigNat& rhs) const noexcept = default;
+
+  /// floor(log2(x)) + 1, i.e. the bit length; 0 for zero.
+  std::size_t bit_length() const noexcept;
+
+  /// Lossy conversion for reporting; saturates at max double.
+  double to_double() const noexcept;
+
+  /// Exact conversion; throws std::overflow_error if it does not fit.
+  std::uint64_t to_u64() const;
+
+  std::string to_decimal() const;
+
+  static BigNat pow(const BigNat& base, std::uint64_t exponent);
+  static BigNat factorial(std::uint64_t n);
+  /// Binomial coefficient C(n, k).
+  static BigNat binomial(std::uint64_t n, std::uint64_t k);
+
+ private:
+  void trim();
+  std::vector<std::uint32_t> limbs_;  // little-endian, no leading zero limb
+};
+
+}  // namespace lcert

@@ -1,0 +1,74 @@
+#include "src/util/bitio.hpp"
+
+namespace lcert {
+
+void BitWriter::write(std::uint64_t value, unsigned width) {
+  if (width > 64) throw std::invalid_argument("BitWriter::write: width > 64");
+  if (width < 64 && (value >> width) != 0)
+    throw std::invalid_argument("BitWriter::write: value does not fit width");
+  for (unsigned i = width; i-- > 0;) {
+    const bool bit = (value >> i) & 1u;
+    const std::size_t byte_index = bit_size_ / 8;
+    if (byte_index == bytes_.size()) bytes_.push_back(0);
+    if (bit) bytes_[byte_index] |= static_cast<std::uint8_t>(0x80u >> (bit_size_ % 8));
+    ++bit_size_;
+  }
+}
+
+void BitWriter::write_varnat(std::uint64_t value) {
+  // Groups of 4 bits, low group first, each preceded by a continuation bit.
+  do {
+    const std::uint64_t group = value & 0xF;
+    value >>= 4;
+    write_bit(value != 0);
+    write(group, 4);
+  } while (value != 0);
+}
+
+void BitWriter::append(const BitWriter& other) {
+  BitReader r(other);
+  std::size_t left = other.bit_size();
+  while (left >= 64) {
+    write(r.read(64), 64);
+    left -= 64;
+  }
+  if (left > 0) write(r.read(static_cast<unsigned>(left)), static_cast<unsigned>(left));
+}
+
+std::uint64_t BitReader::read(unsigned width) {
+  if (width > 64) throw std::invalid_argument("BitReader::read: width > 64");
+  if (pos_ + width > bit_size_) throw std::out_of_range("BitReader::read: truncated stream");
+  std::uint64_t out = 0;
+  for (unsigned i = 0; i < width; ++i) {
+    const std::size_t byte_index = pos_ / 8;
+    const bool bit = ((*bytes_)[byte_index] >> (7 - pos_ % 8)) & 1u;
+    out = (out << 1) | (bit ? 1u : 0u);
+    ++pos_;
+  }
+  return out;
+}
+
+std::uint64_t BitReader::read_varnat() {
+  std::uint64_t out = 0;
+  unsigned shift = 0;
+  bool more = true;
+  while (more) {
+    more = read_bit();
+    const std::uint64_t group = read(4);
+    if (shift >= 64) throw std::out_of_range("BitReader::read_varnat: overflow");
+    out |= group << shift;
+    shift += 4;
+  }
+  return out;
+}
+
+unsigned bits_for(std::uint64_t n) noexcept {
+  unsigned b = 0;
+  while (n > 0) {
+    ++b;
+    n >>= 1;
+  }
+  return b;
+}
+
+}  // namespace lcert

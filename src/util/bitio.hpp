@@ -1,0 +1,76 @@
+// Bit-exact serialization used for certificates.
+//
+// The paper measures certification quality in *bits per vertex*, so schemes
+// must not pay struct padding or byte alignment: every field is written with
+// exactly the number of bits it needs. BitWriter appends fields MSB-first into
+// a byte buffer and tracks the exact bit count; BitReader consumes the same
+// stream and fails loudly (std::out_of_range) on truncated input, which the
+// verification engine treats as a rejection.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lcert {
+
+/// Append-only bit stream. Fields are written MSB-first.
+class BitWriter {
+ public:
+  /// Appends the low `width` bits of `value` (MSB of the field first).
+  /// Requires width <= 64 and value < 2^width.
+  void write(std::uint64_t value, unsigned width);
+
+  /// Appends a single bit.
+  void write_bit(bool bit) { write(bit ? 1 : 0, 1); }
+
+  /// LEB128-style variable-length natural: 4 data bits + 1 continuation bit
+  /// per group. Small values (the common case in certificates) cost 5 bits.
+  void write_varnat(std::uint64_t value);
+
+  /// Appends every bit of another stream (used to concatenate sub-certificates).
+  void append(const BitWriter& other);
+
+  /// Number of bits written so far.
+  std::size_t bit_size() const noexcept { return bit_size_; }
+
+  /// Underlying bytes; the final partial byte is zero-padded.
+  const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_size_ = 0;
+};
+
+/// Sequential reader over a BitWriter's output.
+class BitReader {
+ public:
+  BitReader(const std::vector<std::uint8_t>& bytes, std::size_t bit_size)
+      : bytes_(&bytes), bit_size_(bit_size) {}
+
+  explicit BitReader(const BitWriter& w) : BitReader(w.bytes(), w.bit_size()) {}
+
+  /// Reads `width` bits; throws std::out_of_range past the end.
+  std::uint64_t read(unsigned width);
+
+  bool read_bit() { return read(1) != 0; }
+
+  std::uint64_t read_varnat();
+
+  /// Bits not yet consumed.
+  std::size_t remaining() const noexcept { return bit_size_ - pos_; }
+
+  bool exhausted() const noexcept { return pos_ == bit_size_; }
+
+ private:
+  const std::vector<std::uint8_t>* bytes_;
+  std::size_t bit_size_;
+  std::size_t pos_ = 0;
+};
+
+/// Number of bits needed to store values in [0, n]; bits_for(0) == 0.
+unsigned bits_for(std::uint64_t n) noexcept;
+
+}  // namespace lcert

@@ -1,0 +1,87 @@
+#include "src/util/bignum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace lcert {
+namespace {
+
+TEST(BigNat, SmallArithmetic) {
+  BigNat a(123), b(456);
+  EXPECT_EQ((a + b).to_u64(), 579u);
+  EXPECT_EQ((b - a).to_u64(), 333u);
+  EXPECT_EQ((a * b).to_u64(), 56088u);
+  EXPECT_EQ(BigNat(0).to_decimal(), "0");
+  EXPECT_TRUE(BigNat(0).is_zero());
+}
+
+TEST(BigNat, DecimalRoundTrip) {
+  const std::string digits = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigNat::from_decimal(digits).to_decimal(), digits);
+}
+
+TEST(BigNat, FactorialKnownValues) {
+  EXPECT_EQ(BigNat::factorial(0).to_u64(), 1u);
+  EXPECT_EQ(BigNat::factorial(10).to_u64(), 3628800u);
+  EXPECT_EQ(BigNat::factorial(25).to_decimal(), "15511210043330985984000000");
+}
+
+TEST(BigNat, PowKnownValues) {
+  EXPECT_EQ(BigNat::pow(BigNat(2), 64).to_decimal(), "18446744073709551616");
+  EXPECT_EQ(BigNat::pow(BigNat(10), 30).to_decimal(), std::string("1") + std::string(30, '0'));
+}
+
+TEST(BigNat, BinomialKnownValues) {
+  EXPECT_EQ(BigNat::binomial(10, 3).to_u64(), 120u);
+  EXPECT_EQ(BigNat::binomial(52, 26).to_decimal(), "495918532948104");
+  EXPECT_EQ(BigNat::binomial(3, 7).to_u64(), 0u);
+}
+
+TEST(BigNat, DivModAgainstMultiplication) {
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) {
+    BigNat a = BigNat(rng.uniform(0, ~std::uint64_t{0})) * BigNat(rng.uniform(1, 1u << 30));
+    BigNat b(rng.uniform(1, ~std::uint64_t{0}));
+    BigNat q, r;
+    BigNat::div_mod(a, b, q, r);
+    EXPECT_TRUE(r < b);
+    EXPECT_EQ(q * b + r, a);
+  }
+}
+
+TEST(BigNat, ComparisonOrdering) {
+  EXPECT_TRUE(BigNat(5) < BigNat(6));
+  EXPECT_TRUE(BigNat::pow(BigNat(2), 100) > BigNat::pow(BigNat(2), 99));
+  EXPECT_EQ(BigNat(7), BigNat(7));
+}
+
+TEST(BigNat, BitLength) {
+  EXPECT_EQ(BigNat(0).bit_length(), 0u);
+  EXPECT_EQ(BigNat(1).bit_length(), 1u);
+  EXPECT_EQ(BigNat(255).bit_length(), 8u);
+  EXPECT_EQ(BigNat::pow(BigNat(2), 100).bit_length(), 101u);
+}
+
+TEST(BigNat, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigNat(3) - BigNat(4), std::underflow_error);
+}
+
+TEST(BigNat, ToU64OverflowThrows) {
+  EXPECT_THROW(BigNat::pow(BigNat(2), 70).to_u64(), std::overflow_error);
+}
+
+TEST(BigNat, StressAddSubRoundTrip) {
+  Rng rng(3);
+  BigNat acc(0);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 500; ++i) {
+    values.push_back(rng.uniform(0, ~std::uint64_t{0}));
+    acc += BigNat(values.back());
+  }
+  for (std::size_t i = values.size(); i-- > 0;) acc -= BigNat(values[i]);
+  EXPECT_TRUE(acc.is_zero());
+}
+
+}  // namespace
+}  // namespace lcert

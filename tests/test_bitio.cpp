@@ -1,0 +1,112 @@
+#include "src/util/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace lcert {
+namespace {
+
+TEST(BitIo, RoundTripFixedWidth) {
+  BitWriter w;
+  w.write(0b101, 3);
+  w.write(0xFFFF, 16);
+  w.write(0, 1);
+  w.write(42, 7);
+  EXPECT_EQ(w.bit_size(), 27u);
+
+  BitReader r(w);
+  EXPECT_EQ(r.read(3), 0b101u);
+  EXPECT_EQ(r.read(16), 0xFFFFu);
+  EXPECT_EQ(r.read(1), 0u);
+  EXPECT_EQ(r.read(7), 42u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitIo, RejectsOverwideValue) {
+  BitWriter w;
+  EXPECT_THROW(w.write(4, 2), std::invalid_argument);
+  EXPECT_THROW(w.write(1, 65), std::invalid_argument);
+}
+
+TEST(BitIo, ReadPastEndThrows) {
+  BitWriter w;
+  w.write(3, 2);
+  BitReader r(w);
+  EXPECT_EQ(r.read(2), 3u);
+  EXPECT_THROW(r.read(1), std::out_of_range);
+}
+
+TEST(BitIo, VarnatSmallValuesAreFiveBits) {
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    BitWriter w;
+    w.write_varnat(v);
+    EXPECT_EQ(w.bit_size(), 5u) << v;
+    BitReader r(w);
+    EXPECT_EQ(r.read_varnat(), v);
+  }
+}
+
+TEST(BitIo, VarnatRoundTripRandom) {
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.uniform(0, std::uint64_t{1} << rng.index(64));
+    BitWriter w;
+    w.write_varnat(v);
+    BitReader r(w);
+    EXPECT_EQ(r.read_varnat(), v);
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(BitIo, SixtyFourBitBoundary) {
+  BitWriter w;
+  w.write(~std::uint64_t{0}, 64);
+  w.write_varnat(~std::uint64_t{0});
+  BitReader r(w);
+  EXPECT_EQ(r.read(64), ~std::uint64_t{0});
+  EXPECT_EQ(r.read_varnat(), ~std::uint64_t{0});
+}
+
+TEST(BitIo, AppendConcatenatesStreams) {
+  BitWriter a;
+  a.write(0b1011, 4);
+  BitWriter b;
+  b.write_varnat(123456);
+  a.append(b);
+  BitReader r(a);
+  EXPECT_EQ(r.read(4), 0b1011u);
+  EXPECT_EQ(r.read_varnat(), 123456u);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(BitIo, MixedInterleavedRoundTrip) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::pair<std::uint64_t, unsigned>> fields;
+    BitWriter w;
+    for (int i = 0; i < 40; ++i) {
+      const unsigned width = 1 + static_cast<unsigned>(rng.index(64));
+      const std::uint64_t value =
+          width == 64 ? rng.uniform(0, ~std::uint64_t{0})
+                      : rng.uniform(0, (std::uint64_t{1} << width) - 1);
+      w.write(value, width);
+      fields.emplace_back(value, width);
+    }
+    BitReader r(w);
+    for (auto [value, width] : fields) EXPECT_EQ(r.read(width), value);
+  }
+}
+
+TEST(BitsFor, Values) {
+  EXPECT_EQ(bits_for(0), 0u);
+  EXPECT_EQ(bits_for(1), 1u);
+  EXPECT_EQ(bits_for(2), 2u);
+  EXPECT_EQ(bits_for(3), 2u);
+  EXPECT_EQ(bits_for(4), 3u);
+  EXPECT_EQ(bits_for(255), 8u);
+  EXPECT_EQ(bits_for(256), 9u);
+}
+
+}  // namespace
+}  // namespace lcert

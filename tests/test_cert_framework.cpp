@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "src/cert/audit.hpp"
+#include "src/cert/engine.hpp"
+#include "src/graph/generators.hpp"
+#include "src/util/rng.hpp"
+
+namespace lcert {
+namespace {
+
+// A minimal scheme for exercising the framework: certifies "the graph is a
+// star" by marking the center; leaves check they see exactly one marked
+// neighbor and the center checks it is marked and saw no marked neighbor.
+class StarScheme final : public Scheme {
+ public:
+  std::string name() const override { return "star"; }
+  bool holds(const Graph& g) const override {
+    if (g.vertex_count() <= 2) return true;
+    std::size_t centers = 0;
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      if (g.degree(v) == g.vertex_count() - 1)
+        ++centers;
+      else if (g.degree(v) != 1)
+        return false;
+    }
+    return centers == 1;
+  }
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override {
+    if (!holds(g)) return std::nullopt;
+    std::vector<Certificate> certs(g.vertex_count());
+    for (Vertex v = 0; v < g.vertex_count(); ++v) {
+      BitWriter w;
+      w.write_bit(g.degree(v) == g.vertex_count() - 1 ||
+                  (g.vertex_count() <= 2 && v == 0));
+      certs[v] = Certificate::from_writer(w);
+    }
+    return certs;
+  }
+  bool verify(const View& view) const override {
+    BitReader r = view.certificate.reader();
+    const bool marked = r.read_bit();
+    if (!r.exhausted()) return false;
+    std::size_t marked_neighbors = 0;
+    for (const auto& nb : view.neighbors) {
+      BitReader nr = nb.certificate.reader();
+      if (nr.read_bit()) ++marked_neighbors;
+      if (!nr.exhausted()) return false;
+    }
+    if (marked) return marked_neighbors == 0;
+    return marked_neighbors == 1 && view.degree() == 1;
+  }
+};
+
+TEST(Engine, MakeViewExposesExactlyRadiusOne) {
+  Rng rng(1);
+  Graph g = make_cycle(5);
+  assign_random_ids(g, rng);
+  std::vector<Certificate> certs(5);
+  for (Vertex v = 0; v < 5; ++v) {
+    BitWriter w;
+    w.write(v, 3);
+    certs[v] = Certificate::from_writer(w);
+  }
+  const View view = make_view(g, certs, 0);
+  EXPECT_EQ(view.id, g.id(0));
+  EXPECT_EQ(view.degree(), 2u);
+  EXPECT_TRUE(view.has_neighbor_id(g.id(1)));
+  EXPECT_TRUE(view.has_neighbor_id(g.id(4)));
+  EXPECT_FALSE(view.has_neighbor_id(g.id(2)));
+  EXPECT_EQ(*view.neighbor_certificate(g.id(1)), certs[1]);
+  EXPECT_EQ(view.neighbor_certificate(12345u), nullptr);
+}
+
+TEST(Engine, VerificationOutcomeAccounting) {
+  Rng rng(2);
+  StarScheme scheme;
+  Graph star = make_star(6);
+  assign_random_ids(star, rng);
+  const auto outcome = run_scheme(scheme, star);
+  EXPECT_TRUE(outcome.prover_succeeded);
+  EXPECT_TRUE(outcome.verification.all_accept);
+  EXPECT_EQ(outcome.verification.max_certificate_bits, 1u);
+  EXPECT_EQ(outcome.verification.total_certificate_bits, 6u);
+}
+
+TEST(Engine, RejectingVerticesAreReported) {
+  Rng rng(3);
+  StarScheme scheme;
+  Graph star = make_star(5);
+  assign_random_ids(star, rng);
+  auto certs = *scheme.assign(star);
+  // Unmark the center: every leaf loses its marked neighbor, center passes
+  // (marked=false requires degree 1, center has 4 -> rejects too).
+  BitWriter w;
+  w.write_bit(false);
+  certs[0] = Certificate::from_writer(w);
+  const auto outcome = verify_assignment(scheme, star, certs);
+  EXPECT_FALSE(outcome.all_accept);
+  EXPECT_EQ(outcome.rejecting.size(), 5u);
+}
+
+TEST(Engine, TruncatedCertificateIsARejection) {
+  Rng rng(4);
+  StarScheme scheme;
+  Graph star = make_star(4);
+  assign_random_ids(star, rng);
+  std::vector<Certificate> empty(4);  // zero-bit certs: decode underflow
+  const auto outcome = verify_assignment(scheme, star, empty);
+  EXPECT_FALSE(outcome.all_accept);
+}
+
+TEST(Engine, CertifiedSizeThrowsOnProverFailure) {
+  Rng rng(5);
+  StarScheme scheme;
+  Graph path = make_path(5);
+  assign_random_ids(path, rng);
+  EXPECT_THROW(certified_size_bits(scheme, path), std::logic_error);
+}
+
+TEST(Audit, RequireCompleteValidatesInstances) {
+  Rng rng(6);
+  StarScheme scheme;
+  Graph star = make_star(5);
+  assign_random_ids(star, rng);
+  EXPECT_NO_THROW(require_complete(scheme, star));
+  Graph path = make_path(5);
+  assign_random_ids(path, rng);
+  EXPECT_THROW(require_complete(scheme, path), std::invalid_argument);
+}
+
+TEST(Audit, AttackRejectsYesInstances) {
+  Rng rng(7);
+  StarScheme scheme;
+  Graph star = make_star(5);
+  assign_random_ids(star, rng);
+  EXPECT_THROW(attack_soundness(scheme, star, nullptr, rng), std::invalid_argument);
+}
+
+TEST(Audit, AttackFindsForgeryInUnsoundScheme) {
+  // A scheme whose verifier accepts everything is forged immediately.
+  class AcceptAll final : public Scheme {
+   public:
+    std::string name() const override { return "accept-all"; }
+    bool holds(const Graph& g) const override { return g.vertex_count() % 2 == 0; }
+    std::optional<std::vector<Certificate>> assign(const Graph& g) const override {
+      return std::vector<Certificate>(g.vertex_count());
+    }
+    bool verify(const View&) const override { return true; }
+  };
+  Rng rng(8);
+  AcceptAll scheme;
+  Graph odd = make_path(5);
+  assign_random_ids(odd, rng);
+  const auto forged = attack_soundness(scheme, odd, nullptr, rng);
+  ASSERT_TRUE(forged.has_value());
+}
+
+TEST(Audit, ExhaustiveAttackIsExhaustive) {
+  // A scheme that accepts iff some vertex holds the magic 3-bit value 5 —
+  // random attacks may miss it on a tiny budget; the exhaustive attack cannot.
+  class MagicScheme final : public Scheme {
+   public:
+    std::string name() const override { return "magic"; }
+    bool holds(const Graph&) const override { return false; }  // no yes-instances
+    std::optional<std::vector<Certificate>> assign(const Graph&) const override {
+      return std::nullopt;
+    }
+    bool verify(const View& view) const override {
+      auto has_magic = [](const Certificate& c) {
+        if (c.bit_size != 3) return false;
+        BitReader r = c.reader();
+        return r.read(3) == 5;
+      };
+      if (has_magic(view.certificate)) return true;
+      for (const auto& nb : view.neighbors)
+        if (has_magic(nb.certificate)) return true;
+      return false;
+    }
+  };
+  Rng rng(9);
+  MagicScheme scheme;
+  Graph g = make_path(3);
+  assign_random_ids(g, rng);
+  const auto forged = exhaustive_soundness_attack(scheme, g, 3);
+  ASSERT_TRUE(forged.has_value());
+  EXPECT_EQ(forged->attack, "exhaustive");
+  EXPECT_TRUE(verify_assignment(scheme, g, forged->certificates).all_accept);
+}
+
+TEST(Audit, ExhaustiveAttackRefusesHugeSpaces) {
+  StarScheme scheme;
+  Rng rng(10);
+  Graph path = make_path(12);
+  assign_random_ids(path, rng);
+  EXPECT_THROW(exhaustive_soundness_attack(scheme, path, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lcert

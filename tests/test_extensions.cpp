@@ -1,0 +1,249 @@
+// Tests for the paper's secondary content: the Section 2.3 tree-diameter
+// scheme, Appendix A.1's radius-3 model gap, and the Section 4 labeled-tree
+// (LCL) extension of Theorem 2.2.
+#include <gtest/gtest.h>
+
+#include "src/cert/audit.hpp"
+#include "src/cert/ball.hpp"
+#include "src/cert/engine.hpp"
+#include "src/graph/generators.hpp"
+#include "src/lcl/lcl_scheme.hpp"
+#include "src/schemes/tree_diameter.hpp"
+#include "src/util/rng.hpp"
+
+namespace lcert {
+namespace {
+
+// ---------------------------------------------------------------------------
+// TreeDiameterScheme (Section 2.3).
+// ---------------------------------------------------------------------------
+
+std::size_t tree_diameter(const Graph& g) {
+  const auto d0 = g.bfs_distances(0);
+  Vertex far = 0;
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    if (d0[v] > d0[far]) far = v;
+  const auto d1 = g.bfs_distances(far);
+  std::size_t out = 0;
+  for (std::size_t d : d1) out = std::max(out, d);
+  return out;
+}
+
+TEST(TreeDiameter, HoldsMatchesTrueDiameter) {
+  Rng rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph t = make_random_tree(2 + rng.index(25), rng);
+    const std::size_t diam = tree_diameter(t);
+    EXPECT_TRUE(TreeDiameterScheme(diam).holds(t));
+    if (diam > 0) {
+      EXPECT_FALSE(TreeDiameterScheme(diam - 1).holds(t));
+    }
+  }
+}
+
+TEST(TreeDiameter, CompleteAndConstantSize) {
+  Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph t = make_random_tree(2 + rng.index(40), rng);
+    assign_random_ids(t, rng);
+    const std::size_t diam = tree_diameter(t);
+    TreeDiameterScheme scheme(diam);
+    require_complete(scheme, t);
+    EXPECT_LE(certified_size_bits(scheme, t), scheme.certificate_bits());
+  }
+}
+
+TEST(TreeDiameter, SizeIndependentOfN) {
+  Rng rng(3);
+  TreeDiameterScheme scheme(6);
+  std::size_t bits_small = 0, bits_large = 0;
+  {
+    Graph t = make_caterpillar(5, 1);  // diameter 6
+    assign_random_ids(t, rng);
+    bits_small = certified_size_bits(scheme, t);
+  }
+  {
+    Graph t = make_caterpillar(5, 400);
+    assign_random_ids(t, rng);
+    bits_large = certified_size_bits(scheme, t);
+  }
+  EXPECT_EQ(bits_small, bits_large);
+}
+
+TEST(TreeDiameter, SoundUnderAttack) {
+  Rng rng(4);
+  TreeDiameterScheme scheme(3);
+  Graph no = make_path(6);  // diameter 5
+  assign_random_ids(no, rng);
+  ASSERT_FALSE(scheme.holds(no));
+  Graph yes = make_star(6);  // diameter 2
+  assign_random_ids(yes, rng);
+  const auto tmpl = scheme.assign(yes);
+  ASSERT_TRUE(tmpl.has_value());
+  const auto forged = attack_soundness(scheme, no, &*tmpl, rng);
+  EXPECT_FALSE(forged.has_value()) << forged->attack;
+}
+
+TEST(TreeDiameter, ExhaustiveSoundnessOnTinyPath) {
+  Rng rng(5);
+  TreeDiameterScheme scheme(2);
+  Graph no = make_path(4);  // diameter 3
+  assign_random_ids(no, rng);
+  const auto forged = exhaustive_soundness_attack(scheme, no, 4);
+  EXPECT_FALSE(forged.has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Radius-3 views (Appendix A.1).
+// ---------------------------------------------------------------------------
+
+TEST(BallView, StructureOfBall) {
+  Rng rng(6);
+  Graph g = make_cycle(8);
+  assign_random_ids(g, rng);
+  const std::vector<Certificate> none(8);
+  const BallView view = make_ball_view(g, none, 0, 2);
+  EXPECT_EQ(view.ball.vertex_count(), 5u);  // 0, two at 1, two at 2
+  EXPECT_EQ(view.distance[0], 0u);
+  // The ball is the induced path around vertex 0.
+  EXPECT_EQ(view.ball.edge_count(), 4u);
+}
+
+TEST(BallView, Diameter2FreeAtRadius3) {
+  Rng rng(7);
+  // Yes-instances: stars and complete graphs (diameter <= 2).
+  EXPECT_TRUE(decide_diameter_le_2_radius_3(make_star(12)));
+  EXPECT_TRUE(decide_diameter_le_2_radius_3(make_complete(8)));
+  EXPECT_TRUE(decide_diameter_le_2_radius_3(make_complete_bipartite(4, 5)));
+  // No-instances: paths and long cycles.
+  EXPECT_FALSE(decide_diameter_le_2_radius_3(make_path(5)));
+  EXPECT_FALSE(decide_diameter_le_2_radius_3(make_cycle(7)));
+  // Random cross-check against true diameter.
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = make_random_connected(3 + rng.index(10), 0.4, rng);
+    bool diam_le_2 = true;
+    for (Vertex v = 0; v < g.vertex_count(); ++v)
+      for (std::size_t d : g.bfs_distances(v)) diam_le_2 = diam_le_2 && d <= 2;
+    EXPECT_EQ(decide_diameter_le_2_radius_3(g), diam_le_2) << g.to_string();
+  }
+}
+
+TEST(BallView, RadiusTooSmallThrows) {
+  Graph g = make_path(4);
+  const std::vector<Certificate> none(4);
+  const BallView view = make_ball_view(g, none, 0, 2);
+  EXPECT_THROW(check_diameter_le_2_at_radius_3(view), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Labeled trees / LCL certification (Section 4 + Appendix C.2).
+// ---------------------------------------------------------------------------
+
+LabeledTreeInstance random_instance(std::size_t n, double mark_p, Rng& rng) {
+  LabeledTreeInstance inst;
+  inst.tree = make_random_tree(n, rng);
+  assign_random_ids(inst.tree, rng);
+  inst.labels.resize(n);
+  for (auto& l : inst.labels) l = rng.coin(mark_p) ? 1 : 0;
+  return inst;
+}
+
+class LabeledAutomata : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LabeledAutomata, SchemeMatchesOracle) {
+  const auto entry = standard_labeled_automata().at(GetParam());
+  LclTreeScheme scheme(entry);
+  Rng rng(100 + GetParam());
+  int yes_seen = 0, no_seen = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto inst = random_instance(1 + rng.index(12), 0.3, rng);
+    const bool expected = entry.oracle(inst);
+    const auto certs = scheme.assign(inst);
+    EXPECT_EQ(certs.has_value(), expected) << entry.name;
+    if (expected) {
+      ++yes_seen;
+      ASSERT_TRUE(certs.has_value());
+      EXPECT_TRUE(verify_labeled_assignment(scheme, inst, *certs).all_accept);
+      EXPECT_LE(verify_labeled_assignment(scheme, inst, *certs).max_certificate_bits,
+                scheme.certificate_bits());
+    } else {
+      ++no_seen;
+    }
+  }
+  EXPECT_GT(yes_seen, 3) << "sweep degenerate for " << entry.name;
+  EXPECT_GT(no_seen, 3) << "sweep degenerate for " << entry.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLabeled, LabeledAutomata, ::testing::Range<std::size_t>(0, 3));
+
+TEST(LabeledAutomata, RandomCertificatesAreRejectedOnNoInstances) {
+  Rng rng(8);
+  for (const auto& entry : standard_labeled_automata()) {
+    LclTreeScheme scheme(entry);
+    int attacked = 0;
+    for (int trial = 0; trial < 60 && attacked < 6; ++trial) {
+      const auto inst = random_instance(2 + rng.index(8), 0.3, rng);
+      if (entry.oracle(inst)) continue;
+      ++attacked;
+      for (int attempt = 0; attempt < 120; ++attempt) {
+        std::vector<Certificate> certs(inst.tree.vertex_count());
+        for (auto& c : certs) {
+          BitWriter w;
+          for (std::size_t bit = 0; bit < scheme.certificate_bits(); ++bit)
+            w.write_bit(rng.coin());
+          c = Certificate::from_writer(w);
+        }
+        EXPECT_FALSE(verify_labeled_assignment(scheme, inst, certs).all_accept)
+            << entry.name;
+      }
+    }
+  }
+}
+
+TEST(LabeledAutomata, UniqueLeaderKnownInstances) {
+  LclTreeScheme scheme(standard_labeled_automata()[0]);
+  Rng rng(9);
+  Graph tree = make_path(7);
+  assign_random_ids(tree, rng);
+  LabeledTreeInstance one{tree, {0, 0, 0, 1, 0, 0, 0}};
+  LabeledTreeInstance two{tree, {1, 0, 0, 1, 0, 0, 0}};
+  LabeledTreeInstance zero{tree, {0, 0, 0, 0, 0, 0, 0}};
+  EXPECT_TRUE(scheme.holds(one));
+  EXPECT_FALSE(scheme.holds(two));
+  EXPECT_FALSE(scheme.holds(zero));
+  ASSERT_TRUE(scheme.assign(one).has_value());
+  EXPECT_FALSE(scheme.assign(two).has_value());
+}
+
+TEST(LabeledAutomata, MarkedConnectedKnownInstances) {
+  LclTreeScheme scheme(standard_labeled_automata()[2]);
+  Rng rng(10);
+  Graph tree = make_path(6);
+  assign_random_ids(tree, rng);
+  EXPECT_TRUE(scheme.holds({tree, {0, 1, 1, 1, 0, 0}}));
+  EXPECT_FALSE(scheme.holds({tree, {1, 0, 1, 1, 0, 0}}));  // split component
+  EXPECT_FALSE(scheme.holds({tree, {0, 0, 0, 0, 0, 0}}));  // empty
+  EXPECT_TRUE(scheme.holds({tree, {1, 1, 1, 1, 1, 1}}));
+}
+
+TEST(LabeledAutomata, LabelsAreTrustedInputsNotCertificates) {
+  // Flipping a *label* changes the instance (the oracle verdict), while
+  // flipping a certificate bit must be caught by the verifier on the same
+  // instance.
+  LclTreeScheme scheme(standard_labeled_automata()[0]);
+  Rng rng(11);
+  Graph tree = make_star(6);
+  assign_random_ids(tree, rng);
+  LabeledTreeInstance inst{tree, {1, 0, 0, 0, 0, 0}};
+  auto certs = scheme.assign(inst);
+  ASSERT_TRUE(certs.has_value());
+  ASSERT_TRUE(verify_labeled_assignment(scheme, inst, *certs).all_accept);
+  for (Vertex v = 0; v < 6; ++v) {
+    auto tampered = *certs;
+    tampered[v].bytes[0] ^= 0x20;  // flip a state bit
+    EXPECT_FALSE(verify_labeled_assignment(scheme, inst, tampered).all_accept) << v;
+  }
+}
+
+}  // namespace
+}  // namespace lcert

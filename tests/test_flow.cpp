@@ -1,0 +1,177 @@
+#include "src/util/flow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+namespace lcert {
+namespace {
+
+TEST(MaxFlow, SimplePath) {
+  MaxFlow mf(3);
+  mf.add_edge(0, 1, 5);
+  mf.add_edge(1, 2, 3);
+  EXPECT_EQ(mf.run(0, 2), 3);
+}
+
+TEST(MaxFlow, Diamond) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 2);
+  mf.add_edge(0, 2, 2);
+  mf.add_edge(1, 3, 2);
+  mf.add_edge(2, 3, 2);
+  EXPECT_EQ(mf.run(0, 3), 4);
+}
+
+TEST(MaxFlow, BottleneckMiddleEdge) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 10);
+  const std::size_t mid = mf.add_edge(1, 2, 1);
+  mf.add_edge(2, 3, 10);
+  EXPECT_EQ(mf.run(0, 3), 1);
+  EXPECT_EQ(mf.flow_on(mid), 1);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 5);
+  mf.add_edge(2, 3, 5);
+  EXPECT_EQ(mf.run(0, 3), 0);
+}
+
+TEST(MaxFlow, BipartiteMatching) {
+  // 3x3 bipartite, perfect matching exists.
+  MaxFlow mf(8);  // 0 source, 7 sink, 1-3 left, 4-6 right
+  for (int l = 1; l <= 3; ++l) mf.add_edge(0, l, 1);
+  for (int r = 4; r <= 6; ++r) mf.add_edge(r, 7, 1);
+  mf.add_edge(1, 4, 1);
+  mf.add_edge(1, 5, 1);
+  mf.add_edge(2, 5, 1);
+  mf.add_edge(3, 6, 1);
+  EXPECT_EQ(mf.run(0, 7), 3);
+}
+
+TEST(BoundedFlow, FeasibleWithLowerBounds) {
+  // Two children must be assigned to states with bounds [1,1] and [1,1].
+  BoundedFlowProblem p;
+  const auto s = p.add_node();
+  const auto t = p.add_node();
+  const auto c1 = p.add_node();
+  const auto c2 = p.add_node();
+  const auto q1 = p.add_node();
+  const auto q2 = p.add_node();
+  p.source = s;
+  p.sink = t;
+  p.add_edge(s, c1, 1, 1);
+  p.add_edge(s, c2, 1, 1);
+  p.add_edge(c1, q1, 0, 1);
+  p.add_edge(c1, q2, 0, 1);
+  p.add_edge(c2, q2, 0, 1);
+  p.add_edge(q1, t, 1, 1);
+  p.add_edge(q2, t, 1, 1);
+  std::vector<std::int64_t> flow;
+  ASSERT_TRUE(p.feasible(flow));
+  // c2 can only reach q2, so c1 must take q1.
+  EXPECT_EQ(flow[2], 1);  // c1 -> q1
+  EXPECT_EQ(flow[4], 1);  // c2 -> q2
+}
+
+TEST(BoundedFlow, InfeasibleLowerBound) {
+  BoundedFlowProblem p;
+  const auto s = p.add_node();
+  const auto t = p.add_node();
+  const auto c1 = p.add_node();
+  const auto q1 = p.add_node();
+  const auto q2 = p.add_node();
+  p.source = s;
+  p.sink = t;
+  p.add_edge(s, c1, 1, 1);
+  p.add_edge(c1, q1, 0, 1);
+  p.add_edge(q1, t, 0, 1);
+  p.add_edge(q2, t, 1, 2);  // q2 demands flow but nothing feeds it
+  std::vector<std::int64_t> flow;
+  EXPECT_FALSE(p.feasible(flow));
+}
+
+TEST(BoundedFlow, ZeroFlowIsFeasibleWhenNoLowerBounds) {
+  BoundedFlowProblem p;
+  const auto s = p.add_node();
+  const auto t = p.add_node();
+  p.source = s;
+  p.sink = t;
+  p.add_edge(s, t, 0, 5);
+  std::vector<std::int64_t> flow;
+  ASSERT_TRUE(p.feasible(flow));
+  EXPECT_EQ(flow[0], 0);
+}
+
+TEST(BoundedFlow, RandomizedAgainstBruteForce) {
+  // Random children/state assignment problems, checked against exhaustive
+  // enumeration of assignments.
+  Rng rng(21);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t children = 1 + rng.index(4);
+    const std::size_t states = 1 + rng.index(3);
+    std::vector<std::vector<bool>> allowed(children, std::vector<bool>(states));
+    for (auto& row : allowed)
+      for (std::size_t q = 0; q < states; ++q) row[q] = rng.coin(0.6);
+    std::vector<std::size_t> lo(states), hi(states);
+    for (std::size_t q = 0; q < states; ++q) {
+      lo[q] = rng.index(3);
+      hi[q] = lo[q] + rng.index(3);
+    }
+
+    // Brute force.
+    bool brute = false;
+    std::vector<std::size_t> counts(states, 0);
+    std::vector<std::size_t> pick(children, 0);
+    const std::size_t total = [&] {
+      std::size_t t = 1;
+      for (std::size_t i = 0; i < children; ++i) t *= states;
+      return t;
+    }();
+    for (std::size_t code = 0; code < total && !brute; ++code) {
+      std::size_t c = code;
+      std::fill(counts.begin(), counts.end(), 0);
+      bool ok = true;
+      for (std::size_t i = 0; i < children; ++i) {
+        pick[i] = c % states;
+        c /= states;
+        if (!allowed[i][pick[i]]) {
+          ok = false;
+          break;
+        }
+        ++counts[pick[i]];
+      }
+      if (!ok) continue;
+      for (std::size_t q = 0; q < states; ++q)
+        if (counts[q] < lo[q] || counts[q] > hi[q]) ok = false;
+      brute = brute || ok;
+    }
+
+    // Flow formulation.
+    BoundedFlowProblem p;
+    const auto s = p.add_node();
+    const auto t = p.add_node();
+    std::vector<std::size_t> child_nodes(children), state_nodes(states);
+    for (auto& cn : child_nodes) {
+      cn = p.add_node();
+      p.add_edge(s, cn, 1, 1);
+    }
+    for (std::size_t q = 0; q < states; ++q) {
+      state_nodes[q] = p.add_node();
+      p.add_edge(state_nodes[q], t, static_cast<std::int64_t>(lo[q]),
+                 static_cast<std::int64_t>(hi[q]));
+    }
+    for (std::size_t i = 0; i < children; ++i)
+      for (std::size_t q = 0; q < states; ++q)
+        if (allowed[i][q]) p.add_edge(child_nodes[i], state_nodes[q], 0, 1);
+    p.source = s;
+    p.sink = t;
+    std::vector<std::int64_t> flow;
+    EXPECT_EQ(p.feasible(flow), brute) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace lcert

@@ -1,0 +1,114 @@
+// aut_independent_set_ge: the coupled-capped-sum automaton, cross-validated
+// against (a) a direct tree DP for the independence number and (b) the MSO
+// evaluator on the existential formula, plus the Theorem 2.2 scheme on top.
+#include <gtest/gtest.h>
+
+#include "src/automata/library.hpp"
+#include "src/cert/audit.hpp"
+#include "src/cert/engine.hpp"
+#include "src/graph/generators.hpp"
+#include "src/logic/eval.hpp"
+#include "src/logic/formulas.hpp"
+#include "src/schemes/mso_tree.hpp"
+#include "src/util/rng.hpp"
+
+namespace lcert {
+namespace {
+
+// Independence number of a tree by the classic DP.
+std::size_t tree_alpha(const Graph& g) {
+  const RootedTree t = RootedTree::from_graph(g, 0);
+  const auto order = t.preorder();
+  std::vector<std::size_t> with(g.vertex_count()), without(g.vertex_count());
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const std::size_t v = *it;
+    with[v] = 1;
+    without[v] = 0;
+    for (std::size_t ch : t.children(v)) {
+      with[v] += without[ch];
+      without[v] += std::max(with[ch], without[ch]);
+    }
+  }
+  return std::max(with[t.root()], without[t.root()]);
+}
+
+bool alpha_oracle_3(const Graph& g) { return tree_alpha(g) >= 3; }
+std::vector<Vertex> all_roots(const Graph& g) {
+  std::vector<Vertex> out(g.vertex_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v) out[v] = v;
+  return out;
+}
+
+TEST(IndependentSetAutomaton, KnownSmallTrees) {
+  const UOPAutomaton a2 = aut_independent_set_ge(2);
+  // alpha >= 2 iff the tree has >= 3 vertices (two leaves of a tree with
+  // n >= 3 are never adjacent) or two isolated... n=2: alpha = 1.
+  EXPECT_FALSE(accepts(a2, RootedTree::from_graph(Graph(1, {}), 0)));
+  EXPECT_FALSE(accepts(a2, RootedTree::from_graph(make_path(2), 0)));
+  EXPECT_TRUE(accepts(a2, RootedTree::from_graph(make_path(3), 0)));
+  EXPECT_TRUE(accepts(a2, RootedTree::from_graph(make_star(5), 1)));
+}
+
+TEST(IndependentSetAutomaton, MatchesDpOnRandomTrees) {
+  const UOPAutomaton a3 = aut_independent_set_ge(3);
+  Rng rng(1);
+  for (int trial = 0; trial < 80; ++trial) {
+    const Graph tree = make_random_tree(1 + rng.index(9), rng);
+    const bool expected = tree_alpha(tree) >= 3;
+    // Root-independence: every root must agree (alpha is a graph property).
+    for (Vertex root = 0; root < tree.vertex_count(); ++root) {
+      EXPECT_EQ(accepts(a3, RootedTree::from_graph(tree, root)), expected)
+          << "root " << root << "\n"
+          << tree.to_string();
+    }
+  }
+}
+
+TEST(IndependentSetAutomaton, MatchesMsoFormulaOnSmallTrees) {
+  const UOPAutomaton a3 = aut_independent_set_ge(3);
+  const Formula phi = f_independent_set_of_size(3);
+  Rng rng(2);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Graph tree = make_random_tree(1 + rng.index(8), rng);
+    EXPECT_EQ(accepts(a3, RootedTree::from_graph(tree, 0)), evaluate(tree, phi))
+        << tree.to_string();
+  }
+}
+
+TEST(IndependentSetAutomaton, SchemeOnTopIsCompleteAndSound) {
+  NamedAutomaton entry{"alpha>=3", aut_independent_set_ge(3), &alpha_oracle_3, &all_roots};
+  MsoTreeScheme scheme(entry);
+  Rng rng(3);
+  for (int trial = 0; trial < 25; ++trial) {
+    Graph tree = make_random_tree(2 + rng.index(10), rng);
+    assign_random_ids(tree, rng);
+    if (scheme.holds(tree)) {
+      require_complete(scheme, tree);
+      EXPECT_LE(certified_size_bits(scheme, tree), scheme.certificate_bits());
+    } else {
+      const auto forged = attack_soundness(scheme, tree, nullptr, rng,
+                                           {.random_trials = 60, .mutation_trials = 0});
+      EXPECT_FALSE(forged.has_value());
+    }
+  }
+}
+
+TEST(IndependentSetAutomaton, RunsCarryConsistentPairs) {
+  // The state of the root in an accepting run encodes (capped) alpha values;
+  // cross-check the run's root state against the DP.
+  const std::size_t c = 3;
+  const UOPAutomaton a = aut_independent_set_ge(c);
+  Rng rng(4);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Graph tree = make_random_tree(3 + rng.index(8), rng);
+    if (tree_alpha(tree) < c) continue;
+    const RootedTree t = RootedTree::from_graph(tree, 0);
+    const auto run = find_accepting_run(a, t);
+    ASSERT_TRUE(run.has_value());
+    EXPECT_TRUE(is_accepting_run(a, t, *run));
+    EXPECT_TRUE(a.accepting[(*run)[t.root()]]);
+  }
+}
+
+}  // namespace
+}  // namespace lcert

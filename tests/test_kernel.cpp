@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include "src/cert/audit.hpp"
+#include "src/cert/engine.hpp"
+#include "src/graph/generators.hpp"
+#include "src/kernel/reduce.hpp"
+#include "src/kernel/types.hpp"
+#include "src/logic/ef_game.hpp"
+#include "src/logic/eval.hpp"
+#include "src/logic/formulas.hpp"
+#include "src/logic/metrics.hpp"
+#include "src/schemes/kernel_scheme.hpp"
+#include "src/treedepth/elimination.hpp"
+#include "src/treedepth/exact.hpp"
+#include "src/util/rng.hpp"
+
+namespace lcert {
+namespace {
+
+// Convenience: coherent optimal model of a small graph.
+RootedTree small_model(const Graph& g) { return exact_treedepth_with_model(g).model; }
+
+TEST(Types, AncestorVectors) {
+  // P3 with model: 1 root, 0 and 2 children.
+  const Graph p3 = make_path(3);
+  const RootedTree t({1, RootedTree::kNoParent, 1});
+  EXPECT_EQ(ancestor_vector(p3, t, 1), std::vector<bool>{});
+  EXPECT_EQ(ancestor_vector(p3, t, 0), std::vector<bool>{true});
+  EXPECT_EQ(ancestor_vector(p3, t, 2), std::vector<bool>{true});
+}
+
+TEST(Types, InterningDeduplicates) {
+  TypeInterner interner;
+  const TypeId leaf1 = interner.intern({{true}, {}});
+  const TypeId leaf2 = interner.intern({{true}, {}});
+  const TypeId other = interner.intern({{false}, {}});
+  EXPECT_EQ(leaf1, leaf2);
+  EXPECT_NE(leaf1, other);
+  // Children multisets are canonicalized regardless of insertion order.
+  const TypeId a = interner.intern({{}, {{leaf1, 2}, {other, 1}}});
+  const TypeId b = interner.intern({{}, {{other, 1}, {leaf1, 2}}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(Types, SerializationRoundTrip) {
+  TypeInterner interner;
+  const TypeId leaf = interner.intern({{true, false}, {}});
+  const TypeId mid = interner.intern({{true}, {{leaf, 3}}});
+  const TypeId root = interner.intern({{}, {{mid, 2}, {leaf, 1}}});
+  BitWriter w;
+  interner.serialize(root, w);
+
+  TypeInterner other;
+  BitReader r(w);
+  const auto back = other.deserialize(r);
+  ASSERT_TRUE(back.has_value());
+  // Re-serialize from the second interner and deserialize into the first:
+  // must map to the original id.
+  BitWriter w2;
+  other.serialize(*back, w2);
+  BitReader r2(w2);
+  const auto again = interner.deserialize(r2);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, root);
+}
+
+TEST(Types, DeserializeRejectsMalformedInput) {
+  TypeInterner interner;
+  {
+    BitWriter w;  // empty stream: truncated
+    BitReader r(w);
+    EXPECT_FALSE(interner.deserialize(r).has_value());
+  }
+  {
+    // Duplicate child type (same type listed twice) must be rejected.
+    TypeInterner tmp;
+    const TypeId leaf = tmp.intern({{}, {}});
+    (void)leaf;
+    BitWriter w;
+    w.write_varnat(0);  // empty ancestor vector
+    w.write_varnat(2);  // two children entries...
+    for (int i = 0; i < 2; ++i) {
+      w.write_varnat(1);  // multiplicity 1
+      w.write_varnat(0);  // child: empty anc vector
+      w.write_varnat(0);  // child: no children
+    }
+    BitReader r(w);
+    EXPECT_FALSE(interner.deserialize(r).has_value());
+  }
+}
+
+TEST(Types, RealizeTypeRebuildsGraph) {
+  // Build a small bounded-td graph, compute the type of the root with no
+  // pruning, realize it: must be isomorphic to the original (same size at
+  // least, and EF-equivalent at useful depths).
+  Rng rng(1);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto inst = make_bounded_treedepth_graph(8, 3, 0.5, rng);
+    const RootedTree model = make_coherent(inst.graph, inst.elimination_tree);
+    TypeInterner interner;
+    const auto types = compute_types(inst.graph, model, interner);
+    const Graph realized = realize_type(interner, types[model.root()]);
+    EXPECT_EQ(realized.vertex_count(), inst.graph.vertex_count());
+    EXPECT_EQ(realized.edge_count(), inst.graph.edge_count());
+    EXPECT_TRUE(ef_equivalent(inst.graph, realized, 2));
+  }
+}
+
+TEST(Reduce, NoPruningBelowThreshold) {
+  // A path has no k>=1 duplicated subtrees beyond threshold 2 at these sizes.
+  const Graph p7 = make_path(7);
+  const auto kz = k_reduce(p7, make_coherent(p7, path_model(7)), 2);
+  EXPECT_EQ(kz.kernel.vertex_count(), 7u);
+  EXPECT_EQ(kz.pruning_operations, 0u);
+}
+
+TEST(Reduce, StarShrinksToKLeaves) {
+  const Graph star = make_star(20);
+  const auto kz = k_reduce(star, small_model(star), 3);
+  EXPECT_EQ(kz.kernel.vertex_count(), 4u);  // center + 3 leaves
+  EXPECT_EQ(kz.pruning_operations, 16u);
+  // Lemma 6.1: the pruned leaves' type retains exactly 3 kept copies.
+  std::size_t pruned_count = 0;
+  for (Vertex v = 0; v < 20; ++v) pruned_count += kz.pruned[v] ? 1 : 0;
+  EXPECT_EQ(pruned_count, 16u);
+}
+
+TEST(Reduce, KernelSizeIndependentOfN) {
+  // Stars of any size reduce to the same kernel: center + k leaves.
+  std::vector<std::size_t> sizes;
+  for (std::size_t n : {30u, 100u, 300u}) {
+    const Graph star = make_star(n);
+    std::vector<std::size_t> parent(n, 0);
+    parent[0] = RootedTree::kNoParent;
+    const auto kz = k_reduce(star, RootedTree(parent), 2);
+    sizes.push_back(kz.kernel.vertex_count());
+  }
+  EXPECT_EQ(sizes[0], 3u);
+  EXPECT_EQ(sizes[1], sizes[0]);
+  EXPECT_EQ(sizes[2], sizes[0]);
+}
+
+TEST(Reduce, EndTypesSatisfyLemma61) {
+  Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto inst = make_bounded_treedepth_graph(5 + rng.index(25), 4, 0.4, rng);
+    const RootedTree model = make_coherent(inst.graph, inst.elimination_tree);
+    const std::size_t k = 1 + rng.index(3);
+    const auto kz = k_reduce(inst.graph, model, k);
+    for (Vertex u = 0; u < inst.graph.vertex_count(); ++u) {
+      if (kz.in_kernel[u] || !kz.pruned[u]) continue;
+      const std::size_t v = model.parent(u);
+      if (v == RootedTree::kNoParent || !kz.in_kernel[v]) continue;
+      std::size_t same_type = 0;
+      for (std::size_t sibling : model.children(v))
+        if (kz.in_kernel[sibling] && kz.end_type[sibling] == kz.end_type[u]) ++same_type;
+      EXPECT_EQ(same_type, k) << "trial " << trial;
+    }
+  }
+}
+
+// Proposition 6.3: G ≃_k kernel(G) — audited by EF games.
+class KernelEquivalence : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelEquivalence, EfGameCannotDistinguishKernel) {
+  Rng rng(100 + GetParam());
+  const std::size_t k = 1 + GetParam() % 3;
+  const auto inst = make_bounded_treedepth_graph(7 + rng.index(8), 3, 0.5, rng);
+  const RootedTree model = make_coherent(inst.graph, inst.elimination_tree);
+  const auto kz = k_reduce(inst.graph, model, k);
+  EXPECT_TRUE(ef_equivalent(inst.graph, kz.kernel, k))
+      << "k=" << k << "\n"
+      << inst.graph.to_string() << kz.kernel.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, KernelEquivalence, ::testing::Range(0, 18));
+
+TEST(Reduce, KernelPreservesFormulas) {
+  // Direct check: FO formulas of depth <= k agree on G and kernel(G).
+  Rng rng(4);
+  const auto properties = standard_properties();
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto inst = make_bounded_treedepth_graph(6 + rng.index(12), 3, 0.5, rng);
+    const RootedTree model = make_coherent(inst.graph, inst.elimination_tree);
+    for (const auto& prop : properties) {
+      const std::size_t depth = quantifier_depth(prop.formula);
+      if (depth > 3) continue;
+      // For MSO properties use a larger threshold (2^depth is generous here).
+      const std::size_t k = uses_set_quantifiers(prop.formula) ? (1u << depth) : depth;
+      if (inst.graph.vertex_count() > 14 && uses_set_quantifiers(prop.formula)) continue;
+      const auto kz = k_reduce(inst.graph, model, k);
+      EXPECT_EQ(evaluate(inst.graph, prop.formula), evaluate(kz.kernel, prop.formula))
+          << prop.name << " k=" << k << "\n"
+          << inst.graph.to_string() << kz.kernel.to_string();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// KernelMsoScheme (Theorem 2.6).
+// ---------------------------------------------------------------------------
+
+TEST(KernelScheme, CompletenessOnBoundedTreedepthInstances) {
+  Rng rng(5);
+  const Formula phi = f_triangle_free();  // depth 3 FO
+  for (int trial = 0; trial < 10; ++trial) {
+    auto inst = make_bounded_treedepth_graph(10 + rng.index(10), 3, 0.25, rng);
+    assign_random_ids(inst.graph, rng);
+    RootedTree witness = inst.elimination_tree;
+    KernelMsoScheme scheme(phi, 3, 3, [witness](const Graph&) { return witness; });
+    if (!scheme.holds(inst.graph)) continue;  // instance has a triangle
+    require_complete(scheme, inst.graph);
+  }
+}
+
+TEST(KernelScheme, ProverRefusesWhenFormulaFails) {
+  Rng rng(6);
+  const Formula phi = f_clique();
+  Graph g = make_path(6);
+  assign_random_ids(g, rng);
+  KernelMsoScheme scheme(phi, 3, 2);
+  EXPECT_FALSE(scheme.holds(g));
+  EXPECT_FALSE(scheme.assign(g).has_value());
+}
+
+TEST(KernelScheme, ProverRefusesWhenTreedepthTooLarge) {
+  Rng rng(7);
+  Graph g = make_path(20);  // td = 5
+  assign_random_ids(g, rng);
+  KernelMsoScheme scheme(f_triangle_free(), 3, 3);
+  EXPECT_FALSE(scheme.holds(g));
+  EXPECT_FALSE(scheme.assign(g).has_value());
+}
+
+TEST(KernelScheme, SoundnessUnderAttack) {
+  Rng rng(8);
+  // Property: triangle-free (and td<=3). No-instance: a triangle plus a tail.
+  Graph no(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}});
+  assign_random_ids(no, rng);
+  KernelMsoScheme scheme(f_triangle_free(), 4, 3);
+  ASSERT_FALSE(scheme.holds(no));
+  // Yes template: P5.
+  Graph yes = make_path(5);
+  assign_random_ids(yes, rng);
+  const auto tmpl = scheme.assign(yes);
+  ASSERT_TRUE(tmpl.has_value());
+  const auto forged = attack_soundness(scheme, no, &*tmpl, rng);
+  EXPECT_FALSE(forged.has_value()) << "attack '" << forged->attack << "'";
+}
+
+TEST(KernelScheme, SoundAgainstHonestCertsOfWrongGraph) {
+  // Replaying certificates from a graph satisfying phi onto one that does not
+  // (same vertex count) must be caught.
+  Rng rng(9);
+  KernelMsoScheme scheme(f_has_dominating_vertex(), 3, 2);
+  Graph yes = make_star(8);
+  Graph no = make_path(8);
+  assign_random_ids(yes, rng);
+  assign_random_ids(no, rng);
+  ASSERT_TRUE(scheme.holds(yes));
+  ASSERT_FALSE(scheme.holds(no));
+  auto certs = scheme.assign(yes);
+  ASSERT_TRUE(certs.has_value());
+  EXPECT_FALSE(verify_assignment(scheme, no, *certs).all_accept);
+}
+
+TEST(KernelScheme, CertificateSizeAffineInLogN) {
+  Rng rng(10);
+  const Formula phi = f_triangle_free();
+  std::vector<std::size_t> bits;
+  for (std::size_t n : {20u, 40u, 80u, 160u}) {
+    // Sparse instances (no ancestor shortcuts) are trees: triangle-free and
+    // treedepth <= 3 by construction, so holds() is guaranteed.
+    auto inst = make_bounded_treedepth_graph(n, 3, 0.0, rng);
+    assign_random_ids(inst.graph, rng);
+    RootedTree witness = inst.elimination_tree;
+    KernelMsoScheme scheme(phi, 3, 3, [witness](const Graph&) { return witness; });
+    if (!scheme.holds(inst.graph)) continue;
+    bits.push_back(certified_size_bits(scheme, inst.graph));
+  }
+  ASSERT_GE(bits.size(), 3u);
+  // Doubling n must not multiply certificate size (it is t*log n + f(t,phi)).
+  EXPECT_LE(bits.back(), 2 * bits.front());
+}
+
+TEST(KernelScheme, WorksForMsoWithLargerThreshold) {
+  Rng rng(11);
+  const Formula phi = f_two_colorable();  // MSO, depth 3
+  for (int trial = 0; trial < 6; ++trial) {
+    auto inst = make_bounded_treedepth_graph(10 + rng.index(6), 3, 0.3, rng);
+    assign_random_ids(inst.graph, rng);
+    RootedTree witness = inst.elimination_tree;
+    KernelMsoScheme scheme(phi, 3, 8, [witness](const Graph&) { return witness; });
+    const bool expected = evaluate(inst.graph, phi);
+    EXPECT_EQ(scheme.holds(inst.graph), expected);
+    if (expected) require_complete(scheme, inst.graph);
+  }
+}
+
+}  // namespace
+}  // namespace lcert

@@ -1,0 +1,277 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+#include "src/logic/ast.hpp"
+#include "src/logic/ef_game.hpp"
+#include "src/logic/eval.hpp"
+#include "src/logic/formulas.hpp"
+#include "src/logic/metrics.hpp"
+#include "src/logic/modelcheck.hpp"
+#include "src/logic/parser.hpp"
+#include "src/util/rng.hpp"
+
+namespace lcert {
+namespace {
+
+TEST(Ast, BuildersAndRendering) {
+  const Formula f = forall("x", exists("y", adj("x", "y") && !eq("x", "y")));
+  EXPECT_EQ(f.to_string(), "forall x. (exists y. ((adj(x, y) & ~(x = y))))");
+}
+
+TEST(Ast, VariableKindEnforcement) {
+  EXPECT_THROW(eq("X", "y"), std::invalid_argument);
+  EXPECT_THROW(adj("x", "Y"), std::invalid_argument);
+  EXPECT_THROW(mem("X", "Y"), std::invalid_argument);
+  EXPECT_THROW(mem("x", "y"), std::invalid_argument);
+  EXPECT_NO_THROW(mem("x", "Y"));
+}
+
+TEST(Parser, RoundTripsRendering) {
+  const std::vector<Formula> formulas = {
+      f_diameter_le_2(), f_triangle_free(), f_clique(), f_has_dominating_vertex(),
+      f_two_colorable(), f_independent_dominating_set(),
+  };
+  for (const Formula& f : formulas) {
+    const Formula parsed = parse_formula(f.to_string());
+    EXPECT_EQ(parsed.to_string(), f.to_string());
+  }
+}
+
+TEST(Parser, SyntaxVariants) {
+  EXPECT_NO_THROW(parse_formula("forall x. exists y. adj(x,y) | x = y"));
+  EXPECT_NO_THROW(parse_formula("exists X. forall x. x in X -> exists y. adj(x,y)"));
+  EXPECT_NO_THROW(parse_formula("~(a = b) & (b = c <-> c = a)"));
+}
+
+TEST(Parser, Errors) {
+  EXPECT_THROW(parse_formula(""), std::invalid_argument);
+  EXPECT_THROW(parse_formula("forall x"), std::invalid_argument);
+  EXPECT_THROW(parse_formula("adj(x)"), std::invalid_argument);
+  EXPECT_THROW(parse_formula("x = y zzz"), std::invalid_argument);
+  EXPECT_THROW(parse_formula("x in y"), std::invalid_argument);  // y is not a set
+}
+
+TEST(Eval, AtomsAndQuantifiers) {
+  const Graph p3 = make_path(3);
+  EXPECT_TRUE(evaluate(p3, parse_formula("exists x. exists y. adj(x, y)")));
+  EXPECT_FALSE(evaluate(p3, parse_formula("forall x. forall y. (x = y | adj(x, y))")));
+  EXPECT_TRUE(evaluate(make_complete(4), f_clique()));
+  EXPECT_FALSE(evaluate(p3, f_clique()));
+}
+
+TEST(Eval, SetQuantifiers) {
+  // 2-colorability distinguishes even and odd cycles.
+  EXPECT_TRUE(evaluate(make_cycle(6), f_two_colorable()));
+  EXPECT_FALSE(evaluate(make_cycle(5), f_two_colorable()));
+  EXPECT_TRUE(evaluate(make_cycle(5), f_three_colorable()));
+}
+
+TEST(Eval, UnboundVariableThrows) {
+  EXPECT_THROW(evaluate(make_path(2), parse_formula("x = x")), std::invalid_argument);
+}
+
+TEST(Eval, EnvironmentBindsFreeVariables) {
+  Environment env;
+  env.vertex_vars["x"] = 0;
+  env.vertex_vars["y"] = 2;
+  EXPECT_FALSE(evaluate(make_path(3), parse_formula("adj(x, y)"), env));
+  env.vertex_vars["y"] = 1;
+  EXPECT_TRUE(evaluate(make_path(3), parse_formula("adj(x, y)"), env));
+}
+
+TEST(Eval, FormulasAgreeWithDirectCheckers) {
+  Rng rng(77);
+  for (const auto& prop : standard_properties()) {
+    for (int trial = 0; trial < 12; ++trial) {
+      const std::size_t n = 2 + rng.index(7);
+      const Graph g = make_random_connected(n, 0.2 + 0.1 * (trial % 6), rng);
+      EXPECT_EQ(evaluate(g, prop.formula), prop.direct_check(g))
+          << prop.name << " on\n"
+          << g.to_string();
+    }
+  }
+}
+
+TEST(Metrics, QuantifierDepth) {
+  EXPECT_EQ(quantifier_depth(f_diameter_le_2()), 3u);
+  EXPECT_EQ(quantifier_depth(f_triangle_free()), 3u);
+  EXPECT_EQ(quantifier_depth(f_clique()), 2u);
+  EXPECT_EQ(quantifier_depth(f_at_most_one_vertex()), 2u);
+  EXPECT_EQ(quantifier_depth(f_two_colorable()), 3u);
+  EXPECT_EQ(quantifier_depth(f_at_least_k_vertices(4)), 4u);
+}
+
+TEST(Metrics, Alternations) {
+  EXPECT_EQ(quantifier_alternations(f_triangle_free()), 0u);
+  EXPECT_EQ(quantifier_alternations(f_has_dominating_vertex()), 1u);
+  // diameter<=2: forall,forall,exists -> one alternation.
+  EXPECT_EQ(quantifier_alternations(f_diameter_le_2()), 1u);
+}
+
+TEST(Metrics, ExistentialFragment) {
+  EXPECT_TRUE(is_existential(f_at_least_k_vertices(3)));
+  EXPECT_TRUE(is_existential(f_independent_set_of_size(3)));
+  EXPECT_TRUE(is_existential(f_has_path_subgraph(4)));
+  EXPECT_FALSE(is_existential(f_clique()));
+  // Double negation of an existential stays existential.
+  EXPECT_TRUE(is_existential(!!f_at_least_k_vertices(2)));
+  // Negated universal becomes existential.
+  EXPECT_TRUE(is_existential(!f_clique()));
+}
+
+TEST(Metrics, SetDetection) {
+  EXPECT_TRUE(uses_set_quantifiers(f_two_colorable()));
+  EXPECT_FALSE(uses_set_quantifiers(f_triangle_free()));
+}
+
+TEST(Metrics, FreeVariablesAndSentences) {
+  EXPECT_TRUE(is_sentence(f_diameter_le_2()));
+  const Formula open = adj("x", "y") && mem("x", "S");
+  const auto fv = free_variables(open);
+  EXPECT_EQ(fv, (std::vector<std::string>{"x", "y", "S"}));
+  EXPECT_FALSE(is_sentence(open));
+}
+
+TEST(Metrics, NnfPreservesSemantics) {
+  Rng rng(78);
+  const std::vector<Formula> formulas = {
+      f_diameter_le_2(), !f_diameter_le_2(), f_two_colorable(), !f_two_colorable(),
+      !(f_clique() || !f_triangle_free()),
+  };
+  for (const Formula& f : formulas) {
+    const Formula g = to_nnf(f);
+    for (int trial = 0; trial < 8; ++trial) {
+      const Graph graph = make_random_connected(2 + rng.index(5), 0.4, rng);
+      EXPECT_EQ(evaluate(graph, f), evaluate(graph, g)) << f.to_string();
+    }
+  }
+}
+
+TEST(Metrics, PrenexExistentialPreservesSemantics) {
+  Rng rng(79);
+  const std::vector<Formula> formulas = {
+      f_at_least_k_vertices(3),
+      f_independent_set_of_size(2),
+      f_has_path_subgraph(3),
+      exists("x", adj("x", "x") || exists("y", adj("x", "y"))),
+      // Shadowing: inner x rebinds.
+      exists("x", exists("y", adj("x", "y")) && exists("x", eq("x", "x"))),
+  };
+  for (const Formula& f : formulas) {
+    const auto pre = prenex_existential(f);
+    // Rebuild the prenex sentence and compare semantics.
+    Formula rebuilt = pre.matrix;
+    for (std::size_t i = pre.variables.size(); i-- > 0;)
+      rebuilt = exists(pre.variables[i], rebuilt);
+    for (int trial = 0; trial < 8; ++trial) {
+      const Graph graph = make_random_connected(2 + rng.index(5), 0.4, rng);
+      EXPECT_EQ(evaluate(graph, f), evaluate(graph, rebuilt)) << f.to_string();
+    }
+  }
+}
+
+TEST(Metrics, PrenexRejectsNonExistential) {
+  EXPECT_THROW(prenex_existential(f_clique()), std::invalid_argument);
+  EXPECT_THROW(prenex_existential(f_two_colorable()), std::invalid_argument);
+  EXPECT_THROW(prenex_existential(adj("x", "y")), std::invalid_argument);  // open
+}
+
+TEST(ModelCheck, AgreesWithBruteForceOnSmallInstances) {
+  Rng rng(90);
+  const auto properties = standard_properties();
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto inst = make_bounded_treedepth_graph(6 + rng.index(10), 3, 0.4, rng);
+    for (const auto& prop : properties) {
+      if (quantifier_depth(prop.formula) > 3) continue;
+      const bool is_mso = uses_set_quantifiers(prop.formula);
+      if (is_mso && inst.graph.vertex_count() > 14) continue;
+      const std::size_t threshold =
+          is_mso ? (std::size_t{1} << quantifier_depth(prop.formula)) : 0;
+      const bool via_kernel = modelcheck_bounded_treedepth(
+          inst.graph, prop.formula, inst.elimination_tree, threshold);
+      EXPECT_EQ(via_kernel, evaluate(inst.graph, prop.formula))
+          << prop.name << "\n"
+          << inst.graph.to_string();
+    }
+  }
+}
+
+TEST(ModelCheck, ScalesBeyondBruteForce) {
+  // FO depth 3 on n = 20000: brute force would take ~10^12 atom checks; the
+  // kernel route finishes instantly and the kernel stays small.
+  Rng rng(91);
+  const auto inst = make_bounded_treedepth_graph(20000, 3, 0.25, rng);
+  ModelCheckStats stats;
+  const bool result = modelcheck_bounded_treedepth(inst.graph, f_triangle_free(),
+                                                   inst.elimination_tree, 0, &stats);
+  (void)result;
+  EXPECT_LE(stats.kernel_size, 200u);
+  EXPECT_EQ(stats.reduction_threshold, 3u);
+}
+
+TEST(ModelCheck, InputValidation) {
+  const Graph g = make_path(4);
+  EXPECT_THROW(modelcheck_bounded_treedepth(g, adj("x", "y")), std::invalid_argument);
+  EXPECT_THROW(modelcheck_bounded_treedepth(g, f_two_colorable()),
+               std::invalid_argument);  // MSO without explicit threshold
+  EXPECT_NO_THROW(modelcheck_bounded_treedepth(g, f_two_colorable(), std::nullopt, 8));
+  // An invalid model is rejected.
+  EXPECT_THROW(modelcheck_bounded_treedepth(g, f_triangle_free(),
+                                            RootedTree({RootedTree::kNoParent, 0, 0, 0})),
+               std::invalid_argument);
+}
+
+TEST(EfGame, PathsOfDifferentLengthsSmallDepth) {
+  // Classic: P_2 and P_3 are distinguished at depth 2 but not 1.
+  EXPECT_TRUE(ef_equivalent(make_path(2), make_path(3), 1));
+  EXPECT_FALSE(ef_equivalent(make_path(2), make_path(3), 2));
+}
+
+TEST(EfGame, LongPathsNeedDeepGames) {
+  // P_6 vs P_7: indistinguishable at depth 2.
+  EXPECT_TRUE(ef_equivalent(make_path(6), make_path(7), 2));
+  EXPECT_FALSE(ef_equivalent(make_path(6), make_path(7), 4));
+}
+
+TEST(EfGame, IsomorphicGraphsAreEquivalent) {
+  Rng rng(80);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 2 + rng.index(5);
+    const Graph g = make_random_connected(n, 0.4, rng);
+    const auto perm = rng.permutation(n);
+    std::vector<std::pair<Vertex, Vertex>> edges;
+    for (auto [u, v] : g.edges()) edges.emplace_back(perm[u], perm[v]);
+    const Graph h(n, edges);
+    EXPECT_TRUE(ef_equivalent(g, h, 3));
+  }
+}
+
+TEST(EfGame, EquivalenceIsConsistentWithFormulas) {
+  // If Duplicator wins at depth k, no depth-k formula in our library can
+  // distinguish the two graphs.
+  Rng rng(81);
+  const auto properties = standard_properties();
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = make_random_connected(2 + rng.index(5), 0.4, rng);
+    const Graph h = make_random_connected(2 + rng.index(5), 0.4, rng);
+    for (const auto& prop : properties) {
+      if (uses_set_quantifiers(prop.formula)) continue;  // EF is FO-only
+      const std::size_t k = quantifier_depth(prop.formula);
+      if (ef_equivalent(g, h, k)) {
+        EXPECT_EQ(evaluate(g, prop.formula), evaluate(h, prop.formula))
+            << prop.name << "\n"
+            << g.to_string() << h.to_string();
+      }
+    }
+  }
+}
+
+TEST(EfGame, DistinguishingDepth) {
+  EXPECT_EQ(distinguishing_depth(make_path(2), make_path(3), 4), 2u);
+  EXPECT_EQ(distinguishing_depth(make_path(3), make_path(3), 4), 0u);
+  // Clique vs path of same size: depth 2 (two adjacent/non-adjacent picks).
+  EXPECT_EQ(distinguishing_depth(make_complete(4), make_path(4), 4), 2u);
+}
+
+}  // namespace
+}  // namespace lcert

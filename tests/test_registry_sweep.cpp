@@ -1,0 +1,85 @@
+// The uniform audit: every registered scheme is run through the same
+// completeness battery on generated yes-instances and the same adversarial
+// soundness battery on no-instances. Adding a scheme to the registry
+// automatically subjects it to this sweep.
+#include <gtest/gtest.h>
+
+#include "src/cert/audit.hpp"
+#include "src/cert/engine.hpp"
+#include "src/graph/io.hpp"
+#include "src/schemes/registry.hpp"
+#include "src/util/rng.hpp"
+
+namespace lcert {
+namespace {
+
+class RegistrySweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RegistrySweep, CompletenessOnGeneratedYesInstances) {
+  const auto entry = scheme_registry().at(GetParam());
+  const auto scheme = entry.make();
+  Rng rng(3000 + GetParam());
+  for (std::size_t n : {8u, 16u, 24u}) {
+    const Graph g = entry.yes_instance(n, rng);
+    ASSERT_TRUE(scheme->holds(g)) << entry.key << " generator produced a no-instance";
+    require_complete(*scheme, g);
+  }
+}
+
+TEST_P(RegistrySweep, ProverRefusesNoInstances) {
+  const auto entry = scheme_registry().at(GetParam());
+  const auto scheme = entry.make();
+  Rng rng(4000 + GetParam());
+  const Graph g = entry.no_instance(12, rng);
+  ASSERT_FALSE(scheme->holds(g)) << entry.key << " generator produced a yes-instance";
+  EXPECT_FALSE(scheme->assign(g).has_value()) << entry.key;
+}
+
+TEST_P(RegistrySweep, SoundnessUnderFullAttackBattery) {
+  const auto entry = scheme_registry().at(GetParam());
+  const auto scheme = entry.make();
+  Rng rng(5000 + GetParam());
+  const Graph no = entry.no_instance(12, rng);
+  ASSERT_FALSE(scheme->holds(no));
+  // Template certificates from a yes-instance of the same size, when the
+  // generator cooperates.
+  std::optional<std::vector<Certificate>> tmpl;
+  for (std::size_t attempt = 0; attempt < 4 && !tmpl.has_value(); ++attempt) {
+    const Graph yes = entry.yes_instance(no.vertex_count(), rng);
+    if (yes.vertex_count() == no.vertex_count()) tmpl = scheme->assign(yes);
+  }
+  const auto forged =
+      attack_soundness(*scheme, no, tmpl.has_value() ? &*tmpl : nullptr, rng);
+  EXPECT_FALSE(forged.has_value())
+      << entry.key << ": attack '" << forged->attack << "' forged acceptance";
+}
+
+TEST_P(RegistrySweep, InstancesSurviveEdgeListRoundTrip) {
+  const auto entry = scheme_registry().at(GetParam());
+  const auto scheme = entry.make();
+  Rng rng(6000 + GetParam());
+  const Graph g = entry.yes_instance(10, rng);
+  const Graph back = parse_edge_list(to_edge_list(g));
+  ASSERT_EQ(back.vertex_count(), g.vertex_count());
+  ASSERT_EQ(back.edge_count(), g.edge_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v) EXPECT_EQ(back.id(v), g.id(v));
+  // The round-tripped instance certifies identically.
+  const auto a = scheme->assign(g);
+  const auto b = scheme->assign(back);
+  ASSERT_EQ(a.has_value(), b.has_value());
+  if (a.has_value()) {
+    EXPECT_TRUE(verify_assignment(*scheme, back, *a).all_accept) << entry.key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, RegistrySweep,
+                         ::testing::Range<std::size_t>(0, 13));
+
+TEST(Registry, FindByKey) {
+  EXPECT_NO_THROW(find_scheme("vertex-parity"));
+  EXPECT_THROW(find_scheme("nope"), std::out_of_range);
+  EXPECT_EQ(scheme_registry().size(), 13u);
+}
+
+}  // namespace
+}  // namespace lcert

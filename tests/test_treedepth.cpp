@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.hpp"
+#include "src/treedepth/cops_robber.hpp"
+#include "src/treedepth/elimination.hpp"
+#include "src/treedepth/exact.hpp"
+#include "src/treedepth/heuristic.hpp"
+#include "src/util/rng.hpp"
+
+namespace lcert {
+namespace {
+
+TEST(Treedepth, ClosedFormsPaths) {
+  // td(P_n) = ceil(log2(n+1)).
+  EXPECT_EQ(treedepth_of_path(1), 1u);
+  EXPECT_EQ(treedepth_of_path(2), 2u);
+  EXPECT_EQ(treedepth_of_path(3), 2u);
+  EXPECT_EQ(treedepth_of_path(4), 3u);
+  EXPECT_EQ(treedepth_of_path(7), 3u);
+  EXPECT_EQ(treedepth_of_path(8), 4u);
+}
+
+TEST(Treedepth, ExactMatchesClosedFormOnPaths) {
+  for (std::size_t n = 1; n <= 16; ++n)
+    EXPECT_EQ(exact_treedepth(make_path(n)), treedepth_of_path(n)) << "P_" << n;
+}
+
+TEST(Treedepth, ExactMatchesClosedFormOnCycles) {
+  for (std::size_t n = 3; n <= 14; ++n)
+    EXPECT_EQ(exact_treedepth(make_cycle(n)), treedepth_of_cycle(n)) << "C_" << n;
+}
+
+TEST(Treedepth, ExactOnCliquesAndStars) {
+  for (std::size_t n = 1; n <= 8; ++n) EXPECT_EQ(exact_treedepth(make_complete(n)), n);
+  for (std::size_t n = 2; n <= 10; ++n) EXPECT_EQ(exact_treedepth(make_star(n)), 2u);
+}
+
+TEST(Treedepth, C8Is4AndWithApex5) {
+  // The building block of the Theorem 2.5 gadget (Lemma 7.3).
+  EXPECT_EQ(exact_treedepth(make_cycle(8)), 4u);
+  const Graph g = glue_at_apex({make_cycle(8)});
+  // Apex adjacent to one cycle vertex only: treedepth still <= 5 and >= 4.
+  const std::size_t td = exact_treedepth(g);
+  EXPECT_GE(td, 4u);
+  EXPECT_LE(td, 5u);
+}
+
+TEST(Treedepth, ExactModelIsValidCoherentAndTight) {
+  Rng rng(31);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = make_random_connected(4 + rng.index(10), 0.3, rng);
+    const auto result = exact_treedepth_with_model(g);
+    EXPECT_TRUE(is_valid_model(g, result.model));
+    EXPECT_TRUE(is_coherent_model(g, result.model));
+    EXPECT_EQ(model_depth(result.model), result.treedepth);
+  }
+}
+
+TEST(Treedepth, PathModelIsOptimal) {
+  for (std::size_t n : {1u, 2u, 3u, 7u, 8u, 15u, 16u, 100u, 1000u}) {
+    const RootedTree t = path_model(n);
+    EXPECT_TRUE(is_valid_model(make_path(n), t));
+    EXPECT_EQ(model_depth(t), treedepth_of_path(n)) << "P_" << n;
+  }
+}
+
+TEST(Treedepth, CopsAndRobberAgreesWithExact) {
+  Rng rng(32);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Graph g = make_random_connected(4 + rng.index(9), 0.35, rng);
+    EXPECT_EQ(cops_and_robber_number(g), exact_treedepth(g));
+  }
+}
+
+TEST(Treedepth, CopsAndRobberKnownValues) {
+  EXPECT_EQ(cops_and_robber_number(make_path(7)), 3u);
+  EXPECT_EQ(cops_and_robber_number(make_cycle(8)), 4u);
+  EXPECT_EQ(cops_and_robber_number(make_complete(5)), 5u);
+}
+
+TEST(Treedepth, TreeStrategyCostEqualsModelDepth) {
+  Rng rng(33);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = make_random_connected(4 + rng.index(8), 0.3, rng);
+    const auto result = exact_treedepth_with_model(g);
+    EXPECT_EQ(simulate_tree_strategy(g, result.model), result.treedepth);
+  }
+}
+
+TEST(Elimination, ValidAndInvalidModels) {
+  const Graph p4 = make_path(4);
+  // Balanced model of P4: 1 root, 0 and {2,3} below.
+  RootedTree good({1, RootedTree::kNoParent, 1, 2});
+  EXPECT_TRUE(is_valid_model(p4, good));
+  // A star-shaped "model" rooted at 0 violates edge (2,3).
+  RootedTree bad({RootedTree::kNoParent, 0, 0, 0});
+  EXPECT_FALSE(is_valid_model(p4, bad));
+}
+
+TEST(Elimination, CoherenceDetectionAndRepair) {
+  // P7 with the Figure 1 model is coherent.
+  const Graph p7 = make_path(7);
+  const RootedTree fig1 = path_model(7);
+  EXPECT_TRUE(is_coherent_model(p7, fig1));
+
+  // Build a valid but non-coherent model: a path 0-1-2-3 with model
+  // root 1, children 0 and 2, and 3 hanging below 0?? — that is invalid.
+  // Instead: path 0-1-2-3, model: 2 root; 1 child of 2; 0 child of 1; 3 child
+  // of *1* (valid? edge (2,3) needs ancestry: 3 below 1 below 2 — ok;
+  // coherence of (1 -> 3): G_3 = {3} must touch 1 — but 3's neighbor is 2.
+  const Graph p4 = make_path(4);
+  RootedTree askew({1, 2, RootedTree::kNoParent, 1});
+  ASSERT_TRUE(is_valid_model(p4, askew));
+  EXPECT_FALSE(is_coherent_model(p4, askew));
+  const RootedTree fixed = make_coherent(p4, askew);
+  EXPECT_TRUE(is_coherent_model(p4, fixed));
+  EXPECT_LE(model_depth(fixed), model_depth(askew));
+}
+
+TEST(Elimination, ExitVertexTouchesParent) {
+  Rng rng(34);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto inst = make_bounded_treedepth_graph(25, 4, 0.4, rng);
+    const RootedTree t = make_coherent(inst.graph, inst.elimination_tree);
+    for (Vertex v = 0; v < t.size(); ++v) {
+      if (t.parent(v) == RootedTree::kNoParent) continue;
+      const Vertex e = exit_vertex(inst.graph, t, v);
+      EXPECT_TRUE(inst.graph.has_edge(e, t.parent(v)));
+      EXPECT_TRUE(t.is_ancestor(v, e));
+    }
+  }
+}
+
+TEST(Heuristic, ProducesValidCoherentModels) {
+  Rng rng(35);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = make_random_connected(30 + rng.index(30), 0.1, rng);
+    const RootedTree t = heuristic_elimination_tree(g);
+    EXPECT_TRUE(is_valid_model(g, t));
+    EXPECT_TRUE(is_coherent_model(g, t));
+  }
+}
+
+TEST(Heuristic, NearOptimalOnPaths) {
+  for (std::size_t n : {15u, 63u, 255u}) {
+    const RootedTree t = heuristic_elimination_tree(make_path(n));
+    EXPECT_LE(model_depth(t), treedepth_of_path(n) + 1);
+  }
+}
+
+TEST(Heuristic, WithinBoundOnGeneratedInstances) {
+  Rng rng(36);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto inst = make_bounded_treedepth_graph(60, 5, 0.3, rng);
+    const RootedTree t = heuristic_elimination_tree(inst.graph);
+    // Heuristics cannot beat the true treedepth but should stay sane.
+    EXPECT_LE(model_depth(t), 60u);
+    EXPECT_TRUE(is_valid_model(inst.graph, t));
+  }
+}
+
+class TreedepthRandomAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(TreedepthRandomAgreement, ExactEqualsGameValue) {
+  Rng rng(1000 + GetParam());
+  const std::size_t n = 4 + rng.index(8);
+  const Graph g = make_random_connected(n, 0.25 + 0.05 * (GetParam() % 5), rng);
+  const std::size_t td = exact_treedepth(g);
+  EXPECT_EQ(cops_and_robber_number(g), td);
+  const auto result = exact_treedepth_with_model(g);
+  EXPECT_EQ(result.treedepth, td);
+  EXPECT_LE(model_depth(result.model), td);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TreedepthRandomAgreement, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace lcert

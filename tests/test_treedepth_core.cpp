@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "src/cert/engine.hpp"
+#include "src/graph/generators.hpp"
+#include "src/schemes/treedepth_core.hpp"
+#include "src/treedepth/elimination.hpp"
+#include "src/treedepth/exact.hpp"
+#include "src/util/rng.hpp"
+
+namespace lcert {
+namespace {
+
+struct Fixture {
+  Graph graph;
+  RootedTree model;
+  std::vector<TdCore> cores;
+  std::vector<Certificate> certs;
+
+  static Fixture bounded(std::size_t n, std::size_t depth, Rng& rng) {
+    auto inst = make_bounded_treedepth_graph(n, depth, 0.35, rng);
+    assign_random_ids(inst.graph, rng);
+    Fixture f;
+    f.model = make_coherent(inst.graph, inst.elimination_tree);
+    f.graph = std::move(inst.graph);
+    f.cores = build_td_cores(f.graph, f.model);
+    f.certs.resize(f.graph.vertex_count());
+    for (Vertex v = 0; v < f.graph.vertex_count(); ++v) {
+      BitWriter w;
+      f.cores[v].encode(w);
+      f.certs[v] = Certificate::from_writer(w);
+    }
+    return f;
+  }
+
+  bool verify_all(std::size_t t) const {
+    for (Vertex v = 0; v < graph.vertex_count(); ++v) {
+      const View view = make_view(graph, certs, v);
+      BitReader r = view.certificate.reader();
+      const auto mine = TdCore::decode(r);
+      if (!mine.has_value()) return false;
+      std::vector<TdCore> nbs;
+      for (const auto& nb : view.neighbors) {
+        BitReader nr = nb.certificate.reader();
+        auto c = TdCore::decode(nr);
+        if (!c.has_value()) return false;
+        nbs.push_back(std::move(*c));
+      }
+      if (!verify_td_core(view, *mine, nbs, t)) return false;
+    }
+    return true;
+  }
+};
+
+TEST(TdCore, EncodeDecodeRoundTrip) {
+  Rng rng(1);
+  const auto f = Fixture::bounded(20, 4, rng);
+  for (Vertex v = 0; v < f.graph.vertex_count(); ++v) {
+    BitReader r = f.certs[v].reader();
+    const auto decoded = TdCore::decode(r);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->list, f.cores[v].list);
+    EXPECT_EQ(decoded->frags.size(), f.cores[v].frags.size());
+    EXPECT_TRUE(r.exhausted());
+  }
+}
+
+TEST(TdCore, HonestCoresVerify) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto f = Fixture::bounded(15 + rng.index(15), 4, rng);
+    EXPECT_TRUE(f.verify_all(4));
+  }
+}
+
+TEST(TdCore, DepthBoundIsEnforced) {
+  Rng rng(3);
+  const auto f = Fixture::bounded(20, 4, rng);
+  // Verify with a *smaller* bound than the model's actual depth: some vertex
+  // at full depth must reject via step 1.
+  EXPECT_FALSE(f.verify_all(model_depth(f.model) - 1));
+}
+
+TEST(TdCore, SuffixComparability) {
+  EXPECT_TRUE(td_suffix_comparable({1, 2, 3}, {2, 3}));
+  EXPECT_TRUE(td_suffix_comparable({3}, {1, 2, 3}));
+  EXPECT_TRUE(td_suffix_comparable({1, 2}, {1, 2}));
+  EXPECT_FALSE(td_suffix_comparable({1, 2, 3}, {1, 3}));
+  EXPECT_FALSE(td_suffix_comparable({1, 2}, {2, 1}));
+}
+
+TEST(TdCore, TamperedListIsCaught) {
+  Rng rng(4);
+  const auto f = Fixture::bounded(18, 4, rng);
+  // Swap the first two entries of some depth>=1 vertex's list.
+  for (Vertex v = 0; v < f.graph.vertex_count(); ++v) {
+    if (f.cores[v].depth() == 0) continue;
+    auto cores = f.cores;
+    std::swap(cores[v].list[0], cores[v].list[1]);
+    std::vector<Certificate> certs = f.certs;
+    BitWriter w;
+    cores[v].encode(w);
+    certs[v] = Certificate::from_writer(w);
+    bool all = true;
+    for (Vertex u = 0; u < f.graph.vertex_count() && all; ++u) {
+      const View view = make_view(f.graph, certs, u);
+      BitReader r = view.certificate.reader();
+      const auto mine = TdCore::decode(r);
+      std::vector<TdCore> nbs;
+      bool ok = mine.has_value();
+      for (const auto& nb : view.neighbors) {
+        BitReader nr = nb.certificate.reader();
+        auto c = TdCore::decode(nr);
+        if (!c.has_value()) ok = false; else nbs.push_back(std::move(*c));
+      }
+      all = ok && verify_td_core(view, *mine, nbs, 4);
+    }
+    EXPECT_FALSE(all) << "vertex " << v;
+    break;  // one case suffices per fixture
+  }
+}
+
+TEST(TdCore, FragmentDistanceTamperIsCaught) {
+  Rng rng(5);
+  const auto f = Fixture::bounded(18, 4, rng);
+  for (Vertex v = 0; v < f.graph.vertex_count(); ++v) {
+    if (f.cores[v].frags.empty() || f.cores[v].frags[0].dist == 0) continue;
+    auto cores = f.cores;
+    cores[v].frags[0].dist += 1;  // break the decreasing-distance chain
+    std::vector<Certificate> certs = f.certs;
+    BitWriter w;
+    cores[v].encode(w);
+    certs[v] = Certificate::from_writer(w);
+    bool all = true;
+    for (Vertex u = 0; u < f.graph.vertex_count() && all; ++u) {
+      const View view = make_view(f.graph, certs, u);
+      BitReader r = view.certificate.reader();
+      const auto mine = TdCore::decode(r);
+      std::vector<TdCore> nbs;
+      bool ok = mine.has_value();
+      for (const auto& nb : view.neighbors) {
+        BitReader nr = nb.certificate.reader();
+        auto c = TdCore::decode(nr);
+        if (!c.has_value()) ok = false; else nbs.push_back(std::move(*c));
+      }
+      all = ok && verify_td_core(view, *mine, nbs, 4);
+    }
+    EXPECT_FALSE(all) << "vertex " << v;
+    break;
+  }
+}
+
+TEST(TdCore, ExitVertexMustTouchParentLevel) {
+  // Lists where the exit-vertex's promised parent (the k-suffix vertex) does
+  // not exist must be rejected: drop the root's certificate and replace it by
+  // one with a foreign ID list.
+  Rng rng(6);
+  const auto f = Fixture::bounded(14, 3, rng);
+  auto cores = f.cores;
+  // Change the root ID in EVERY list to a fresh ID: step 1 agreement still
+  // holds (everyone agrees), but the vertex whose list should be [root] no
+  // longer exists, so some exit-vertex check must fail.
+  const VertexId fake = 999999;
+  for (auto& c : cores) c.list.back() = fake;
+  std::vector<Certificate> certs(f.graph.vertex_count());
+  for (Vertex v = 0; v < f.graph.vertex_count(); ++v) {
+    BitWriter w;
+    cores[v].encode(w);
+    certs[v] = Certificate::from_writer(w);
+  }
+  bool all = true;
+  for (Vertex u = 0; u < f.graph.vertex_count() && all; ++u) {
+    const View view = make_view(f.graph, certs, u);
+    BitReader r = view.certificate.reader();
+    const auto mine = TdCore::decode(r);
+    std::vector<TdCore> nbs;
+    bool ok = mine.has_value();
+    for (const auto& nb : view.neighbors) {
+      BitReader nr = nb.certificate.reader();
+      auto c = TdCore::decode(nr);
+      if (!c.has_value()) ok = false; else nbs.push_back(std::move(*c));
+    }
+    all = ok && verify_td_core(view, *mine, nbs, 3);
+  }
+  EXPECT_FALSE(all);
+}
+
+}  // namespace
+}  // namespace lcert
