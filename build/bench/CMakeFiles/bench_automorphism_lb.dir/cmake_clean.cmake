@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_automorphism_lb.dir/bench_automorphism_lb.cpp.o"
+  "CMakeFiles/bench_automorphism_lb.dir/bench_automorphism_lb.cpp.o.d"
+  "bench_automorphism_lb"
+  "bench_automorphism_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_automorphism_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kernel_cert.dir/bench_kernel_cert.cpp.o"
+  "CMakeFiles/bench_kernel_cert.dir/bench_kernel_cert.cpp.o.d"
+  "bench_kernel_cert"
+  "bench_kernel_cert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kernel_cert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

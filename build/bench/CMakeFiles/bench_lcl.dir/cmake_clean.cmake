@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lcl.dir/bench_lcl.cpp.o"
+  "CMakeFiles/bench_lcl.dir/bench_lcl.cpp.o.d"
+  "bench_lcl"
+  "bench_lcl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lcl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

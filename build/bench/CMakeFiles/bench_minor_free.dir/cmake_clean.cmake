@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_minor_free.dir/bench_minor_free.cpp.o"
+  "CMakeFiles/bench_minor_free.dir/bench_minor_free.cpp.o.d"
+  "bench_minor_free"
+  "bench_minor_free.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_minor_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spanning_tree.dir/bench_spanning_tree.cpp.o"
+  "CMakeFiles/bench_spanning_tree.dir/bench_spanning_tree.cpp.o.d"
+  "bench_spanning_tree"
+  "bench_spanning_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spanning_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

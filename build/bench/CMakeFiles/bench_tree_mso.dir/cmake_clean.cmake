@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tree_mso.dir/bench_tree_mso.cpp.o"
+  "CMakeFiles/bench_tree_mso.dir/bench_tree_mso.cpp.o.d"
+  "bench_tree_mso"
+  "bench_tree_mso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tree_mso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_treedepth_cert.dir/bench_treedepth_cert.cpp.o"
+  "CMakeFiles/bench_treedepth_cert.dir/bench_treedepth_cert.cpp.o.d"
+  "bench_treedepth_cert"
+  "bench_treedepth_cert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_treedepth_cert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_treedepth_lb.dir/bench_treedepth_lb.cpp.o"
+  "CMakeFiles/bench_treedepth_lb.dir/bench_treedepth_lb.cpp.o.d"
+  "bench_treedepth_lb"
+  "bench_treedepth_lb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_treedepth_lb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

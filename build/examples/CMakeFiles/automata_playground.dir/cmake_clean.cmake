@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_playground.dir/automata_playground.cpp.o"
+  "CMakeFiles/automata_playground.dir/automata_playground.cpp.o.d"
+  "automata_playground"
+  "automata_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certify_treedepth.dir/certify_treedepth.cpp.o"
+  "CMakeFiles/certify_treedepth.dir/certify_treedepth.cpp.o.d"
+  "certify_treedepth"
+  "certify_treedepth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certify_treedepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernelization_demo.dir/kernelization_demo.cpp.o"
+  "CMakeFiles/kernelization_demo.dir/kernelization_demo.cpp.o.d"
+  "kernelization_demo"
+  "kernelization_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernelization_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

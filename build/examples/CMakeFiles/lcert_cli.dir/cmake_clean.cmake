@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcert_cli.dir/lcert_cli.cpp.o"
+  "CMakeFiles/lcert_cli.dir/lcert_cli.cpp.o.d"
+  "lcert_cli"
+  "lcert_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcert_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

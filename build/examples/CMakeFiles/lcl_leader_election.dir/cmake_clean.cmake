@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcl_leader_election.dir/lcl_leader_election.cpp.o"
+  "CMakeFiles/lcl_leader_election.dir/lcl_leader_election.cpp.o.d"
+  "lcl_leader_election"
+  "lcl_leader_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcl_leader_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,67 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/library.cpp" "src/CMakeFiles/lcert.dir/automata/library.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/automata/library.cpp.o.d"
+  "/root/repo/src/automata/presburger.cpp" "src/CMakeFiles/lcert.dir/automata/presburger.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/automata/presburger.cpp.o.d"
+  "/root/repo/src/automata/uop_automaton.cpp" "src/CMakeFiles/lcert.dir/automata/uop_automaton.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/automata/uop_automaton.cpp.o.d"
+  "/root/repo/src/cert/audit.cpp" "src/CMakeFiles/lcert.dir/cert/audit.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/cert/audit.cpp.o.d"
+  "/root/repo/src/cert/ball.cpp" "src/CMakeFiles/lcert.dir/cert/ball.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/cert/ball.cpp.o.d"
+  "/root/repo/src/cert/engine.cpp" "src/CMakeFiles/lcert.dir/cert/engine.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/cert/engine.cpp.o.d"
+  "/root/repo/src/graph/connectivity.cpp" "src/CMakeFiles/lcert.dir/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/generators.cpp" "src/CMakeFiles/lcert.dir/graph/generators.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/graph/generators.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/CMakeFiles/lcert.dir/graph/graph.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/graph/graph.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/CMakeFiles/lcert.dir/graph/io.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/graph/io.cpp.o.d"
+  "/root/repo/src/graph/minors.cpp" "src/CMakeFiles/lcert.dir/graph/minors.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/graph/minors.cpp.o.d"
+  "/root/repo/src/graph/rooted_tree.cpp" "src/CMakeFiles/lcert.dir/graph/rooted_tree.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/graph/rooted_tree.cpp.o.d"
+  "/root/repo/src/graph/tree_iso.cpp" "src/CMakeFiles/lcert.dir/graph/tree_iso.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/graph/tree_iso.cpp.o.d"
+  "/root/repo/src/kernel/reduce.cpp" "src/CMakeFiles/lcert.dir/kernel/reduce.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/kernel/reduce.cpp.o.d"
+  "/root/repo/src/kernel/types.cpp" "src/CMakeFiles/lcert.dir/kernel/types.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/kernel/types.cpp.o.d"
+  "/root/repo/src/lcl/labeled.cpp" "src/CMakeFiles/lcert.dir/lcl/labeled.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/lcl/labeled.cpp.o.d"
+  "/root/repo/src/lcl/lcl_library.cpp" "src/CMakeFiles/lcert.dir/lcl/lcl_library.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/lcl/lcl_library.cpp.o.d"
+  "/root/repo/src/lcl/lcl_scheme.cpp" "src/CMakeFiles/lcert.dir/lcl/lcl_scheme.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/lcl/lcl_scheme.cpp.o.d"
+  "/root/repo/src/logic/ast.cpp" "src/CMakeFiles/lcert.dir/logic/ast.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/logic/ast.cpp.o.d"
+  "/root/repo/src/logic/ef_game.cpp" "src/CMakeFiles/lcert.dir/logic/ef_game.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/logic/ef_game.cpp.o.d"
+  "/root/repo/src/logic/eval.cpp" "src/CMakeFiles/lcert.dir/logic/eval.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/logic/eval.cpp.o.d"
+  "/root/repo/src/logic/formulas.cpp" "src/CMakeFiles/lcert.dir/logic/formulas.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/logic/formulas.cpp.o.d"
+  "/root/repo/src/logic/metrics.cpp" "src/CMakeFiles/lcert.dir/logic/metrics.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/logic/metrics.cpp.o.d"
+  "/root/repo/src/logic/modelcheck.cpp" "src/CMakeFiles/lcert.dir/logic/modelcheck.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/logic/modelcheck.cpp.o.d"
+  "/root/repo/src/logic/parser.cpp" "src/CMakeFiles/lcert.dir/logic/parser.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/logic/parser.cpp.o.d"
+  "/root/repo/src/lowerbounds/constructions.cpp" "src/CMakeFiles/lcert.dir/lowerbounds/constructions.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/lowerbounds/constructions.cpp.o.d"
+  "/root/repo/src/lowerbounds/framework.cpp" "src/CMakeFiles/lcert.dir/lowerbounds/framework.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/lowerbounds/framework.cpp.o.d"
+  "/root/repo/src/lowerbounds/tree_enumeration.cpp" "src/CMakeFiles/lcert.dir/lowerbounds/tree_enumeration.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/lowerbounds/tree_enumeration.cpp.o.d"
+  "/root/repo/src/schemes/automorphism_scheme.cpp" "src/CMakeFiles/lcert.dir/schemes/automorphism_scheme.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/automorphism_scheme.cpp.o.d"
+  "/root/repo/src/schemes/depth2_fo.cpp" "src/CMakeFiles/lcert.dir/schemes/depth2_fo.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/depth2_fo.cpp.o.d"
+  "/root/repo/src/schemes/existential_fo.cpp" "src/CMakeFiles/lcert.dir/schemes/existential_fo.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/existential_fo.cpp.o.d"
+  "/root/repo/src/schemes/kernel_core.cpp" "src/CMakeFiles/lcert.dir/schemes/kernel_core.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/kernel_core.cpp.o.d"
+  "/root/repo/src/schemes/kernel_scheme.cpp" "src/CMakeFiles/lcert.dir/schemes/kernel_scheme.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/kernel_scheme.cpp.o.d"
+  "/root/repo/src/schemes/minor_free.cpp" "src/CMakeFiles/lcert.dir/schemes/minor_free.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/minor_free.cpp.o.d"
+  "/root/repo/src/schemes/mso_tree.cpp" "src/CMakeFiles/lcert.dir/schemes/mso_tree.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/mso_tree.cpp.o.d"
+  "/root/repo/src/schemes/registry.cpp" "src/CMakeFiles/lcert.dir/schemes/registry.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/registry.cpp.o.d"
+  "/root/repo/src/schemes/spanning_tree.cpp" "src/CMakeFiles/lcert.dir/schemes/spanning_tree.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/spanning_tree.cpp.o.d"
+  "/root/repo/src/schemes/tree_depth_bounded.cpp" "src/CMakeFiles/lcert.dir/schemes/tree_depth_bounded.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/tree_depth_bounded.cpp.o.d"
+  "/root/repo/src/schemes/tree_diameter.cpp" "src/CMakeFiles/lcert.dir/schemes/tree_diameter.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/tree_diameter.cpp.o.d"
+  "/root/repo/src/schemes/treedepth_core.cpp" "src/CMakeFiles/lcert.dir/schemes/treedepth_core.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/treedepth_core.cpp.o.d"
+  "/root/repo/src/schemes/treedepth_scheme.cpp" "src/CMakeFiles/lcert.dir/schemes/treedepth_scheme.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/treedepth_scheme.cpp.o.d"
+  "/root/repo/src/schemes/universal.cpp" "src/CMakeFiles/lcert.dir/schemes/universal.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/schemes/universal.cpp.o.d"
+  "/root/repo/src/treedepth/cops_robber.cpp" "src/CMakeFiles/lcert.dir/treedepth/cops_robber.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/treedepth/cops_robber.cpp.o.d"
+  "/root/repo/src/treedepth/elimination.cpp" "src/CMakeFiles/lcert.dir/treedepth/elimination.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/treedepth/elimination.cpp.o.d"
+  "/root/repo/src/treedepth/exact.cpp" "src/CMakeFiles/lcert.dir/treedepth/exact.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/treedepth/exact.cpp.o.d"
+  "/root/repo/src/treedepth/heuristic.cpp" "src/CMakeFiles/lcert.dir/treedepth/heuristic.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/treedepth/heuristic.cpp.o.d"
+  "/root/repo/src/util/bignum.cpp" "src/CMakeFiles/lcert.dir/util/bignum.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/util/bignum.cpp.o.d"
+  "/root/repo/src/util/bitio.cpp" "src/CMakeFiles/lcert.dir/util/bitio.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/util/bitio.cpp.o.d"
+  "/root/repo/src/util/flow.cpp" "src/CMakeFiles/lcert.dir/util/flow.cpp.o" "gcc" "src/CMakeFiles/lcert.dir/util/flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_automata.cpp" "tests/CMakeFiles/lcert_tests.dir/test_automata.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_automata.cpp.o.d"
+  "/root/repo/tests/test_bignum.cpp" "tests/CMakeFiles/lcert_tests.dir/test_bignum.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_bignum.cpp.o.d"
+  "/root/repo/tests/test_bitio.cpp" "tests/CMakeFiles/lcert_tests.dir/test_bitio.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_bitio.cpp.o.d"
+  "/root/repo/tests/test_cert_framework.cpp" "tests/CMakeFiles/lcert_tests.dir/test_cert_framework.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_cert_framework.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/lcert_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_flow.cpp" "tests/CMakeFiles/lcert_tests.dir/test_flow.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_flow.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/lcert_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_independent_set_automaton.cpp" "tests/CMakeFiles/lcert_tests.dir/test_independent_set_automaton.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_independent_set_automaton.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/lcert_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_kernel.cpp" "tests/CMakeFiles/lcert_tests.dir/test_kernel.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_kernel.cpp.o.d"
+  "/root/repo/tests/test_logic.cpp" "tests/CMakeFiles/lcert_tests.dir/test_logic.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_logic.cpp.o.d"
+  "/root/repo/tests/test_lowerbounds.cpp" "tests/CMakeFiles/lcert_tests.dir/test_lowerbounds.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_lowerbounds.cpp.o.d"
+  "/root/repo/tests/test_registry_sweep.cpp" "tests/CMakeFiles/lcert_tests.dir/test_registry_sweep.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_registry_sweep.cpp.o.d"
+  "/root/repo/tests/test_schemes_advanced.cpp" "tests/CMakeFiles/lcert_tests.dir/test_schemes_advanced.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_schemes_advanced.cpp.o.d"
+  "/root/repo/tests/test_schemes_basic.cpp" "tests/CMakeFiles/lcert_tests.dir/test_schemes_basic.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_schemes_basic.cpp.o.d"
+  "/root/repo/tests/test_treedepth.cpp" "tests/CMakeFiles/lcert_tests.dir/test_treedepth.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_treedepth.cpp.o.d"
+  "/root/repo/tests/test_treedepth_core.cpp" "tests/CMakeFiles/lcert_tests.dir/test_treedepth_core.cpp.o" "gcc" "tests/CMakeFiles/lcert_tests.dir/test_treedepth_core.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lcert.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
