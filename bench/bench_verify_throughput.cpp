@@ -1,8 +1,15 @@
 // E10 (supporting): the verifier is genuinely local — per-vertex verification
 // time is independent of n (it depends on the degree and certificate size
 // only). google-benchmark micro-measurements of Scheme::verify.
+//
+// The BM_Engine* family measures whole-round verify_assignment throughput and
+// backs BENCH_verify.json (bench/run_verify_bench.sh): the seed engine built
+// an owning View per vertex per round (certificate deep copies); the current
+// engine binds a precomputed ViewCache (pointer fills only) and optionally
+// fans out across a worker pool.
 #include <benchmark/benchmark.h>
 
+#include "src/cert/audit.hpp"
 #include "src/cert/engine.hpp"
 #include "src/graph/generators.hpp"
 #include "src/logic/formulas.hpp"
@@ -78,6 +85,89 @@ void BM_VerifyKernelMso(benchmark::State& state) {
   run_all_views(state, scheme, p);
 }
 BENCHMARK(BM_VerifyKernelMso)->Arg(256)->Arg(1024);
+
+// ---------------------------------------------------------------------------
+// Engine throughput: copy-vs-zero-copy and serial-vs-parallel, one full
+// verification round (all n vertices) per item batch.
+// ---------------------------------------------------------------------------
+
+Prepared prepare_mso(std::size_t n) {
+  Rng rng(2);
+  MsoTreeScheme scheme(standard_tree_automata()[0]);  // "path"
+  return prepare(scheme, make_path(n), rng);
+}
+
+// Seed-engine behavior: a fresh owning View (certificate deep copies) per
+// vertex per round, serial sweep.
+void BM_EngineSeedCopies(benchmark::State& state) {
+  MsoTreeScheme scheme(standard_tree_automata()[0]);
+  const auto p = prepare_mso(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    bool all = true;
+    for (Vertex v = 0; v < p.graph.vertex_count(); ++v)
+      all = all && scheme.verify(make_view(p.graph, p.certs, v));
+    benchmark::DoNotOptimize(all);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.graph.vertex_count()));
+}
+BENCHMARK(BM_EngineSeedCopies)->Arg(1024)->Arg(4096);
+
+void run_engine_rounds(benchmark::State& state, std::size_t n, std::size_t threads) {
+  MsoTreeScheme scheme(standard_tree_automata()[0]);
+  const auto p = prepare_mso(n);
+  const ViewCache cache(p.graph);  // amortized across rounds, as in the audit
+  const VerifyOptions options{threads, /*stop_at_first_reject=*/false};
+  for (auto _ : state) {
+    const auto outcome = verify_assignment(scheme, cache, p.certs, options);
+    benchmark::DoNotOptimize(outcome.all_accept);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+
+void BM_EngineZeroCopySerial(benchmark::State& state) {
+  run_engine_rounds(state, static_cast<std::size_t>(state.range(0)), 1);
+}
+BENCHMARK(BM_EngineZeroCopySerial)->Arg(1024)->Arg(4096);
+
+void BM_EngineZeroCopyParallel(benchmark::State& state) {
+  run_engine_rounds(state, static_cast<std::size_t>(state.range(0)), 0);  // 0 = auto
+}
+BENCHMARK(BM_EngineZeroCopyParallel)->Arg(1024)->Arg(4096);
+
+// Audit throughput: one full attack_soundness sweep (shared ViewCache,
+// trial-level fan-out); items = attack trials executed.
+void run_audit(benchmark::State& state, std::size_t threads) {
+  MsoTreeScheme scheme(standard_tree_automata()[0]);
+  Rng rng(5);
+  Graph no = make_star(static_cast<std::size_t>(state.range(0)));  // not a path
+  assign_random_ids(no, rng);
+  Rng yes_rng(6);
+  Graph yes = make_path(no.vertex_count());
+  assign_random_ids(yes, yes_rng);
+  const auto tmpl = scheme.assign(yes);
+  AuditOptions options;
+  options.random_trials = 64;
+  options.mutation_trials = 64;
+  options.num_threads = threads;
+  std::uint64_t seed = 7;
+  for (auto _ : state) {
+    Rng attack_rng(seed++);  // fresh randomness, same cost profile
+    const auto forged =
+        attack_soundness(scheme, no, tmpl ? &*tmpl : nullptr, attack_rng, options);
+    if (forged.has_value()) state.SkipWithError("unexpected forgery");
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(options.random_trials +
+                                                    options.mutation_trials));
+}
+
+void BM_AuditSerial(benchmark::State& state) { run_audit(state, 1); }
+BENCHMARK(BM_AuditSerial)->Arg(512);
+
+void BM_AuditParallel(benchmark::State& state) { run_audit(state, 0); }
+BENCHMARK(BM_AuditParallel)->Arg(512);
 
 }  // namespace
 

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Runs the verification-engine benchmarks and records the headline numbers in
+# BENCH_verify.json at the repo root.
+#
+# The headline metric is the speedup of the zero-copy batched engine over the
+# seed engine's per-vertex-copy loop (BM_EngineSeedCopies emulates it) on the
+# MsoTree scheme at n=4096. Usage:
+#
+#   bench/run_verify_bench.sh [build-dir]      # default build dir: build/
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+BIN="$BUILD_DIR/bench/bench_verify_throughput"
+OUT="$REPO_ROOT/BENCH_verify.json"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found — build first: cmake --build '$BUILD_DIR' --target bench_verify_throughput" >&2
+  exit 1
+fi
+
+"$BIN" --benchmark_filter='BM_Engine|BM_Audit' \
+       --benchmark_min_time=0.3 \
+       --benchmark_format=json >"$RAW"
+
+python3 - "$RAW" "$OUT" <<'EOF'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+rates = {}  # benchmark name -> items per second
+for b in raw.get("benchmarks", []):
+    ips = b.get("items_per_second")
+    if ips is not None:
+        rates[b["name"]] = ips
+
+seed = rates.get("BM_EngineSeedCopies/4096")
+serial = rates.get("BM_EngineZeroCopySerial/4096")
+parallel = rates.get("BM_EngineZeroCopyParallel/4096")
+best = max(v for v in (serial, parallel) if v is not None)
+speedup = best / seed if seed else None
+
+result = {
+    "benchmark": "verify_engine_throughput",
+    "scheme": "mso-tree[path]",
+    "n": 4096,
+    "context": raw.get("context", {}),
+    "items_per_second": rates,
+    "headline": {
+        "seed_engine_items_per_second": seed,
+        "zero_copy_serial_items_per_second": serial,
+        "zero_copy_parallel_items_per_second": parallel,
+        "speedup_vs_seed_engine": speedup,
+        "target_speedup": 5.0,
+        "meets_target": speedup is not None and speedup >= 5.0,
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {out_path}")
+if speedup is not None:
+    print(f"speedup vs seed engine at n=4096: {speedup:.2f}x "
+          f"({'meets' if speedup >= 5.0 else 'MISSES'} the 5x target)")
+EOF

@@ -34,10 +34,10 @@ class TinyFingerprintScheme final : public lcert::Scheme {
     return std::vector<lcert::Certificate>(g.vertex_count(),
                                            lcert::Certificate::from_writer(w));
   }
-  bool verify(const lcert::View& view) const override {
-    for (const auto& nb : view.neighbors)
-      if (!(nb.certificate == view.certificate)) return false;
-    return view.certificate.bit_size == bits_;
+  bool verify(const lcert::ViewRef& view) const override {
+    for (const auto& nb : view.neighbors())
+      if (!(*nb.certificate == *view.certificate)) return false;
+    return view.certificate->bit_size == bits_;
   }
 
  private:

@@ -6,11 +6,7 @@
 namespace lcert {
 
 bool IntervalBox::contains(const std::vector<std::size_t>& counts) const {
-  if (counts.size() != lo.size())
-    throw std::invalid_argument("IntervalBox::contains: wrong arity");
-  for (std::size_t q = 0; q < counts.size(); ++q)
-    if (counts[q] < lo[q] || (hi[q] != kUnbounded && counts[q] > hi[q])) return false;
-  return true;
+  return contains(counts.data(), counts.size());
 }
 
 bool IntervalBox::empty() const {

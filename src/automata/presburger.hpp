@@ -29,6 +29,16 @@ struct IntervalBox {
   std::vector<std::size_t> hi;
 
   bool contains(const std::vector<std::size_t>& counts) const;
+  /// Allocation-free variant, inline for hot verification loops.
+  bool contains(const std::size_t* counts, std::size_t count_len) const {
+    if (count_len != lo.size())
+      throw std::invalid_argument("IntervalBox::contains: wrong arity");
+    const std::size_t* lo_p = lo.data();
+    const std::size_t* hi_p = hi.data();
+    for (std::size_t q = 0; q < count_len; ++q)
+      if (counts[q] < lo_p[q] || (hi_p[q] != kUnbounded && counts[q] > hi_p[q])) return false;
+    return true;
+  }
   bool empty() const;
   /// Intersection; may produce an empty box.
   IntervalBox intersect(const IntervalBox& other) const;

@@ -1,7 +1,14 @@
 #include "src/cert/audit.hpp"
 
+#include <atomic>
+#include <functional>
+#include <limits>
+#include <mutex>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "src/util/parallel.hpp"
 
 namespace lcert {
 
@@ -20,9 +27,46 @@ Certificate flip_bit(const Certificate& c, std::size_t bit) {
   return out;
 }
 
-bool accepted_everywhere(const Scheme& scheme, const Graph& g,
+// Attack trials only need accept/reject: early-exit, and stay single-threaded
+// per verification — the parallelism lives at the trial level.
+constexpr VerifyOptions kTrialVerify{/*num_threads=*/1, /*stop_at_first_reject=*/true};
+
+bool accepted_everywhere(const Scheme& scheme, const ViewCache& cache,
                          const std::vector<Certificate>& certs) {
-  return verify_assignment(scheme, g, certs).all_accept;
+  return verify_assignment(scheme, cache, certs, kTrialVerify).all_accept;
+}
+
+// Runs `trials` independent attack trials on the worker pool. make_certs(rng)
+// builds one candidate assignment from the trial's private Rng; the forgery
+// reported is the one from the lowest-numbered successful trial, making the
+// outcome independent of the thread count. Trials numbered above an already
+// recorded success are skipped — their results could never win.
+std::optional<std::vector<Certificate>> run_trials(
+    const Scheme& scheme, const ViewCache& cache, std::size_t trials, Rng& rng,
+    std::size_t num_threads,
+    const std::function<std::vector<Certificate>(Rng&)>& make_certs) {
+  // Per-trial seeds drawn serially up front: each trial's randomness depends
+  // only on its index, never on execution order.
+  std::vector<std::uint64_t> seeds(trials);
+  for (auto& s : seeds) s = rng.uniform(0, std::numeric_limits<std::uint64_t>::max());
+
+  std::atomic<std::size_t> best{SIZE_MAX};
+  std::vector<Certificate> forged;
+  std::mutex forged_mutex;
+  parallel_for(trials, num_threads, [&](std::size_t trial) {
+    if (trial > best.load(std::memory_order_relaxed)) return;
+    Rng trial_rng(seeds[trial]);
+    std::vector<Certificate> certs = make_certs(trial_rng);
+    if (certs.empty()) return;  // trial not applicable (e.g. zero-bit flip target)
+    if (!accepted_everywhere(scheme, cache, certs)) return;
+    std::lock_guard<std::mutex> lock(forged_mutex);
+    if (trial < best.load(std::memory_order_relaxed)) {
+      best.store(trial, std::memory_order_relaxed);
+      forged = std::move(certs);
+    }
+  });
+  if (best.load() == SIZE_MAX) return std::nullopt;
+  return forged;
 }
 
 }  // namespace
@@ -34,44 +78,51 @@ std::optional<ForgedAssignment> attack_soundness(const Scheme& scheme,
   if (scheme.holds(no_instance))
     throw std::invalid_argument("attack_soundness: instance satisfies the property");
   const std::size_t n = no_instance.vertex_count();
+  const ViewCache cache(no_instance);  // one topology walk for every attack below
 
   // Attack 1: uniformly random certificates.
-  for (std::size_t trial = 0; trial < options.random_trials; ++trial) {
-    std::vector<Certificate> certs(n);
-    for (auto& c : certs) c = random_certificate(rng, options.max_random_bits);
-    if (accepted_everywhere(scheme, no_instance, certs))
-      return ForgedAssignment{std::move(certs), "random"};
+  {
+    const std::size_t max_bits = options.max_random_bits;
+    auto forged = run_trials(scheme, cache, options.random_trials, rng, options.num_threads,
+                             [n, max_bits](Rng& trial_rng) {
+                               std::vector<Certificate> certs(n);
+                               for (auto& c : certs) c = random_certificate(trial_rng, max_bits);
+                               return certs;
+                             });
+    if (forged.has_value()) return ForgedAssignment{std::move(*forged), "random"};
   }
 
   // Attack 2: the empty assignment (schemes must not accept by default).
   {
     std::vector<Certificate> certs(n);
-    if (accepted_everywhere(scheme, no_instance, certs))
+    if (accepted_everywhere(scheme, cache, certs))
       return ForgedAssignment{std::move(certs), "empty"};
   }
 
   if (yes_template != nullptr && yes_template->size() == n) {
     // Attack 3: replay the honest certificates of a yes-instance.
-    if (options.try_replay && accepted_everywhere(scheme, no_instance, *yes_template))
+    if (options.try_replay && accepted_everywhere(scheme, cache, *yes_template))
       return ForgedAssignment{*yes_template, "replay"};
 
     // Attack 4: replay with certificates permuted between vertices.
     if (options.try_replay) {
       std::vector<Certificate> shuffled = *yes_template;
       rng.shuffle(shuffled);
-      if (accepted_everywhere(scheme, no_instance, shuffled))
+      if (accepted_everywhere(scheme, cache, shuffled))
         return ForgedAssignment{std::move(shuffled), "replay-shuffled"};
     }
 
     // Attack 5: single bit flips of the replayed template.
-    for (std::size_t trial = 0; trial < options.mutation_trials; ++trial) {
-      std::vector<Certificate> certs = *yes_template;
-      const Vertex v = static_cast<Vertex>(rng.index(n));
-      if (certs[v].bit_size == 0) continue;
-      certs[v] = flip_bit(certs[v], rng.index(certs[v].bit_size));
-      if (accepted_everywhere(scheme, no_instance, certs))
-        return ForgedAssignment{std::move(certs), "bit-flip"};
-    }
+    const std::vector<Certificate>& tmpl = *yes_template;
+    auto forged = run_trials(scheme, cache, options.mutation_trials, rng, options.num_threads,
+                             [n, &tmpl](Rng& trial_rng) {
+                               std::vector<Certificate> certs = tmpl;
+                               const Vertex v = static_cast<Vertex>(trial_rng.index(n));
+                               if (certs[v].bit_size == 0) return std::vector<Certificate>{};
+                               certs[v] = flip_bit(certs[v], trial_rng.index(certs[v].bit_size));
+                               return certs;
+                             });
+    if (forged.has_value()) return ForgedAssignment{std::move(*forged), "bit-flip"};
   }
 
   return std::nullopt;
@@ -107,10 +158,14 @@ std::optional<ForgedAssignment> exhaustive_soundness_attack(const Scheme& scheme
   if (combos > 2e7)
     throw std::invalid_argument("exhaustive_soundness_attack: search space too large");
 
+  // The odometer order is part of the contract (first accepting assignment in
+  // canonical order); it stays serial, but every probe reuses the cache and
+  // early-exits on the first rejecting vertex.
+  const ViewCache cache(no_instance);
   std::vector<std::size_t> pick(n, 0);
   std::vector<Certificate> certs(n, alphabet[0]);
   while (true) {
-    if (accepted_everywhere(scheme, no_instance, certs))
+    if (accepted_everywhere(scheme, cache, certs))
       return ForgedAssignment{certs, "exhaustive"};
     // Odometer increment.
     std::size_t i = 0;

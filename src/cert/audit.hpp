@@ -7,6 +7,13 @@
 // full enumeration of all short certificate assignments. A sound scheme must
 // reject every attempt on a no-instance; any accepted forgery is a bug and is
 // returned for the test to display.
+//
+// Performance: all attacks share one ViewCache of the instance (same graph,
+// hundreds of mutated assignments), and the independent random/mutation
+// trials run on a worker pool. Each trial draws its randomness from its own
+// seed (pre-drawn serially from the caller's Rng), and a forgery is reported
+// from the lowest-numbered successful trial — so for a fixed Rng seed the
+// result is identical for every num_threads value.
 #pragma once
 
 #include <cstddef>
@@ -30,6 +37,7 @@ struct AuditOptions {
   std::size_t mutation_trials = 200;      ///< bit-flips of a template assignment
   std::size_t max_random_bits = 64;       ///< length of random certificates
   bool try_replay = true;                 ///< replay template certificates shuffled
+  std::size_t num_threads = 0;            ///< workers for trial fan-out; 0 = auto
 };
 
 /// Attacks the scheme's soundness on `no_instance` (must violate holds()).

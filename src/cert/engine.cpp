@@ -1,7 +1,10 @@
 #include "src/cert/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <stdexcept>
+
+#include "src/util/parallel.hpp"
 
 namespace lcert {
 
@@ -16,32 +19,93 @@ View make_view(const Graph& g, const std::vector<Certificate>& certificates, Ver
   return view;
 }
 
-VerificationOutcome verify_assignment(const Scheme& scheme, const Graph& g,
-                                      const std::vector<Certificate>& certificates) {
+ViewCache::ViewCache(const Graph& g) : g_(&g) {
+  const std::size_t n = g.vertex_count();
+  ids_.resize(n);
+  offsets_.resize(n + 1, 0);
+  for (Vertex v = 0; v < n; ++v) {
+    ids_[v] = g.id(v);
+    offsets_[v + 1] = offsets_[v] + g.degree(v);
+  }
+  neighbor_index_.reserve(offsets_[n]);
+  neighbor_id_.reserve(offsets_[n]);
+  for (Vertex v = 0; v < n; ++v)
+    for (Vertex w : g.neighbors(v)) {
+      neighbor_index_.push_back(w);
+      neighbor_id_.push_back(g.id(w));
+    }
+}
+
+ViewCache::Binding::Binding(const ViewCache& cache, const std::vector<Certificate>& certificates)
+    : cache_(&cache), certificates_(&certificates) {
+  if (certificates.size() != cache.vertex_count())
+    throw std::invalid_argument("ViewCache::bind: wrong number of certificates");
+  const std::size_t m = cache.neighbor_index_.size();
+  entries_.resize(m);
+  for (std::size_t k = 0; k < m; ++k)
+    entries_[k] = {cache.neighbor_id_[k], &certificates[cache.neighbor_index_[k]]};
+}
+
+ViewCache::Binding ViewCache::bind(const std::vector<Certificate>& certificates) const {
+  return Binding(*this, certificates);
+}
+
+VerificationOutcome verify_assignment(const Scheme& scheme, const ViewCache& cache,
+                                      const std::vector<Certificate>& certificates,
+                                      const VerifyOptions& options) {
   VerificationOutcome out;
   for (const Certificate& c : certificates) {
     out.max_certificate_bits = std::max(out.max_certificate_bits, c.bit_size);
     out.total_certificate_bits += c.bit_size;
   }
-  for (Vertex v = 0; v < g.vertex_count(); ++v) {
-    bool ok;
-    try {
-      ok = scheme.verify(make_view(g, certificates, v));
-    } catch (const std::out_of_range&) {
-      // Truncated/garbage certificate: the verifier rejects.
-      ok = false;
-    }
-    if (!ok) out.rejecting.push_back(v);
-  }
+
+  const ViewCache::Binding binding = cache.bind(certificates);
+  const std::size_t n = cache.vertex_count();
+  // Vertices are verified in contiguous batches through Scheme::verify_batch
+  // (exception policy — CertificateTruncated rejects, anything else is a
+  // scheme bug and propagates — lives there). Disjoint result slots keep the
+  // outcome deterministic regardless of which worker runs which batch.
+  constexpr std::size_t kBatch = 128;
+  const std::size_t blocks = (n + kBatch - 1) / kBatch;
+  // Thread count is a per-vertex decision (the auto cutoff is in vertices),
+  // then passed explicitly so parallel_for's own resolution doesn't re-apply
+  // the cutoff to the much smaller block count.
+  const std::size_t workers = resolve_thread_count(options.num_threads, n);
+  std::vector<std::uint8_t> rejected(n, 0);
+  std::atomic<bool> stop{false};
+  parallel_for(blocks, workers, [&](std::size_t block) {
+    if (options.stop_at_first_reject && stop.load(std::memory_order_relaxed)) return;
+    const std::size_t begin = block * kBatch;
+    const std::size_t count = std::min(kBatch, n - begin);
+    ViewRef views[kBatch];
+    std::uint8_t accept[kBatch];
+    for (std::size_t i = 0; i < count; ++i)
+      views[i] = binding.view(static_cast<Vertex>(begin + i));
+    scheme.verify_batch(views, count, accept);
+    for (std::size_t i = 0; i < count; ++i)
+      if (!accept[i]) {
+        rejected[begin + i] = 1;
+        if (options.stop_at_first_reject) stop.store(true, std::memory_order_relaxed);
+      }
+  });
+  for (Vertex v = 0; v < n; ++v)
+    if (rejected[v]) out.rejecting.push_back(v);
   out.all_accept = out.rejecting.empty();
   return out;
 }
 
-SchemeOutcome run_scheme(const Scheme& scheme, const Graph& g) {
+VerificationOutcome verify_assignment(const Scheme& scheme, const Graph& g,
+                                      const std::vector<Certificate>& certificates,
+                                      const VerifyOptions& options) {
+  return verify_assignment(scheme, ViewCache(g), certificates, options);
+}
+
+SchemeOutcome run_scheme(const Scheme& scheme, const Graph& g, const VerifyOptions& options) {
   SchemeOutcome out;
   const auto certificates = scheme.assign(g);
   out.prover_succeeded = certificates.has_value();
-  if (out.prover_succeeded) out.verification = verify_assignment(scheme, g, *certificates);
+  if (out.prover_succeeded)
+    out.verification = verify_assignment(scheme, g, *certificates, options);
   return out;
 }
 

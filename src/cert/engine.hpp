@@ -1,5 +1,13 @@
 // Evaluation engine: runs a scheme's verifier at every vertex and accounts
 // certificate sizes in bits (the paper's performance measure).
+//
+// The hot path is zero-copy and parallel. A ViewCache precomputes the
+// CSR-style view topology (self IDs, neighbor IDs, neighbor vertex indices)
+// once per graph; binding a certificate assignment to it is a single O(m)
+// pointer fill, and each per-vertex ViewRef is then handed out without
+// copying a byte of certificate data. verify_assignment fans the vertices
+// out over a worker pool; results are deterministic (the rejecting set is
+// produced in vertex order regardless of thread count).
 #pragma once
 
 #include <cstddef>
@@ -9,6 +17,68 @@
 
 namespace lcert {
 
+/// Builds vertex v's radius-1 view under a certificate assignment, deep
+/// copying the certificates. Adapter for tests and one-off inspection; the
+/// engine itself goes through ViewCache.
+View make_view(const Graph& g, const std::vector<Certificate>& certificates, Vertex v);
+
+/// Reusable zero-copy view factory for one graph. Construction walks the
+/// adjacency once; every later verification pass over the same graph (the
+/// scaling experiments, the audit's hundreds of forged assignments) reuses
+/// the topology and only rebinds certificate pointers.
+class ViewCache {
+ public:
+  explicit ViewCache(const Graph& g);
+
+  const Graph& graph() const noexcept { return *g_; }
+  std::size_t vertex_count() const noexcept { return ids_.size(); }
+
+  /// One certificate assignment bound to the cached topology. Cheap to
+  /// create (one O(m) pointer fill, no certificate copies) and immutable
+  /// afterwards, so a Binding may be shared by concurrent verifier calls.
+  /// Borrows both the cache and the certificate vector: both must outlive
+  /// the binding, and the vector must not be resized while bound.
+  class Binding {
+   public:
+    ViewRef view(Vertex v) const noexcept {
+      return ViewRef{cache_->ids_[v], &(*certificates_)[v],
+                     entries_.data() + cache_->offsets_[v],
+                     cache_->offsets_[v + 1] - cache_->offsets_[v]};
+    }
+    std::size_t vertex_count() const noexcept { return cache_->vertex_count(); }
+
+   private:
+    friend class ViewCache;
+    Binding(const ViewCache& cache, const std::vector<Certificate>& certificates);
+
+    const ViewCache* cache_;
+    const std::vector<Certificate>* certificates_;
+    std::vector<NeighborRef> entries_;  ///< CSR-parallel {id, cert*} pairs
+  };
+
+  /// Binds an assignment (size must equal vertex_count()).
+  Binding bind(const std::vector<Certificate>& certificates) const;
+
+ private:
+  const Graph* g_;
+  std::vector<VertexId> ids_;            ///< self ID per vertex
+  std::vector<std::size_t> offsets_;     ///< CSR offsets, size n+1
+  std::vector<Vertex> neighbor_index_;   ///< CSR neighbor vertex indices
+  std::vector<VertexId> neighbor_id_;    ///< CSR neighbor IDs
+};
+
+struct VerifyOptions {
+  /// Worker threads for the per-vertex fan-out; 0 = auto (serial below
+  /// kParallelAutoCutoff vertices, hardware concurrency above).
+  std::size_t num_threads = 0;
+  /// Early-exit mode for audits where only accept/reject matters: stop
+  /// handing out vertices once one rejects. `all_accept` and the bit
+  /// accounting are exact; `rejecting` holds at least one witness on
+  /// rejection but is not exhaustive (and its content may vary run-to-run
+  /// under threads).
+  bool stop_at_first_reject = false;
+};
+
 struct VerificationOutcome {
   bool all_accept = false;
   std::vector<Vertex> rejecting;        ///< vertices whose verifier said no
@@ -16,9 +86,18 @@ struct VerificationOutcome {
   std::size_t total_certificate_bits = 0;
 };
 
-/// Runs the verifier everywhere under a given assignment.
+/// Runs the verifier everywhere under a given assignment. In full mode the
+/// outcome is bit-for-bit identical for every num_threads value.
 VerificationOutcome verify_assignment(const Scheme& scheme, const Graph& g,
-                                      const std::vector<Certificate>& certificates);
+                                      const std::vector<Certificate>& certificates,
+                                      const VerifyOptions& options = {});
+
+/// Same, against a prebuilt ViewCache (the audit loops re-verify hundreds of
+/// assignments on one graph; building the cache once amortizes the topology
+/// walk away).
+VerificationOutcome verify_assignment(const Scheme& scheme, const ViewCache& cache,
+                                      const std::vector<Certificate>& certificates,
+                                      const VerifyOptions& options = {});
 
 struct SchemeOutcome {
   bool prover_succeeded = false;
@@ -26,7 +105,8 @@ struct SchemeOutcome {
 };
 
 /// Prover + verifier end to end.
-SchemeOutcome run_scheme(const Scheme& scheme, const Graph& g);
+SchemeOutcome run_scheme(const Scheme& scheme, const Graph& g,
+                         const VerifyOptions& options = {});
 
 /// Certificate size (max bits) the prover uses on this yes-instance; throws
 /// if the prover fails or a verifier rejects — those are library bugs.

@@ -6,10 +6,16 @@
 // plus the IDs and certificates of its neighbors — crucially NOT the edges
 // among the neighbors, and not n. Completeness and soundness are the paper's:
 // yes-instances have an accepting assignment, no-instances have none.
+//
+// Verifiers consume a non-owning ViewRef: certificates are borrowed from the
+// assignment (or from a ViewCache binding), never copied per vertex. The
+// owning View remains as a thin adapter for tests and for verifiers that
+// synthesize sub-views from decoded material.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -28,15 +34,50 @@ struct Certificate {
   bool operator==(const Certificate&) const = default;
 };
 
-/// What a vertex sees about one neighbor.
+/// What a vertex sees about one neighbor: the ID and a *borrowed* certificate.
+struct NeighborRef {
+  VertexId id;
+  const Certificate* certificate;
+};
+
+/// The radius-1 view of a vertex, zero-copy: certificates stay owned by the
+/// assignment vector (or by the View adapter) that the pointers borrow from,
+/// which must outlive the verifier call.
+struct ViewRef {
+  VertexId id = 0;
+  const Certificate* certificate = nullptr;
+  const NeighborRef* neighbor_data = nullptr;
+  std::size_t neighbor_count = 0;
+
+  std::size_t degree() const noexcept { return neighbor_count; }
+  std::span<const NeighborRef> neighbors() const noexcept {
+    return {neighbor_data, neighbor_count};
+  }
+  bool has_neighbor_id(VertexId nid) const {
+    for (const auto& nb : neighbors())
+      if (nb.id == nid) return true;
+    return false;
+  }
+  const Certificate* neighbor_certificate(VertexId nid) const {
+    for (const auto& nb : neighbors())
+      if (nb.id == nid) return nb.certificate;
+    return nullptr;
+  }
+};
+
+/// Owning neighbor entry of the View adapter.
 struct NeighborView {
   VertexId id;
   Certificate certificate;
 };
 
-/// The entire radius-1 view of a vertex.
+/// Owning radius-1 view. Adapter over ViewRef: tests build these directly,
+/// and verifiers that reconstruct per-block sub-views (CtMinorFreeScheme)
+/// need somewhere for the decoded certificates to live. Converts implicitly
+/// to a ViewRef borrowing its storage; the View must outlive that borrow and
+/// `neighbors` must not be mutated while the borrow is alive.
 struct View {
-  VertexId id;
+  VertexId id = 0;
   Certificate certificate;
   std::vector<NeighborView> neighbors;
 
@@ -51,6 +92,16 @@ struct View {
       if (nb.id == nid) return &nb.certificate;
     return nullptr;
   }
+
+  operator ViewRef() const {
+    ref_entries_.clear();
+    ref_entries_.reserve(neighbors.size());
+    for (const auto& nb : neighbors) ref_entries_.push_back({nb.id, &nb.certificate});
+    return ViewRef{id, &certificate, ref_entries_.data(), ref_entries_.size()};
+  }
+
+ private:
+  mutable std::vector<NeighborRef> ref_entries_;
 };
 
 /// A local certification scheme for one graph property.
@@ -68,11 +119,27 @@ class Scheme {
   /// certify (in particular on no-instances).
   virtual std::optional<std::vector<Certificate>> assign(const Graph& g) const = 0;
 
-  /// Radius-1 local verifier.
-  virtual bool verify(const View& view) const = 0;
-};
+  /// Radius-1 local verifier. Must be safe to call concurrently from several
+  /// threads (the engine fans verification out across vertices).
+  virtual bool verify(const ViewRef& view) const = 0;
 
-/// Builds vertex v's radius-1 view under a certificate assignment.
-View make_view(const Graph& g, const std::vector<Certificate>& certificates, Vertex v);
+  /// Batched fast path used by the engine: fills accept[i] = 1 iff vertex i of
+  /// the chunk accepts, treating a CertificateTruncated thrown while checking
+  /// one view as a rejection of that view only. Any other exception is a
+  /// scheme bug and propagates. The default delegates to verify(); schemes
+  /// whose per-vertex check is dominated by call overhead can override it to
+  /// hoist loop-invariant state out of the vertex loop (see MsoTreeScheme).
+  /// An override must decide each views[i] exactly as verify(views[i]) would.
+  virtual void verify_batch(const ViewRef* views, std::size_t count,
+                            std::uint8_t* accept) const {
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        accept[i] = verify(views[i]) ? 1 : 0;
+      } catch (const CertificateTruncated&) {
+        accept[i] = 0;
+      }
+    }
+  }
+};
 
 }  // namespace lcert

@@ -28,7 +28,9 @@ LabeledOutcome verify_labeled_assignment(const LabeledScheme& scheme,
     bool ok;
     try {
       ok = scheme.verify(make_labeled_view(instance, certificates, v));
-    } catch (const std::out_of_range&) {
+    } catch (const CertificateTruncated&) {
+      // Malformed certificate: the verifier rejects. Other exceptions are
+      // scheme bugs and propagate (mirrors verify_assignment).
       ok = false;
     }
     if (!ok) out.rejecting.push_back(v);

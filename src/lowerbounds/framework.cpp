@@ -132,7 +132,11 @@ std::optional<CutAndPlugResult> cut_and_plug_attack(
           throw std::logic_error("cut_and_plug_attack: ID mismatch across instances");
         forged[v] = it->second;
       }
-      if (verify_assignment(scheme, cross.graph, forged).all_accept)
+      // Only accept/reject matters here: early-exit on the first rejecting
+      // vertex instead of sweeping the whole splice.
+      if (verify_assignment(scheme, cross.graph, forged,
+                            VerifyOptions{/*num_threads=*/0, /*stop_at_first_reject=*/true})
+              .all_accept)
         return CutAndPlugResult{strings[i], strings[j], std::move(forged)};
       // A collision that fails to splice would contradict Proposition 7.2's
       // view-independence; surface it loudly.

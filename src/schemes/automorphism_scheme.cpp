@@ -74,11 +74,11 @@ std::optional<std::vector<Certificate>> FpfAutomorphismScheme::assign(const Grap
   return std::vector<Certificate>(g.vertex_count(), shared);
 }
 
-bool FpfAutomorphismScheme::verify(const View& view) const {
-  for (const auto& nb : view.neighbors)
-    if (!(nb.certificate == view.certificate)) return false;
+bool FpfAutomorphismScheme::verify(const ViewRef& view) const {
+  for (const auto& nb : view.neighbors())
+    if (!(*nb.certificate == *view.certificate)) return false;
 
-  BitReader r = view.certificate.reader();
+  BitReader r = view.certificate->reader();
   const auto c = FpfCert::decode(r);
   if (!c.has_value()) return false;
   const std::size_t n = c->sigma.size();
@@ -116,7 +116,7 @@ bool FpfAutomorphismScheme::verify(const View& view) const {
   if (!domain.count(view.id)) return false;
   std::vector<VertexId> described = adj[view.id];
   std::vector<VertexId> actual;
-  for (const auto& nb : view.neighbors) actual.push_back(nb.id);
+  for (const auto& nb : view.neighbors()) actual.push_back(nb.id);
   std::sort(described.begin(), described.end());
   std::sort(actual.begin(), actual.end());
   if (described != actual) return false;

@@ -27,7 +27,7 @@ class FpfAutomorphismScheme final : public Scheme {
   std::string name() const override { return "fpf-automorphism"; }
   bool holds(const Graph& g) const override;
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
-  bool verify(const View& view) const override;
+  bool verify(const ViewRef& view) const override;
 };
 
 }  // namespace lcert

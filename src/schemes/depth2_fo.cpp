@@ -119,12 +119,12 @@ std::optional<std::vector<Certificate>> Depth2FoScheme::assign(const Graph& g) c
   return out;
 }
 
-bool Depth2FoScheme::verify(const View& view) const {
-  BitReader r = view.certificate.reader();
+bool Depth2FoScheme::verify(const ViewRef& view) const {
+  BitReader r = view.certificate->reader();
   const Depth2Cert mine = Depth2Cert::decode(r);
   std::vector<Depth2Cert> nbs;
-  for (const auto& nb : view.neighbors) {
-    BitReader nr = nb.certificate.reader();
+  for (const auto& nb : view.neighbors()) {
+    BitReader nr = nb.certificate->reader();
     Depth2Cert c = Depth2Cert::decode(nr);
     if (c.p2 != mine.p2 || c.p3 != mine.p3) return false;
     nbs.push_back(c);

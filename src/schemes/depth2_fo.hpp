@@ -34,7 +34,7 @@ class Depth2FoScheme final : public Scheme {
   std::string name() const override { return "depth2-fo"; }
   bool holds(const Graph& g) const override;
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
-  bool verify(const View& view) const override;
+  bool verify(const ViewRef& view) const override;
 
   /// The truth table of phi over the four realizable predicate classes, in
   /// the order (1,1,1), (0,1,1), (0,0,1), (0,0,0). Exposed for tests.

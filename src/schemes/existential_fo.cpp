@@ -187,16 +187,16 @@ std::optional<std::vector<Certificate>> ExistentialFoScheme::assign(const Graph&
   return out;
 }
 
-bool ExistentialFoScheme::verify(const View& view) const {
-  BitReader r = view.certificate.reader();
+bool ExistentialFoScheme::verify(const ViewRef& view) const {
+  BitReader r = view.certificate->reader();
   const auto mine = ExistentialCert::decode(r);
   if (!mine.has_value()) return false;
   const std::size_t k = prenex_.variables.size();
   if (mine->witness_ids.size() != k) return false;
 
   std::vector<ExistentialCert> nbs;
-  for (const auto& nb : view.neighbors) {
-    BitReader nr = nb.certificate.reader();
+  for (const auto& nb : view.neighbors()) {
+    BitReader nr = nb.certificate->reader();
     auto c = ExistentialCert::decode(nr);
     if (!c.has_value()) return false;
     // Agreement on witnesses and matrix.

@@ -26,7 +26,7 @@ class ExistentialFoScheme final : public Scheme {
   std::string name() const override { return "existential-fo"; }
   bool holds(const Graph& g) const override;
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
-  bool verify(const View& view) const override;
+  bool verify(const ViewRef& view) const override;
 
   std::size_t witness_count() const noexcept { return prenex_.variables.size(); }
 

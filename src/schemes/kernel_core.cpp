@@ -51,11 +51,11 @@ std::vector<Certificate> build_kernel_core_certs(const Graph& g, const RootedTre
   return out;
 }
 
-bool verify_kernel_core(const View& view, std::size_t t, std::size_t k,
+bool verify_kernel_core(const ViewRef& view, std::size_t t, std::size_t k,
                         const KernelPredicateFn& predicate) {
   TypeInterner interner;  // verification-local; TypeIds comparable within it
 
-  BitReader r = view.certificate.reader();
+  BitReader r = view.certificate->reader();
   const auto mine_opt = decode_kernel_cert(r, interner);
   if (!mine_opt.has_value()) return false;
   const KernelCert& mine = *mine_opt;
@@ -63,9 +63,9 @@ bool verify_kernel_core(const View& view, std::size_t t, std::size_t k,
 
   std::vector<KernelCert> nbs;
   std::vector<TdCore> nb_cores;
-  nbs.reserve(view.neighbors.size());
-  for (const auto& nb : view.neighbors) {
-    BitReader nr = nb.certificate.reader();
+  nbs.reserve(view.neighbors().size());
+  for (const auto& nb : view.neighbors()) {
+    BitReader nr = nb.certificate->reader();
     auto c = decode_kernel_cert(nr, interner);
     if (!c.has_value()) return false;
     nb_cores.push_back(c->core);

@@ -29,7 +29,7 @@ std::vector<Certificate> build_kernel_core_certs(const Graph& g, const RootedTre
 /// model depth, `k` is the reduction threshold; at the model root, `predicate`
 /// is evaluated on the realized kernel. The view's certificates must be
 /// kernel-core certificates (possibly extracted from a larger stream).
-bool verify_kernel_core(const View& view, std::size_t t, std::size_t k,
+bool verify_kernel_core(const ViewRef& view, std::size_t t, std::size_t k,
                         const KernelPredicateFn& predicate);
 
 }  // namespace lcert

@@ -73,7 +73,7 @@ std::optional<std::vector<Certificate>> KernelMsoScheme::assign(const Graph& g) 
   return build_kernel_core_certs(g, *model, kz);
 }
 
-bool KernelMsoScheme::verify(const View& view) const {
+bool KernelMsoScheme::verify(const ViewRef& view) const {
   return verify_kernel_core(view, t_, k_, predicate_);
 }
 

@@ -57,7 +57,7 @@ class KernelMsoScheme final : public Scheme {
   std::string name() const override;
   bool holds(const Graph& g) const override;
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
-  bool verify(const View& view) const override;
+  bool verify(const ViewRef& view) const override;
 
  private:
   std::optional<RootedTree> find_model(const Graph& g) const;

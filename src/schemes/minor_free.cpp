@@ -38,7 +38,7 @@ std::optional<std::vector<Certificate>> PtMinorFreeScheme::assign(const Graph& g
   return inner_->assign(g);
 }
 
-bool PtMinorFreeScheme::verify(const View& view) const { return inner_->verify(view); }
+bool PtMinorFreeScheme::verify(const ViewRef& view) const { return inner_->verify(view); }
 
 // ---------------------------------------------------------------------------
 // C_t-minor-free.
@@ -215,8 +215,8 @@ std::optional<std::vector<Certificate>> CtMinorFreeScheme::assign(const Graph& g
   return out;
 }
 
-bool CtMinorFreeScheme::verify(const View& view) const {
-  BitReader r = view.certificate.reader();
+bool CtMinorFreeScheme::verify(const ViewRef& view) const {
+  BitReader r = view.certificate->reader();
   const auto mine_opt = CtCert::decode(r);
   if (!mine_opt.has_value()) return false;
   const CtCert& mine = *mine_opt;
@@ -225,8 +225,8 @@ bool CtMinorFreeScheme::verify(const View& view) const {
   if (mine.entries.empty()) return false;
 
   std::vector<CtCert> nbs;
-  for (const auto& nb : view.neighbors) {
-    BitReader nr = nb.certificate.reader();
+  for (const auto& nb : view.neighbors()) {
+    BitReader nr = nb.certificate->reader();
     auto c = CtCert::decode(nr);
     if (!c.has_value()) return false;
     nbs.push_back(std::move(*c));
@@ -268,17 +268,18 @@ bool CtMinorFreeScheme::verify(const View& view) const {
   const std::size_t t = t_;
   const auto predicate = [t](const Graph& kernel) { return !has_cycle_minor(kernel, t); };
   for (const auto& e : mine.entries) {
-    // Members among neighbors, with agreement on the BC fields.
-    View sub_view;
-    sub_view.id = view.id;
-    sub_view.certificate = e.blob;
+    // Members among neighbors, with agreement on the BC fields. The decoded
+    // blobs live in `mine`/`nbs` for the rest of this call, so the sub-view
+    // borrows them instead of re-copying each one.
+    std::vector<NeighborRef> sub_neighbors;
     for (std::size_t i = 0; i < nbs.size(); ++i) {
       for (const auto& ne : nbs[i].entries) {
         if (ne.key() != e.key()) continue;
         if (ne.bc_depth != e.bc_depth || ne.anchor_id != e.anchor_id) return false;
-        sub_view.neighbors.push_back({view.neighbors[i].id, ne.blob});
+        sub_neighbors.push_back({view.neighbors()[i].id, &ne.blob});
       }
     }
+    const ViewRef sub_view{view.id, &e.blob, sub_neighbors.data(), sub_neighbors.size()};
     // The sub-certificate: Theorem 2.6 battery within the block, with the
     // circumference predicate at the block's model root.
     if (!verify_kernel_core(sub_view, block_depth_bound(), k_, predicate)) return false;

@@ -44,7 +44,7 @@ class PtMinorFreeScheme final : public Scheme {
   std::string name() const override { return "Pt-minor-free[t=" + std::to_string(t_) + "]"; }
   bool holds(const Graph& g) const override;
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
-  bool verify(const View& view) const override;
+  bool verify(const ViewRef& view) const override;
 
  private:
   std::size_t t_;
@@ -61,7 +61,7 @@ class CtMinorFreeScheme final : public Scheme {
   std::string name() const override { return "Ct-minor-free[t=" + std::to_string(t_) + "]"; }
   bool holds(const Graph& g) const override;
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
-  bool verify(const View& view) const override;
+  bool verify(const ViewRef& view) const override;
 
   /// Treedepth budget used for block models: t^2 + 1 (the +1 pays for rooting
   /// the model at the anchor cut vertex).

@@ -11,6 +11,10 @@ MsoTreeScheme::MsoTreeScheme(NamedAutomaton automaton)
     : automaton_(std::move(automaton)),
       state_bits_(bits_for(automaton_.automaton.state_count - 1)) {
   automaton_.automaton.validate();
+  transition_boxes_.reserve(automaton_.automaton.state_count);
+  for (std::size_t q = 0; q < automaton_.automaton.state_count; ++q)
+    transition_boxes_.push_back(
+        automaton_.automaton.transition(q).to_boxes(automaton_.automaton.state_count));
 }
 
 bool MsoTreeScheme::holds(const Graph& g) const {
@@ -37,36 +41,141 @@ std::optional<std::vector<Certificate>> MsoTreeScheme::assign(const Graph& g) co
   return std::nullopt;  // no good root admitted a run: library bug, caught by tests
 }
 
-bool MsoTreeScheme::verify(const View& view) const {
-  BitReader r = view.certificate.reader();
-  const std::uint64_t my_mod = r.read(2);
-  const std::uint64_t my_state = r.read(state_bits_ == 0 ? 1 : state_bits_);
-  if (my_mod > 2 || my_state >= automaton_.automaton.state_count) return false;
+namespace {
 
-  // Decode neighbors and classify against the mod-3 counter.
+/// One vertex's check with every automaton parameter passed in, so that both
+/// callers — verify() for one view, verify_batch() in a loop — compile it
+/// with the parameters hoisted into registers.
+inline bool verify_view(const ViewRef& view, std::size_t k, unsigned state_width,
+                        const std::vector<IntervalBox>* transition_boxes,
+                        const std::vector<bool>& accepting) {
+  BitReader r = view.certificate->reader();
+  const std::uint64_t my_mod = r.read(2);
+  const std::uint64_t my_state = r.read(state_width);
+  if (my_mod > 2 || my_state >= k) return false;
+
+  // Child-state counts live on the stack for the library's automata (all
+  // small); the heap fallback keeps arbitrary state counts correct.
+  constexpr std::size_t kStackStates = 32;
+  std::size_t stack_counts[kStackStates];
+  std::vector<std::size_t> heap_counts;
+  std::size_t* child_state_counts = stack_counts;
+  if (k > kStackStates) {
+    heap_counts.resize(k);
+    child_state_counts = heap_counts.data();
+  }
+  for (std::size_t q = 0; q < k; ++q) child_state_counts[q] = 0;
+
+  // Classify each neighbor against the mod-3 counter: (nb_mod - my_mod) mod 3
+  // is 2 for a parent, 1 for a child; equal counters on an edge are an
+  // inconsistent orientation. Conditional increments, not branches — the
+  // parent/child pattern is data-dependent and mispredicts.
   std::size_t parents = 0;
-  std::vector<std::size_t> child_state_counts(automaton_.automaton.state_count, 0);
-  for (const auto& nb : view.neighbors) {
-    BitReader nr = nb.certificate.reader();
+  for (const auto& nb : view.neighbors()) {
+    BitReader nr = nb.certificate->reader();
     const std::uint64_t nb_mod = nr.read(2);
-    const std::uint64_t nb_state = nr.read(state_bits_ == 0 ? 1 : state_bits_);
-    if (nb_mod > 2 || nb_state >= automaton_.automaton.state_count) return false;
-    if (nb_mod == (my_mod + 2) % 3) {
-      ++parents;
-    } else if (nb_mod == (my_mod + 1) % 3) {
-      ++child_state_counts[nb_state];
-    } else {
-      return false;  // equal counters on an edge: inconsistent orientation
-    }
+    const std::uint64_t nb_state = nr.read(state_width);
+    if (nb_mod > 2 || nb_state >= k) return false;
+    const std::uint64_t diff = (nb_mod + 3 - my_mod) % 3;
+    if (diff == 0) return false;
+    parents += diff == 2;
+    child_state_counts[nb_state] += diff == 1;
   }
   const bool is_root = (parents == 0);
   if (parents > 1) return false;
   if (is_root && my_mod != 0) return false;
 
-  // Automaton transition (and acceptance at the root).
-  if (!automaton_.automaton.transition(my_state).eval(child_state_counts)) return false;
-  if (is_root && !automaton_.automaton.accepting[my_state]) return false;
+  // Automaton transition (and acceptance at the root), via the precompiled
+  // interval boxes — exact DNF of the Presburger constraint.
+  bool transition_ok = false;
+  for (const IntervalBox& box : transition_boxes[my_state])
+    if (box.contains(child_state_counts, k)) {
+      transition_ok = true;
+      break;
+    }
+  if (!transition_ok) return false;
+  if (is_root && !accepting[my_state]) return false;
   return true;
+}
+
+}  // namespace
+
+bool MsoTreeScheme::verify(const ViewRef& view) const {
+  return verify_view(view, automaton_.automaton.state_count,
+                     state_bits_ == 0 ? 1 : state_bits_, transition_boxes_.data(),
+                     automaton_.automaton.accepting);
+}
+
+void MsoTreeScheme::verify_batch(const ViewRef* views, std::size_t count,
+                                 std::uint8_t* accept) const {
+  const std::size_t k = automaton_.automaton.state_count;
+  const unsigned state_width = state_bits_ == 0 ? 1 : state_bits_;
+  const std::vector<IntervalBox>* boxes = transition_boxes_.data();
+  const std::vector<bool>& accepting = automaton_.automaton.accepting;
+
+  // Fast path when the whole certificate — mod-3 counter plus state — fits in
+  // the first byte (every library automaton does): decode by shift/mask
+  // straight off the byte, no BitReader and no exception paths. A too-short
+  // certificate rejects, exactly as the CertificateTruncated throw would.
+  if (2 + state_width <= 8 && k <= 8) {
+    const unsigned total_bits = 2 + state_width;
+    const std::uint8_t state_mask = static_cast<std::uint8_t>((1u << state_width) - 1);
+    const unsigned state_shift = 6 - state_width;
+    for (std::size_t i = 0; i < count; ++i) {
+      const ViewRef& view = views[i];
+      accept[i] = [&]() -> bool {
+        const Certificate& mine = *view.certificate;
+        if (mine.bit_size < total_bits) return false;
+        const std::uint8_t b0 = mine.bytes[0];
+        const std::uint64_t my_mod = b0 >> 6;
+        const std::uint64_t my_state = (b0 >> state_shift) & state_mask;
+        if (my_mod > 2 || my_state >= k) return false;
+        // 64-byte fixed-size zeroing: small enough that the compiler emits
+        // plain vector stores (a variable-count loop, and even a 256-byte
+        // clear, compile to `rep stos`, whose startup cost dominates here).
+        std::size_t counts[8] = {};
+        // my_mod is fixed for the whole neighbor sweep: classify by equality
+        // against the precomputed parent/child counters instead of re-doing
+        // mod-3 arithmetic (a multiply chain) per neighbor.
+        const std::uint64_t parent_mod = my_mod == 0 ? 2 : my_mod - 1;
+        const std::uint64_t child_mod = my_mod == 2 ? 0 : my_mod + 1;
+        std::size_t parents = 0;
+        for (const auto& nb : view.neighbors()) {
+          const Certificate& c = *nb.certificate;
+          if (c.bit_size < total_bits) return false;
+          const std::uint8_t nb0 = c.bytes[0];
+          const std::uint64_t nb_mod = nb0 >> 6;
+          const std::uint64_t nb_state = (nb0 >> state_shift) & state_mask;
+          if (nb_mod > 2 || nb_state >= k) return false;
+          if (nb_mod == my_mod) return false;  // equal counters: bad orientation
+          parents += nb_mod == parent_mod;
+          counts[nb_state] += nb_mod == child_mod;
+        }
+        if (parents > 1) return false;
+        const bool is_root = (parents == 0);
+        if (is_root && my_mod != 0) return false;
+        bool transition_ok = false;
+        for (const IntervalBox& box : boxes[my_state])
+          if (box.contains(counts, k)) {
+            transition_ok = true;
+            break;
+          }
+        if (!transition_ok) return false;
+        return !is_root || accepting[my_state];
+      }()
+                      ? 1
+                      : 0;
+    }
+    return;
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    try {
+      accept[i] = verify_view(views[i], k, state_width, boxes, accepting) ? 1 : 0;
+    } catch (const CertificateTruncated&) {
+      accept[i] = 0;
+    }
+  }
 }
 
 }  // namespace lcert

@@ -34,7 +34,12 @@ class MsoTreeScheme final : public Scheme {
   std::string name() const override { return "mso-tree[" + automaton_.name + "]"; }
   bool holds(const Graph& g) const override;
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
-  bool verify(const View& view) const override;
+  bool verify(const ViewRef& view) const override;
+  /// Hot-loop override: hoists the automaton parameters (state count, field
+  /// widths, compiled transition boxes) out of the per-vertex loop; decides
+  /// each view exactly as verify() does.
+  void verify_batch(const ViewRef* views, std::size_t count,
+                    std::uint8_t* accept) const override;
 
   /// Exact certificate width in bits (constant across n).
   std::size_t certificate_bits() const noexcept { return 2 + state_bits_; }
@@ -42,6 +47,10 @@ class MsoTreeScheme final : public Scheme {
  private:
   NamedAutomaton automaton_;
   unsigned state_bits_;
+  /// transition(q) compiled to DNF interval boxes once at construction: the
+  /// verifier runs per vertex per round, and the box check is a flat pass
+  /// over 2k integers versus a pointer-chasing walk of the constraint AST.
+  std::vector<std::vector<IntervalBox>> transition_boxes_;
 };
 
 }  // namespace lcert

@@ -59,7 +59,7 @@ std::vector<SpanningTreeCert> build_spanning_tree_cert(const Graph& g, Vertex ro
   return out;
 }
 
-bool check_spanning_tree_fields(const View& view, const SpanningTreeCert& mine,
+bool check_spanning_tree_fields(const ViewRef& view, const SpanningTreeCert& mine,
                                 const std::vector<SpanningTreeCert>& neighbor_fields,
                                 bool check_total) {
   // Agreement on the root and (optionally) the total.
@@ -74,8 +74,8 @@ bool check_spanning_tree_fields(const View& view, const SpanningTreeCert& mine,
     if (mine.distance == 0) return false;
     // The parent must be a neighbor, one step closer.
     bool found = false;
-    for (std::size_t i = 0; i < view.neighbors.size(); ++i) {
-      if (view.neighbors[i].id == mine.parent_id &&
+    for (std::size_t i = 0; i < view.neighbors().size(); ++i) {
+      if (view.neighbors()[i].id == mine.parent_id &&
           neighbor_fields[i].distance + 1 == mine.distance) {
         found = true;
         break;
@@ -85,7 +85,7 @@ bool check_spanning_tree_fields(const View& view, const SpanningTreeCert& mine,
   }
   // Subtree count: 1 + counts of the neighbors that name me as their parent.
   std::uint64_t children_sum = 0;
-  for (std::size_t i = 0; i < view.neighbors.size(); ++i) {
+  for (std::size_t i = 0; i < view.neighbors().size(); ++i) {
     if (neighbor_fields[i].parent_id == view.id) {
       if (neighbor_fields[i].distance != mine.distance + 1) return false;
       children_sum += neighbor_fields[i].subtree_count;
@@ -114,13 +114,13 @@ struct DecodedNeighborhood {
   std::vector<SpanningTreeCert> neighbors;
 };
 
-DecodedNeighborhood decode_all(const View& view) {
+DecodedNeighborhood decode_all(const ViewRef& view) {
   DecodedNeighborhood d;
-  BitReader r = view.certificate.reader();
+  BitReader r = view.certificate->reader();
   d.mine = SpanningTreeCert::decode(r);
-  d.neighbors.reserve(view.neighbors.size());
-  for (const auto& nb : view.neighbors) {
-    BitReader nr = nb.certificate.reader();
+  d.neighbors.reserve(view.neighbors().size());
+  for (const auto& nb : view.neighbors()) {
+    BitReader nr = nb.certificate->reader();
     d.neighbors.push_back(SpanningTreeCert::decode(nr));
   }
   return d;
@@ -133,7 +133,7 @@ std::optional<std::vector<Certificate>> VertexParityScheme::assign(const Graph& 
   return encode_all(build_spanning_tree_cert(g, 0));
 }
 
-bool VertexParityScheme::verify(const View& view) const {
+bool VertexParityScheme::verify(const ViewRef& view) const {
   const auto d = decode_all(view);
   if (!check_spanning_tree_fields(view, d.mine, d.neighbors, /*check_total=*/true))
     return false;
@@ -147,7 +147,7 @@ std::optional<std::vector<Certificate>> VertexCountScheme::assign(const Graph& g
   return encode_all(build_spanning_tree_cert(g, 0));
 }
 
-bool VertexCountScheme::verify(const View& view) const {
+bool VertexCountScheme::verify(const ViewRef& view) const {
   const auto d = decode_all(view);
   if (!check_spanning_tree_fields(view, d.mine, d.neighbors, /*check_total=*/true))
     return false;

@@ -36,7 +36,7 @@ std::vector<SpanningTreeCert> build_spanning_tree_cert(const Graph& g, Vertex ro
 /// root agreement, and subtree counts; if `check_total`, the root also
 /// verifies subtree_count == claimed_total and everyone checks agreement on
 /// claimed_total.
-bool check_spanning_tree_fields(const View& view, const SpanningTreeCert& mine,
+bool check_spanning_tree_fields(const ViewRef& view, const SpanningTreeCert& mine,
                                 const std::vector<SpanningTreeCert>& neighbor_fields,
                                 bool check_total);
 
@@ -47,7 +47,7 @@ class VertexParityScheme final : public Scheme {
   std::string name() const override { return "vertex-count-parity"; }
   bool holds(const Graph& g) const override { return g.vertex_count() % 2 == 0; }
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
-  bool verify(const View& view) const override;
+  bool verify(const ViewRef& view) const override;
 };
 
 /// Scheme certifying the exact vertex count announced to every vertex.
@@ -57,7 +57,7 @@ class VertexCountScheme final : public Scheme {
   std::string name() const override { return "vertex-count"; }
   bool holds(const Graph& g) const override { return g.vertex_count() == target_; }
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
-  bool verify(const View& view) const override;
+  bool verify(const ViewRef& view) const override;
 
  private:
   std::uint64_t target_;

@@ -40,8 +40,8 @@ std::optional<std::vector<Certificate>> TreeDepthBoundedScheme::assign(const Gra
   return out;
 }
 
-bool TreeDepthBoundedScheme::verify(const View& view) const {
-  BitReader r = view.certificate.reader();
+bool TreeDepthBoundedScheme::verify(const ViewRef& view) const {
+  BitReader r = view.certificate->reader();
   const std::uint64_t my_dist = r.read(static_cast<unsigned>(certificate_bits()));
   if (my_dist >= k_) return false;
   // On a tree, exact distances to a common root are locally enforceable:
@@ -49,8 +49,8 @@ bool TreeDepthBoundedScheme::verify(const View& view) const {
   // neighbor may differ by more than 1 (in a tree the unique parent carries
   // dist-1 and all other neighbors dist+1).
   std::size_t parents = 0;
-  for (const auto& nb : view.neighbors) {
-    BitReader nr = nb.certificate.reader();
+  for (const auto& nb : view.neighbors()) {
+    BitReader nr = nb.certificate->reader();
     const std::uint64_t nb_dist = nr.read(static_cast<unsigned>(certificate_bits()));
     if (nb_dist + 1 == my_dist) {
       ++parents;

@@ -23,7 +23,7 @@ class TreeDepthBoundedScheme final : public Scheme {
   /// holds(g): g (a tree) has radius <= k-1, i.e. some root gives depth <= k levels.
   bool holds(const Graph& g) const override;
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
-  bool verify(const View& view) const override;
+  bool verify(const ViewRef& view) const override;
 
   std::size_t certificate_bits() const noexcept;
 

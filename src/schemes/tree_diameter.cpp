@@ -50,17 +50,17 @@ std::optional<std::vector<Certificate>> TreeDiameterScheme::assign(const Graph& 
   return out;
 }
 
-bool TreeDiameterScheme::verify(const View& view) const {
+bool TreeDiameterScheme::verify(const ViewRef& view) const {
   const unsigned height_bits = static_cast<unsigned>(certificate_bits() - 2);
-  BitReader r = view.certificate.reader();
+  BitReader r = view.certificate->reader();
   const std::uint64_t my_mod = r.read(2);
   const std::uint64_t my_height = r.read(height_bits);
   if (my_mod > 2 || my_height > d_) return false;
 
   std::size_t parents = 0;
   std::vector<std::uint64_t> child_heights;
-  for (const auto& nb : view.neighbors) {
-    BitReader nr = nb.certificate.reader();
+  for (const auto& nb : view.neighbors()) {
+    BitReader nr = nb.certificate->reader();
     const std::uint64_t nb_mod = nr.read(2);
     const std::uint64_t nb_height = nr.read(height_bits);
     if (nb_mod > 2) return false;

@@ -25,7 +25,7 @@ class TreeDiameterScheme final : public Scheme {
   std::string name() const override { return "tree-diameter<=" + std::to_string(d_); }
   bool holds(const Graph& g) const override;
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
-  bool verify(const View& view) const override;
+  bool verify(const ViewRef& view) const override;
 
   /// 2 (mod-3 counter) + ceil(log2(D+1)) bits — independent of n.
   std::size_t certificate_bits() const noexcept;

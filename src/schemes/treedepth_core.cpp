@@ -95,7 +95,7 @@ std::vector<TdCore> build_td_cores(const Graph& g, const RootedTree& t) {
   return certs;
 }
 
-bool verify_td_core(const View& view, const TdCore& mine, const std::vector<TdCore>& nbs,
+bool verify_td_core(const ViewRef& view, const TdCore& mine, const std::vector<TdCore>& nbs,
                     std::size_t t) {
   const std::size_t d = mine.depth();
 
@@ -103,7 +103,7 @@ bool verify_td_core(const View& view, const TdCore& mine, const std::vector<TdCo
   if (d + 1 > t) return false;
   if (mine.list.front() != view.id) return false;
   for (std::size_t i = 0; i < nbs.size(); ++i) {
-    if (nbs[i].list.front() != view.neighbors[i].id) return false;
+    if (nbs[i].list.front() != view.neighbors()[i].id) return false;
     if (nbs[i].list.back() != mine.list.back()) return false;
     // Step 2: ancestor-descendant comparability. (Equal-length lists cannot
     // match: they start with distinct IDs.)
@@ -143,7 +143,7 @@ bool verify_td_core(const View& view, const TdCore& mine, const std::vector<TdCo
     } else {
       bool found = false;
       for (std::size_t i : inside) {
-        if (view.neighbors[i].id == f.parent_id && nbs[i].frags[k - 1].dist + 1 == f.dist) {
+        if (view.neighbors()[i].id == f.parent_id && nbs[i].frags[k - 1].dist + 1 == f.dist) {
           found = true;
           break;
         }

@@ -44,7 +44,7 @@ std::vector<TdCore> build_td_cores(const Graph& g, const RootedTree& coherent_mo
 /// Verifier side: Section 5's steps 1-4 at one vertex. `t` is the depth bound
 /// (levels). `mine`/`nbs` must be pre-decoded; `nbs` is index-parallel to
 /// `view.neighbors`. Returns false on any violation.
-bool verify_td_core(const View& view, const TdCore& mine, const std::vector<TdCore>& nbs,
+bool verify_td_core(const ViewRef& view, const TdCore& mine, const std::vector<TdCore>& nbs,
                     std::size_t t);
 
 /// True iff one ancestor list is a suffix of the other.

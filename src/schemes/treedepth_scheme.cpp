@@ -64,14 +64,14 @@ std::optional<std::vector<Certificate>> TreedepthScheme::assign(const Graph& g) 
   return out;
 }
 
-bool TreedepthScheme::verify(const View& view) const {
-  BitReader r = view.certificate.reader();
+bool TreedepthScheme::verify(const ViewRef& view) const {
+  BitReader r = view.certificate->reader();
   const auto mine = TdCore::decode(r);
   if (!mine.has_value()) return false;
   std::vector<TdCore> nbs;
-  nbs.reserve(view.neighbors.size());
-  for (const auto& nb : view.neighbors) {
-    BitReader nr = nb.certificate.reader();
+  nbs.reserve(view.neighbors().size());
+  for (const auto& nb : view.neighbors()) {
+    BitReader nr = nb.certificate->reader();
     auto c = TdCore::decode(nr);
     if (!c.has_value()) return false;
     nbs.push_back(std::move(*c));

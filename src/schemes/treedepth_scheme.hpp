@@ -50,7 +50,7 @@ class TreedepthScheme final : public Scheme {
   bool holds(const Graph& g) const override;
 
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
-  bool verify(const View& view) const override;
+  bool verify(const ViewRef& view) const override;
 
  private:
   std::size_t t_;

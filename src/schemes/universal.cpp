@@ -64,12 +64,12 @@ std::optional<std::vector<Certificate>> UniversalScheme::assign(const Graph& g) 
   return std::vector<Certificate>(n, cert);
 }
 
-bool UniversalScheme::verify(const View& view) const {
+bool UniversalScheme::verify(const ViewRef& view) const {
   // Identical description everywhere (bitwise suffices: encoding is canonical).
-  for (const auto& nb : view.neighbors)
-    if (!(nb.certificate == view.certificate)) return false;
+  for (const auto& nb : view.neighbors())
+    if (!(*nb.certificate == *view.certificate)) return false;
 
-  BitReader r = view.certificate.reader();
+  BitReader r = view.certificate->reader();
   const auto d = Description::decode(r);
   if (!d.has_value()) return false;
   const std::size_t n = d->ids.size();
@@ -88,7 +88,7 @@ bool UniversalScheme::verify(const View& view) const {
   for (std::size_t j = 0; j < n; ++j)
     if (j != me && d->edge(me, j, n)) described.push_back(d->ids[j]);
   std::vector<VertexId> actual;
-  for (const auto& nb : view.neighbors) actual.push_back(nb.id);
+  for (const auto& nb : view.neighbors()) actual.push_back(nb.id);
   std::sort(described.begin(), described.end());
   std::sort(actual.begin(), actual.end());
   if (described != actual) return false;

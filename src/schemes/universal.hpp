@@ -25,7 +25,7 @@ class UniversalScheme final : public Scheme {
   std::string name() const override { return "universal[" + property_name_ + "]"; }
   bool holds(const Graph& g) const override { return predicate_(g); }
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
-  bool verify(const View& view) const override;
+  bool verify(const ViewRef& view) const override;
 
  private:
   std::string property_name_;

@@ -35,19 +35,6 @@ void BitWriter::append(const BitWriter& other) {
   if (left > 0) write(r.read(static_cast<unsigned>(left)), static_cast<unsigned>(left));
 }
 
-std::uint64_t BitReader::read(unsigned width) {
-  if (width > 64) throw std::invalid_argument("BitReader::read: width > 64");
-  if (pos_ + width > bit_size_) throw std::out_of_range("BitReader::read: truncated stream");
-  std::uint64_t out = 0;
-  for (unsigned i = 0; i < width; ++i) {
-    const std::size_t byte_index = pos_ / 8;
-    const bool bit = ((*bytes_)[byte_index] >> (7 - pos_ % 8)) & 1u;
-    out = (out << 1) | (bit ? 1u : 0u);
-    ++pos_;
-  }
-  return out;
-}
-
 std::uint64_t BitReader::read_varnat() {
   std::uint64_t out = 0;
   unsigned shift = 0;
@@ -55,7 +42,7 @@ std::uint64_t BitReader::read_varnat() {
   while (more) {
     more = read_bit();
     const std::uint64_t group = read(4);
-    if (shift >= 64) throw std::out_of_range("BitReader::read_varnat: overflow");
+    if (shift >= 64) throw CertificateTruncated("BitReader::read_varnat: overflow");
     out |= group << shift;
     shift += 4;
   }

@@ -4,7 +4,7 @@
 // must not pay struct padding or byte alignment: every field is written with
 // exactly the number of bits it needs. BitWriter appends fields MSB-first into
 // a byte buffer and tracks the exact bit count; BitReader consumes the same
-// stream and fails loudly (std::out_of_range) on truncated input, which the
+// stream and fails loudly (CertificateTruncated) on truncated input, which the
 // verification engine treats as a rejection.
 #pragma once
 
@@ -15,6 +15,16 @@
 #include <vector>
 
 namespace lcert {
+
+/// Thrown by BitReader when a certificate stream runs out (or a varnat never
+/// terminates) before the requested field is complete. The verification
+/// engine treats exactly this error as "malformed certificate -> reject";
+/// any other exception escaping a verifier is a library bug and propagates.
+/// Derives from std::out_of_range for compatibility with older catch sites.
+class CertificateTruncated : public std::out_of_range {
+ public:
+  explicit CertificateTruncated(const std::string& what) : std::out_of_range(what) {}
+};
 
 /// Append-only bit stream. Fields are written MSB-first.
 class BitWriter {
@@ -52,8 +62,29 @@ class BitReader {
 
   explicit BitReader(const BitWriter& w) : BitReader(w.bytes(), w.bit_size()) {}
 
-  /// Reads `width` bits; throws std::out_of_range past the end.
-  std::uint64_t read(unsigned width);
+  /// Reads `width` bits; throws CertificateTruncated past the end. Inline:
+  /// verifiers decode several certificates per vertex per round, and the
+  /// call overhead dominates the few-bit reads they make.
+  std::uint64_t read(unsigned width) {
+    if (width > 64) throw std::invalid_argument("BitReader::read: width > 64");
+    if (pos_ + width > bit_size_)
+      throw CertificateTruncated("BitReader::read: truncated stream");
+    // Consume up to a byte per step (the stream is MSB-first within each byte).
+    std::uint64_t out = 0;
+    unsigned left = width;
+    const std::uint8_t* data = bytes_->data();
+    while (left > 0) {
+      const unsigned avail = 8 - static_cast<unsigned>(pos_ & 7);
+      const unsigned take = left < avail ? left : avail;
+      const std::uint8_t chunk =
+          static_cast<std::uint8_t>(data[pos_ >> 3] >> (avail - take)) &
+          static_cast<std::uint8_t>((1u << take) - 1);
+      out = (out << take) | chunk;
+      pos_ += take;
+      left -= take;
+    }
+    return out;
+  }
 
   bool read_bit() { return read(1) != 0; }
 

@@ -1,0 +1,87 @@
+// Minimal worker pool for the verification engine and the soundness auditor.
+//
+// The paper's model makes per-vertex verification depend only on the degree
+// and the certificate size, so running the verifier at every vertex (and
+// running independent audit trials) is embarrassingly parallel. parallel_for
+// hands out contiguous index chunks through a single atomic counter — no
+// external dependencies, no persistent threads, no shared mutable state
+// beyond what the caller's callback touches.
+//
+// Determinism contract: parallel_for only decides *who* runs each index, not
+// what the index means. Callers that want bit-identical results across thread
+// counts must make fn(i) depend on i alone (per-index RNG seeds, disjoint
+// output slots) — the engine and auditor both follow this rule.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace lcert {
+
+/// Below this many items, auto mode (num_threads == 0) stays serial: spawning
+/// threads costs more than the work saved.
+inline constexpr std::size_t kParallelAutoCutoff = 512;
+
+/// Number of worker threads to use for `count` items. `requested == 0` means
+/// auto: hardware concurrency, but serial under the cutoff. An explicit
+/// request is honored (clamped to count) so tests can force real parallelism
+/// on small inputs.
+inline std::size_t resolve_thread_count(std::size_t requested, std::size_t count) {
+  if (count <= 1) return 1;
+  if (requested == 0) {
+    if (count < kParallelAutoCutoff) return 1;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return std::max<std::size_t>(1, std::min<std::size_t>(hw == 0 ? 1 : hw, count / 64));
+  }
+  return std::min(requested, count);
+}
+
+/// Runs fn(i) for every i in [0, count), on `num_threads` workers (0 = auto).
+/// Every index is executed exactly once. The first exception thrown by fn is
+/// rethrown on the calling thread after all workers stop; remaining chunks
+/// are abandoned once a failure is recorded.
+template <typename Fn>
+void parallel_for(std::size_t count, std::size_t num_threads, Fn&& fn) {
+  const std::size_t workers = resolve_thread_count(num_threads, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  const std::size_t chunk = std::max<std::size_t>(1, count / (workers * 8));
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  auto drain = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const std::size_t end = std::min(begin + chunk, count);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(drain);
+  drain();
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace lcert

@@ -36,13 +36,13 @@ class StarScheme final : public Scheme {
     }
     return certs;
   }
-  bool verify(const View& view) const override {
-    BitReader r = view.certificate.reader();
+  bool verify(const ViewRef& view) const override {
+    BitReader r = view.certificate->reader();
     const bool marked = r.read_bit();
     if (!r.exhausted()) return false;
     std::size_t marked_neighbors = 0;
-    for (const auto& nb : view.neighbors) {
-      BitReader nr = nb.certificate.reader();
+    for (const auto& nb : view.neighbors()) {
+      BitReader nr = nb.certificate->reader();
       if (nr.read_bit()) ++marked_neighbors;
       if (!nr.exhausted()) return false;
     }
@@ -109,6 +109,32 @@ TEST(Engine, TruncatedCertificateIsARejection) {
   EXPECT_FALSE(outcome.all_accept);
 }
 
+TEST(Engine, SchemeBugsAreNotMaskedAsRejections) {
+  // Only CertificateTruncated means "malformed certificate -> reject". A
+  // verifier throwing anything else — including a plain std::out_of_range
+  // from e.g. vector::at — is a library bug and must propagate.
+  class BuggyScheme final : public Scheme {
+   public:
+    std::string name() const override { return "buggy"; }
+    bool holds(const Graph&) const override { return true; }
+    std::optional<std::vector<Certificate>> assign(const Graph& g) const override {
+      return std::vector<Certificate>(g.vertex_count());
+    }
+    bool verify(const ViewRef&) const override {
+      throw std::out_of_range("vector::at oops");
+    }
+  };
+  Rng rng(40);
+  BuggyScheme scheme;
+  Graph g = make_path(4);
+  assign_random_ids(g, rng);
+  const std::vector<Certificate> certs(4);
+  EXPECT_THROW(verify_assignment(scheme, g, certs), std::out_of_range);
+  // Same bug under the parallel fan-out: the pool rethrows on the caller.
+  EXPECT_THROW(verify_assignment(scheme, g, certs, VerifyOptions{4, false}),
+               std::out_of_range);
+}
+
 TEST(Engine, CertifiedSizeThrowsOnProverFailure) {
   Rng rng(5);
   StarScheme scheme;
@@ -145,7 +171,7 @@ TEST(Audit, AttackFindsForgeryInUnsoundScheme) {
     std::optional<std::vector<Certificate>> assign(const Graph& g) const override {
       return std::vector<Certificate>(g.vertex_count());
     }
-    bool verify(const View&) const override { return true; }
+    bool verify(const ViewRef&) const override { return true; }
   };
   Rng rng(8);
   AcceptAll scheme;
@@ -165,15 +191,15 @@ TEST(Audit, ExhaustiveAttackIsExhaustive) {
     std::optional<std::vector<Certificate>> assign(const Graph&) const override {
       return std::nullopt;
     }
-    bool verify(const View& view) const override {
+    bool verify(const ViewRef& view) const override {
       auto has_magic = [](const Certificate& c) {
         if (c.bit_size != 3) return false;
         BitReader r = c.reader();
         return r.read(3) == 5;
       };
-      if (has_magic(view.certificate)) return true;
-      for (const auto& nb : view.neighbors)
-        if (has_magic(nb.certificate)) return true;
+      if (has_magic(*view.certificate)) return true;
+      for (const auto& nb : view.neighbors())
+        if (has_magic(*nb.certificate)) return true;
       return false;
     }
   };

@@ -144,10 +144,10 @@ class TinyFingerprintScheme final : public Scheme {
     w.write(h & ((std::uint64_t{1} << bits_) - 1), static_cast<unsigned>(bits_));
     return std::vector<Certificate>(g.vertex_count(), Certificate::from_writer(w));
   }
-  bool verify(const View& view) const override {
-    for (const auto& nb : view.neighbors)
-      if (!(nb.certificate == view.certificate)) return false;
-    return view.certificate.bit_size == bits_;
+  bool verify(const ViewRef& view) const override {
+    for (const auto& nb : view.neighbors())
+      if (!(*nb.certificate == *view.certificate)) return false;
+    return view.certificate->bit_size == bits_;
   }
 
  private:
