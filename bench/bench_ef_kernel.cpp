@@ -1,48 +1,51 @@
 // E11 (supporting): cost of the correctness tooling — the kernelization's
 // wall time and shrink ratio vs n, and the EF-game auditor's cost vs
 // quantifier depth (the reason the audit runs on small instances only).
-#include <chrono>
 #include <cstdio>
 
 #include "src/graph/generators.hpp"
 #include "src/kernel/reduce.hpp"
 #include "src/logic/ef_game.hpp"
+#include "src/obs/report.hpp"
 #include "src/treedepth/elimination.hpp"
 #include "src/util/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcert;
-  using clock = std::chrono::steady_clock;
+  auto report = obs::Report::from_cli("E11-ef-kernel", argc, argv);
   Rng rng(10);
+  report.meta("seed", 10);
 
   std::printf("E11: kernelization cost and EF-audit cost\n\n");
 
-  std::printf("k_reduce (t=4, k=2):\n%10s %14s %12s %12s\n", "n", "kernel size", "shrink",
-              "ms");
   for (std::size_t n : {500u, 2000u, 8000u, 32000u}) {
     auto inst = make_bounded_treedepth_graph(n, 4, 0.3, rng);
     const RootedTree model = make_coherent(inst.graph, inst.elimination_tree);
-    const auto start = clock::now();
+    const obs::StopwatchMs timer;
     const Kernelization kz = k_reduce(inst.graph, model, 2);
-    const double ms =
-        std::chrono::duration<double, std::milli>(clock::now() - start).count();
-    std::printf("%10zu %14zu %11.1f%% %12.1f\n", n, kz.kernel.vertex_count(),
-                100.0 * static_cast<double>(kz.kernel.vertex_count()) / n, ms);
+    report.add()
+        .set("scheme", "k_reduce[t=4,k=2]")
+        .set("n", n)
+        .set("kernel_size", kz.kernel.vertex_count())
+        .set("shrink_pct", 100.0 * static_cast<double>(kz.kernel.vertex_count()) / n)
+        .set("wall_ms", timer.elapsed());
   }
 
-  std::printf("\nEF-game audit G =_k kernel(G) (n = 12):\n%8s %12s %10s\n", "k", "result",
-              "ms");
   auto inst = make_bounded_treedepth_graph(12, 3, 0.5, rng);
   const RootedTree model = make_coherent(inst.graph, inst.elimination_tree);
   for (std::size_t k : {1u, 2u, 3u}) {
     const Kernelization kz = k_reduce(inst.graph, model, k);
-    const auto start = clock::now();
+    const obs::StopwatchMs timer;
     const bool eq = ef_equivalent(inst.graph, kz.kernel, k);
-    const double ms =
-        std::chrono::duration<double, std::milli>(clock::now() - start).count();
-    std::printf("%8zu %12s %10.1f\n", k, eq ? "equivalent" : "BUG", ms);
+    report.add()
+        .set("scheme", "ef_equivalent")
+        .set("n", 12)
+        .set("k", k)
+        .set("result", eq ? "equivalent" : "BUG")
+        .set("wall_ms", timer.elapsed());
   }
-  std::printf("\nnote: EF cost is exponential in k — the audit backs Proposition 6.3 on\n"
-              "small instances; the schemes themselves run at full scale.\n");
-  return 0;
+  report.note("");
+  report.note("note: EF cost is exponential in k — the audit backs Proposition 6.3 on");
+  report.note("small instances; the schemes themselves run at full scale.");
+  return report.finish();
 }

@@ -5,37 +5,42 @@
 
 #include "src/cert/engine.hpp"
 #include "src/graph/generators.hpp"
+#include "src/obs/report.hpp"
 #include "src/schemes/treedepth_scheme.hpp"
 #include "src/util/bitio.hpp"
 #include "src/util/rng.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcert;
+  auto report = obs::Report::from_cli("E3-treedepth-cert", argc, argv);
   Rng rng(3);
+  report.meta("seed", 3);
 
   std::printf("E3 / Theorem 2.4: treedepth <= t with O(t log n) bits\n\n");
 
-  std::printf("sweep n (t = 5):\n%10s %14s %18s\n", "n", "max cert bits", "bits/(t*log2 n)");
-  for (std::size_t n : {64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
-    auto inst = make_bounded_treedepth_graph(n, 5, 0.3, rng);
-    assign_random_ids(inst.graph, rng);
-    RootedTree witness = inst.elimination_tree;
-    TreedepthScheme scheme(5, [witness](const Graph&) { return witness; });
-    const std::size_t bits = certified_size_bits(scheme, inst.graph);
-    std::printf("%10zu %14zu %18.2f\n", n, bits,
-                static_cast<double>(bits) / (5.0 * bits_for(n)));
-  }
-
-  std::printf("\nsweep t (n = 4096):\n%10s %14s %18s\n", "t", "max cert bits", "bits/(t*log2 n)");
-  for (std::size_t t : {3u, 4u, 5u, 6u, 7u, 8u}) {
-    auto inst = make_bounded_treedepth_graph(4096, t, 0.3, rng);
-    assign_random_ids(inst.graph, rng);
+  const auto add_row = [&report](std::size_t n, std::size_t t, const char* sweep, Rng& r) {
+    auto inst = make_bounded_treedepth_graph(n, t, 0.3, r);
+    assign_random_ids(inst.graph, r);
     RootedTree witness = inst.elimination_tree;
     TreedepthScheme scheme(t, [witness](const Graph&) { return witness; });
+    const obs::StopwatchMs timer;
     const std::size_t bits = certified_size_bits(scheme, inst.graph);
-    std::printf("%10zu %14zu %18.2f\n", t, bits,
-                static_cast<double>(bits) / (static_cast<double>(t) * bits_for(4096)));
-  }
-  std::printf("\npaper claim: both ratio columns stay bounded (certificates are Theta(t log n)).\n");
-  return 0;
+    report.add()
+        .set("scheme", scheme.name())
+        .set("sweep", sweep)
+        .set("n", n)
+        .set("t", t)
+        .set("max_bits", bits)
+        .set("bits/(t*log2 n)",
+             static_cast<double>(bits) / (static_cast<double>(t) * bits_for(n)))
+        .set("wall_ms", timer.elapsed());
+  };
+
+  for (std::size_t n : {64u, 256u, 1024u, 4096u, 16384u, 65536u}) add_row(n, 5, "n", rng);
+  for (std::size_t t : {3u, 4u, 5u, 6u, 7u, 8u}) add_row(4096, t, "t", rng);
+
+  report.note("");
+  report.note(
+      "paper claim: both ratio columns stay bounded (certificates are Theta(t log n)).");
+  return report.finish();
 }

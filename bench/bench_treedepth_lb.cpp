@@ -10,11 +10,13 @@
 #include "src/cert/engine.hpp"
 #include "src/lowerbounds/constructions.hpp"
 #include "src/lowerbounds/framework.hpp"
+#include "src/obs/report.hpp"
 #include "src/schemes/treedepth_scheme.hpp"
 #include "src/treedepth/exact.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lcert;
+  auto report = obs::Report::from_cli("E4-treedepth-lb", argc, argv);
 
   std::printf("E4 / Theorem 2.5: treedepth <= 5 needs Omega(log n) bits\n\n");
 
@@ -28,25 +30,30 @@ int main() {
                 exact_treedepth(yes.graph), exact_treedepth(no.graph));
   }
 
-  std::printf("%8s %12s %10s %14s %22s\n", "n", "ell", "r", "lower ell/r",
-              "upper: boundary bits");
   for (std::size_t nm : {4u, 8u, 16u, 32u, 64u, 128u}) {
     TreedepthFamily family(nm);
     const std::vector<bool> s(family.string_length(), false);
     const CcInstance inst = family.build(s, s);
     TreedepthScheme scheme(5, [&family](const Graph& g) { return family.witness_model(g); });
+    const obs::StopwatchMs timer;
     const auto certs = scheme.assign(inst.graph);
     std::size_t boundary_bits = 0;
     if (certs.has_value()) {
       for (Vertex v : inst.boundary())
         boundary_bits = std::max(boundary_bits, (*certs)[v].bit_size);
     }
-    std::printf("%8zu %12zu %10zu %14.2f %22zu\n", inst.graph.vertex_count(),
-                family.string_length(), family.boundary_size(),
-                static_cast<double>(family.string_length()) / family.boundary_size(),
-                boundary_bits);
+    report.add()
+        .set("scheme", scheme.name())
+        .set("n", inst.graph.vertex_count())
+        .set("ell", family.string_length())
+        .set("r", family.boundary_size())
+        .set("lower_bits",
+             static_cast<double>(family.string_length()) / family.boundary_size())
+        .set("max_bits", boundary_bits)
+        .set("wall_ms", timer.elapsed());
   }
-  std::printf("\npaper claim: lower column grows like log n; upper column like t log n —\n"
-              "Theorem 2.4 is optimal up to the factor t.\n");
-  return 0;
+  report.note("");
+  report.note("paper claim: lower_bits grows like log n; max_bits like t log n —");
+  report.note("Theorem 2.4 is optimal up to the factor t.");
+  return report.finish();
 }

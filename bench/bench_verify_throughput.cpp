@@ -10,6 +10,8 @@
 #include <benchmark/benchmark.h>
 
 #include "src/cert/audit.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/report.hpp"
 #include "src/cert/engine.hpp"
 #include "src/graph/generators.hpp"
 #include "src/logic/formulas.hpp"
@@ -131,6 +133,17 @@ void BM_EngineZeroCopySerial(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineZeroCopySerial)->Arg(1024)->Arg(4096);
 
+// Same rounds with the metrics registry forced off: the spread between this
+// and BM_EngineZeroCopySerial is the instrumentation overhead (budget: <5%
+// at n=4096), measured in-process so machine drift between runs cancels.
+void BM_EngineZeroCopySerialNoMetrics(benchmark::State& state) {
+  const bool was_enabled = obs::registry().enabled();
+  obs::registry().set_enabled(false);
+  run_engine_rounds(state, static_cast<std::size_t>(state.range(0)), 1);
+  obs::registry().set_enabled(was_enabled);
+}
+BENCHMARK(BM_EngineZeroCopySerialNoMetrics)->Arg(1024)->Arg(4096);
+
 void BM_EngineZeroCopyParallel(benchmark::State& state) {
   run_engine_rounds(state, static_cast<std::size_t>(state.range(0)), 0);  // 0 = auto
 }
@@ -169,6 +182,49 @@ BENCHMARK(BM_AuditSerial)->Arg(512);
 void BM_AuditParallel(benchmark::State& state) { run_audit(state, 0); }
 BENCHMARK(BM_AuditParallel)->Arg(512);
 
+// One timed verify_assignment round for the structured record: the
+// google-benchmark reporters above stay authoritative for the micro numbers;
+// this row feeds the shared obs::Report artifact ({scheme, n, max_bits,
+// wall_ms} plus engine counters) that every bench emits.
+void add_engine_record(obs::Report& report, std::size_t n, std::size_t threads,
+                       const char* mode) {
+  MsoTreeScheme scheme(standard_tree_automata()[0]);
+  const auto p = prepare_mso(n);
+  const ViewCache cache(p.graph);
+  const VerifyOptions options{threads, /*stop_at_first_reject=*/false};
+  std::size_t max_bits = 0;
+  const std::size_t rounds = 50;
+  const obs::StopwatchMs timer;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const auto outcome = verify_assignment(scheme, cache, p.certs, options);
+    if (!outcome.all_accept) throw std::logic_error("bench: honest round rejected");
+    max_bits = outcome.max_certificate_bits;
+  }
+  const double wall_ms = timer.elapsed();
+  report.add()
+      .set("scheme", scheme.name())
+      .set("mode", mode)
+      .set("n", n)
+      .set("max_bits", max_bits)
+      .set("wall_ms", wall_ms)
+      .set("Mvertices/s",
+           static_cast<double>(n) * static_cast<double>(rounds) / (wall_ms * 1e3));
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip --metrics-out / LCERT_METRICS before google-benchmark sees argv.
+  auto report = obs::Report::from_cli("E10-verify-throughput", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  add_engine_record(report, 4096, 1, "serial");
+  add_engine_record(report, 4096, 0, "parallel");
+  report.note("");
+  report.note("micro numbers above are google-benchmark's; the table rows re-measure one");
+  report.note("verify_assignment round (50x) for the structured artifact.");
+  return report.finish();
+}

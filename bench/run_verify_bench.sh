@@ -7,6 +7,11 @@
 # MsoTree scheme at n=4096. Usage:
 #
 #   bench/run_verify_bench.sh [build-dir]      # default build dir: build/
+#
+# The artifact carries a "provenance" block (compiler, flags, CPU count, git
+# SHA, run date) so a stored BENCH_verify.json can always be traced back to
+# the toolchain and commit that produced it. Override the timestamp with
+# LCERT_BENCH_DATE for reproducible artifacts.
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -14,24 +19,50 @@ BUILD_DIR="${1:-$REPO_ROOT/build}"
 BIN="$BUILD_DIR/bench/bench_verify_throughput"
 OUT="$REPO_ROOT/BENCH_verify.json"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+METRICS="$(mktemp)"
+trap 'rm -f "$RAW" "$METRICS"' EXIT
 
 if [[ ! -x "$BIN" ]]; then
   echo "error: $BIN not found — build first: cmake --build '$BUILD_DIR' --target bench_verify_throughput" >&2
   exit 1
 fi
 
+cache_var() {  # cache_var <name> — value of a CMakeCache entry, empty if absent
+  sed -n "s/^$1:[^=]*=//p" "$BUILD_DIR/CMakeCache.txt" 2>/dev/null | head -n1
+}
+
+GIT_SHA="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+RUN_DATE="${LCERT_BENCH_DATE:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
+NUM_CPUS="$(nproc 2>/dev/null || echo 1)"
+BUILD_TYPE="$(cache_var CMAKE_BUILD_TYPE)"
+CXX_COMPILER="$(cache_var CMAKE_CXX_COMPILER)"
+CXX_FLAGS="$(cache_var CMAKE_CXX_FLAGS)"
+TYPE_UPPER="$(echo "${BUILD_TYPE:-}" | tr '[:lower:]' '[:upper:]')"
+CXX_FLAGS_TYPE="$([[ -n "$TYPE_UPPER" ]] && cache_var "CMAKE_CXX_FLAGS_${TYPE_UPPER}" || true)"
+COMPILER_VERSION="$("${CXX_COMPILER:-c++}" --version 2>/dev/null | head -n1 || echo unknown)"
+
+# The obs table goes to stdout for the human; the google-benchmark JSON goes
+# straight to a file so the table cannot corrupt it.
 "$BIN" --benchmark_filter='BM_Engine|BM_Audit' \
        --benchmark_min_time=0.3 \
-       --benchmark_format=json >"$RAW"
+       --benchmark_out="$RAW" --benchmark_out_format=json \
+       --metrics-out "$METRICS"
 
-python3 - "$RAW" "$OUT" <<'EOF'
+env RAW="$RAW" METRICS="$METRICS" OUT="$OUT" GIT_SHA="$GIT_SHA" RUN_DATE="$RUN_DATE" \
+    NUM_CPUS="$NUM_CPUS" BUILD_TYPE="$BUILD_TYPE" CXX_COMPILER="$CXX_COMPILER" \
+    CXX_FLAGS="$CXX_FLAGS" CXX_FLAGS_TYPE="$CXX_FLAGS_TYPE" \
+    COMPILER_VERSION="$COMPILER_VERSION" \
+    python3 - <<'EOF'
 import json
-import sys
+import os
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
-with open(raw_path) as f:
+with open(os.environ["RAW"]) as f:
     raw = json.load(f)
+try:
+    with open(os.environ["METRICS"]) as f:
+        obs = json.load(f)
+except (OSError, json.JSONDecodeError):
+    obs = {}
 
 rates = {}  # benchmark name -> items per second
 for b in raw.get("benchmarks", []):
@@ -49,8 +80,20 @@ result = {
     "benchmark": "verify_engine_throughput",
     "scheme": "mso-tree[path]",
     "n": 4096,
+    "provenance": {
+        "git_sha": os.environ["GIT_SHA"],
+        "date": os.environ["RUN_DATE"],
+        "num_cpus": int(os.environ["NUM_CPUS"]),
+        "compiler": os.environ["CXX_COMPILER"],
+        "compiler_version": os.environ["COMPILER_VERSION"],
+        "build_type": os.environ["BUILD_TYPE"],
+        "cxx_flags": " ".join(
+            s for s in (os.environ["CXX_FLAGS"], os.environ["CXX_FLAGS_TYPE"]) if s
+        ),
+    },
     "context": raw.get("context", {}),
     "items_per_second": rates,
+    "obs_records": obs.get("records", []),
     "headline": {
         "seed_engine_items_per_second": seed,
         "zero_copy_serial_items_per_second": serial,
@@ -60,11 +103,11 @@ result = {
         "meets_target": speedup is not None and speedup >= 5.0,
     },
 }
-with open(out_path, "w") as f:
+with open(os.environ["OUT"], "w") as f:
     json.dump(result, f, indent=2)
     f.write("\n")
 
-print(f"wrote {out_path}")
+print(f"wrote {os.environ['OUT']}")
 if speedup is not None:
     print(f"speedup vs seed engine at n=4096: {speedup:.2f}x "
           f"({'meets' if speedup >= 5.0 else 'MISSES'} the 5x target)")

@@ -3,16 +3,21 @@
 //   lcert_cli list                          # available schemes
 //   lcert_cli demo <scheme> [n]             # generate a yes-instance, certify it
 //   lcert_cli run  <scheme> <file|->        # certify a graph in edge-list format
+//   lcert_cli audit <scheme> [n]            # completeness + soundness attack battery
 //   lcert_cli dot  <file|->                 # print the graph as Graphviz DOT
 //
+// Every subcommand accepts --metrics-out <file> (or the LCERT_METRICS env
+// var) to dump the obs metrics/trace artifact as JSON (.csv for CSV).
 // Edge-list format: see src/graph/io.hpp.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 
+#include "src/cert/audit.hpp"
 #include "src/cert/engine.hpp"
 #include "src/graph/io.hpp"
 #include "src/logic/eval.hpp"
+#include "src/obs/report.hpp"
 #include "src/schemes/registry.hpp"
 #include "src/util/rng.hpp"
 
@@ -53,9 +58,45 @@ int run_scheme_on(const RegisteredScheme& entry, const Graph& g) {
   return outcome.all_accept && truth ? 0 : 1;
 }
 
+// Completeness check plus the full soundness-attack battery on generated
+// instances, reported through the shared obs pipeline: audit/* counters say
+// how many trials each attack family executed, prover/* histograms where the
+// honest certificate sizes landed.
+int audit_scheme(const RegisteredScheme& entry, std::size_t n, obs::Report& report) {
+  const auto scheme = entry.make();
+  Rng rng(42);
+  std::printf("scheme:   %s (%s)\n", entry.key.c_str(), entry.description.c_str());
+
+  const Graph yes = entry.yes_instance(n, rng);
+  require_complete(*scheme, yes);
+  const auto tmpl = scheme->assign(yes);
+  std::printf("completeness: ok on a yes-instance with n=%zu\n", yes.vertex_count());
+
+  const Graph no = entry.no_instance(n, rng);
+  const auto forged =
+      attack_soundness(*scheme, no, tmpl ? &*tmpl : nullptr, rng, AuditOptions{});
+  if (forged.has_value()) {
+    std::printf("soundness: FORGED via '%s' attack on n=%zu — scheme is unsound\n",
+                forged->attack.c_str(), no.vertex_count());
+  } else {
+    std::printf("soundness: no forgery found on a no-instance with n=%zu\n",
+                no.vertex_count());
+  }
+
+  report.add()
+      .set("scheme", entry.key)
+      .set("n", yes.vertex_count())
+      .set("complete", "yes")
+      .set("forged", forged.has_value() ? forged->attack : "no");
+  std::printf("\n");
+  report.print_metrics();
+  return forged.has_value() ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  auto report = obs::Report::from_cli("lcert-cli", argc, argv);
   const std::vector<std::string> args(argv + 1, argv + argc);
   try {
     if (args.empty() || args[0] == "list") {
@@ -69,11 +110,22 @@ int main(int argc, char** argv) {
       const std::size_t n = args.size() >= 3 ? std::stoul(args[2]) : 24;
       Rng rng(42);
       const Graph g = entry.yes_instance(n, rng);
-      return run_scheme_on(entry, g);
+      const int rc = run_scheme_on(entry, g);
+      if (!report.output_path().empty()) report.write(report.output_path());
+      return rc;
     }
     if (args[0] == "run" && args.size() >= 3) {
       const auto& entry = find_scheme(args[1]);
-      return run_scheme_on(entry, load(args[2]));
+      const int rc = run_scheme_on(entry, load(args[2]));
+      if (!report.output_path().empty()) report.write(report.output_path());
+      return rc;
+    }
+    if (args[0] == "audit" && args.size() >= 2) {
+      const auto& entry = find_scheme(args[1]);
+      const std::size_t n = args.size() >= 3 ? std::stoul(args[2]) : 24;
+      const int rc = audit_scheme(entry, n, report);
+      if (!report.output_path().empty()) report.write(report.output_path());
+      return rc;
     }
     if (args[0] == "dot" && args.size() >= 2) {
       std::fputs(to_dot(load(args[1])).c_str(), stdout);
@@ -84,6 +136,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::fprintf(stderr,
-               "usage: lcert_cli list | demo <scheme> [n] | run <scheme> <file|-> | dot <file|->\n");
+               "usage: lcert_cli list | demo <scheme> [n] | run <scheme> <file|-> | "
+               "audit <scheme> [n] | dot <file|->\n");
   return 2;
 }

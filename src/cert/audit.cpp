@@ -8,11 +8,33 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/obs/metrics.hpp"
+#include "src/obs/span.hpp"
 #include "src/util/parallel.hpp"
 
 namespace lcert {
 
 namespace {
+
+// Trials per attack family, plus the forgery tally the issue tracker of a
+// scheme actually cares about. Replay/empty probes are single verifications;
+// random/mutation/exhaustive count every executed trial (skipped trials —
+// e.g. numbered above an already-found forgery — are not counted).
+struct AuditMetrics {
+  obs::Counter random_trials = obs::registry().counter("audit/trials/random");
+  obs::Counter mutation_trials = obs::registry().counter("audit/trials/bit_flip");
+  obs::Counter replay_trials = obs::registry().counter("audit/trials/replay");
+  obs::Counter empty_trials = obs::registry().counter("audit/trials/empty");
+  obs::Counter exhaustive_trials = obs::registry().counter("audit/trials/exhaustive");
+  obs::Counter attacks = obs::registry().counter("audit/attacks");
+  obs::Counter forgeries = obs::registry().counter("audit/forgeries");
+  obs::Counter completeness_checks = obs::registry().counter("audit/completeness_checks");
+};
+
+const AuditMetrics& audit_metrics() {
+  static const AuditMetrics metrics;
+  return metrics;
+}
 
 Certificate random_certificate(Rng& rng, std::size_t max_bits) {
   const std::size_t bits = rng.index(max_bits + 1);
@@ -43,7 +65,7 @@ bool accepted_everywhere(const Scheme& scheme, const ViewCache& cache,
 // recorded success are skipped — their results could never win.
 std::optional<std::vector<Certificate>> run_trials(
     const Scheme& scheme, const ViewCache& cache, std::size_t trials, Rng& rng,
-    std::size_t num_threads,
+    std::size_t num_threads, obs::Counter trial_counter,
     const std::function<std::vector<Certificate>(Rng&)>& make_certs) {
   // Per-trial seeds drawn serially up front: each trial's randomness depends
   // only on its index, never on execution order.
@@ -55,6 +77,7 @@ std::optional<std::vector<Certificate>> run_trials(
   std::mutex forged_mutex;
   parallel_for(trials, num_threads, [&](std::size_t trial) {
     if (trial > best.load(std::memory_order_relaxed)) return;
+    trial_counter.add();
     Rng trial_rng(seeds[trial]);
     std::vector<Certificate> certs = make_certs(trial_rng);
     if (certs.empty()) return;  // trial not applicable (e.g. zero-bit flip target)
@@ -77,44 +100,60 @@ std::optional<ForgedAssignment> attack_soundness(const Scheme& scheme,
                                                  Rng& rng, const AuditOptions& options) {
   if (scheme.holds(no_instance))
     throw std::invalid_argument("attack_soundness: instance satisfies the property");
+  LCERT_SPAN("audit/attack_soundness");
+  const AuditMetrics& metrics = audit_metrics();
+  metrics.attacks.add();
   const std::size_t n = no_instance.vertex_count();
   const ViewCache cache(no_instance);  // one topology walk for every attack below
+
+  const auto report_forgery = [&metrics](std::vector<Certificate> certs,
+                                         const char* attack) {
+    metrics.forgeries.add();
+    return ForgedAssignment{std::move(certs), attack};
+  };
 
   // Attack 1: uniformly random certificates.
   {
     const std::size_t max_bits = options.max_random_bits;
     auto forged = run_trials(scheme, cache, options.random_trials, rng, options.num_threads,
+                             metrics.random_trials,
                              [n, max_bits](Rng& trial_rng) {
                                std::vector<Certificate> certs(n);
                                for (auto& c : certs) c = random_certificate(trial_rng, max_bits);
                                return certs;
                              });
-    if (forged.has_value()) return ForgedAssignment{std::move(*forged), "random"};
+    if (forged.has_value()) return report_forgery(std::move(*forged), "random");
   }
 
   // Attack 2: the empty assignment (schemes must not accept by default).
   {
     std::vector<Certificate> certs(n);
+    metrics.empty_trials.add();
     if (accepted_everywhere(scheme, cache, certs))
-      return ForgedAssignment{std::move(certs), "empty"};
+      return report_forgery(std::move(certs), "empty");
   }
 
   if (yes_template != nullptr && yes_template->size() == n) {
     // Attack 3: replay the honest certificates of a yes-instance.
-    if (options.try_replay && accepted_everywhere(scheme, cache, *yes_template))
-      return ForgedAssignment{*yes_template, "replay"};
+    if (options.try_replay) {
+      metrics.replay_trials.add();
+      if (accepted_everywhere(scheme, cache, *yes_template))
+        return report_forgery(*yes_template, "replay");
+    }
 
     // Attack 4: replay with certificates permuted between vertices.
     if (options.try_replay) {
       std::vector<Certificate> shuffled = *yes_template;
       rng.shuffle(shuffled);
+      metrics.replay_trials.add();
       if (accepted_everywhere(scheme, cache, shuffled))
-        return ForgedAssignment{std::move(shuffled), "replay-shuffled"};
+        return report_forgery(std::move(shuffled), "replay-shuffled");
     }
 
     // Attack 5: single bit flips of the replayed template.
     const std::vector<Certificate>& tmpl = *yes_template;
     auto forged = run_trials(scheme, cache, options.mutation_trials, rng, options.num_threads,
+                             metrics.mutation_trials,
                              [n, &tmpl](Rng& trial_rng) {
                                std::vector<Certificate> certs = tmpl;
                                const Vertex v = static_cast<Vertex>(trial_rng.index(n));
@@ -122,7 +161,7 @@ std::optional<ForgedAssignment> attack_soundness(const Scheme& scheme,
                                certs[v] = flip_bit(certs[v], trial_rng.index(certs[v].bit_size));
                                return certs;
                              });
-    if (forged.has_value()) return ForgedAssignment{std::move(*forged), "bit-flip"};
+    if (forged.has_value()) return report_forgery(std::move(*forged), "bit-flip");
   }
 
   return std::nullopt;
@@ -161,12 +200,17 @@ std::optional<ForgedAssignment> exhaustive_soundness_attack(const Scheme& scheme
   // The odometer order is part of the contract (first accepting assignment in
   // canonical order); it stays serial, but every probe reuses the cache and
   // early-exits on the first rejecting vertex.
+  LCERT_SPAN("audit/exhaustive_attack");
+  const AuditMetrics& metrics = audit_metrics();
   const ViewCache cache(no_instance);
   std::vector<std::size_t> pick(n, 0);
   std::vector<Certificate> certs(n, alphabet[0]);
   while (true) {
-    if (accepted_everywhere(scheme, cache, certs))
+    metrics.exhaustive_trials.add();
+    if (accepted_everywhere(scheme, cache, certs)) {
+      metrics.forgeries.add();
       return ForgedAssignment{certs, "exhaustive"};
+    }
     // Odometer increment.
     std::size_t i = 0;
     while (i < n) {
@@ -186,6 +230,8 @@ std::optional<ForgedAssignment> exhaustive_soundness_attack(const Scheme& scheme
 void require_complete(const Scheme& scheme, const Graph& yes_instance) {
   if (!scheme.holds(yes_instance))
     throw std::invalid_argument("require_complete: instance does not satisfy the property");
+  LCERT_SPAN("audit/require_complete");
+  audit_metrics().completeness_checks.add();
   const auto outcome = run_scheme(scheme, yes_instance);
   if (!outcome.prover_succeeded)
     throw std::logic_error(scheme.name() + ": prover failed on yes-instance");

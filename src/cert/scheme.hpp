@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/graph/graph.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/util/bitio.hpp"
 
 namespace lcert {
@@ -137,6 +138,9 @@ class Scheme {
         accept[i] = verify(views[i]) ? 1 : 0;
       } catch (const CertificateTruncated&) {
         accept[i] = 0;
+        static const obs::Counter truncated =
+            obs::registry().counter("engine/truncated_rejects");
+        truncated.add();
       }
     }
   }

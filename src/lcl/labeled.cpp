@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/obs/metrics.hpp"
+
 namespace lcert {
 
 LabeledView make_labeled_view(const LabeledTreeInstance& instance,
@@ -32,6 +34,9 @@ LabeledOutcome verify_labeled_assignment(const LabeledScheme& scheme,
       // Malformed certificate: the verifier rejects. Other exceptions are
       // scheme bugs and propagate (mirrors verify_assignment).
       ok = false;
+      static const obs::Counter truncated =
+          obs::registry().counter("engine/truncated_rejects");
+      truncated.add();
     }
     if (!ok) out.rejecting.push_back(v);
   }

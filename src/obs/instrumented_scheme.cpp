@@ -1,0 +1,36 @@
+#include "src/obs/instrumented_scheme.hpp"
+
+#include <cassert>
+
+#include "src/obs/span.hpp"
+
+namespace lcert::obs {
+
+std::string InstrumentedScheme::size_histogram_name(const Scheme& scheme) {
+  return "prover/" + scheme.name() + "/cert_bits";
+}
+
+InstrumentedScheme::InstrumentedScheme(std::unique_ptr<Scheme> inner)
+    : inner_(std::move(inner)),
+      cert_bits_(registry().histogram(size_histogram_name(*inner_))),
+      assign_calls_(registry().counter("prover/assign_calls")),
+      assign_refusals_(registry().counter("prover/assign_refusals")) {}
+
+std::optional<std::vector<Certificate>> InstrumentedScheme::assign(const Graph& g) const {
+  LCERT_SPAN("prover/assign");
+  assign_calls_.add();
+  auto certificates = inner_->assign(g);
+  if (!certificates.has_value()) {
+    assign_refusals_.add();
+    return certificates;
+  }
+  for (const Certificate& c : *certificates) {
+    // The histogram records bit_size; the byte buffer must agree with it, or
+    // the bits encoder and the reporter have drifted apart.
+    assert(c.bytes.size() == (c.bit_size + 7) / 8);
+    cert_bits_.record(c.bit_size);
+  }
+  return certificates;
+}
+
+}  // namespace lcert::obs

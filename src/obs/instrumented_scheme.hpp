@@ -1,0 +1,44 @@
+// Prover-side size accounting as a decorator.
+//
+// Wrapping a Scheme records every certificate the prover emits into the
+// per-scheme histogram `prover/<scheme-name>/cert_bits` (the paper's
+// performance measure, so max/mean certificate size per scheme falls out of
+// the metrics snapshot), plus assignment counters and a "prover/assign"
+// span. The scheme registry wraps every entry it hands out, so the CLI,
+// the benches and the audit sweep all get prover accounting for free;
+// verification forwards straight to the inner scheme — verify_batch keeps
+// its hot-path override.
+#pragma once
+
+#include <memory>
+
+#include "src/cert/scheme.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace lcert::obs {
+
+class InstrumentedScheme final : public Scheme {
+ public:
+  explicit InstrumentedScheme(std::unique_ptr<Scheme> inner);
+
+  /// Metric name the wrapper records certificate sizes into; also what
+  /// engine::run_scheme's debug cross-check looks up.
+  static std::string size_histogram_name(const Scheme& scheme);
+
+  std::string name() const override { return inner_->name(); }
+  bool holds(const Graph& g) const override { return inner_->holds(g); }
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  bool verify(const ViewRef& view) const override { return inner_->verify(view); }
+  void verify_batch(const ViewRef* views, std::size_t count,
+                    std::uint8_t* accept) const override {
+    inner_->verify_batch(views, count, accept);
+  }
+
+ private:
+  std::unique_ptr<Scheme> inner_;
+  Histogram cert_bits_;
+  Counter assign_calls_;
+  Counter assign_refusals_;
+};
+
+}  // namespace lcert::obs

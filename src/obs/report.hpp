@@ -1,0 +1,115 @@
+// Structured experiment reporting shared by every bench binary and the CLI.
+//
+// A Report is a list of flat records ({scheme, n, max_bits, wall_ms, ...}),
+// free-form metadata, and optional notes. finish() prints one aligned human
+// table (replacing the per-bench printf tables) and, when an output path was
+// given — `--metrics-out <file>` on the command line or the LCERT_METRICS
+// environment variable — writes a machine-readable artifact that also embeds
+// the full metrics snapshot and the span trace. `.csv` paths get the records
+// as CSV; everything else gets the JSON document:
+//
+//   { "experiment": ..., "meta": {...}, "records": [...],
+//     "metrics": {"counters": ..., "gauges": ..., "histograms": ...},
+//     "trace": [...] }
+//
+// EXPERIMENTS.md tables are regenerated from these artifacts, so record keys
+// are a stable schema: renaming one is a breaking change to the bench
+// trajectory.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace lcert::obs {
+
+using Value = std::variant<std::int64_t, double, std::string>;
+
+/// One table row / JSON object. Keys keep insertion order (they become the
+/// table's columns, first-seen first).
+class Record {
+ public:
+  Record& set(std::string key, double v) { return put(std::move(key), Value(v)); }
+  Record& set(std::string key, std::string v) { return put(std::move(key), Value(std::move(v))); }
+  Record& set(std::string key, const char* v) { return put(std::move(key), Value(std::string(v))); }
+  template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+  Record& set(std::string key, T v) {
+    return put(std::move(key), Value(static_cast<std::int64_t>(v)));
+  }
+
+  const Value* find(std::string_view key) const;
+  const std::vector<std::pair<std::string, Value>>& fields() const noexcept { return fields_; }
+
+ private:
+  Record& put(std::string key, Value v);
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+class Report {
+ public:
+  explicit Report(std::string experiment) : experiment_(std::move(experiment)) {}
+
+  /// Builds a report from a main()'s argument list: consumes (removes from
+  /// argv) `--metrics-out <file>` / `--metrics-out=<file>`, falls back to
+  /// the LCERT_METRICS environment variable, and enables the metrics
+  /// registry so the instrumented pipelines actually count.
+  static Report from_cli(std::string experiment, int& argc, char** argv);
+
+  void set_output(std::string path) { out_path_ = std::move(path); }
+  const std::string& output_path() const noexcept { return out_path_; }
+
+  template <typename T>
+  void meta(std::string key, T v) {
+    Record r;
+    r.set(std::move(key), std::move(v));
+    meta_.push_back(r.fields().front());
+  }
+
+  /// Appends a record; the reference stays valid until the next append.
+  Record& add();
+  /// Free-form line printed after the table (paper-claim commentary).
+  void note(std::string line) { notes_.push_back(std::move(line)); }
+
+  std::size_t record_count() const noexcept { return records_.size(); }
+
+  /// Aligned human table of all records (columns = union of keys).
+  void print_table(std::FILE* out = stdout) const;
+  /// Human summary of the current metrics snapshot (counters + histograms).
+  void print_metrics(std::FILE* out = stdout) const;
+
+  /// Serializers. json() embeds a fresh metrics snapshot and drains the
+  /// span trace; csv() is records-only.
+  std::string json() const;
+  std::string csv() const;
+
+  /// Writes by extension (.csv => CSV, else JSON). Returns false on I/O error.
+  bool write(const std::string& path) const;
+
+  /// Prints the table and the notes, then writes the artifact if an output
+  /// path is set. Returns a main()-ready exit code (2 on write failure).
+  int finish(std::FILE* out = stdout);
+
+ private:
+  std::string experiment_;
+  std::string out_path_;
+  std::vector<std::pair<std::string, Value>> meta_;
+  std::vector<Record> records_;
+  std::vector<std::string> notes_;
+};
+
+/// Milliseconds-resolution stopwatch for the wall_ms record field.
+class StopwatchMs {
+ public:
+  StopwatchMs();
+  double elapsed() const;
+
+ private:
+  std::uint64_t start_ns_;
+};
+
+}  // namespace lcert::obs

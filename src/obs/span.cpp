@@ -1,0 +1,81 @@
+#include "src/obs/span.hpp"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+
+#include "src/obs/metrics.hpp"
+
+namespace lcert::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Bench loops open thousands of spans; past this many roots the trace stops
+// growing and only counts what it dropped.
+constexpr std::size_t kMaxTraceRoots = 4096;
+
+struct PendingSpan {
+  SpanNode node;
+  Clock::time_point start;
+  std::map<std::string, std::uint64_t> counters_before;
+};
+
+// Per-thread stack of open spans. Worker threads get their own stacks, so a
+// span opened inside a parallel_for callback nests under nothing and becomes
+// its own root — by design: the trace reflects who did the work.
+thread_local std::vector<PendingSpan> t_open_spans;
+
+std::mutex g_trace_mutex;
+std::vector<SpanNode> g_trace;
+std::uint64_t g_trace_dropped = 0;
+
+}  // namespace
+
+Span::Span(std::string name) {
+  if (!registry().enabled()) return;
+  active_ = true;
+  PendingSpan pending;
+  pending.node.name = std::move(name);
+  pending.counters_before = registry().counters_snapshot();
+  pending.start = Clock::now();  // last: exclude the snapshot from the timing
+  t_open_spans.push_back(std::move(pending));
+}
+
+Span::~Span() {
+  if (!active_ || t_open_spans.empty()) return;
+  PendingSpan pending = std::move(t_open_spans.back());
+  t_open_spans.pop_back();
+  pending.node.wall_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - pending.start).count();
+  for (const auto& [name, after] : registry().counters_snapshot()) {
+    const auto it = pending.counters_before.find(name);
+    const std::uint64_t before = it == pending.counters_before.end() ? 0 : it->second;
+    if (after != before) pending.node.counter_deltas.emplace_back(name, after - before);
+  }
+  if (!t_open_spans.empty()) {
+    t_open_spans.back().node.children.push_back(std::move(pending.node));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  if (g_trace.size() < kMaxTraceRoots)
+    g_trace.push_back(std::move(pending.node));
+  else
+    ++g_trace_dropped;
+}
+
+std::vector<SpanNode> take_trace() {
+  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  std::vector<SpanNode> out = std::move(g_trace);
+  g_trace.clear();
+  g_trace_dropped = 0;
+  return out;
+}
+
+std::uint64_t trace_dropped() {
+  std::lock_guard<std::mutex> lock(g_trace_mutex);
+  return g_trace_dropped;
+}
+
+}  // namespace lcert::obs

@@ -1,0 +1,52 @@
+// RAII phase spans: LCERT_SPAN("prover/assign") opens a named span that
+// closes at scope exit, recording wall time and the deltas of every counter
+// that moved while it was open. Spans nest per thread (a span opened inside
+// another becomes its child); completed roots accumulate in a process-wide
+// trace that obs::Report serializes next to the metrics snapshot.
+//
+// Spans are for phases, not hot loops: closing one takes a counters
+// snapshot (a mutex and a pass over the registered counters), which is noise
+// at the granularity of "the prover ran" and poison inside a per-vertex
+// loop. When the registry is disabled a span is two relaxed loads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lcert::obs {
+
+/// One completed span. counter_deltas holds only counters that changed.
+struct SpanNode {
+  std::string name;
+  double wall_ms = 0.0;
+  std::vector<std::pair<std::string, std::uint64_t>> counter_deltas;
+  std::vector<SpanNode> children;
+};
+
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+/// Completed root spans of every thread, in completion order; clears the
+/// trace. Roots beyond an internal cap are dropped (counted, not stored) so
+/// a bench loop cannot grow the trace without bound.
+std::vector<SpanNode> take_trace();
+
+/// Number of root spans dropped since the last take_trace().
+std::uint64_t trace_dropped();
+
+#define LCERT_OBS_CAT2(a, b) a##b
+#define LCERT_OBS_CAT(a, b) LCERT_OBS_CAT2(a, b)
+/// Opens a span for the rest of the enclosing scope.
+#define LCERT_SPAN(name) ::lcert::obs::Span LCERT_OBS_CAT(lcert_obs_span_, __LINE__)(name)
+
+}  // namespace lcert::obs

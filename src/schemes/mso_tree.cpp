@@ -174,6 +174,9 @@ void MsoTreeScheme::verify_batch(const ViewRef* views, std::size_t count,
       accept[i] = verify_view(views[i], k, state_width, boxes, accepting) ? 1 : 0;
     } catch (const CertificateTruncated&) {
       accept[i] = 0;
+      static const obs::Counter truncated =
+          obs::registry().counter("engine/truncated_rejects");
+      truncated.add();
     }
   }
 }

@@ -2,8 +2,10 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "src/graph/generators.hpp"
+#include "src/obs/instrumented_scheme.hpp"
 #include "src/logic/eval.hpp"
 #include "src/logic/formulas.hpp"
 #include "src/schemes/automorphism_scheme.hpp"
@@ -177,6 +179,17 @@ std::vector<RegisteredScheme> scheme_registry() {
                    return with_ids(make_random_tree(std::max<std::size_t>(n, 2), rng), rng);
                  },
                  [](std::size_t, Rng& rng) { return with_ids(make_complete(4), rng); }});
+
+  // Prover-side observability hook: every scheme the registry hands out is
+  // wrapped so its certificate sizes land in `prover/<name>/cert_bits`. The
+  // wrapper forwards verify/verify_batch, so the verification hot path and
+  // the audit battery behave exactly as with the bare scheme.
+  for (auto& entry : out) {
+    auto bare = std::move(entry.make);
+    entry.make = [bare = std::move(bare)] {
+      return std::make_unique<obs::InstrumentedScheme>(bare());
+    };
+  }
 
   return out;
 }

@@ -46,11 +46,20 @@ inline std::size_t resolve_thread_count(std::size_t requested, std::size_t count
 /// Every index is executed exactly once. The first exception thrown by fn is
 /// rethrown on the calling thread after all workers stop; remaining chunks
 /// are abandoned once a failure is recorded.
-template <typename Fn>
-void parallel_for(std::size_t count, std::size_t num_threads, Fn&& fn) {
+///
+/// `worker_scope(run)` wraps each worker's whole drain loop (including the
+/// calling thread's): it must invoke run() exactly once and may do cheap
+/// bookkeeping around it — the engine times per-thread busy-ness here at
+/// once-per-worker cost instead of once-per-index. Exceptions from fn are
+/// captured inside run(); worker_scope itself must not throw.
+template <typename Fn, typename WorkerScope>
+void parallel_for(std::size_t count, std::size_t num_threads, Fn&& fn,
+                  WorkerScope&& worker_scope) {
   const std::size_t workers = resolve_thread_count(num_threads, count);
   if (workers <= 1) {
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    worker_scope([&]() {
+      for (std::size_t i = 0; i < count; ++i) fn(i);
+    });
     return;
   }
 
@@ -76,12 +85,18 @@ void parallel_for(std::size_t count, std::size_t num_threads, Fn&& fn) {
     }
   };
 
+  auto worker = [&]() { worker_scope(drain); };
   std::vector<std::thread> pool;
   pool.reserve(workers - 1);
-  for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(drain);
-  drain();
+  for (std::size_t t = 0; t + 1 < workers; ++t) pool.emplace_back(worker);
+  worker();
   for (auto& th : pool) th.join();
   if (error) std::rethrow_exception(error);
+}
+
+template <typename Fn>
+void parallel_for(std::size_t count, std::size_t num_threads, Fn&& fn) {
+  parallel_for(count, num_threads, std::forward<Fn>(fn), [](auto&& run) { run(); });
 }
 
 }  // namespace lcert

@@ -1,0 +1,379 @@
+// lcert::obs — counters, gauges, log2 histograms, span nesting, exporters,
+// and the instrumentation contract the engine and provers rely on:
+//  - totals are bit-identical across worker-pool thread counts (shard cells
+//    merge by addition, so determinism survives parallelism);
+//  - every registry scheme's prover populates prover/<name>/cert_bits with
+//    exactly the sizes the engine later accounts for;
+//  - the JSON artifact is well-formed and carries records + metrics + trace.
+// The ThreadSanitizer preset replays the *Parallel* tests here.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <string>
+
+#include "src/cert/engine.hpp"
+#include "src/graph/generators.hpp"
+#include "src/obs/instrumented_scheme.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/report.hpp"
+#include "src/obs/span.hpp"
+#include "src/schemes/mso_tree.hpp"
+#include "src/schemes/registry.hpp"
+#include "src/util/parallel.hpp"
+#include "src/util/rng.hpp"
+
+namespace lcert {
+namespace {
+
+using obs::registry;
+
+/// Enables the process registry for the test body and leaves it disabled and
+/// zeroed (trace drained) for whoever runs next in this binary.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry().reset();
+    obs::take_trace();
+    registry().set_enabled(true);
+  }
+  void TearDown() override {
+    registry().set_enabled(false);
+    registry().reset();
+    obs::take_trace();
+  }
+};
+
+TEST_F(ObsTest, CounterAccumulatesAndSnapshotReads) {
+  const obs::Counter c = registry().counter("test/counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(registry().counter_value("test/counter"), 42u);
+  EXPECT_EQ(registry().snapshot().counter("test/counter"), 42u);
+  EXPECT_EQ(registry().counter_value("test/unregistered"), 0u);
+}
+
+TEST_F(ObsTest, GaugeIsLastWriteWins) {
+  const obs::Gauge g = registry().gauge("test/gauge");
+  g.set(7);
+  g.set(-3);
+  EXPECT_EQ(registry().snapshot().gauges.at("test/gauge"), -3);
+}
+
+TEST_F(ObsTest, DisabledRegistryIsInert) {
+  const obs::Counter c = registry().counter("test/disabled");
+  const obs::Histogram h = registry().histogram("test/disabled_hist");
+  registry().set_enabled(false);
+  c.add(5);
+  h.record(5);
+  registry().set_enabled(true);
+  EXPECT_EQ(registry().counter_value("test/disabled"), 0u);
+  EXPECT_EQ(registry().histogram_snapshot("test/disabled_hist").count, 0u);
+
+  const obs::Counter inert;  // default-constructed handle: no registry at all
+  inert.add();               // must not crash
+}
+
+TEST_F(ObsTest, HistogramBucketIsBitWidth) {
+  EXPECT_EQ(obs::histogram_bucket(0), 0u);
+  EXPECT_EQ(obs::histogram_bucket(1), 1u);
+  EXPECT_EQ(obs::histogram_bucket(2), 2u);
+  EXPECT_EQ(obs::histogram_bucket(3), 2u);
+  EXPECT_EQ(obs::histogram_bucket(4), 3u);
+  EXPECT_EQ(obs::histogram_bucket(1023), 10u);
+  EXPECT_EQ(obs::histogram_bucket(1024), 11u);
+  EXPECT_EQ(obs::histogram_bucket(~std::uint64_t{0}), 64u);
+}
+
+TEST_F(ObsTest, HistogramStats) {
+  const obs::Histogram h = registry().histogram("test/hist");
+  for (std::uint64_t v : {0u, 3u, 3u, 8u, 100u}) h.record(v);
+  const obs::HistogramSnapshot snap = registry().histogram_snapshot("test/hist");
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 114u);
+  EXPECT_EQ(snap.min, 0u);
+  EXPECT_EQ(snap.max, 100u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 114.0 / 5.0);
+  EXPECT_EQ(snap.buckets[0], 1u);  // the zero
+  EXPECT_EQ(snap.buckets[2], 2u);  // 3, 3
+  EXPECT_EQ(snap.buckets[4], 1u);  // 8
+  EXPECT_EQ(snap.buckets[7], 1u);  // 100
+}
+
+TEST_F(ObsTest, HandleLookupIsIdempotent) {
+  const obs::Counter a = registry().counter("test/same");
+  const obs::Counter b = registry().counter("test/same");
+  a.add(1);
+  b.add(2);
+  EXPECT_EQ(registry().counter_value("test/same"), 3u);
+}
+
+// The determinism contract: shard cells merge by addition, so the totals of
+// a parallel_for are the same for every thread count — including histogram
+// buckets and extrema.
+TEST_F(ObsTest, ParallelTotalsAreThreadCountInvariant) {
+  const obs::Counter c = registry().counter("test/par_counter");
+  const obs::Histogram h = registry().histogram("test/par_hist");
+  constexpr std::size_t kItems = 1000;
+
+  std::uint64_t counts[2], sums[2];
+  obs::HistogramSnapshot hists[2];
+  const std::size_t thread_counts[2] = {1, 4};
+  for (int run = 0; run < 2; ++run) {
+    registry().reset();
+    parallel_for(kItems, thread_counts[run], [&](std::size_t i) {
+      c.add(i);
+      h.record(i % 37);
+    });
+    counts[run] = registry().counter_value("test/par_counter");
+    sums[run] = registry().histogram_snapshot("test/par_hist").sum;
+    hists[run] = registry().histogram_snapshot("test/par_hist");
+  }
+  EXPECT_EQ(counts[0], kItems * (kItems - 1) / 2);
+  EXPECT_EQ(counts[0], counts[1]);
+  EXPECT_EQ(sums[0], sums[1]);
+  EXPECT_EQ(hists[0].count, hists[1].count);
+  EXPECT_EQ(hists[0].min, hists[1].min);
+  EXPECT_EQ(hists[0].max, hists[1].max);
+  EXPECT_EQ(hists[0].buckets, hists[1].buckets);
+}
+
+// Same invariance for the real pipeline: a full verify_assignment round must
+// leave identical engine counters behind at num_threads 1 and 4 (only the
+// wall-clock counter engine/worker_busy_ns may differ).
+TEST_F(ObsTest, EngineCountersAreThreadCountInvariant) {
+  MsoTreeScheme scheme(standard_tree_automata()[0]);  // "path"
+  Rng rng(11);
+  Graph g = make_path(600);
+  assign_random_ids(g, rng);
+  const auto certs = scheme.assign(g);
+  ASSERT_TRUE(certs.has_value());
+  const ViewCache cache(g);
+
+  std::map<std::string, std::uint64_t> totals[2];
+  const std::size_t thread_counts[2] = {1, 4};
+  for (int run = 0; run < 2; ++run) {
+    registry().reset();
+    const auto outcome =
+        verify_assignment(scheme, cache, *certs, VerifyOptions{thread_counts[run], false});
+    ASSERT_TRUE(outcome.all_accept);
+    totals[run] = registry().counters_snapshot();
+    totals[run].erase("engine/worker_busy_ns");
+  }
+  EXPECT_EQ(totals[0], totals[1]);
+  EXPECT_EQ(totals[0].at("engine/vertices_verified"), 600u);
+  EXPECT_EQ(totals[0].at("engine/views_bound"), 600u);
+  EXPECT_EQ(totals[0].at("engine/batches"), (600 + 127) / 128);
+  EXPECT_EQ(totals[0].at("engine/rejections"), 0u);
+}
+
+TEST_F(ObsTest, RejectionsAndTruncationsAreCounted) {
+  MsoTreeScheme scheme(standard_tree_automata()[0]);
+  Rng rng(12);
+  Graph g = make_path(32);
+  assign_random_ids(g, rng);
+  const auto certs = scheme.assign(g);
+  ASSERT_TRUE(certs.has_value());
+  std::vector<Certificate> empty(g.vertex_count());  // all-empty: every vertex rejects
+  const auto outcome = verify_assignment(scheme, g, empty);
+  EXPECT_FALSE(outcome.all_accept);
+  EXPECT_EQ(registry().counter_value("engine/rejections"), 32u);
+}
+
+TEST_F(ObsTest, SpansNestAndCaptureCounterDeltas) {
+  const obs::Counter c = registry().counter("test/span_counter");
+  {
+    LCERT_SPAN("outer");
+    c.add(5);
+    {
+      LCERT_SPAN("inner");
+      c.add(2);
+    }
+  }
+  const auto trace = obs::take_trace();
+  ASSERT_EQ(trace.size(), 1u);
+  EXPECT_EQ(trace[0].name, "outer");
+  ASSERT_EQ(trace[0].children.size(), 1u);
+  EXPECT_EQ(trace[0].children[0].name, "inner");
+  EXPECT_TRUE(trace[0].children[0].children.empty());
+  EXPECT_GE(trace[0].wall_ms, trace[0].children[0].wall_ms);
+
+  const auto find_delta = [](const obs::SpanNode& node, const char* name) -> std::uint64_t {
+    for (const auto& [key, delta] : node.counter_deltas)
+      if (key == name) return delta;
+    return 0;
+  };
+  EXPECT_EQ(find_delta(trace[0], "test/span_counter"), 7u);  // outer sees both adds
+  EXPECT_EQ(find_delta(trace[0].children[0], "test/span_counter"), 2u);
+
+  EXPECT_TRUE(obs::take_trace().empty());  // drained
+}
+
+TEST_F(ObsTest, DisabledSpansRecordNothing) {
+  registry().set_enabled(false);
+  {
+    LCERT_SPAN("invisible");
+  }
+  registry().set_enabled(true);
+  EXPECT_TRUE(obs::take_trace().empty());
+}
+
+// --- minimal JSON validity checker (objects/arrays/strings/numbers/
+// true/false/null), enough to prove the exporter emits well-formed JSON ----
+
+bool skip_json_value(const std::string& s, std::size_t& i);
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+bool skip_string(const std::string& s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') return false;
+  for (++i; i < s.size(); ++i) {
+    if (s[i] == '\\') {
+      ++i;
+      continue;
+    }
+    if (s[i] == '"') {
+      ++i;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool skip_json_value(const std::string& s, std::size_t& i) {
+  skip_ws(s, i);
+  if (i >= s.size()) return false;
+  const char c = s[i];
+  if (c == '"') return skip_string(s, i);
+  if (c == '{' || c == '[') {
+    const char close = c == '{' ? '}' : ']';
+    ++i;
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == close) {
+      ++i;
+      return true;
+    }
+    while (true) {
+      if (c == '{') {
+        skip_ws(s, i);
+        if (!skip_string(s, i)) return false;
+        skip_ws(s, i);
+        if (i >= s.size() || s[i] != ':') return false;
+        ++i;
+      }
+      if (!skip_json_value(s, i)) return false;
+      skip_ws(s, i);
+      if (i >= s.size()) return false;
+      if (s[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (s[i] == close) {
+        ++i;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (std::strchr("-0123456789", c) != nullptr) {
+    ++i;
+    while (i < s.size() && std::strchr("0123456789.eE+-", s[i]) != nullptr) ++i;
+    return true;
+  }
+  for (const char* lit : {"true", "false", "null"})
+    if (s.compare(i, std::strlen(lit), lit) == 0) {
+      i += std::strlen(lit);
+      return true;
+    }
+  return false;
+}
+
+bool is_valid_json(const std::string& s) {
+  std::size_t i = 0;
+  if (!skip_json_value(s, i)) return false;
+  skip_ws(s, i);
+  return i == s.size();
+}
+
+TEST_F(ObsTest, JsonValidatorSelfTest) {
+  EXPECT_TRUE(is_valid_json(R"({"a":[1,2.5,"x\"y"],"b":{},"c":null})"));
+  EXPECT_FALSE(is_valid_json(R"({"a":1,})"));
+  EXPECT_FALSE(is_valid_json(R"({"a")"));
+  EXPECT_FALSE(is_valid_json("{}{}"));
+}
+
+TEST_F(ObsTest, ReportJsonRoundTrip) {
+  registry().counter("test/json_counter").add(3);
+  registry().histogram("test/json_hist").record(9);
+  {
+    LCERT_SPAN("test/json_span");
+  }
+  obs::Report report("unit-test");
+  report.meta("seed", 1);
+  report.add().set("scheme", "s\"1").set("n", 16).set("max_bits", 3).set("wall_ms", 0.5);
+  report.add().set("scheme", "s2").set("n", 32).set("extra", "yes");
+  report.note("a note");
+
+  const std::string json = report.json();
+  ASSERT_TRUE(is_valid_json(json)) << json;
+  EXPECT_NE(json.find("\"experiment\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(json.find("\"scheme\":\"s\\\"1\""), std::string::npos);
+  EXPECT_NE(json.find("\"max_bits\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"test/json_counter\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"test/json_hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/json_span\""), std::string::npos);
+  // json() drains the trace: a second export is still valid, now trace-free.
+  const std::string second = report.json();
+  ASSERT_TRUE(is_valid_json(second));
+  EXPECT_EQ(second.find("\"test/json_span\""), std::string::npos);
+}
+
+TEST_F(ObsTest, ReportCsvHasUnionHeaderAndEscaping) {
+  obs::Report report("unit-test");
+  report.add().set("scheme", "a,b").set("n", 1);
+  report.add().set("scheme", "c").set("n", 2).set("wall_ms", 1.25);
+  const std::string csv = report.csv();
+  EXPECT_EQ(csv, "scheme,n,wall_ms\n\"a,b\",1,\nc,2,1.25\n");
+}
+
+TEST_F(ObsTest, FromCliStripsMetricsFlagAndEnables) {
+  registry().set_enabled(false);
+  char prog[] = "prog", flag[] = "--metrics-out", path[] = "/tmp/x.json", keep[] = "other";
+  char* argv[] = {prog, flag, path, keep, nullptr};
+  int argc = 4;
+  const obs::Report report = obs::Report::from_cli("cli-test", argc, argv);
+  EXPECT_EQ(report.output_path(), "/tmp/x.json");
+  EXPECT_TRUE(registry().enabled());
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[0], "prog");
+  EXPECT_STREQ(argv[1], "other");
+  EXPECT_EQ(argv[2], nullptr);
+}
+
+// Every scheme the registry hands out is InstrumentedScheme-wrapped: after an
+// honest prover run, prover/<name>/cert_bits holds exactly one sample per
+// vertex and its sum matches the engine's certificate-bit accounting.
+TEST_F(ObsTest, RegistrySweepProverHistogramMatchesEngineAccounting) {
+  for (const auto& entry : scheme_registry()) {
+    registry().reset();
+    const auto scheme = entry.make();
+    Rng rng(9000);
+    const Graph g = entry.yes_instance(16, rng);
+    const std::string hist_name = obs::InstrumentedScheme::size_histogram_name(*scheme);
+
+    const auto outcome = run_scheme(*scheme, g);
+    ASSERT_TRUE(outcome.prover_succeeded) << entry.key;
+    ASSERT_TRUE(outcome.verification.all_accept) << entry.key;
+
+    const obs::HistogramSnapshot h = registry().histogram_snapshot(hist_name);
+    EXPECT_EQ(h.count, g.vertex_count()) << entry.key << " " << hist_name;
+    EXPECT_EQ(h.sum, outcome.verification.total_certificate_bits) << entry.key;
+    EXPECT_EQ(h.max, outcome.verification.max_certificate_bits) << entry.key;
+    EXPECT_GE(registry().counter_value("prover/assign_calls"), 1u) << entry.key;
+  }
+}
+
+}  // namespace
+}  // namespace lcert
