@@ -41,10 +41,10 @@ Prepared prepare(const Scheme& scheme, Graph g, Rng& rng) {
   return p;
 }
 
-void run_all_views(benchmark::State& state, const Scheme& scheme, const Prepared& p) {
+void run_all_views(benchmark::State& state, const Scheme& scheme, Prepared& p) {
   for (auto _ : state) {
     bool all = true;
-    for (const View& view : p.views) all = all && scheme.verify(view);
+    for (View& view : p.views) all = all && scheme.verify(view.as_ref());
     benchmark::DoNotOptimize(all);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -54,7 +54,7 @@ void run_all_views(benchmark::State& state, const Scheme& scheme, const Prepared
 void BM_VerifyParity(benchmark::State& state) {
   Rng rng(1);
   VertexParityScheme scheme;
-  const auto p = prepare(scheme, make_random_tree(static_cast<std::size_t>(state.range(0)), rng),
+  auto p = prepare(scheme, make_random_tree(static_cast<std::size_t>(state.range(0)), rng),
                          rng);
   run_all_views(state, scheme, p);
 }
@@ -63,7 +63,7 @@ BENCHMARK(BM_VerifyParity)->Arg(256)->Arg(1024)->Arg(4096);
 void BM_VerifyMsoTree(benchmark::State& state) {
   Rng rng(2);
   MsoTreeScheme scheme(standard_tree_automata()[0]);  // "path"
-  const auto p = prepare(scheme, make_path(static_cast<std::size_t>(state.range(0))), rng);
+  auto p = prepare(scheme, make_path(static_cast<std::size_t>(state.range(0))), rng);
   run_all_views(state, scheme, p);
 }
 BENCHMARK(BM_VerifyMsoTree)->Arg(256)->Arg(1024)->Arg(4096);
@@ -73,7 +73,7 @@ void BM_VerifyTreedepth(benchmark::State& state) {
   auto inst = make_bounded_treedepth_graph(static_cast<std::size_t>(state.range(0)), 5, 0.3, rng);
   RootedTree witness = inst.elimination_tree;
   TreedepthScheme scheme(5, [witness](const Graph&) { return witness; });
-  const auto p = prepare(scheme, inst.graph, rng);
+  auto p = prepare(scheme, inst.graph, rng);
   run_all_views(state, scheme, p);
 }
 BENCHMARK(BM_VerifyTreedepth)->Arg(256)->Arg(1024)->Arg(4096);
@@ -83,7 +83,7 @@ void BM_VerifyKernelMso(benchmark::State& state) {
   auto inst = make_bounded_treedepth_graph(static_cast<std::size_t>(state.range(0)), 3, 0.0, rng);
   RootedTree witness = inst.elimination_tree;
   KernelMsoScheme scheme(f_triangle_free(), 3, 3, [witness](const Graph&) { return witness; });
-  const auto p = prepare(scheme, inst.graph, rng);
+  auto p = prepare(scheme, inst.graph, rng);
   run_all_views(state, scheme, p);
 }
 BENCHMARK(BM_VerifyKernelMso)->Arg(256)->Arg(1024);
@@ -106,8 +106,10 @@ void BM_EngineSeedCopies(benchmark::State& state) {
   const auto p = prepare_mso(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     bool all = true;
-    for (Vertex v = 0; v < p.graph.vertex_count(); ++v)
-      all = all && scheme.verify(make_view(p.graph, p.certs, v));
+    for (Vertex v = 0; v < p.graph.vertex_count(); ++v) {
+      View view = make_view(p.graph, p.certs, v);
+      all = all && scheme.verify(view.as_ref());
+    }
     benchmark::DoNotOptimize(all);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -119,7 +121,7 @@ void run_engine_rounds(benchmark::State& state, std::size_t n, std::size_t threa
   MsoTreeScheme scheme(standard_tree_automata()[0]);
   const auto p = prepare_mso(n);
   const ViewCache cache(p.graph);  // amortized across rounds, as in the audit
-  const VerifyOptions options{threads, /*stop_at_first_reject=*/false};
+  const RunOptions options{threads, /*stop_at_first_reject=*/false};
   for (auto _ : state) {
     const auto outcome = verify_assignment(scheme, cache, p.certs, options);
     benchmark::DoNotOptimize(outcome.all_accept);
@@ -160,7 +162,7 @@ void run_audit(benchmark::State& state, std::size_t threads) {
   Graph yes = make_path(no.vertex_count());
   assign_random_ids(yes, yes_rng);
   const auto tmpl = scheme.assign(yes);
-  AuditOptions options;
+  RunOptions options;
   options.random_trials = 64;
   options.mutation_trials = 64;
   options.num_threads = threads;
@@ -191,7 +193,7 @@ void add_engine_record(obs::Report& report, std::size_t n, std::size_t threads,
   MsoTreeScheme scheme(standard_tree_automata()[0]);
   const auto p = prepare_mso(n);
   const ViewCache cache(p.graph);
-  const VerifyOptions options{threads, /*stop_at_first_reject=*/false};
+  const RunOptions options{threads, /*stop_at_first_reject=*/false};
   std::size_t max_bits = 0;
   const std::size_t rounds = 50;
   const obs::StopwatchMs timer;

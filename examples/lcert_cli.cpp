@@ -4,7 +4,17 @@
 //   lcert_cli demo <scheme> [n]             # generate a yes-instance, certify it
 //   lcert_cli run  <scheme> <file|->        # certify a graph in edge-list format
 //   lcert_cli audit <scheme> [n]            # completeness + soundness attack battery
+//   lcert_cli fuzz <scheme|all> [flags]     # differential fuzzing campaign
 //   lcert_cli dot  <file|->                 # print the graph as Graphviz DOT
+//
+// fuzz flags:
+//   --trials N        trial-count mode, deterministic across thread counts
+//   --time-budget S   wall-clock mode (seconds); overrides --trials
+//   --seed S          campaign seed (default 1)
+//   --threads T       worker threads (default auto)
+//   --base-n N        base instance size (default 12)
+//   --replay T        re-run exactly one trial index and report it
+//   --out DIR         write <scheme>-trial<T>.lcg + .repro.txt per finding
 //
 // Every subcommand accepts --metrics-out <file> (or the LCERT_METRICS env
 // var) to dump the obs metrics/trace artifact as JSON (.csv for CSV).
@@ -12,9 +22,11 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <optional>
 
 #include "src/cert/audit.hpp"
 #include "src/cert/engine.hpp"
+#include "src/fuzz/campaign.hpp"
 #include "src/graph/io.hpp"
 #include "src/logic/eval.hpp"
 #include "src/obs/report.hpp"
@@ -30,6 +42,18 @@ Graph load(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::invalid_argument("cannot open " + path);
   return parse_edge_list(in);
+}
+
+/// Non-throwing lookup front end: unknown keys list the valid ones on stderr
+/// (exit code 2 at the call site) instead of an uncaught exception.
+const RegisteredScheme* lookup(const std::string& key) {
+  const RegisteredScheme* entry = try_find_scheme(key);
+  if (entry == nullptr) {
+    std::fprintf(stderr, "error: unknown scheme '%s'; valid keys:\n", key.c_str());
+    for (const auto& e : scheme_registry())
+      std::fprintf(stderr, "  %s\n", e.key.c_str());
+  }
+  return entry;
 }
 
 int run_scheme_on(const RegisteredScheme& entry, const Graph& g) {
@@ -67,14 +91,14 @@ int audit_scheme(const RegisteredScheme& entry, std::size_t n, obs::Report& repo
   Rng rng(42);
   std::printf("scheme:   %s (%s)\n", entry.key.c_str(), entry.description.c_str());
 
-  const Graph yes = entry.yes_instance(n, rng);
+  const Graph yes = entry.family.yes_instance(n, rng);
   require_complete(*scheme, yes);
   const auto tmpl = scheme->assign(yes);
   std::printf("completeness: ok on a yes-instance with n=%zu\n", yes.vertex_count());
 
-  const Graph no = entry.no_instance(n, rng);
+  const Graph no = entry.family.no_instance(n, rng);
   const auto forged =
-      attack_soundness(*scheme, no, tmpl ? &*tmpl : nullptr, rng, AuditOptions{});
+      attack_soundness(*scheme, no, tmpl ? &*tmpl : nullptr, rng, RunOptions{});
   if (forged.has_value()) {
     std::printf("soundness: FORGED via '%s' attack on n=%zu — scheme is unsound\n",
                 forged->attack.c_str(), no.vertex_count());
@@ -93,6 +117,102 @@ int audit_scheme(const RegisteredScheme& entry, std::size_t n, obs::Report& repo
   return forged.has_value() ? 1 : 0;
 }
 
+struct FuzzCliOptions {
+  fuzz::CampaignOptions campaign;
+  std::optional<std::size_t> replay;
+  std::string out_dir;
+};
+
+/// Parses the fuzz flags starting at args[from]; throws std::invalid_argument
+/// on a malformed flag.
+FuzzCliOptions parse_fuzz_flags(const std::vector<std::string>& args, std::size_t from) {
+  FuzzCliOptions out;
+  for (std::size_t i = from; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    // --metrics-out is consumed by obs::Report::from_cli; skip it here.
+    if (flag == "--metrics-out") {
+      ++i;
+      continue;
+    }
+    const auto value = [&]() -> const std::string& {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument("missing value for " + flag);
+      return args[++i];
+    };
+    if (flag == "--trials") out.campaign.trials = std::stoul(value());
+    else if (flag == "--time-budget") out.campaign.time_budget_s = std::stod(value());
+    else if (flag == "--seed") out.campaign.seed = std::stoull(value());
+    else if (flag == "--threads") out.campaign.num_threads = std::stoul(value());
+    else if (flag == "--base-n") out.campaign.base_n = std::stoul(value());
+    else if (flag == "--replay") out.replay = std::stoul(value());
+    else if (flag == "--out") out.out_dir = value();
+    else throw std::invalid_argument("unknown fuzz flag '" + flag + "'");
+  }
+  return out;
+}
+
+void write_finding_artifacts(const fuzz::Finding& finding, const std::string& scheme_key,
+                             const std::string& out_dir) {
+  const std::string stem = out_dir + "/" + scheme_key + "-trial" +
+                           std::to_string(finding.trial);
+  save_graph(finding.graph, stem + ".lcg");
+  std::ofstream snippet(stem + ".repro.txt");
+  if (!snippet) throw std::runtime_error("cannot write " + stem + ".repro.txt");
+  snippet << fuzz::repro_snippet(finding, scheme_key);
+  std::printf("  wrote %s.lcg and %s.repro.txt\n", stem.c_str(), stem.c_str());
+}
+
+int fuzz_one(const RegisteredScheme& entry, const FuzzCliOptions& cli,
+             obs::Report& report) {
+  const auto scheme = entry.make();
+  const fuzz::CampaignResult result =
+      cli.replay.has_value()
+          ? fuzz::replay_trial(*scheme, entry.family, cli.campaign, *cli.replay)
+          : fuzz::run_campaign(*scheme, entry.family, cli.campaign);
+
+  const double rate =
+      result.stats.seconds > 0 ? result.stats.trials_run / result.stats.seconds : 0;
+  std::printf("scheme: %s\n", entry.key.c_str());
+  std::printf(
+      "  trials: %zu run, %zu skipped (%zu yes / %zu no), %.2fs, %.0f trials/s\n",
+      result.stats.trials_run, result.stats.trials_skipped, result.stats.yes_instances,
+      result.stats.no_instances, result.stats.seconds, rate);
+  for (const fuzz::Finding& f : result.findings) {
+    std::printf("  FINDING trial=%zu seed=%llu oracle=%s\n    %s\n", f.trial,
+                static_cast<unsigned long long>(f.seed),
+                fuzz::oracle_name(f.oracle).c_str(), f.detail.c_str());
+    std::printf("    shrunk n=%zu m=%zu (from n=%zu, %zu steps)\n",
+                f.graph.vertex_count(), f.graph.edge_count(),
+                f.original.vertex_count(), f.shrink_steps);
+    if (!cli.out_dir.empty()) write_finding_artifacts(f, entry.key, cli.out_dir);
+  }
+
+  report.add()
+      .set("scheme", entry.key)
+      .set("trials", result.stats.trials_run)
+      .set("skipped", result.stats.trials_skipped)
+      .set("findings", result.findings.size())
+      .set("seconds", result.stats.seconds)
+      .set("trials_per_s", rate);
+  return result.findings.empty() ? 0 : 1;
+}
+
+int fuzz_command(const std::vector<std::string>& args, obs::Report& report) {
+  const FuzzCliOptions cli = parse_fuzz_flags(args, 2);
+  int rc = 0;
+  if (args[1] == "all") {
+    for (const auto& entry : scheme_registry())
+      rc = std::max(rc, fuzz_one(entry, cli, report));
+  } else {
+    const RegisteredScheme* entry = lookup(args[1]);
+    if (entry == nullptr) return 2;
+    rc = fuzz_one(*entry, cli, report);
+  }
+  std::printf("\n");
+  report.print_metrics();
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -106,24 +226,32 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (args[0] == "demo" && args.size() >= 2) {
-      const auto& entry = find_scheme(args[1]);
+      const RegisteredScheme* entry = lookup(args[1]);
+      if (entry == nullptr) return 2;
       const std::size_t n = args.size() >= 3 ? std::stoul(args[2]) : 24;
       Rng rng(42);
-      const Graph g = entry.yes_instance(n, rng);
-      const int rc = run_scheme_on(entry, g);
+      const Graph g = entry->family.yes_instance(n, rng);
+      const int rc = run_scheme_on(*entry, g);
       if (!report.output_path().empty()) report.write(report.output_path());
       return rc;
     }
     if (args[0] == "run" && args.size() >= 3) {
-      const auto& entry = find_scheme(args[1]);
-      const int rc = run_scheme_on(entry, load(args[2]));
+      const RegisteredScheme* entry = lookup(args[1]);
+      if (entry == nullptr) return 2;
+      const int rc = run_scheme_on(*entry, load(args[2]));
       if (!report.output_path().empty()) report.write(report.output_path());
       return rc;
     }
     if (args[0] == "audit" && args.size() >= 2) {
-      const auto& entry = find_scheme(args[1]);
+      const RegisteredScheme* entry = lookup(args[1]);
+      if (entry == nullptr) return 2;
       const std::size_t n = args.size() >= 3 ? std::stoul(args[2]) : 24;
-      const int rc = audit_scheme(entry, n, report);
+      const int rc = audit_scheme(*entry, n, report);
+      if (!report.output_path().empty()) report.write(report.output_path());
+      return rc;
+    }
+    if (args[0] == "fuzz" && args.size() >= 2) {
+      const int rc = fuzz_command(args, report);
       if (!report.output_path().empty()) report.write(report.output_path());
       return rc;
     }
@@ -137,6 +265,8 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage: lcert_cli list | demo <scheme> [n] | run <scheme> <file|-> | "
-               "audit <scheme> [n] | dot <file|->\n");
+               "audit <scheme> [n] | fuzz <scheme|all> [--trials N] [--time-budget S] "
+               "[--seed S] [--threads T] [--base-n N] [--replay T] [--out DIR] | "
+               "dot <file|->\n");
   return 2;
 }

@@ -51,7 +51,7 @@ Certificate flip_bit(const Certificate& c, std::size_t bit) {
 
 // Attack trials only need accept/reject: early-exit, and stay single-threaded
 // per verification — the parallelism lives at the trial level.
-constexpr VerifyOptions kTrialVerify{/*num_threads=*/1, /*stop_at_first_reject=*/true};
+constexpr RunOptions kTrialVerify{/*num_threads=*/1, /*stop_at_first_reject=*/true};
 
 bool accepted_everywhere(const Scheme& scheme, const ViewCache& cache,
                          const std::vector<Certificate>& certs) {
@@ -97,7 +97,7 @@ std::optional<std::vector<Certificate>> run_trials(
 std::optional<ForgedAssignment> attack_soundness(const Scheme& scheme,
                                                  const Graph& no_instance,
                                                  const std::vector<Certificate>* yes_template,
-                                                 Rng& rng, const AuditOptions& options) {
+                                                 Rng& rng, const RunOptions& options) {
   if (scheme.holds(no_instance))
     throw std::invalid_argument("attack_soundness: instance satisfies the property");
   LCERT_SPAN("audit/attack_soundness");

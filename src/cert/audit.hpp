@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "src/cert/engine.hpp"
+#include "src/cert/options.hpp"
 #include "src/cert/scheme.hpp"
 #include "src/util/rng.hpp"
 
@@ -32,21 +33,15 @@ struct ForgedAssignment {
   std::string attack;  ///< which attack produced it
 };
 
-struct AuditOptions {
-  std::size_t random_trials = 200;        ///< uniformly random certificates
-  std::size_t mutation_trials = 200;      ///< bit-flips of a template assignment
-  std::size_t max_random_bits = 64;       ///< length of random certificates
-  bool try_replay = true;                 ///< replay template certificates shuffled
-  std::size_t num_threads = 0;            ///< workers for trial fan-out; 0 = auto
-};
-
 /// Attacks the scheme's soundness on `no_instance` (must violate holds()).
 /// `yes_template`: optional honest certificates from a similar yes-instance,
 /// used for mutation/replay attacks. Returns a forgery if one is found.
+/// Consumes the RunOptions budget fields (random_trials, mutation_trials,
+/// max_random_bits, try_replay) and num_threads.
 std::optional<ForgedAssignment> attack_soundness(
     const Scheme& scheme, const Graph& no_instance,
     const std::vector<Certificate>* yes_template, Rng& rng,
-    const AuditOptions& options = {});
+    const RunOptions& options = {});
 
 /// Exhaustively enumerates *all* assignments with certificates of at most
 /// `max_bits` bits per vertex (count = (2^{max_bits+1}-1)^n, so keep both

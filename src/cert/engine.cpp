@@ -79,7 +79,7 @@ ViewCache::Binding ViewCache::bind(const std::vector<Certificate>& certificates)
 
 VerificationOutcome verify_assignment(const Scheme& scheme, const ViewCache& cache,
                                       const std::vector<Certificate>& certificates,
-                                      const VerifyOptions& options) {
+                                      const RunOptions& options) {
   VerificationOutcome out;
   for (const Certificate& c : certificates) {
     out.max_certificate_bits = std::max(out.max_certificate_bits, c.bit_size);
@@ -124,7 +124,8 @@ VerificationOutcome verify_assignment(const Scheme& scheme, const ViewCache& cac
         std::uint8_t accept[kBatch];
         for (std::size_t i = 0; i < count; ++i)
           views[i] = binding.view(static_cast<Vertex>(begin + i));
-        scheme.verify_batch(views, count, accept);
+        scheme.verify_batch(std::span<const ViewRef>(views, count),
+                            std::span<std::uint8_t>(accept, count));
         std::size_t block_rejections = 0;
         for (std::size_t i = 0; i < count; ++i)
           if (!accept[i]) {
@@ -159,11 +160,11 @@ VerificationOutcome verify_assignment(const Scheme& scheme, const ViewCache& cac
 
 VerificationOutcome verify_assignment(const Scheme& scheme, const Graph& g,
                                       const std::vector<Certificate>& certificates,
-                                      const VerifyOptions& options) {
+                                      const RunOptions& options) {
   return verify_assignment(scheme, ViewCache(g), certificates, options);
 }
 
-SchemeOutcome run_scheme(const Scheme& scheme, const Graph& g, const VerifyOptions& options) {
+SchemeOutcome run_scheme(const Scheme& scheme, const Graph& g, const RunOptions& options) {
   SchemeOutcome out;
 #ifndef NDEBUG
   // Cross-check the prover-side histogram against the engine's own bit

@@ -13,6 +13,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "src/cert/options.hpp"
 #include "src/cert/scheme.hpp"
 
 namespace lcert {
@@ -67,18 +68,6 @@ class ViewCache {
   std::vector<VertexId> neighbor_id_;    ///< CSR neighbor IDs
 };
 
-struct VerifyOptions {
-  /// Worker threads for the per-vertex fan-out; 0 = auto (serial below
-  /// kParallelAutoCutoff vertices, hardware concurrency above).
-  std::size_t num_threads = 0;
-  /// Early-exit mode for audits where only accept/reject matters: stop
-  /// handing out vertices once one rejects. `all_accept` and the bit
-  /// accounting are exact; `rejecting` holds at least one witness on
-  /// rejection but is not exhaustive (and its content may vary run-to-run
-  /// under threads).
-  bool stop_at_first_reject = false;
-};
-
 struct VerificationOutcome {
   bool all_accept = false;
   std::vector<Vertex> rejecting;        ///< vertices whose verifier said no
@@ -90,14 +79,14 @@ struct VerificationOutcome {
 /// outcome is bit-for-bit identical for every num_threads value.
 VerificationOutcome verify_assignment(const Scheme& scheme, const Graph& g,
                                       const std::vector<Certificate>& certificates,
-                                      const VerifyOptions& options = {});
+                                      const RunOptions& options = {});
 
 /// Same, against a prebuilt ViewCache (the audit loops re-verify hundreds of
 /// assignments on one graph; building the cache once amortizes the topology
 /// walk away).
 VerificationOutcome verify_assignment(const Scheme& scheme, const ViewCache& cache,
                                       const std::vector<Certificate>& certificates,
-                                      const VerifyOptions& options = {});
+                                      const RunOptions& options = {});
 
 struct SchemeOutcome {
   bool prover_succeeded = false;
@@ -106,7 +95,7 @@ struct SchemeOutcome {
 
 /// Prover + verifier end to end.
 SchemeOutcome run_scheme(const Scheme& scheme, const Graph& g,
-                         const VerifyOptions& options = {});
+                         const RunOptions& options = {});
 
 /// Certificate size (max bits) the prover uses on this yes-instance; throws
 /// if the prover fails or a verifier rejects — those are library bugs.

@@ -13,6 +13,7 @@
 // synthesize sub-views from decoded material.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -74,9 +75,9 @@ struct NeighborView {
 
 /// Owning radius-1 view. Adapter over ViewRef: tests build these directly,
 /// and verifiers that reconstruct per-block sub-views (CtMinorFreeScheme)
-/// need somewhere for the decoded certificates to live. Converts implicitly
-/// to a ViewRef borrowing its storage; the View must outlive that borrow and
-/// `neighbors` must not be mutated while the borrow is alive.
+/// need somewhere for the decoded certificates to live. Borrow one with
+/// as_ref(): the View must outlive the borrow and `neighbors` must not be
+/// mutated while it is alive.
 struct View {
   VertexId id = 0;
   Certificate certificate;
@@ -94,7 +95,12 @@ struct View {
     return nullptr;
   }
 
-  operator ViewRef() const {
+  /// Explicit borrow: (re)builds the entry table and returns a ViewRef
+  /// pointing into this View. Deliberately non-const — the old implicit
+  /// conversion hid a mutable cache that made concurrent conversions of one
+  /// View a silent data race; the signature now makes the mutation visible,
+  /// and concurrent as_ref() calls on a shared View are a type error.
+  ViewRef as_ref() {
     ref_entries_.clear();
     ref_entries_.reserve(neighbors.size());
     for (const auto& nb : neighbors) ref_entries_.push_back({nb.id, &nb.certificate});
@@ -102,7 +108,7 @@ struct View {
   }
 
  private:
-  mutable std::vector<NeighborRef> ref_entries_;
+  std::vector<NeighborRef> ref_entries_;
 };
 
 /// A local certification scheme for one graph property.
@@ -124,16 +130,18 @@ class Scheme {
   /// threads (the engine fans verification out across vertices).
   virtual bool verify(const ViewRef& view) const = 0;
 
-  /// Batched fast path used by the engine: fills accept[i] = 1 iff vertex i of
-  /// the chunk accepts, treating a CertificateTruncated thrown while checking
-  /// one view as a rejection of that view only. Any other exception is a
-  /// scheme bug and propagates. The default delegates to verify(); schemes
-  /// whose per-vertex check is dominated by call overhead can override it to
-  /// hoist loop-invariant state out of the vertex loop (see MsoTreeScheme).
-  /// An override must decide each views[i] exactly as verify(views[i]) would.
-  virtual void verify_batch(const ViewRef* views, std::size_t count,
-                            std::uint8_t* accept) const {
-    for (std::size_t i = 0; i < count; ++i) {
+  /// Batched fast path used by the engine: fills accept[i] = 1 iff views[i]
+  /// accepts, treating a CertificateTruncated thrown while checking one view
+  /// as a rejection of that view only (counted in engine/truncated_rejects).
+  /// Any other exception is a scheme bug and propagates. The default
+  /// delegates to verify(); schemes whose per-vertex check is dominated by
+  /// call overhead can override it to hoist loop-invariant state out of the
+  /// vertex loop (see MsoTreeScheme). An override must decide each views[i]
+  /// exactly as verify(views[i]) would. The spans must have equal size.
+  virtual void verify_batch(std::span<const ViewRef> views,
+                            std::span<std::uint8_t> accept) const {
+    assert(views.size() == accept.size());
+    for (std::size_t i = 0; i < views.size(); ++i) {
       try {
         accept[i] = verify(views[i]) ? 1 : 0;
       } catch (const CertificateTruncated&) {

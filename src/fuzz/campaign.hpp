@@ -1,0 +1,92 @@
+// The fuzzing campaign engine (DESIGN.md §10).
+//
+// A campaign runs N independent trials against one scheme. Each trial:
+//   1. derives its own seed from (campaign seed, trial index) — splitmix64,
+//      so replay needs no per-trial state, only the pair;
+//   2. generates a base instance from the scheme's family (yes- or
+//      no-leaning, by coin), then walks it toward the yes/no boundary with
+//      up to max_mutations family-preserving mutators;
+//   3. classifies the result with holds() and runs the full differential
+//      oracle battery (src/fuzz/oracles.hpp);
+//   4. on a hit, shrinks the counterexample to a minimal repro.
+//
+// Determinism contract (trial-count mode): for fixed (seed, trials,
+// max_findings) the findings are bit-identical for every num_threads value.
+// Trials are skipped only when their index exceeds the current
+// max_findings-th smallest hit index — a threshold that only decreases — so
+// the surviving findings are always exactly the max_findings lowest-indexed
+// hits, independent of scheduling. Time-budget mode trades that guarantee
+// for wall-clock control (each finding still replays exactly from its own
+// (seed, trial) pair).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cert/options.hpp"
+#include "src/fuzz/oracles.hpp"
+#include "src/schemes/registry.hpp"
+
+namespace lcert::fuzz {
+
+/// Derives trial `index`'s private seed from the campaign seed. Stateless
+/// (splitmix64 over seed ^ f(index)), so time-budget campaigns can keep
+/// drawing fresh trials without pre-committing a count.
+std::uint64_t trial_seed(std::uint64_t campaign_seed, std::uint64_t index);
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  std::size_t trials = 1000;      ///< trial-count mode (deterministic)
+  double time_budget_s = 0;       ///< when > 0: run until the clock, not the count
+  std::size_t num_threads = 0;    ///< 0 = auto
+  std::size_t base_n = 12;        ///< requested size of base instances
+  std::size_t max_mutations = 3;  ///< mutation walk length per trial
+  std::size_t max_findings = 8;   ///< stop collecting beyond this many hits
+  bool shrink = true;             ///< delta-debug each finding
+  /// Budget for the per-trial soundness attack (num_threads is forced to 1;
+  /// campaign parallelism lives at the trial level).
+  RunOptions attack{1, true, 42, /*random_trials=*/32, /*mutation_trials=*/32,
+                    /*max_random_bits=*/48};
+};
+
+struct Finding {
+  std::size_t trial = 0;          ///< replay coordinate, with the campaign seed
+  std::uint64_t seed = 0;         ///< trial_seed(campaign_seed, trial)
+  Oracle oracle;
+  std::string detail;
+  Graph graph;                    ///< minimal repro (== original when !shrink)
+  Graph original;                 ///< the instance as the trial produced it
+  std::vector<std::string> mutation_trace;  ///< mutator names applied
+  std::size_t shrink_steps = 0;
+};
+
+struct CampaignStats {
+  std::size_t trials_run = 0;     ///< trials that executed the battery
+  std::size_t trials_skipped = 0; ///< instances outside the scheme's promise
+  std::size_t yes_instances = 0;
+  std::size_t no_instances = 0;
+  double seconds = 0;
+};
+
+struct CampaignResult {
+  std::vector<Finding> findings;  ///< sorted by trial index, <= max_findings
+  CampaignStats stats;
+};
+
+/// Runs a campaign against one scheme/family pair.
+CampaignResult run_campaign(const Scheme& scheme, const InstanceFamily& family,
+                            const CampaignOptions& options);
+
+/// Re-executes exactly one trial (generation, mutation walk, oracle battery)
+/// and returns its finding, if the trial hits. This is the replay path: a
+/// report's (campaign seed, trial) pair feeds straight back in.
+CampaignResult replay_trial(const Scheme& scheme, const InstanceFamily& family,
+                            const CampaignOptions& options, std::size_t trial);
+
+/// Ready-to-paste GoogleTest snippet reproducing a finding from its shrunk
+/// instance (embedded as an edge list, no file dependency).
+std::string repro_snippet(const Finding& finding, const std::string& scheme_key);
+
+}  // namespace lcert::fuzz

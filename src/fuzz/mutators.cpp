@@ -1,0 +1,179 @@
+#include "src/fuzz/mutators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace lcert::fuzz {
+
+namespace {
+
+Graph rebuild(std::size_t n, std::vector<std::pair<Vertex, Vertex>> edges,
+              std::vector<VertexId> ids) {
+  Graph out(n, edges);
+  out.set_ids(std::move(ids));
+  return out;
+}
+
+std::vector<VertexId> ids_of(const Graph& g) {
+  std::vector<VertexId> ids(g.vertex_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v) ids[v] = g.id(v);
+  return ids;
+}
+
+/// A fresh ID distinct from every existing one, drawn from the model's
+/// polynomial range for the grown vertex count.
+VertexId fresh_id(const std::vector<VertexId>& existing, std::size_t n, Rng& rng) {
+  const std::unordered_set<VertexId> used(existing.begin(), existing.end());
+  const VertexId hi = static_cast<VertexId>(n) * static_cast<VertexId>(n) + 1;
+  while (true) {
+    const VertexId candidate = rng.uniform(1, hi);
+    if (!used.contains(candidate)) return candidate;
+  }
+}
+
+std::optional<Graph> edge_add(const Graph& g, Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  std::vector<std::pair<Vertex, Vertex>> non_edges;
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v)
+      if (!g.has_edge(u, v)) non_edges.emplace_back(u, v);
+  if (non_edges.empty()) return std::nullopt;
+  auto edges = g.edges();
+  edges.push_back(non_edges[rng.index(non_edges.size())]);
+  return rebuild(n, std::move(edges), ids_of(g));
+}
+
+std::optional<Graph> edge_delete(const Graph& g, Rng& rng) {
+  const auto edges = g.edges();
+  // Non-bridge edges only (instances are tiny, so probe by rebuild).
+  std::vector<std::size_t> deletable;
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    std::vector<std::pair<Vertex, Vertex>> rest;
+    rest.reserve(edges.size() - 1);
+    for (std::size_t j = 0; j < edges.size(); ++j)
+      if (j != k) rest.push_back(edges[j]);
+    if (Graph(g.vertex_count(), rest).is_connected()) deletable.push_back(k);
+  }
+  if (deletable.empty()) return std::nullopt;
+  const std::size_t k = deletable[rng.index(deletable.size())];
+  std::vector<std::pair<Vertex, Vertex>> rest;
+  for (std::size_t j = 0; j < edges.size(); ++j)
+    if (j != k) rest.push_back(edges[j]);
+  return rebuild(g.vertex_count(), std::move(rest), ids_of(g));
+}
+
+std::optional<Graph> leaf_graft(const Graph& g, Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return std::nullopt;
+  auto edges = g.edges();
+  edges.emplace_back(rng.index(n), n);
+  auto ids = ids_of(g);
+  ids.push_back(fresh_id(ids, n + 1, rng));
+  return rebuild(n + 1, std::move(edges), std::move(ids));
+}
+
+std::optional<Graph> leaf_prune(const Graph& g, Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  if (n <= 2) return std::nullopt;  // keep instances nontrivial
+  std::vector<Vertex> leaves;
+  for (Vertex v = 0; v < n; ++v)
+    if (g.degree(v) == 1) leaves.push_back(v);
+  if (leaves.empty()) return std::nullopt;
+  const Vertex drop = leaves[rng.index(leaves.size())];
+  std::vector<Vertex> keep;
+  keep.reserve(n - 1);
+  for (Vertex v = 0; v < n; ++v)
+    if (v != drop) keep.push_back(v);
+  return g.induced(keep);  // inherits IDs
+}
+
+std::optional<Graph> subtree_swap(const Graph& g, Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  if (n < 3 || g.edge_count() != n - 1 || !g.is_connected()) return std::nullopt;
+  // Root anywhere, detach a random non-root subtree and re-hang it under a
+  // vertex outside that subtree (excluding the old parent, which would be a
+  // no-op). The result is again a spanning tree of n vertices.
+  const Vertex root = static_cast<Vertex>(rng.index(n));
+  std::vector<Vertex> parent(n, static_cast<Vertex>(n));
+  std::vector<Vertex> order;
+  order.reserve(n);
+  order.push_back(root);
+  parent[root] = root;
+  for (std::size_t head = 0; head < order.size(); ++head)
+    for (Vertex w : g.neighbors(order[head]))
+      if (parent[w] == n) {
+        parent[w] = order[head];
+        order.push_back(w);
+      }
+  const Vertex moved = order[1 + rng.index(n - 1)];  // any non-root vertex
+  // Mark the subtree of `moved` (children appear after parents in `order`).
+  std::vector<char> in_subtree(n, 0);
+  in_subtree[moved] = 1;
+  for (Vertex v : order)
+    if (v != moved && v != root && in_subtree[parent[v]]) in_subtree[v] = 1;
+  std::vector<Vertex> candidates;
+  for (Vertex v = 0; v < n; ++v)
+    if (!in_subtree[v] && v != parent[moved]) candidates.push_back(v);
+  if (candidates.empty()) return std::nullopt;
+  const Vertex new_parent = candidates[rng.index(candidates.size())];
+  std::vector<std::pair<Vertex, Vertex>> edges;
+  edges.reserve(n - 1);
+  for (auto [u, v] : g.edges()) {
+    const bool is_old_link = (u == moved && v == parent[moved]) ||
+                             (v == moved && u == parent[moved]);
+    if (!is_old_link) edges.emplace_back(u, v);
+  }
+  edges.emplace_back(std::min(moved, new_parent), std::max(moved, new_parent));
+  return rebuild(n, std::move(edges), ids_of(g));
+}
+
+std::optional<Graph> id_permute(const Graph& g, Rng& rng) {
+  const std::size_t n = g.vertex_count();
+  if (n < 2) return std::nullopt;
+  auto ids = ids_of(g);
+  rng.shuffle(ids);
+  Graph out = g;
+  out.set_ids(std::move(ids));
+  return out;
+}
+
+}  // namespace
+
+std::string mutator_name(MutatorKind kind) {
+  switch (kind) {
+    case MutatorKind::kEdgeAdd: return "edge-add";
+    case MutatorKind::kEdgeDelete: return "edge-delete";
+    case MutatorKind::kLeafGraft: return "leaf-graft";
+    case MutatorKind::kLeafPrune: return "leaf-prune";
+    case MutatorKind::kSubtreeSwap: return "subtree-swap";
+    case MutatorKind::kIdPermute: return "id-permute";
+  }
+  throw std::invalid_argument("mutator_name: unknown kind");
+}
+
+std::vector<MutatorKind> tree_preserving_mutators() {
+  return {MutatorKind::kLeafGraft, MutatorKind::kLeafPrune,
+          MutatorKind::kSubtreeSwap, MutatorKind::kIdPermute};
+}
+
+std::vector<MutatorKind> all_mutators() {
+  return {MutatorKind::kEdgeAdd,   MutatorKind::kEdgeDelete,
+          MutatorKind::kLeafGraft, MutatorKind::kLeafPrune,
+          MutatorKind::kSubtreeSwap, MutatorKind::kIdPermute};
+}
+
+std::optional<Graph> apply_mutator(const Graph& g, MutatorKind kind, Rng& rng) {
+  switch (kind) {
+    case MutatorKind::kEdgeAdd: return edge_add(g, rng);
+    case MutatorKind::kEdgeDelete: return edge_delete(g, rng);
+    case MutatorKind::kLeafGraft: return leaf_graft(g, rng);
+    case MutatorKind::kLeafPrune: return leaf_prune(g, rng);
+    case MutatorKind::kSubtreeSwap: return subtree_swap(g, rng);
+    case MutatorKind::kIdPermute: return id_permute(g, rng);
+  }
+  throw std::invalid_argument("apply_mutator: unknown kind");
+}
+
+}  // namespace lcert::fuzz

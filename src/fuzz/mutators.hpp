@@ -1,0 +1,54 @@
+// Graph mutators for the fuzzing campaign (DESIGN.md §10).
+//
+// Each mutator perturbs an instance a small step toward the yes/no boundary
+// of a property; the campaign classifies the result with the scheme's own
+// holds() (ground truth) and runs the differential oracles on both sides of
+// the boundary. Mutators are *family-aware*: schemes with a tree promise
+// (MsoTree, FpfAutomorphism, TreeDepthBounded, TreeDiameter — their holds()
+// throws off the promise) only receive tree-preserving mutators, while
+// any-graph schemes also get raw edge edits.
+//
+// Every mutator is total and deterministic in (graph, Rng state): it either
+// returns the mutated graph or std::nullopt when no legal application exists
+// (e.g. EdgeDelete on a tree would disconnect, EdgeAdd on a clique). All
+// mutators preserve connectivity and simplicity — those are prerequisites of
+// every scheme in the registry, and violating them would only test the
+// generators' input validation, not the schemes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.hpp"
+#include "src/util/rng.hpp"
+
+namespace lcert::fuzz {
+
+enum class MutatorKind {
+  kEdgeAdd,      ///< insert a uniformly random non-edge (keeps simplicity)
+  kEdgeDelete,   ///< delete a random non-bridge edge (keeps connectivity)
+  kLeafGraft,    ///< attach a fresh leaf to a random vertex (tree-preserving)
+  kLeafPrune,    ///< remove a random degree-1 vertex (tree-preserving)
+  kSubtreeSwap,  ///< re-hang a random subtree under a new parent (trees only)
+  kIdPermute,    ///< permute the ID assignment (property must be ID-invariant)
+};
+
+/// Display name, stable across versions (appears in shrunk repro files).
+std::string mutator_name(MutatorKind kind);
+
+/// The mutators that keep a tree a tree (plus the ID permutation, which is
+/// structure-free). Safe for schemes whose holds() has a tree promise.
+std::vector<MutatorKind> tree_preserving_mutators();
+
+/// The full catalogue, for schemes whose property is total on connected
+/// graphs.
+std::vector<MutatorKind> all_mutators();
+
+/// Applies one mutator. Returns std::nullopt when the mutator has no legal
+/// application on `g` (never throws for that case). The result is connected,
+/// simple, and carries fresh distinct IDs where the mutation created vertices
+/// (existing IDs are preserved where the vertices survive).
+std::optional<Graph> apply_mutator(const Graph& g, MutatorKind kind, Rng& rng);
+
+}  // namespace lcert::fuzz

@@ -1,0 +1,178 @@
+#include "src/fuzz/oracles.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/cert/audit.hpp"
+#include "src/cert/engine.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace lcert::fuzz {
+
+namespace {
+
+// One hit counter per oracle, resolved once.
+struct OracleMetrics {
+  obs::Counter reference = obs::registry().counter("fuzz/oracle/reference-disagreement");
+  obs::Counter prover_refused = obs::registry().counter("fuzz/oracle/prover-refused-yes");
+  obs::Counter verifier_rejected =
+      obs::registry().counter("fuzz/oracle/verifier-rejected-honest");
+  obs::Counter prover_certified = obs::registry().counter("fuzz/oracle/prover-certified-no");
+  obs::Counter batch = obs::registry().counter("fuzz/oracle/batch-divergence");
+  obs::Counter round_trip = obs::registry().counter("fuzz/oracle/round-trip-mismatch");
+  obs::Counter forgery = obs::registry().counter("fuzz/oracle/soundness-forgery");
+};
+
+const OracleMetrics& oracle_metrics() {
+  static const OracleMetrics metrics;
+  return metrics;
+}
+
+void count_hit(Oracle oracle) {
+  const OracleMetrics& m = oracle_metrics();
+  switch (oracle) {
+    case Oracle::kReferenceDisagreement: m.reference.add(); break;
+    case Oracle::kProverRefusedYesInstance: m.prover_refused.add(); break;
+    case Oracle::kVerifierRejectedHonest: m.verifier_rejected.add(); break;
+    case Oracle::kProverCertifiedNoInstance: m.prover_certified.add(); break;
+    case Oracle::kBatchDivergence: m.batch.add(); break;
+    case Oracle::kRoundTripMismatch: m.round_trip.add(); break;
+    case Oracle::kSoundnessForgery: m.forgery.add(); break;
+  }
+}
+
+CheckOutcome violation(Oracle oracle, std::string detail) {
+  count_hit(oracle);
+  CheckOutcome out;
+  out.violation = Violation{oracle, std::move(detail)};
+  return out;
+}
+
+/// Bit-exact round trip: read every bit back and re-encode. Any divergence
+/// means BitReader and BitWriter disagree about the stream layout.
+bool round_trips(const Certificate& c) {
+  BitReader r = c.reader();
+  BitWriter w;
+  for (std::size_t i = 0; i < c.bit_size; ++i) w.write_bit(r.read(1) != 0);
+  const Certificate back = Certificate::from_writer(w);
+  return back == c;
+}
+
+/// Per-vertex verify with the engine's exception policy (CertificateTruncated
+/// rejects), for comparison against the batched path.
+bool verify_single(const Scheme& scheme, const ViewRef& view) {
+  try {
+    return scheme.verify(view);
+  } catch (const CertificateTruncated&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+std::string oracle_name(Oracle oracle) {
+  switch (oracle) {
+    case Oracle::kReferenceDisagreement: return "reference-disagreement";
+    case Oracle::kProverRefusedYesInstance: return "prover-refused-yes";
+    case Oracle::kVerifierRejectedHonest: return "verifier-rejected-honest";
+    case Oracle::kProverCertifiedNoInstance: return "prover-certified-no";
+    case Oracle::kBatchDivergence: return "batch-divergence";
+    case Oracle::kRoundTripMismatch: return "round-trip-mismatch";
+    case Oracle::kSoundnessForgery: return "soundness-forgery";
+  }
+  throw std::invalid_argument("oracle_name: unknown oracle");
+}
+
+CheckOutcome check_instance(const Scheme& scheme, const InstanceFamily& family,
+                            const Graph& g, Rng& rng,
+                            const RunOptions& attack_budget) {
+  CheckOutcome out;
+
+  // Ground truth. A promise violation (or a feasibility limit like the exact
+  // treedepth solver's n cap) skips the trial; any other exception from
+  // holds() is a bug in the scheme and propagates to the campaign.
+  bool truth = false;
+  try {
+    truth = scheme.holds(g);
+  } catch (const std::invalid_argument&) {
+    out.skipped = true;
+    return out;
+  }
+  out.ground_truth = truth;
+
+  // Oracle 1: holds() against the family's independent implementation.
+  if (family.has_reference_oracle && g.vertex_count() <= family.reference_oracle_max_n &&
+      family.reference_oracle(g) != truth) {
+    std::ostringstream os;
+    os << "holds()=" << truth << " but the reference oracle says " << !truth << " (n="
+       << g.vertex_count() << ")";
+    return violation(Oracle::kReferenceDisagreement, os.str());
+  }
+
+  const auto certificates = scheme.assign(g);
+
+  if (!truth) {
+    if (certificates.has_value())
+      return violation(Oracle::kProverCertifiedNoInstance,
+                       "assign() returned certificates although holds() is false");
+    // Oracle 7: adversarial soundness. The attack gets a yes-template of the
+    // same size when the family can produce one (replay/bit-flip attacks need
+    // honest material to mutate).
+    std::optional<std::vector<Certificate>> yes_template;
+    try {
+      const Graph yes = family.yes_instance(g.vertex_count(), rng);
+      yes_template = scheme.assign(yes);
+    } catch (const std::exception&) {
+      // Template generation is best-effort; the random/empty attacks run
+      // regardless.
+    }
+    const auto forged = attack_soundness(
+        scheme, g, yes_template.has_value() ? &*yes_template : nullptr, rng, attack_budget);
+    if (forged.has_value())
+      return violation(Oracle::kSoundnessForgery,
+                       "attack '" + forged->attack + "' forged an accepting assignment");
+    return out;
+  }
+
+  // Yes-instance: completeness plus the mechanical cross-checks on honest
+  // certificates.
+  if (!certificates.has_value())
+    return violation(Oracle::kProverRefusedYesInstance,
+                     "assign() returned nullopt although holds() is true");
+
+  // Oracle 6: every honest certificate must survive a bit round trip.
+  for (std::size_t v = 0; v < certificates->size(); ++v)
+    if (!round_trips((*certificates)[v])) {
+      std::ostringstream os;
+      os << "certificate of vertex " << v << " changed under a bit-exact round trip";
+      return violation(Oracle::kRoundTripMismatch, os.str());
+    }
+
+  // Oracle 3 + 5: honest verification, and the batched path must agree with
+  // the per-vertex path on every vertex.
+  const ViewCache cache(g);
+  const auto binding = cache.bind(*certificates);
+  const std::size_t n = cache.vertex_count();
+  std::vector<ViewRef> views(n);
+  for (Vertex v = 0; v < n; ++v) views[v] = binding.view(v);
+  std::vector<std::uint8_t> batch(n, 0);
+  scheme.verify_batch(views, batch);
+  for (Vertex v = 0; v < n; ++v) {
+    const bool single = verify_single(scheme, views[v]);
+    if (single != (batch[v] != 0)) {
+      std::ostringstream os;
+      os << "vertex " << v << ": verify()=" << single << " but verify_batch()="
+         << (batch[v] != 0);
+      return violation(Oracle::kBatchDivergence, os.str());
+    }
+    if (!single) {
+      std::ostringstream os;
+      os << "vertex " << v << " rejected the prover's own certificates";
+      return violation(Oracle::kVerifierRejectedHonest, os.str());
+    }
+  }
+
+  return out;
+}
+
+}  // namespace lcert::fuzz

@@ -1,0 +1,87 @@
+#include "src/fuzz/shrink.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace lcert::fuzz {
+
+namespace {
+
+/// Does the same oracle still fire on `candidate`? Fixed seed: the re-check
+/// is a pure function of the candidate.
+bool still_fails(const Scheme& scheme, const InstanceFamily& family, const Graph& candidate,
+                 Oracle oracle, std::uint64_t seed, const RunOptions& attack_budget) {
+  Rng rng(seed);
+  const CheckOutcome outcome = check_instance(scheme, family, candidate, rng, attack_budget);
+  return outcome.violation.has_value() && outcome.violation->oracle == oracle;
+}
+
+/// Candidate graphs one vertex smaller. For promise families only leaf
+/// removals are offered (they keep a tree a tree); for any-graph families
+/// every removal that keeps the graph connected is fair game.
+std::vector<Graph> vertex_removals(const Graph& g, bool any_graph) {
+  std::vector<Graph> out;
+  const std::size_t n = g.vertex_count();
+  if (n <= 2) return out;
+  for (Vertex drop = 0; drop < n; ++drop) {
+    if (!any_graph && g.degree(drop) != 1) continue;
+    std::vector<Vertex> keep;
+    keep.reserve(n - 1);
+    for (Vertex v = 0; v < n; ++v)
+      if (v != drop) keep.push_back(v);
+    Graph candidate = g.induced(keep);
+    if (candidate.is_connected()) out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+/// Candidate graphs one edge smaller (connectivity-preserving); never offered
+/// for promise families, where removing an edge would break the tree.
+std::vector<Graph> edge_removals(const Graph& g) {
+  std::vector<Graph> out;
+  const auto edges = g.edges();
+  for (std::size_t k = 0; k < edges.size(); ++k) {
+    std::vector<std::pair<Vertex, Vertex>> rest;
+    rest.reserve(edges.size() - 1);
+    for (std::size_t j = 0; j < edges.size(); ++j)
+      if (j != k) rest.push_back(edges[j]);
+    Graph candidate(g.vertex_count(), rest);
+    if (!candidate.is_connected()) continue;
+    std::vector<VertexId> ids(g.vertex_count());
+    for (Vertex v = 0; v < g.vertex_count(); ++v) ids[v] = g.id(v);
+    candidate.set_ids(std::move(ids));
+    out.push_back(std::move(candidate));
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink_counterexample(const Scheme& scheme, const InstanceFamily& family,
+                                   Graph failing, Oracle oracle, std::uint64_t seed,
+                                   const RunOptions& attack_budget,
+                                   std::size_t max_rechecks) {
+  ShrinkResult result{std::move(failing), 0, 0};
+  bool progressed = true;
+  while (progressed && result.rechecks < max_rechecks) {
+    progressed = false;
+    std::vector<Graph> candidates = vertex_removals(result.graph, family.supports_any_graph);
+    if (family.supports_any_graph) {
+      std::vector<Graph> fewer_edges = edge_removals(result.graph);
+      for (auto& c : fewer_edges) candidates.push_back(std::move(c));
+    }
+    for (Graph& candidate : candidates) {
+      if (result.rechecks >= max_rechecks) break;
+      ++result.rechecks;
+      if (still_fails(scheme, family, candidate, oracle, seed, attack_budget)) {
+        result.graph = std::move(candidate);
+        ++result.steps;
+        progressed = true;
+        break;  // restart the scan from the smaller instance
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lcert::fuzz

@@ -1,0 +1,36 @@
+// Counterexample shrinking: greedy delta-debugging toward a minimal repro.
+//
+// A raw fuzz finding often carries mutation debris that has nothing to do
+// with the bug. The shrinker repeatedly tries structure-reducing edits —
+// vertex removals (leaves only for promise families, so the instance stays a
+// tree), then edge removals for any-graph families — and keeps an edit
+// whenever the *same oracle* still fires on the smaller instance. The
+// re-check runs with a fixed seed, so shrinking is deterministic and the
+// shrunk instance provably still fails.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/cert/options.hpp"
+#include "src/fuzz/oracles.hpp"
+#include "src/schemes/registry.hpp"
+
+namespace lcert::fuzz {
+
+struct ShrinkResult {
+  Graph graph;              ///< the minimized failing instance
+  std::size_t steps = 0;    ///< accepted edits
+  std::size_t rechecks = 0; ///< oracle batteries run while shrinking
+};
+
+/// Minimizes `failing` while the violation's oracle keeps firing. `seed`
+/// drives the re-check Rng (use the finding's trial seed so the repro chain
+/// stays on one seed). `max_rechecks` caps the work; shrinking stops early
+/// when the cap is hit and returns the best instance so far.
+ShrinkResult shrink_counterexample(const Scheme& scheme, const InstanceFamily& family,
+                                   Graph failing, Oracle oracle, std::uint64_t seed,
+                                   const RunOptions& attack_budget,
+                                   std::size_t max_rechecks = 400);
+
+}  // namespace lcert::fuzz

@@ -1,5 +1,6 @@
 #include "src/graph/io.hpp"
 
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -71,6 +72,19 @@ std::string to_edge_list(const Graph& g) {
     for (Vertex v = 0; v < g.vertex_count(); ++v) os << "id " << v << ' ' << g.id(v) << "\n";
   for (auto [u, v] : g.edges()) os << "e " << u << ' ' << v << "\n";
   return os.str();
+}
+
+void save_graph(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_graph: cannot open " + path);
+  out << to_edge_list(g);
+  if (!out.flush()) throw std::runtime_error("save_graph: write failed for " + path);
+}
+
+Graph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_graph: cannot open " + path);
+  return parse_edge_list(in);
 }
 
 std::string to_dot(const Graph& g) {

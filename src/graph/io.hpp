@@ -26,4 +26,11 @@ std::string to_edge_list(const Graph& g);
 /// Graphviz DOT (undirected), with vertex IDs as labels.
 std::string to_dot(const Graph& g);
 
+/// File round-trip for `.lcg` repro files (the edge-list format above). The
+/// fuzz campaign writes shrunk counterexamples with save_graph; load_graph
+/// feeds them back into tests. Throws std::runtime_error on I/O failure and
+/// std::invalid_argument on malformed content.
+void save_graph(const Graph& g, const std::string& path);
+Graph load_graph(const std::string& path);
+
 }  // namespace lcert

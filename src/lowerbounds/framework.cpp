@@ -135,7 +135,7 @@ std::optional<CutAndPlugResult> cut_and_plug_attack(
       // Only accept/reject matters here: early-exit on the first rejecting
       // vertex instead of sweeping the whole splice.
       if (verify_assignment(scheme, cross.graph, forged,
-                            VerifyOptions{/*num_threads=*/0, /*stop_at_first_reject=*/true})
+                            RunOptions{/*num_threads=*/0, /*stop_at_first_reject=*/true})
               .all_accept)
         return CutAndPlugResult{strings[i], strings[j], std::move(forged)};
       // A collision that fails to splice would contradict Proposition 7.2's

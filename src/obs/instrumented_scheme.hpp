@@ -29,9 +29,9 @@ class InstrumentedScheme final : public Scheme {
   bool holds(const Graph& g) const override { return inner_->holds(g); }
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
   bool verify(const ViewRef& view) const override { return inner_->verify(view); }
-  void verify_batch(const ViewRef* views, std::size_t count,
-                    std::uint8_t* accept) const override {
-    inner_->verify_batch(views, count, accept);
+  void verify_batch(std::span<const ViewRef> views,
+                    std::span<std::uint8_t> accept) const override {
+    inner_->verify_batch(views, accept);
   }
 
  private:

@@ -1,5 +1,6 @@
 #include "src/schemes/mso_tree.hpp"
 
+#include <cassert>
 #include <stdexcept>
 
 #include "src/graph/rooted_tree.hpp"
@@ -106,8 +107,10 @@ bool MsoTreeScheme::verify(const ViewRef& view) const {
                      automaton_.automaton.accepting);
 }
 
-void MsoTreeScheme::verify_batch(const ViewRef* views, std::size_t count,
-                                 std::uint8_t* accept) const {
+void MsoTreeScheme::verify_batch(std::span<const ViewRef> views,
+                                 std::span<std::uint8_t> accept) const {
+  assert(views.size() == accept.size());
+  const std::size_t count = views.size();
   const std::size_t k = automaton_.automaton.state_count;
   const unsigned state_width = state_bits_ == 0 ? 1 : state_bits_;
   const std::vector<IntervalBox>* boxes = transition_boxes_.data();

@@ -38,8 +38,8 @@ class MsoTreeScheme final : public Scheme {
   /// Hot-loop override: hoists the automaton parameters (state count, field
   /// widths, compiled transition boxes) out of the per-vertex loop; decides
   /// each view exactly as verify() does.
-  void verify_batch(const ViewRef* views, std::size_t count,
-                    std::uint8_t* accept) const override;
+  void verify_batch(std::span<const ViewRef> views,
+                    std::span<std::uint8_t> accept) const override;
 
   /// Exact certificate width in bits (constant across n).
   std::size_t certificate_bits() const noexcept { return 2 + state_bits_; }

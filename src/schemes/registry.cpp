@@ -1,5 +1,7 @@
 #include "src/schemes/registry.hpp"
 
+#include <algorithm>
+#include <numeric>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -19,6 +21,7 @@
 #include "src/schemes/tree_diameter.hpp"
 #include "src/schemes/treedepth_scheme.hpp"
 #include "src/schemes/universal.hpp"
+#include "src/treedepth/cops_robber.hpp"
 
 namespace lcert {
 
@@ -61,6 +64,229 @@ Graph triangle_chain(std::size_t triangles) {
   return Graph(2 * triangles + 1, edges);
 }
 
+// ---------------------------------------------------------------------------
+// Reference oracles: second, independent implementations of each property for
+// the fuzz campaign's differential check against Scheme::holds(). Brute force
+// combinatorics on purpose — sharing code with the scheme under test would
+// make the cross-check vacuous.
+// ---------------------------------------------------------------------------
+
+bool oracle_is_tree(const Graph& g) {
+  return g.vertex_count() > 0 && g.edge_count() == g.vertex_count() - 1 &&
+         g.is_connected();
+}
+
+// Perfect matching on a tree: repeatedly match a leaf to its support. Exact
+// on trees (a leaf's only hope is its unique neighbor).
+bool oracle_tree_perfect_matching(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n % 2 != 0) return false;
+  std::vector<char> alive(n, 1);
+  std::vector<std::size_t> deg(n);
+  for (Vertex v = 0; v < n; ++v) deg[v] = g.degree(v);
+  std::size_t matched = 0;
+  std::vector<Vertex> queue;
+  for (Vertex v = 0; v < n; ++v)
+    if (deg[v] == 1) queue.push_back(v);
+  while (!queue.empty()) {
+    const Vertex leaf = queue.back();
+    queue.pop_back();
+    if (!alive[leaf] || deg[leaf] != 1) continue;
+    Vertex support = leaf;
+    for (Vertex w : g.neighbors(leaf))
+      if (alive[w]) support = w;
+    if (support == leaf) return false;  // isolated leaf: unmatched
+    alive[leaf] = alive[support] = 0;
+    matched += 2;
+    for (Vertex w : g.neighbors(support))
+      if (alive[w] && --deg[w] == 1) queue.push_back(w);
+  }
+  return matched == n;
+}
+
+// Caterpillar: removing all leaves leaves a (possibly empty) path.
+bool oracle_is_caterpillar(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<Vertex> spine;
+  for (Vertex v = 0; v < n; ++v)
+    if (g.degree(v) >= 2) spine.push_back(v);
+  if (spine.size() <= 1) return true;  // stars and tiny trees
+  const Graph core = g.induced(spine);
+  if (!core.is_connected()) return false;
+  for (Vertex v = 0; v < core.vertex_count(); ++v)
+    if (core.degree(v) > 2) return false;
+  return core.edge_count() == core.vertex_count() - 1;
+}
+
+bool oracle_triangle_free(const Graph& g) {
+  for (auto [u, v] : g.edges())
+    for (Vertex w : g.neighbors(u))
+      if (w != v && g.has_edge(v, w)) return false;
+  return true;
+}
+
+bool oracle_independent_set3(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  for (Vertex a = 0; a < n; ++a)
+    for (Vertex b = a + 1; b < n; ++b) {
+      if (g.has_edge(a, b)) continue;
+      for (Vertex c = b + 1; c < n; ++c)
+        if (!g.has_edge(a, c) && !g.has_edge(b, c)) return true;
+    }
+  return false;
+}
+
+bool oracle_dominating_vertex(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  if (n == 0) return false;
+  for (Vertex v = 0; v < n; ++v)
+    if (g.degree(v) == n - 1) return true;
+  return false;
+}
+
+// Longest simple path reaches `k` vertices? Depth-capped DFS: the recursion
+// never goes deeper than k, so this stays cheap even on dense graphs. A path
+// on k vertices is exactly a P_k subgraph, which is equivalent to a P_k
+// minor.
+bool path_dfs(const Graph& g, Vertex v, std::size_t len, std::size_t k,
+              std::vector<char>& on_path) {
+  if (len == k) return true;
+  on_path[v] = 1;
+  for (Vertex w : g.neighbors(v))
+    if (!on_path[w] && path_dfs(g, w, len + 1, k, on_path)) {
+      on_path[v] = 0;
+      return true;
+    }
+  on_path[v] = 0;
+  return false;
+}
+
+bool oracle_has_path_on(const Graph& g, std::size_t k) {
+  std::vector<char> on_path(g.vertex_count(), 0);
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    if (path_dfs(g, v, 1, k, on_path)) return true;
+  return false;
+}
+
+// A graph has a cycle on >= 4 vertices (a C_4 minor) iff some biconnected
+// block has >= 4 vertices: any 2-connected graph on >= 4 vertices contains a
+// cycle through >= 4 of them, and a cycle never crosses a cut vertex.
+// Standard Hopcroft–Tarjan block decomposition, iterative-free (instances
+// are tiny, recursion depth is fine).
+struct BlockFinder {
+  const Graph& g;
+  std::vector<std::size_t> disc, low;
+  std::vector<std::pair<Vertex, Vertex>> edge_stack;
+  std::size_t timer = 0;
+  std::size_t max_block = 0;
+
+  explicit BlockFinder(const Graph& graph)
+      : g(graph), disc(graph.vertex_count(), 0), low(graph.vertex_count(), 0) {}
+
+  void pop_block(const std::pair<Vertex, Vertex>& until) {
+    std::vector<Vertex> verts;
+    while (true) {
+      const auto e = edge_stack.back();
+      edge_stack.pop_back();
+      verts.push_back(e.first);
+      verts.push_back(e.second);
+      if (e == until) break;
+    }
+    std::sort(verts.begin(), verts.end());
+    verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+    max_block = std::max(max_block, verts.size());
+  }
+
+  void dfs(Vertex v, Vertex parent) {
+    disc[v] = low[v] = ++timer;
+    for (Vertex w : g.neighbors(v)) {
+      if (disc[w] == 0) {
+        edge_stack.push_back({v, w});
+        dfs(w, v);
+        low[v] = std::min(low[v], low[w]);
+        if (low[w] >= disc[v]) pop_block({v, w});
+      } else if (w != parent && disc[w] < disc[v]) {
+        edge_stack.push_back({v, w});
+        low[v] = std::min(low[v], disc[w]);
+      }
+    }
+  }
+};
+
+bool oracle_c4_minor_free(const Graph& g) {
+  BlockFinder finder(g);
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    if (finder.disc[v] == 0) finder.dfs(v, v);
+  return finder.max_block <= 3;
+}
+
+// Fixed-point-free automorphism of a tree by brute force over all vertex
+// permutations; only feasible for tiny n (the family caps it at 8).
+bool oracle_tree_has_fpf_automorphism(const Graph& g) {
+  const std::size_t n = g.vertex_count();
+  std::vector<Vertex> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    bool ok = true;
+    for (Vertex v = 0; v < n && ok; ++v) {
+      if (perm[v] == v) ok = false;
+      for (Vertex w : g.neighbors(v))
+        if (!g.has_edge(perm[v], perm[w])) {
+          ok = false;
+          break;
+        }
+    }
+    if (ok) return true;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return false;
+}
+
+bool oracle_tree_radius_at_most(const Graph& g, std::size_t r) {
+  if (!oracle_is_tree(g)) return false;
+  for (Vertex v = 0; v < g.vertex_count(); ++v) {
+    std::size_t ecc = 0;
+    for (std::size_t d : g.bfs_distances(v)) ecc = std::max(ecc, d);
+    if (ecc <= r) return true;
+  }
+  return false;
+}
+
+bool oracle_tree_diameter_at_most(const Graph& g, std::size_t d) {
+  if (!oracle_is_tree(g)) return false;
+  for (Vertex v = 0; v < g.vertex_count(); ++v)
+    for (std::size_t dist : g.bfs_distances(v))
+      if (dist > d) return false;
+  return true;
+}
+
+InstanceFamily any_graph_family(std::function<Graph(std::size_t, Rng&)> yes,
+                                std::function<Graph(std::size_t, Rng&)> no) {
+  InstanceFamily f;
+  f.yes_instance = std::move(yes);
+  f.no_instance = std::move(no);
+  f.supports_any_graph = true;
+  f.mutators = fuzz::all_mutators();
+  return f;
+}
+
+InstanceFamily tree_family(std::function<Graph(std::size_t, Rng&)> yes,
+                           std::function<Graph(std::size_t, Rng&)> no) {
+  InstanceFamily f;
+  f.yes_instance = std::move(yes);
+  f.no_instance = std::move(no);
+  f.supports_any_graph = false;  // holds() throws outside the tree promise
+  f.mutators = fuzz::tree_preserving_mutators();
+  return f;
+}
+
+InstanceFamily with_oracle(InstanceFamily f, std::function<bool(const Graph&)> oracle,
+                           std::size_t max_n) {
+  f.has_reference_oracle = true;
+  f.reference_oracle = std::move(oracle);
+  f.reference_oracle_max_n = max_n;
+  return f;
+}
+
 }  // namespace
 
 std::vector<RegisteredScheme> scheme_registry() {
@@ -68,117 +294,166 @@ std::vector<RegisteredScheme> scheme_registry() {
 
   out.push_back({"vertex-parity", "Prop 3.4: |V| is even, via certified spanning tree",
                  [] { return std::make_unique<VertexParityScheme>(); },
-                 [](std::size_t n, Rng& rng) {
-                   return with_ids(make_random_tree(n + n % 2, rng), rng);
-                 },
-                 [](std::size_t n, Rng& rng) {
-                   return with_ids(make_random_tree(n | 1, rng), rng);
-                 }});
+                 with_oracle(
+                     any_graph_family(
+                         [](std::size_t n, Rng& rng) {
+                           return with_ids(make_random_tree(n + n % 2, rng), rng);
+                         },
+                         [](std::size_t n, Rng& rng) {
+                           return with_ids(make_random_tree(n | 1, rng), rng);
+                         }),
+                     [](const Graph& g) { return g.vertex_count() % 2 == 0; }, 4096)});
 
-  out.push_back({"mso-perfect-matching",
-                 "Thm 2.2: MSO 'has perfect matching' on trees, O(1) bits",
-                 [] {
-                   return std::make_unique<MsoTreeScheme>(standard_tree_automata()[4]);
-                 },
-                 [](std::size_t n, Rng& rng) { return with_ids(twinned_tree(n / 2, rng), rng); },
-                 [](std::size_t n, Rng& rng) {
-                   return with_ids(make_star((n | 1) < 3 ? 3 : (n | 1)), rng);
-                 }});
+  out.push_back(
+      {"mso-perfect-matching", "Thm 2.2: MSO 'has perfect matching' on trees, O(1) bits",
+       [] { return std::make_unique<MsoTreeScheme>(standard_tree_automata()[4]); },
+       with_oracle(
+           tree_family(
+               [](std::size_t n, Rng& rng) { return with_ids(twinned_tree(n / 2, rng), rng); },
+               [](std::size_t n, Rng& rng) {
+                 return with_ids(make_star((n | 1) < 3 ? 3 : (n | 1)), rng);
+               }),
+           oracle_tree_perfect_matching, 4096)});
 
-  out.push_back({"mso-caterpillar", "Thm 2.2: MSO 'is a caterpillar' on trees, O(1) bits",
-                 [] {
-                   return std::make_unique<MsoTreeScheme>(standard_tree_automata()[2]);
-                 },
-                 [](std::size_t n, Rng& rng) {
-                   return with_ids(make_caterpillar(std::max<std::size_t>(n / 2, 1), 1), rng);
-                 },
-                 [](std::size_t, Rng& rng) {
-                   // A spider with three legs of length 2 is not a caterpillar.
-                   return with_ids(
-                       Graph(7, {{0, 1}, {1, 2}, {0, 3}, {3, 4}, {0, 5}, {5, 6}}), rng);
-                 }});
+  out.push_back(
+      {"mso-caterpillar", "Thm 2.2: MSO 'is a caterpillar' on trees, O(1) bits",
+       [] { return std::make_unique<MsoTreeScheme>(standard_tree_automata()[2]); },
+       with_oracle(
+           tree_family(
+               [](std::size_t n, Rng& rng) {
+                 return with_ids(make_caterpillar(std::max<std::size_t>(n / 2, 1), 1), rng);
+               },
+               [](std::size_t, Rng& rng) {
+                 // A spider with three legs of length 2 is not a caterpillar.
+                 return with_ids(
+                     Graph(7, {{0, 1}, {1, 2}, {0, 3}, {3, 4}, {0, 5}, {5, 6}}), rng);
+               }),
+           oracle_is_caterpillar, 4096)});
 
   out.push_back({"treedepth-4", "Thm 2.4: treedepth <= 4, O(t log n) bits",
                  [] { return std::make_unique<TreedepthScheme>(4); },
-                 [](std::size_t n, Rng& rng) {
-                   auto inst = make_bounded_treedepth_graph(std::min<std::size_t>(n, 18), 4,
-                                                            0.3, rng);
-                   return with_ids(std::move(inst.graph), rng);
-                 },
-                 [](std::size_t, Rng& rng) { return with_ids(make_path(16), rng); }});
+                 with_oracle(
+                     any_graph_family(
+                         [](std::size_t n, Rng& rng) {
+                           auto inst = make_bounded_treedepth_graph(
+                               std::min<std::size_t>(n, 18), 4, 0.3, rng);
+                           return with_ids(std::move(inst.graph), rng);
+                         },
+                         [](std::size_t, Rng& rng) { return with_ids(make_path(16), rng); }),
+                     // Cops-and-robber game number == treedepth; entirely
+                     // separate search from the scheme's elimination solver.
+                     [](const Graph& g) { return cops_and_robber_number(g) <= 4; }, 14)});
 
   out.push_back(
       {"kernel-triangle-free", "Thm 2.6: FO 'triangle-free' on treedepth <= 3 graphs",
        [] { return std::make_unique<KernelMsoScheme>(f_triangle_free(), 3, 3); },
-       [](std::size_t n, Rng& rng) {
-         auto inst = make_bounded_treedepth_graph(std::min<std::size_t>(n, 18), 3, 0.0, rng);
-         return with_ids(std::move(inst.graph), rng);
+       with_oracle(
+           any_graph_family(
+               [](std::size_t n, Rng& rng) {
+                 auto inst =
+                     make_bounded_treedepth_graph(std::min<std::size_t>(n, 18), 3, 0.0, rng);
+                 return with_ids(std::move(inst.graph), rng);
+               },
+               [](std::size_t, Rng& rng) {
+                 return with_ids(Graph(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}), rng);
+               }),
+           // The scheme decides via kernelization (Prop 6.2/6.3); the oracle
+           // re-decides with the game-theoretic treedepth and the brute-force
+           // model checker on the *full* graph.
+           [](const Graph& g) {
+             return cops_and_robber_number(g) <= 3 && evaluate(g, f_triangle_free());
+           },
+           14)});
+
+  out.push_back(
+      {"exists-is3", "Lemma A.2: existential FO, independent set of size 3",
+       [] { return std::make_unique<ExistentialFoScheme>(f_independent_set_of_size(3)); },
+       with_oracle(any_graph_family(
+                       [](std::size_t n, Rng& rng) {
+                         return with_ids(make_star(std::max<std::size_t>(n, 4)), rng);
+                       },
+                       [](std::size_t, Rng& rng) { return with_ids(make_complete(5), rng); }),
+                   oracle_independent_set3, 256)});
+
+  out.push_back(
+      {"depth2-dominating", "Lemma A.3: depth-2 FO, has a dominating vertex",
+       [] { return std::make_unique<Depth2FoScheme>(f_has_dominating_vertex()); },
+       with_oracle(any_graph_family(
+                       [](std::size_t n, Rng& rng) {
+                         return with_ids(make_star(std::max<std::size_t>(n, 2)), rng);
+                       },
+                       [](std::size_t, Rng& rng) { return with_ids(make_path(5), rng); }),
+                   oracle_dominating_vertex, 4096)});
+
+  out.push_back(
+      {"p5-minor-free", "Cor 2.7: P_5-minor-free, O(log n) bits",
+       [] { return std::make_unique<PtMinorFreeScheme>(5); },
+       with_oracle(any_graph_family(
+                       [](std::size_t n, Rng& rng) {
+                         return with_ids(make_star(std::max<std::size_t>(n, 3)), rng);
+                       },
+                       [](std::size_t, Rng& rng) { return with_ids(make_path(8), rng); }),
+                   [](const Graph& g) { return !oracle_has_path_on(g, 5); }, 256)});
+
+  out.push_back(
+      {"c4-minor-free", "Cor 2.7: C_4-minor-free via block decomposition",
+       [] { return std::make_unique<CtMinorFreeScheme>(4); },
+       with_oracle(any_graph_family(
+                       [](std::size_t n, Rng& rng) {
+                         return with_ids(triangle_chain(std::max<std::size_t>(n / 2, 1)), rng);
+                       },
+                       [](std::size_t, Rng& rng) { return with_ids(make_cycle(6), rng); }),
+                   oracle_c4_minor_free, 1024)});
+
+  out.push_back(
+      {"fpf-automorphism",
+       "Thm 2.3's matching upper bound: fixed-point-free automorphism of a tree",
+       [] { return std::make_unique<FpfAutomorphismScheme>(); },
+       with_oracle(
+           tree_family(
+               [](std::size_t n, Rng& rng) { return with_ids(doubled_tree(n / 2, rng), rng); },
+               [](std::size_t n, Rng& rng) {
+                 return with_ids(make_star(std::max<std::size_t>(n, 4)), rng);
+               }),
+           oracle_tree_has_fpf_automorphism, 8)});
+
+  out.push_back(
+      {"tree-height-4", "post-Thm 2.5 contrast: trees of radius <= 3, O(log k) bits",
+       [] { return std::make_unique<TreeDepthBoundedScheme>(4); },
+       with_oracle(
+           tree_family(
+               [](std::size_t n, Rng& rng) {
+                 return with_ids(make_random_rooted_tree(n, 3, rng).to_graph(), rng);
+               },
+               [](std::size_t, Rng& rng) { return with_ids(make_path(12), rng); }),
+           [](const Graph& g) { return oracle_tree_radius_at_most(g, 3); }, 1024)});
+
+  out.push_back(
+      {"tree-diameter-4", "Sec 2.3: trees of diameter <= 4, O(log D) bits",
+       [] { return std::make_unique<TreeDiameterScheme>(4); },
+       with_oracle(
+           tree_family(
+               [](std::size_t n, Rng& rng) {
+                 return with_ids(make_random_rooted_tree(n, 2, rng).to_graph(), rng);
+               },
+               [](std::size_t, Rng& rng) { return with_ids(make_path(9), rng); }),
+           [](const Graph& g) { return oracle_tree_diameter_at_most(g, 4); }, 1024)});
+
+  out.push_back(
+      {"universal-triangle-free", "folklore O(n^2) baseline, any property",
+       [] {
+         return std::make_unique<UniversalScheme>(
+             std::string("triangle-free"),
+             UniversalScheme::Predicate(
+                 [](const Graph& g) { return evaluate(g, f_triangle_free()); }));
        },
-       [](std::size_t, Rng& rng) {
-         return with_ids(Graph(4, {{0, 1}, {1, 2}, {0, 2}, {2, 3}}), rng);
-       }});
-
-  out.push_back({"exists-is3", "Lemma A.2: existential FO, independent set of size 3",
-                 [] { return std::make_unique<ExistentialFoScheme>(f_independent_set_of_size(3)); },
-                 [](std::size_t n, Rng& rng) {
-                   return with_ids(make_star(std::max<std::size_t>(n, 4)), rng);
-                 },
-                 [](std::size_t, Rng& rng) { return with_ids(make_complete(5), rng); }});
-
-  out.push_back({"depth2-dominating", "Lemma A.3: depth-2 FO, has a dominating vertex",
-                 [] { return std::make_unique<Depth2FoScheme>(f_has_dominating_vertex()); },
-                 [](std::size_t n, Rng& rng) {
-                   return with_ids(make_star(std::max<std::size_t>(n, 2)), rng);
-                 },
-                 [](std::size_t, Rng& rng) { return with_ids(make_path(5), rng); }});
-
-  out.push_back({"p5-minor-free", "Cor 2.7: P_5-minor-free, O(log n) bits",
-                 [] { return std::make_unique<PtMinorFreeScheme>(5); },
-                 [](std::size_t n, Rng& rng) {
-                   return with_ids(make_star(std::max<std::size_t>(n, 3)), rng);
-                 },
-                 [](std::size_t, Rng& rng) { return with_ids(make_path(8), rng); }});
-
-  out.push_back({"c4-minor-free", "Cor 2.7: C_4-minor-free via block decomposition",
-                 [] { return std::make_unique<CtMinorFreeScheme>(4); },
-                 [](std::size_t n, Rng& rng) {
-                   return with_ids(triangle_chain(std::max<std::size_t>(n / 2, 1)), rng);
-                 },
-                 [](std::size_t, Rng& rng) { return with_ids(make_cycle(6), rng); }});
-
-  out.push_back({"fpf-automorphism",
-                 "Thm 2.3's matching upper bound: fixed-point-free automorphism of a tree",
-                 [] { return std::make_unique<FpfAutomorphismScheme>(); },
-                 [](std::size_t n, Rng& rng) { return with_ids(doubled_tree(n / 2, rng), rng); },
-                 [](std::size_t n, Rng& rng) {
-                   return with_ids(make_star(std::max<std::size_t>(n, 4)), rng);
-                 }});
-
-  out.push_back({"tree-height-4", "post-Thm 2.5 contrast: trees of radius <= 3, O(log k) bits",
-                 [] { return std::make_unique<TreeDepthBoundedScheme>(4); },
-                 [](std::size_t n, Rng& rng) {
-                   return with_ids(make_random_rooted_tree(n, 3, rng).to_graph(), rng);
-                 },
-                 [](std::size_t, Rng& rng) { return with_ids(make_path(12), rng); }});
-
-  out.push_back({"tree-diameter-4", "Sec 2.3: trees of diameter <= 4, O(log D) bits",
-                 [] { return std::make_unique<TreeDiameterScheme>(4); },
-                 [](std::size_t n, Rng& rng) {
-                   return with_ids(make_random_rooted_tree(n, 2, rng).to_graph(), rng);
-                 },
-                 [](std::size_t, Rng& rng) { return with_ids(make_path(9), rng); }});
-
-  out.push_back({"universal-triangle-free", "folklore O(n^2) baseline, any property",
-                 [] {
-                   return std::make_unique<UniversalScheme>(
-                       std::string("triangle-free"),
-                       UniversalScheme::Predicate(
-                           [](const Graph& g) { return evaluate(g, f_triangle_free()); }));
-                 },
-                 [](std::size_t n, Rng& rng) {
-                   return with_ids(make_random_tree(std::max<std::size_t>(n, 2), rng), rng);
-                 },
-                 [](std::size_t, Rng& rng) { return with_ids(make_complete(4), rng); }});
+       with_oracle(
+           any_graph_family(
+               [](std::size_t n, Rng& rng) {
+                 return with_ids(make_random_tree(std::max<std::size_t>(n, 2), rng), rng);
+               },
+               [](std::size_t, Rng& rng) { return with_ids(make_complete(4), rng); }),
+           oracle_triangle_free, 256)});
 
   // Prover-side observability hook: every scheme the registry hands out is
   // wrapped so its certificate sizes land in `prover/<name>/cert_bits`. The
@@ -194,13 +469,18 @@ std::vector<RegisteredScheme> scheme_registry() {
   return out;
 }
 
-const RegisteredScheme& find_scheme(const std::string& key) {
+const RegisteredScheme* try_find_scheme(const std::string& key) {
   static const std::vector<RegisteredScheme> registry = scheme_registry();
   for (const auto& entry : registry)
-    if (entry.key == key) return entry;
+    if (entry.key == key) return &entry;
+  return nullptr;
+}
+
+const RegisteredScheme& find_scheme(const std::string& key) {
+  if (const RegisteredScheme* entry = try_find_scheme(key)) return *entry;
   std::ostringstream os;
   os << "unknown scheme '" << key << "'; available:";
-  for (const auto& entry : registry) os << ' ' << entry.key;
+  for (const auto& entry : scheme_registry()) os << ' ' << entry.key;
   throw std::out_of_range(os.str());
 }
 

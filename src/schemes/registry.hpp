@@ -1,29 +1,60 @@
 // A registry of ready-made schemes, keyed by name.
 //
-// Drives the CLI example and the uniform audit sweep in the tests: every
-// registered scheme is subjected to the same completeness/soundness battery
-// on its own instance family, so adding a scheme here buys it the full
-// harness for free.
+// Drives the CLI example, the uniform audit sweep in the tests, and the fuzz
+// campaign: every registered scheme is subjected to the same completeness/
+// soundness battery on its own instance family, so adding a scheme here buys
+// it the full harness for free.
+//
+// The instance family is structured (not just a pair of generator closures):
+// it declares which mutators preserve the scheme's input promise, whether
+// holds() is total on connected graphs, and — when one exists — an
+// *independent* reference oracle for the property, so the fuzz campaign can
+// differentially test holds() itself, not just the prover/verifier pair
+// against holds().
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/cert/scheme.hpp"
+#include "src/fuzz/mutators.hpp"
 #include "src/util/rng.hpp"
 
 namespace lcert {
+
+/// The instance universe a scheme is tested on.
+struct InstanceFamily {
+  /// Generates a yes-instance of roughly the requested size (IDs assigned).
+  std::function<Graph(std::size_t n, Rng&)> yes_instance;
+  /// Generates a no-instance (IDs assigned); may return graphs of any size.
+  std::function<Graph(std::size_t n, Rng&)> no_instance;
+
+  /// True when holds() is total on every simple connected graph. Schemes
+  /// with an input promise (e.g. the MsoTree family throws off trees) get
+  /// false, and the fuzzer restricts itself to promise-preserving mutators.
+  bool supports_any_graph = false;
+
+  /// Mutators that keep instances inside the scheme's promise (and keep them
+  /// connected and simple). The fuzz campaign draws exclusively from these.
+  std::vector<fuzz::MutatorKind> mutators;
+
+  /// Optional ground truth implemented independently of Scheme::holds()
+  /// (different algorithm, ideally different subsystem). Empty when the
+  /// property has no practical second implementation.
+  bool has_reference_oracle = false;
+  std::function<bool(const Graph&)> reference_oracle;
+  /// Largest n the oracle is feasible for (brute-force oracles explode).
+  std::size_t reference_oracle_max_n = 0;
+};
 
 struct RegisteredScheme {
   std::string key;          ///< CLI name
   std::string description;  ///< one line, with the paper pointer
   std::function<std::unique_ptr<Scheme>()> make;
-  /// Generates a yes-instance of roughly the requested size (IDs assigned).
-  std::function<Graph(std::size_t n, Rng&)> yes_instance;
-  /// Generates a no-instance (IDs assigned); may return graphs of any size.
-  std::function<Graph(std::size_t n, Rng&)> no_instance;
+  InstanceFamily family;
 };
 
 /// All registered schemes.
@@ -31,5 +62,10 @@ std::vector<RegisteredScheme> scheme_registry();
 
 /// Lookup by key; throws std::out_of_range listing valid keys.
 const RegisteredScheme& find_scheme(const std::string& key);
+
+/// Non-throwing lookup: nullptr when the key is unknown. The CLI uses this
+/// to print the valid-key list to stderr and exit with a status instead of
+/// an uncaught exception.
+const RegisteredScheme* try_find_scheme(const std::string& key);
 
 }  // namespace lcert

@@ -131,7 +131,7 @@ TEST(Engine, SchemeBugsAreNotMaskedAsRejections) {
   const std::vector<Certificate> certs(4);
   EXPECT_THROW(verify_assignment(scheme, g, certs), std::out_of_range);
   // Same bug under the parallel fan-out: the pool rethrows on the caller.
-  EXPECT_THROW(verify_assignment(scheme, g, certs, VerifyOptions{4, false}),
+  EXPECT_THROW(verify_assignment(scheme, g, certs, RunOptions{4, false}),
                std::out_of_range);
 }
 

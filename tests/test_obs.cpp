@@ -155,7 +155,7 @@ TEST_F(ObsTest, EngineCountersAreThreadCountInvariant) {
   for (int run = 0; run < 2; ++run) {
     registry().reset();
     const auto outcome =
-        verify_assignment(scheme, cache, *certs, VerifyOptions{thread_counts[run], false});
+        verify_assignment(scheme, cache, *certs, RunOptions{thread_counts[run], false});
     ASSERT_TRUE(outcome.all_accept);
     totals[run] = registry().counters_snapshot();
     totals[run].erase("engine/worker_busy_ns");
@@ -360,7 +360,7 @@ TEST_F(ObsTest, RegistrySweepProverHistogramMatchesEngineAccounting) {
     registry().reset();
     const auto scheme = entry.make();
     Rng rng(9000);
-    const Graph g = entry.yes_instance(16, rng);
+    const Graph g = entry.family.yes_instance(16, rng);
     const std::string hist_name = obs::InstrumentedScheme::size_histogram_name(*scheme);
 
     const auto outcome = run_scheme(*scheme, g);

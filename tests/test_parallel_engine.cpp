@@ -35,12 +35,12 @@ TEST_P(ParallelEngineSweep, SerialAndParallelAgreeOnYesAndCorrupted) {
   const auto entry = scheme_registry().at(GetParam());
   const auto scheme = entry.make();
   Rng rng(7000 + GetParam());
-  const Graph g = entry.yes_instance(16, rng);
+  const Graph g = entry.family.yes_instance(16, rng);
   const auto certs = scheme->assign(g);
   ASSERT_TRUE(certs.has_value()) << entry.key;
 
-  const VerifyOptions serial{1, false};
-  const VerifyOptions parallel{kForcedThreads, false};
+  const RunOptions serial{1, false};
+  const RunOptions parallel{kForcedThreads, false};
 
   // Honest assignment.
   expect_identical(verify_assignment(*scheme, g, *certs, serial),
@@ -70,12 +70,12 @@ TEST(ParallelEngine, StopAtFirstRejectMatchesFullVerdict) {
   const auto entry = find_scheme("vertex-parity");
   const auto scheme = entry.make();
   Rng rng(7100);
-  const Graph g = entry.yes_instance(32, rng);
+  const Graph g = entry.family.yes_instance(32, rng);
   const auto certs = scheme->assign(g);
   ASSERT_TRUE(certs.has_value());
 
   for (std::size_t threads : {std::size_t{1}, kForcedThreads}) {
-    const VerifyOptions early{threads, true};
+    const RunOptions early{threads, true};
     EXPECT_TRUE(verify_assignment(*scheme, g, *certs, early).all_accept);
     const std::vector<Certificate> empty(g.vertex_count());
     const auto outcome = verify_assignment(*scheme, g, empty, early);
@@ -207,15 +207,15 @@ TEST(AuditDeterminism, SoundSchemeVerdictIndependentOfThreads) {
   const auto entry = find_scheme("mso-caterpillar");
   const auto scheme = entry.make();
   Rng rng_template(7600);
-  const Graph no = entry.no_instance(12, rng_template);
-  const Graph yes = entry.yes_instance(no.vertex_count(), rng_template);
+  const Graph no = entry.family.no_instance(12, rng_template);
+  const Graph yes = entry.family.yes_instance(no.vertex_count(), rng_template);
   const auto tmpl = scheme->assign(yes);
 
-  AuditOptions serial;
+  RunOptions serial;
   serial.random_trials = 50;
   serial.mutation_trials = 50;
   serial.num_threads = 1;
-  AuditOptions parallel = serial;
+  RunOptions parallel = serial;
   parallel.num_threads = kForcedThreads;
 
   Rng rng_a(42), rng_b(42);
@@ -247,9 +247,9 @@ TEST(AuditDeterminism, ForgeryAgainstUnsoundSchemeIsReproducible) {
   Graph g = make_path(6);
   assign_random_ids(g, rng_g);
 
-  AuditOptions serial;
+  RunOptions serial;
   serial.num_threads = 1;
-  AuditOptions parallel;
+  RunOptions parallel;
   parallel.num_threads = kForcedThreads;
 
   Rng rng_a(99), rng_b(99);

@@ -20,7 +20,7 @@ TEST_P(RegistrySweep, CompletenessOnGeneratedYesInstances) {
   const auto scheme = entry.make();
   Rng rng(3000 + GetParam());
   for (std::size_t n : {8u, 16u, 24u}) {
-    const Graph g = entry.yes_instance(n, rng);
+    const Graph g = entry.family.yes_instance(n, rng);
     ASSERT_TRUE(scheme->holds(g)) << entry.key << " generator produced a no-instance";
     require_complete(*scheme, g);
   }
@@ -30,7 +30,7 @@ TEST_P(RegistrySweep, ProverRefusesNoInstances) {
   const auto entry = scheme_registry().at(GetParam());
   const auto scheme = entry.make();
   Rng rng(4000 + GetParam());
-  const Graph g = entry.no_instance(12, rng);
+  const Graph g = entry.family.no_instance(12, rng);
   ASSERT_FALSE(scheme->holds(g)) << entry.key << " generator produced a yes-instance";
   EXPECT_FALSE(scheme->assign(g).has_value()) << entry.key;
 }
@@ -39,13 +39,13 @@ TEST_P(RegistrySweep, SoundnessUnderFullAttackBattery) {
   const auto entry = scheme_registry().at(GetParam());
   const auto scheme = entry.make();
   Rng rng(5000 + GetParam());
-  const Graph no = entry.no_instance(12, rng);
+  const Graph no = entry.family.no_instance(12, rng);
   ASSERT_FALSE(scheme->holds(no));
   // Template certificates from a yes-instance of the same size, when the
   // generator cooperates.
   std::optional<std::vector<Certificate>> tmpl;
   for (std::size_t attempt = 0; attempt < 4 && !tmpl.has_value(); ++attempt) {
-    const Graph yes = entry.yes_instance(no.vertex_count(), rng);
+    const Graph yes = entry.family.yes_instance(no.vertex_count(), rng);
     if (yes.vertex_count() == no.vertex_count()) tmpl = scheme->assign(yes);
   }
   const auto forged =
@@ -58,7 +58,7 @@ TEST_P(RegistrySweep, InstancesSurviveEdgeListRoundTrip) {
   const auto entry = scheme_registry().at(GetParam());
   const auto scheme = entry.make();
   Rng rng(6000 + GetParam());
-  const Graph g = entry.yes_instance(10, rng);
+  const Graph g = entry.family.yes_instance(10, rng);
   const Graph back = parse_edge_list(to_edge_list(g));
   ASSERT_EQ(back.vertex_count(), g.vertex_count());
   ASSERT_EQ(back.edge_count(), g.edge_count());

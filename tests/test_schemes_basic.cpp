@@ -25,13 +25,13 @@ TEST(SpanningTreeCert, HonestAssignmentVerifiesEverywhere) {
       certs[v] = Certificate::from_writer(w);
     }
     for (Vertex v = 0; v < g.vertex_count(); ++v) {
-      const View view = make_view(g, certs, v);
+      View view = make_view(g, certs, v);
       std::vector<SpanningTreeCert> nbs;
       for (const auto& nb : view.neighbors) {
         BitReader r = nb.certificate.reader();
         nbs.push_back(SpanningTreeCert::decode(r));
       }
-      EXPECT_TRUE(check_spanning_tree_fields(view, fields[v], nbs, true)) << v;
+      EXPECT_TRUE(check_spanning_tree_fields(view.as_ref(), fields[v], nbs, true)) << v;
     }
   }
 }

@@ -34,7 +34,7 @@ struct Fixture {
 
   bool verify_all(std::size_t t) const {
     for (Vertex v = 0; v < graph.vertex_count(); ++v) {
-      const View view = make_view(graph, certs, v);
+      View view = make_view(graph, certs, v);
       BitReader r = view.certificate.reader();
       const auto mine = TdCore::decode(r);
       if (!mine.has_value()) return false;
@@ -45,7 +45,7 @@ struct Fixture {
         if (!c.has_value()) return false;
         nbs.push_back(std::move(*c));
       }
-      if (!verify_td_core(view, *mine, nbs, t)) return false;
+      if (!verify_td_core(view.as_ref(), *mine, nbs, t)) return false;
     }
     return true;
   }
@@ -102,7 +102,7 @@ TEST(TdCore, TamperedListIsCaught) {
     certs[v] = Certificate::from_writer(w);
     bool all = true;
     for (Vertex u = 0; u < f.graph.vertex_count() && all; ++u) {
-      const View view = make_view(f.graph, certs, u);
+      View view = make_view(f.graph, certs, u);
       BitReader r = view.certificate.reader();
       const auto mine = TdCore::decode(r);
       std::vector<TdCore> nbs;
@@ -112,7 +112,7 @@ TEST(TdCore, TamperedListIsCaught) {
         auto c = TdCore::decode(nr);
         if (!c.has_value()) ok = false; else nbs.push_back(std::move(*c));
       }
-      all = ok && verify_td_core(view, *mine, nbs, 4);
+      all = ok && verify_td_core(view.as_ref(), *mine, nbs, 4);
     }
     EXPECT_FALSE(all) << "vertex " << v;
     break;  // one case suffices per fixture
@@ -132,7 +132,7 @@ TEST(TdCore, FragmentDistanceTamperIsCaught) {
     certs[v] = Certificate::from_writer(w);
     bool all = true;
     for (Vertex u = 0; u < f.graph.vertex_count() && all; ++u) {
-      const View view = make_view(f.graph, certs, u);
+      View view = make_view(f.graph, certs, u);
       BitReader r = view.certificate.reader();
       const auto mine = TdCore::decode(r);
       std::vector<TdCore> nbs;
@@ -142,7 +142,7 @@ TEST(TdCore, FragmentDistanceTamperIsCaught) {
         auto c = TdCore::decode(nr);
         if (!c.has_value()) ok = false; else nbs.push_back(std::move(*c));
       }
-      all = ok && verify_td_core(view, *mine, nbs, 4);
+      all = ok && verify_td_core(view.as_ref(), *mine, nbs, 4);
     }
     EXPECT_FALSE(all) << "vertex " << v;
     break;
@@ -169,7 +169,7 @@ TEST(TdCore, ExitVertexMustTouchParentLevel) {
   }
   bool all = true;
   for (Vertex u = 0; u < f.graph.vertex_count() && all; ++u) {
-    const View view = make_view(f.graph, certs, u);
+    View view = make_view(f.graph, certs, u);
     BitReader r = view.certificate.reader();
     const auto mine = TdCore::decode(r);
     std::vector<TdCore> nbs;
@@ -179,7 +179,7 @@ TEST(TdCore, ExitVertexMustTouchParentLevel) {
       auto c = TdCore::decode(nr);
       if (!c.has_value()) ok = false; else nbs.push_back(std::move(*c));
     }
-    all = ok && verify_td_core(view, *mine, nbs, 3);
+    all = ok && verify_td_core(view.as_ref(), *mine, nbs, 3);
   }
   EXPECT_FALSE(all);
 }

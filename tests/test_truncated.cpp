@@ -1,0 +1,153 @@
+// CertificateTruncated handling end to end (ISSUE 4 satellite).
+//
+// The contract: a verifier that runs off the end of a certificate throws
+// CertificateTruncated; Scheme::verify_batch (and therefore the engine)
+// converts exactly that exception into a rejection of that vertex and bumps
+// engine/truncated_rejects. Any other exception is a scheme bug and must
+// propagate. A malformed certificate must never crash verification.
+#include <gtest/gtest.h>
+
+#include "src/cert/engine.hpp"
+#include "src/graph/generators.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/schemes/spanning_tree.hpp"
+#include "src/util/rng.hpp"
+
+namespace lcert {
+namespace {
+
+/// Certificates are a fixed 16-bit field; the verifier reads it from its own
+/// certificate and every neighbor's. Default verify_batch, so the truncated
+/// path under test is the shared one in Scheme.
+class FixedFieldScheme final : public Scheme {
+ public:
+  std::string name() const override { return "test-fixed-field"; }
+  bool holds(const Graph&) const override { return true; }
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override {
+    std::vector<Certificate> certs(g.vertex_count());
+    for (auto& c : certs) {
+      BitWriter w;
+      w.write(0xBEEF, 16);
+      c = Certificate::from_writer(w);
+    }
+    return certs;
+  }
+  bool verify(const ViewRef& view) const override {
+    BitReader r = view.certificate->reader();
+    if (r.read(16) != 0xBEEF) return false;
+    for (const auto& nb : view.neighbors()) {
+      BitReader nr = nb.certificate->reader();
+      if (nr.read(16) != 0xBEEF) return false;
+    }
+    return true;
+  }
+};
+
+/// Throws something that is NOT CertificateTruncated: must propagate.
+class AngryScheme final : public Scheme {
+ public:
+  std::string name() const override { return "test-angry"; }
+  bool holds(const Graph&) const override { return true; }
+  std::optional<std::vector<Certificate>> assign(const Graph& g) const override {
+    return std::vector<Certificate>(g.vertex_count());
+  }
+  bool verify(const ViewRef&) const override { throw std::logic_error("scheme bug"); }
+};
+
+Certificate truncated_mid_field(const Certificate& c, std::size_t keep_bits) {
+  BitReader r = c.reader();
+  BitWriter w;
+  for (std::size_t i = 0; i < keep_bits; ++i) w.write_bit(r.read(1) != 0);
+  return Certificate::from_writer(w);
+}
+
+class TruncatedCertificates : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::registry().set_enabled(true);
+    obs::registry().reset();
+  }
+  void TearDown() override { obs::registry().reset(); }
+};
+
+TEST_F(TruncatedCertificates, RawVerifyThrows) {
+  FixedFieldScheme scheme;
+  Rng rng(1);
+  Graph g = make_path(4);
+  assign_random_ids(g, rng);
+  auto certs = *scheme.assign(g);
+  certs[1] = truncated_mid_field(certs[1], 7);  // cut inside the 16-bit field
+  View view = make_view(g, certs, 1);
+  EXPECT_THROW(scheme.verify(view.as_ref()), CertificateTruncated);
+}
+
+TEST_F(TruncatedCertificates, VerifyBatchRejectsAndCounts) {
+  FixedFieldScheme scheme;
+  Rng rng(2);
+  Graph g = make_path(5);
+  assign_random_ids(g, rng);
+  auto certs = *scheme.assign(g);
+  certs[2] = truncated_mid_field(certs[2], 9);
+
+  const ViewCache cache(g);
+  const auto binding = cache.bind(certs);
+  std::vector<ViewRef> views;
+  for (Vertex v = 0; v < g.vertex_count(); ++v) views.push_back(binding.view(v));
+  std::vector<std::uint8_t> accept(g.vertex_count(), 0xFF);
+  ASSERT_NO_THROW(scheme.verify_batch(views, accept));
+
+  // Vertex 2 and both neighbors read the truncated field: all three reject.
+  EXPECT_EQ(accept[0], 1);
+  EXPECT_EQ(accept[1], 0);
+  EXPECT_EQ(accept[2], 0);
+  EXPECT_EQ(accept[3], 0);
+  EXPECT_EQ(accept[4], 1);
+  EXPECT_EQ(obs::registry().counter_value("engine/truncated_rejects"), 3u);
+}
+
+TEST_F(TruncatedCertificates, EngineRejectsWithoutCrashing) {
+  FixedFieldScheme scheme;
+  Rng rng(3);
+  Graph g = make_random_tree(24, rng);
+  assign_random_ids(g, rng);
+  auto certs = *scheme.assign(g);
+  certs[5] = truncated_mid_field(certs[5], 3);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    obs::registry().reset();
+    const RunOptions options{threads};
+    const auto outcome = verify_assignment(scheme, g, certs, options);
+    EXPECT_FALSE(outcome.all_accept);
+    // Vertex 5 plus each of its neighbors hit the truncation.
+    EXPECT_EQ(outcome.rejecting.size(), 1 + g.degree(5));
+    EXPECT_TRUE(std::find(outcome.rejecting.begin(), outcome.rejecting.end(), Vertex{5}) !=
+                outcome.rejecting.end());
+    EXPECT_EQ(obs::registry().counter_value("engine/truncated_rejects"),
+              1 + g.degree(5));
+  }
+}
+
+TEST_F(TruncatedCertificates, TruncatedSpanningTreeCertRejectedByRealScheme) {
+  VertexParityScheme scheme;
+  Rng rng(4);
+  Graph g = make_random_tree(12, rng);
+  assign_random_ids(g, rng);
+  auto certs = *scheme.assign(g);
+  ASSERT_GT(certs[0].bit_size, 1u);
+  certs[0] = truncated_mid_field(certs[0], certs[0].bit_size / 2);
+  const auto outcome = verify_assignment(scheme, g, certs);
+  EXPECT_FALSE(outcome.all_accept);  // rejected, not crashed
+  EXPECT_GE(obs::registry().counter_value("engine/truncated_rejects"), 1u);
+}
+
+TEST_F(TruncatedCertificates, OtherExceptionsPropagate) {
+  AngryScheme scheme;
+  Rng rng(5);
+  Graph g = make_path(3);
+  assign_random_ids(g, rng);
+  const auto certs = *scheme.assign(g);
+  EXPECT_THROW(verify_assignment(scheme, g, certs), std::logic_error);
+}
+
+}  // namespace
+}  // namespace lcert
