@@ -4,6 +4,8 @@
 //   lcert_cli demo <scheme> [n]             # generate a yes-instance, certify it
 //   lcert_cli run  <scheme> <file|->        # certify a graph in edge-list format
 //   lcert_cli audit <scheme> [n]            # completeness + soundness attack battery
+//   lcert_cli prove <scheme> [n] [--threads T] [--no-memo]
+//                                           # batch prover: timing + memo stats
 //   lcert_cli fuzz <scheme|all> [flags]     # differential fuzzing campaign
 //   lcert_cli dot  <file|->                 # print the graph as Graphviz DOT
 //
@@ -19,6 +21,7 @@
 // Every subcommand accepts --metrics-out <file> (or the LCERT_METRICS env
 // var) to dump the obs metrics/trace artifact as JSON (.csv for CSV).
 // Edge-list format: see src/graph/io.hpp.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -26,6 +29,7 @@
 
 #include "src/cert/audit.hpp"
 #include "src/cert/engine.hpp"
+#include "src/cert/prove.hpp"
 #include "src/fuzz/campaign.hpp"
 #include "src/graph/io.hpp"
 #include "src/logic/eval.hpp"
@@ -115,6 +119,67 @@ int audit_scheme(const RegisteredScheme& entry, std::size_t n, obs::Report& repo
   std::printf("\n");
   report.print_metrics();
   return forged.has_value() ? 1 : 0;
+}
+
+// Run the batch prover on a generated yes-instance, verify the output, and
+// report wall time plus the memo counters — the CLI face of prove_assignment.
+int prove_command(const std::vector<std::string>& args, obs::Report& report) {
+  const RegisteredScheme* entry = lookup(args[1]);
+  if (entry == nullptr) return 2;
+  std::size_t n = 1024;
+  RunOptions options;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--metrics-out") {
+      ++i;  // consumed by obs::Report::from_cli
+    } else if (flag == "--threads") {
+      if (i + 1 >= args.size()) throw std::invalid_argument("missing value for --threads");
+      options.num_threads = std::stoul(args[++i]);
+    } else if (flag == "--no-memo") {
+      options.memoize = false;
+    } else if (!flag.empty() && flag[0] != '-') {
+      n = std::stoul(flag);
+    } else {
+      throw std::invalid_argument("unknown prove flag '" + flag + "'");
+    }
+  }
+
+  const auto scheme = entry->make();
+  Rng rng(42);
+  const Graph g = entry->family.yes_instance(n, rng);
+  std::printf("scheme:   %s (%s)\n", entry->key.c_str(), entry->description.c_str());
+  std::printf("instance: n=%zu m=%zu, threads=%zu, memo=%s\n", g.vertex_count(),
+              g.edge_count(), options.num_threads, options.memoize ? "on" : "off");
+
+  const auto start = std::chrono::steady_clock::now();
+  const ProveResult result = prove_assignment(*scheme, g, options);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  if (!result.certificates.has_value()) {
+    std::printf("prover: refuses (BUG: family generated a no-instance?)\n");
+    return 1;
+  }
+  const auto outcome = verify_assignment(*scheme, g, *result.certificates, options);
+  std::printf("prover: %.3f ms, memo hits %zu / misses %zu\n", ms, result.memo_hits,
+              result.memo_misses);
+  std::printf("certificates: max %zu bits/vertex (total %zu)\n",
+              outcome.max_certificate_bits, outcome.total_certificate_bits);
+  std::printf("verification: %s\n",
+              outcome.all_accept ? "all vertices accept" : "SOME VERTEX REJECTS (bug)");
+
+  report.add()
+      .set("scheme", entry->key)
+      .set("n", g.vertex_count())
+      .set("threads", options.num_threads)
+      .set("memo", options.memoize ? "on" : "off")
+      .set("prove_ms", ms)
+      .set("memo_hits", result.memo_hits)
+      .set("memo_misses", result.memo_misses)
+      .set("max_bits", outcome.max_certificate_bits);
+  std::printf("\n");
+  report.print_metrics();
+  return outcome.all_accept ? 0 : 1;
 }
 
 struct FuzzCliOptions {
@@ -250,6 +315,11 @@ int main(int argc, char** argv) {
       if (!report.output_path().empty()) report.write(report.output_path());
       return rc;
     }
+    if (args[0] == "prove" && args.size() >= 2) {
+      const int rc = prove_command(args, report);
+      if (!report.output_path().empty()) report.write(report.output_path());
+      return rc;
+    }
     if (args[0] == "fuzz" && args.size() >= 2) {
       const int rc = fuzz_command(args, report);
       if (!report.output_path().empty()) report.write(report.output_path());
@@ -265,7 +335,8 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage: lcert_cli list | demo <scheme> [n] | run <scheme> <file|-> | "
-               "audit <scheme> [n] | fuzz <scheme|all> [--trials N] [--time-budget S] "
+               "audit <scheme> [n] | prove <scheme> [n] [--threads T] [--no-memo] | "
+               "fuzz <scheme|all> [--trials N] [--time-budget S] "
                "[--seed S] [--threads T] [--base-n N] [--replay T] [--out DIR] | "
                "dot <file|->\n");
   return 2;

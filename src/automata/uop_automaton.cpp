@@ -123,6 +123,60 @@ bool assign_children(const std::vector<std::size_t>& children,
 
 }  // namespace
 
+bool uop_assign_children_masked(std::span<const std::uint64_t> child_masks,
+                                const IntervalBox& box, std::size_t state_count,
+                                std::vector<std::size_t>& assignment) {
+  // Mirrors assign_children above line for line — same quick check, same
+  // node/edge insertion order — with feasible[child][q] replaced by a mask
+  // bit test. The flow solver's choice depends on that order, and the
+  // memoized prover relies on both paths choosing identically.
+  const std::size_t m = child_masks.size();
+  std::size_t lo_sum = 0;
+  for (std::size_t q = 0; q < state_count; ++q) {
+    if (box.hi[q] != IntervalBox::kUnbounded && box.lo[q] > box.hi[q]) return false;
+    lo_sum += box.lo[q];
+  }
+  if (lo_sum > m) return false;
+
+  BoundedFlowProblem problem;
+  const std::size_t source = problem.add_node();
+  const std::size_t sink = problem.add_node();
+  std::vector<std::size_t> child_nodes(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    child_nodes[i] = problem.add_node();
+    problem.add_edge(source, child_nodes[i], 1, 1);
+  }
+  std::vector<std::size_t> state_nodes(state_count, SIZE_MAX);
+  std::vector<std::pair<std::size_t, std::pair<std::size_t, std::size_t>>> choice_edges;
+  for (std::size_t q = 0; q < state_count; ++q) {
+    state_nodes[q] = problem.add_node();
+    const std::int64_t hi =
+        box.hi[q] == IntervalBox::kUnbounded ? static_cast<std::int64_t>(m)
+                                             : static_cast<std::int64_t>(std::min(box.hi[q], m));
+    problem.add_edge(state_nodes[q], sink, static_cast<std::int64_t>(box.lo[q]), hi);
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t q = 0; q < state_count; ++q) {
+      if ((child_masks[i] >> q & 1u) == 0) continue;
+      const std::size_t e = problem.add_edge(child_nodes[i], state_nodes[q], 0, 1);
+      choice_edges.push_back({e, {i, q}});
+    }
+  }
+  problem.source = source;
+  problem.sink = sink;
+
+  std::vector<std::int64_t> flow;
+  if (!problem.feasible(flow)) return false;
+
+  assignment.assign(m, SIZE_MAX);
+  for (const auto& [e, iq] : choice_edges)
+    if (flow[e] == 1) assignment[iq.first] = iq.second;
+  for (std::size_t i = 0; i < m; ++i)
+    if (assignment[i] == SIZE_MAX)
+      throw std::logic_error("uop_assign_children_masked: flow left a child unassigned");
+  return true;
+}
+
 std::optional<Run> find_accepting_run(const UOPAutomaton& a, const RootedTree& t,
                                       const std::vector<std::size_t>* labels) {
   a.validate();

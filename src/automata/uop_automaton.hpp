@@ -13,7 +13,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -78,5 +80,22 @@ inline bool accepts(const UOPAutomaton& a, const RootedTree& t,
                     const std::vector<std::size_t>* labels = nullptr) {
   return find_accepting_run(a, t, labels).has_value();
 }
+
+/// Building block for the memoized batch prover (MsoTreeScheme::prove_batch):
+/// the per-vertex assignment problem of find_accepting_run, taken over
+/// feasibility *masks* — bit q of child_masks[i] is set iff state q is
+/// feasible at the i-th child (requires state_count <= 64). Decides whether
+/// the children can pick states from their feasible sets so the counts land
+/// in `box`; on success writes each child's chosen state into `assignment`.
+///
+/// Contract: builds the exact same bounded-flow problem, in the exact same
+/// node/edge insertion order, as the solver inside find_accepting_run — so
+/// the extracted assignment (which is whatever the flow solver picks, and
+/// therefore sensitive to edge order) is identical. This is what lets the
+/// memoized prover cache assignments by (ordered child shapes, parent state)
+/// and still reproduce find_accepting_run's output bit-for-bit.
+bool uop_assign_children_masked(std::span<const std::uint64_t> child_masks,
+                                const IntervalBox& box, std::size_t state_count,
+                                std::vector<std::size_t>& assignment);
 
 }  // namespace lcert

@@ -40,7 +40,7 @@ Certificate random_certificate(Rng& rng, std::size_t max_bits) {
   const std::size_t bits = rng.index(max_bits + 1);
   BitWriter w;
   for (std::size_t i = 0; i < bits; ++i) w.write_bit(rng.coin());
-  return Certificate::from_writer(w);
+  return Certificate::from_writer(std::move(w));
 }
 
 Certificate flip_bit(const Certificate& c, std::size_t bit) {
@@ -177,7 +177,7 @@ std::vector<Certificate> all_certificates(std::size_t max_bits) {
     for (std::uint64_t value = 0; value < limit; ++value) {
       BitWriter w;
       w.write(value, static_cast<unsigned>(bits));
-      out.push_back(Certificate::from_writer(w));
+      out.push_back(Certificate::from_writer(std::move(w)));
     }
   }
   return out;

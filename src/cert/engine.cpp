@@ -6,6 +6,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "src/cert/prove.hpp"
 #include "src/obs/instrumented_scheme.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/span.hpp"
@@ -175,7 +176,7 @@ SchemeOutcome run_scheme(const Scheme& scheme, const Graph& g, const RunOptions&
   const std::string hist_name = obs::InstrumentedScheme::size_histogram_name(scheme);
   const obs::HistogramSnapshot before = obs::registry().histogram_snapshot(hist_name);
 #endif
-  const auto certificates = scheme.assign(g);
+  const auto certificates = prove_assignment(scheme, g, options).certificates;
   out.prover_succeeded = certificates.has_value();
   if (out.prover_succeeded) {
     LCERT_SPAN("engine/verify_assignment");

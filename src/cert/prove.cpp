@@ -1,0 +1,58 @@
+#include "src/cert/prove.hpp"
+
+#include "src/obs/metrics.hpp"
+#include "src/obs/span.hpp"
+
+namespace lcert {
+
+namespace {
+
+struct ProverMetrics {
+  obs::Counter prove_calls = obs::registry().counter("prover/prove_calls");
+  obs::Counter memo_hits = obs::registry().counter("prover/memo_hits");
+  obs::Counter memo_misses = obs::registry().counter("prover/memo_misses");
+};
+
+const ProverMetrics& prover_metrics() {
+  static const ProverMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+ProverContext::ProverContext(std::size_t universe, const RunOptions& options)
+    : options_(options) {
+  // resolve_thread_count is monotone in the item count, so sizing for the
+  // whole universe covers every per-level fan-out the run can make.
+  const std::size_t workers =
+      resolve_thread_count(options.num_threads, universe == 0 ? 1 : universe);
+  scratch_.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w)
+    scratch_.push_back(std::make_unique<WorkerScratch>());
+}
+
+void ProverContext::count_memo_hits(std::size_t k) {
+  if (k == 0) return;
+  memo_hits_ += k;
+  prover_metrics().memo_hits.add(k);
+}
+
+void ProverContext::count_memo_misses(std::size_t k) {
+  if (k == 0) return;
+  memo_misses_ += k;
+  prover_metrics().memo_misses.add(k);
+}
+
+ProveResult prove_assignment(const Scheme& scheme, const Graph& g,
+                             const RunOptions& options) {
+  LCERT_SPAN("prover/prove_assignment");
+  prover_metrics().prove_calls.add();
+  ProverContext ctx(g.vertex_count(), options);
+  ProveResult out;
+  out.certificates = scheme.prove_batch(g, ctx);
+  out.memo_hits = ctx.memo_hits();
+  out.memo_misses = ctx.memo_misses();
+  return out;
+}
+
+}  // namespace lcert

@@ -26,12 +26,26 @@
 
 namespace lcert {
 
+class ProverContext;  // src/cert/prove.hpp
+
 /// A certificate is an exact-length bit string.
 struct Certificate {
   std::vector<std::uint8_t> bytes;
   std::size_t bit_size = 0;
 
-  static Certificate from_writer(const BitWriter& w) { return {w.bytes(), w.bit_size()}; }
+  /// Copies the writer's bytes. Prefer the rvalue overload at prover call
+  /// sites — a finished writer has no further use for its buffer.
+  static Certificate from_writer(const BitWriter& w) {
+    const auto b = w.bytes();
+    return {std::vector<std::uint8_t>(b.begin(), b.end()), w.bit_size()};
+  }
+  /// Steals the writer's byte buffer (no copy for heap-backed writers; an
+  /// arena-backed writer still copies, since arena memory cannot change
+  /// owners). The writer is left empty.
+  static Certificate from_writer(BitWriter&& w) {
+    const std::size_t bits = w.bit_size();
+    return {std::move(w).take_bytes(), bits};
+  }
   BitReader reader() const { return BitReader(bytes, bit_size); }
   bool operator==(const Certificate&) const = default;
 };
@@ -125,6 +139,19 @@ class Scheme {
   /// Prover: certificates for a yes-instance; std::nullopt when it cannot
   /// certify (in particular on no-instances).
   virtual std::optional<std::vector<Certificate>> assign(const Graph& g) const = 0;
+
+  /// Batched prover used by prove_assignment (src/cert/prove.hpp). The
+  /// context carries the run options plus per-worker arenas/writers and the
+  /// memo counters; the default ignores it and delegates to assign(). An
+  /// override must return exactly the certificates assign(g) would — for
+  /// every thread count and with memoization on or off — so the batch path
+  /// is a pure speedup, never a semantic fork (pinned by the round-trip
+  /// determinism tests).
+  virtual std::optional<std::vector<Certificate>> prove_batch(const Graph& g,
+                                                              ProverContext& ctx) const {
+    (void)ctx;
+    return assign(g);
+  }
 
   /// Radius-1 local verifier. Must be safe to call concurrently from several
   /// threads (the engine fans verification out across vertices).

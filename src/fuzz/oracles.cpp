@@ -54,7 +54,7 @@ bool round_trips(const Certificate& c) {
   BitReader r = c.reader();
   BitWriter w;
   for (std::size_t i = 0; i < c.bit_size; ++i) w.write_bit(r.read(1) != 0);
-  const Certificate back = Certificate::from_writer(w);
+  const Certificate back = Certificate::from_writer(std::move(w));
   return back == c;
 }
 

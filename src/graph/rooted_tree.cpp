@@ -72,6 +72,13 @@ std::vector<std::size_t> RootedTree::subtree(std::size_t v) const {
   return out;
 }
 
+std::vector<std::vector<std::size_t>> RootedTree::levels() const {
+  std::vector<std::vector<std::size_t>> out(height() + 1);
+  // Ascending vertex order within each level, by construction.
+  for (std::size_t v = 0; v < size(); ++v) out[depth_[v]].push_back(v);
+  return out;
+}
+
 Graph RootedTree::to_graph() const {
   std::vector<std::pair<Vertex, Vertex>> edges;
   edges.reserve(size() - 1);

@@ -49,6 +49,13 @@ class RootedTree {
   /// Vertices in an order where every parent precedes its children.
   std::vector<std::size_t> preorder() const { return subtree(root_); }
 
+  /// Vertices grouped by depth: levels()[d] holds every vertex at depth d, in
+  /// ascending vertex order. The batch prover sweeps these deepest-first
+  /// (children are complete before their parent is touched) and fans each
+  /// level out across workers — the level boundary is the synchronization
+  /// barrier.
+  std::vector<std::vector<std::size_t>> levels() const;
+
   /// The underlying undirected tree as a Graph (IDs default 1..n).
   Graph to_graph() const;
 

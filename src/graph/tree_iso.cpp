@@ -1,10 +1,45 @@
 #include "src/graph/tree_iso.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <map>
 #include <stdexcept>
 
 namespace lcert {
+
+std::size_t SubtreeCodeInterner::TupleHash::operator()(
+    const std::vector<std::size_t>& v) const noexcept {
+  // splitmix64-style mixing per element; good enough for dense small ids.
+  std::uint64_t h = 0x9E3779B97F4A7C15ull * (v.size() + 1);
+  for (std::size_t x : v) {
+    std::uint64_t z = h + 0x9E3779B97F4A7C15ull + x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    h = z ^ (z >> 31);
+  }
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t SubtreeCodeInterner::intern(const std::vector<std::size_t>& tuple) {
+  const auto [it, inserted] = table_.try_emplace(tuple, table_.size());
+  return it->second;
+}
+
+std::vector<std::size_t> canonical_subtree_codes(const RootedTree& t,
+                                                 SubtreeCodeInterner& interner) {
+  const std::vector<std::size_t> order = t.preorder();
+  std::vector<std::size_t> codes(t.size());
+  std::vector<std::size_t> scratch;
+  // Reverse preorder puts every child before its parent.
+  for (std::size_t i = order.size(); i-- > 0;) {
+    const std::size_t v = order[i];
+    scratch.clear();
+    for (std::size_t c : t.children(v)) scratch.push_back(codes[c]);
+    std::sort(scratch.begin(), scratch.end());
+    codes[v] = interner.intern(scratch);
+  }
+  return codes;
+}
 
 std::string ahu_encoding(const RootedTree& t, std::size_t v) {
   std::vector<std::string> parts;

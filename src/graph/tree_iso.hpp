@@ -10,12 +10,46 @@
 
 #include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/graph/graph.hpp"
 #include "src/graph/rooted_tree.hpp"
 
 namespace lcert {
+
+/// Hash-cons table mapping integer tuples to dense ids (0, 1, 2, ... in order
+/// of first appearance). The batch prover's memo keys are built from it two
+/// ways: interning the *sorted* tuple of child codes yields the canonical
+/// code of a rooted subtree (two subtrees share a code iff they are
+/// isomorphic — the integer form of the AHU encoding), while interning an
+/// *ordered* tuple distinguishes child arrangements, which matters when the
+/// cached value (a flow assignment) depends on child order. Ids are
+/// deterministic given the sequence of intern() calls; not thread-safe —
+/// interning is a serial per-level step in the prover.
+class SubtreeCodeInterner {
+ public:
+  /// Dense id for `tuple`; equal tuples always get equal ids.
+  std::size_t intern(const std::vector<std::size_t>& tuple);
+
+  /// Number of distinct tuples seen (== the next fresh id).
+  std::size_t size() const noexcept { return table_.size(); }
+
+ private:
+  struct TupleHash {
+    std::size_t operator()(const std::vector<std::size_t>& v) const noexcept;
+  };
+  std::unordered_map<std::vector<std::size_t>, std::size_t, TupleHash> table_;
+};
+
+/// Canonical code of the subtree rooted at every vertex: codes[v] ==
+/// codes[w] iff the rooted subtrees at v and w are isomorphic. Codes come
+/// from `interner`, so passing the same interner across several trees makes
+/// codes comparable (and memo entries reusable) across them. Runs one
+/// children-before-parents sweep; O(n log n) overall from sorting child
+/// tuples.
+std::vector<std::size_t> canonical_subtree_codes(const RootedTree& t,
+                                                 SubtreeCodeInterner& interner);
 
 /// AHU canonical encoding of the subtree rooted at `v` ("(" + sorted child
 /// encodings + ")"). Two rooted trees are isomorphic iff their root encodings

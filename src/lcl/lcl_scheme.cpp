@@ -41,7 +41,7 @@ std::optional<std::vector<Certificate>> LclTreeScheme::assign(
       BitWriter w;
       w.write(t.depth(v) % 3, 2);
       w.write((*run)[v], state_bits_ == 0 ? 1 : state_bits_);
-      certs[v] = Certificate::from_writer(w);
+      certs[v] = Certificate::from_writer(std::move(w));
     }
     return certs;
   }

@@ -33,4 +33,20 @@ std::optional<std::vector<Certificate>> InstrumentedScheme::assign(const Graph& 
   return certificates;
 }
 
+std::optional<std::vector<Certificate>> InstrumentedScheme::prove_batch(
+    const Graph& g, ProverContext& ctx) const {
+  LCERT_SPAN("prover/prove_batch");
+  assign_calls_.add();
+  auto certificates = inner_->prove_batch(g, ctx);
+  if (!certificates.has_value()) {
+    assign_refusals_.add();
+    return certificates;
+  }
+  for (const Certificate& c : *certificates) {
+    assert(c.bytes.size() == (c.bit_size + 7) / 8);
+    cert_bits_.record(c.bit_size);
+  }
+  return certificates;
+}
+
 }  // namespace lcert::obs

@@ -28,6 +28,10 @@ class InstrumentedScheme final : public Scheme {
   std::string name() const override { return inner_->name(); }
   bool holds(const Graph& g) const override { return inner_->holds(g); }
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  /// Forwards to the inner scheme's batch prover (so wrapped schemes keep
+  /// their memoized/parallel path) and records sizes like assign() does.
+  std::optional<std::vector<Certificate>> prove_batch(const Graph& g,
+                                                      ProverContext& ctx) const override;
   bool verify(const ViewRef& view) const override { return inner_->verify(view); }
   void verify_batch(std::span<const ViewRef> views,
                     std::span<std::uint8_t> accept) const override {

@@ -70,7 +70,7 @@ std::optional<std::vector<Certificate>> FpfAutomorphismScheme::assign(const Grap
     cert.sigma.emplace_back(g.id(v), g.id(sigma[v]));
   BitWriter w;
   cert.encode(w);
-  const Certificate shared = Certificate::from_writer(w);
+  const Certificate shared = Certificate::from_writer(std::move(w));
   return std::vector<Certificate>(g.vertex_count(), shared);
 }
 

@@ -114,7 +114,7 @@ std::optional<std::vector<Certificate>> Depth2FoScheme::assign(const Graph& g) c
     if (base.p3) mine.dominator_tree = dominator_fields[v];
     BitWriter w;
     mine.encode(w);
-    out[v] = Certificate::from_writer(w);
+    out[v] = Certificate::from_writer(std::move(w));
   }
   return out;
 }

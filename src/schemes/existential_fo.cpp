@@ -182,7 +182,7 @@ std::optional<std::vector<Certificate>> ExistentialFoScheme::assign(const Graph&
     for (std::size_t i = 0; i < k; ++i) mine.trees[i] = trees[i][v];
     BitWriter w;
     mine.encode(w);
-    out[v] = Certificate::from_writer(w);
+    out[v] = Certificate::from_writer(std::move(w));
   }
   return out;
 }

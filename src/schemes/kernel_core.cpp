@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "src/cert/prove.hpp"
 #include "src/kernel/types.hpp"
 #include "src/schemes/treedepth_core.hpp"
 
@@ -46,8 +47,23 @@ std::vector<Certificate> build_kernel_core_certs(const Graph& g, const RootedTre
     cores[u].encode(w);
     for (std::size_t a : model.ancestors(u)) w.write_bit(kz.pruned[a]);
     for (std::size_t a : model.ancestors(u)) kz.interner.serialize(kz.end_type[a], w);
-    out[u] = Certificate::from_writer(w);
+    out[u] = Certificate::from_writer(std::move(w));
   }
+  return out;
+}
+
+std::vector<Certificate> build_kernel_core_certs(const Graph& g, const RootedTree& model,
+                                                 const Kernelization& kz,
+                                                 ProverContext& ctx) {
+  const auto cores = build_td_cores_batch(g, model, ctx);
+  std::vector<Certificate> out(g.vertex_count());
+  ctx.for_each_index(g.vertex_count(), [&](std::size_t worker, std::size_t u) {
+    BitWriter& w = ctx.writer(worker);
+    cores[u].encode(w);
+    for (std::size_t a : model.ancestors(u)) w.write_bit(kz.pruned[a]);
+    for (std::size_t a : model.ancestors(u)) kz.interner.serialize(kz.end_type[a], w);
+    out[u] = Certificate::from_writer(std::move(w));
+  });
   return out;
 }
 

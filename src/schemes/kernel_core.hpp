@@ -25,6 +25,13 @@ using KernelPredicateFn = std::function<bool(const Graph&)>;
 std::vector<Certificate> build_kernel_core_certs(const Graph& g, const RootedTree& model,
                                                  const Kernelization& kz);
 
+/// Batch twin: cores via build_td_cores_batch, per-vertex streams encoded in
+/// parallel with the context's arena writers (TypeInterner::serialize is
+/// const, so concurrent serialization of the shared interner is safe).
+/// Bit-identical to the serial builder.
+std::vector<Certificate> build_kernel_core_certs(const Graph& g, const RootedTree& model,
+                                                 const Kernelization& kz, ProverContext& ctx);
+
 /// Verifier side: the full Section 6.4 check at one vertex. `t` bounds the
 /// model depth, `k` is the reduction threshold; at the model root, `predicate`
 /// is evaluated on the realized kernel. The view's certificates must be

@@ -73,6 +73,15 @@ std::optional<std::vector<Certificate>> KernelMsoScheme::assign(const Graph& g) 
   return build_kernel_core_certs(g, *model, kz);
 }
 
+std::optional<std::vector<Certificate>> KernelMsoScheme::prove_batch(
+    const Graph& g, ProverContext& ctx) const {
+  const auto model = find_model(g);
+  if (!model.has_value()) return std::nullopt;
+  const Kernelization kz = k_reduce(g, *model, k_);
+  if (!predicate_(kz.kernel)) return std::nullopt;
+  return build_kernel_core_certs(g, *model, kz, ctx);
+}
+
 bool KernelMsoScheme::verify(const ViewRef& view) const {
   return verify_kernel_core(view, t_, k_, predicate_);
 }

@@ -57,6 +57,10 @@ class KernelMsoScheme final : public Scheme {
   std::string name() const override;
   bool holds(const Graph& g) const override;
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  /// Batch path: same model/kernelization as assign(), certificate streams
+  /// built by the batch kernel-core builder (bit-identical).
+  std::optional<std::vector<Certificate>> prove_batch(const Graph& g,
+                                                      ProverContext& ctx) const override;
   bool verify(const ViewRef& view) const override;
 
  private:

@@ -96,7 +96,7 @@ struct CtCert {
         left -= 64;
       }
       if (left > 0) w.write(r.read(static_cast<unsigned>(left)), static_cast<unsigned>(left));
-      e.blob = Certificate::from_writer(w);
+      e.blob = Certificate::from_writer(std::move(w));
     }
     return c;
   }
@@ -210,7 +210,7 @@ std::optional<std::vector<Certificate>> CtMinorFreeScheme::assign(const Graph& g
   for (Vertex v = 0; v < n; ++v) {
     BitWriter w;
     certs[v].encode(w);
-    out[v] = Certificate::from_writer(w);
+    out[v] = Certificate::from_writer(std::move(w));
   }
   return out;
 }

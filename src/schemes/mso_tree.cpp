@@ -2,8 +2,11 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <unordered_map>
 
+#include "src/cert/prove.hpp"
 #include "src/graph/rooted_tree.hpp"
+#include "src/graph/tree_iso.hpp"
 #include "src/util/bitio.hpp"
 
 namespace lcert {
@@ -35,11 +38,187 @@ std::optional<std::vector<Certificate>> MsoTreeScheme::assign(const Graph& g) co
       BitWriter w;
       w.write(t.depth(v) % 3, 2);
       w.write((*run)[v], state_bits_ == 0 ? 1 : state_bits_);
-      certs[v] = Certificate::from_writer(w);
+      certs[v] = Certificate::from_writer(std::move(w));
     }
     return certs;
   }
   return std::nullopt;  // no good root admitted a run: library bug, caught by tests
+}
+
+std::optional<std::vector<Certificate>> MsoTreeScheme::prove_batch(
+    const Graph& g, ProverContext& ctx) const {
+  const UOPAutomaton& a = automaton_.automaton;
+  const std::size_t k = a.state_count;
+  if (k > 64) return assign(g);
+  if (!holds(g)) return std::nullopt;
+
+  const unsigned width = state_bits_ == 0 ? 1 : state_bits_;
+  const std::vector<IntervalBox>* boxes = transition_boxes_.data();
+
+  // Memo state shared across candidate roots: one interner makes codes
+  // comparable across the trees rooted at each candidate, so the second
+  // candidate starts warm (caterpillar/leaf-count try many roots).
+  SubtreeCodeInterner canon;
+  SubtreeCodeInterner ordered_tuples;
+  std::vector<std::uint64_t> feas_memo;
+  std::vector<std::uint8_t> feas_known;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> extract_memo;
+
+  // Feasibility mask of one vertex from its children's masks: bit q set iff
+  // some box of delta(q) admits a child assignment — exactly the predicate
+  // find_accepting_run evaluates with per-vertex boolean rows.
+  const auto compute_mask = [&](const RootedTree& t,
+                                const std::vector<std::uint64_t>& mask,
+                                std::size_t v) {
+    std::vector<std::uint64_t> child_masks;
+    child_masks.reserve(t.children(v).size());
+    for (std::size_t c : t.children(v)) child_masks.push_back(mask[c]);
+    std::vector<std::size_t> assignment;
+    std::uint64_t m = 0;
+    for (std::size_t q = 0; q < k; ++q)
+      for (const IntervalBox& box : boxes[q])
+        if (uop_assign_children_masked(child_masks, box, k, assignment)) {
+          m |= std::uint64_t{1} << q;
+          break;
+        }
+    return m;
+  };
+
+  // States for v's children given run state q at v: first feasible box wins,
+  // same box order and same flow construction as find_accepting_run.
+  const auto extract_children = [&](const RootedTree& t,
+                                    const std::vector<std::uint64_t>& mask,
+                                    std::size_t v, std::size_t q) {
+    std::vector<std::uint64_t> child_masks;
+    child_masks.reserve(t.children(v).size());
+    for (std::size_t c : t.children(v)) child_masks.push_back(mask[c]);
+    std::vector<std::size_t> assignment;
+    for (const IntervalBox& box : boxes[q])
+      if (uop_assign_children_masked(child_masks, box, k, assignment)) return assignment;
+    throw std::logic_error(name() + ": extraction failed after feasibility");
+  };
+
+  for (Vertex root : automaton_.good_roots(g)) {
+    const RootedTree t = RootedTree::from_graph(g, root);
+    const auto levels = t.levels();
+    std::vector<std::size_t> codes;
+    if (ctx.memoize()) codes = canonical_subtree_codes(t, canon);
+
+    // Bottom-up feasibility, deepest level first: every child's mask is
+    // final before its parent's level starts.
+    std::vector<std::uint64_t> mask(t.size(), 0);
+    for (auto lev = levels.rbegin(); lev != levels.rend(); ++lev) {
+      const std::vector<std::size_t>& level = *lev;
+      if (!ctx.memoize()) {
+        ctx.for_each_index(level.size(), [&](std::size_t, std::size_t i) {
+          mask[level[i]] = compute_mask(t, mask, level[i]);
+        });
+        continue;
+      }
+      feas_memo.resize(canon.size(), 0);
+      feas_known.resize(canon.size(), 0);
+      std::vector<std::size_t> reps;  // first vertex per not-yet-cached code
+      for (std::size_t v : level) {
+        if (feas_known[codes[v]]) continue;
+        feas_known[codes[v]] = 1;
+        reps.push_back(v);
+      }
+      ctx.count_memo_misses(reps.size());
+      ctx.count_memo_hits(level.size() - reps.size());
+      ctx.for_each_index(reps.size(), [&](std::size_t, std::size_t i) {
+        feas_memo[codes[reps[i]]] = compute_mask(t, mask, reps[i]);
+      });
+      for (std::size_t v : level) mask[v] = feas_memo[codes[v]];
+    }
+
+    // Smallest accepting feasible root state — find_accepting_run's choice.
+    std::size_t root_state = SIZE_MAX;
+    for (std::size_t q = 0; q < k; ++q)
+      if (a.accepting[q] && ((mask[t.root()] >> q) & 1u)) {
+        root_state = q;
+        break;
+      }
+    if (root_state == SIZE_MAX) continue;
+
+    std::vector<std::size_t> run(t.size(), SIZE_MAX);
+    run[t.root()] = root_state;
+
+    std::vector<std::size_t> tuple_id;
+    if (ctx.memoize()) {
+      tuple_id.assign(t.size(), SIZE_MAX);
+      std::vector<std::size_t> scratch;
+      for (std::size_t v = 0; v < t.size(); ++v) {
+        const auto kids = t.children(v);
+        if (kids.empty()) continue;
+        scratch.clear();
+        for (std::size_t c : kids) scratch.push_back(codes[c]);
+        tuple_id[v] = ordered_tuples.intern(scratch);
+      }
+    }
+
+    // Top-down extraction, root level first: run[v] is final before v's
+    // level chooses its children's states.
+    for (const std::vector<std::size_t>& level : levels) {
+      if (!ctx.memoize()) {
+        ctx.for_each_index(level.size(), [&](std::size_t, std::size_t i) {
+          const std::size_t v = level[i];
+          const auto kids = t.children(v);
+          if (kids.empty()) return;
+          const auto chosen = extract_children(t, mask, v, run[v]);
+          for (std::size_t j = 0; j < kids.size(); ++j) run[kids[j]] = chosen[j];
+        });
+        continue;
+      }
+      // Serial insert pass (the map may rehash), parallel fill of the fresh
+      // slots, then the apply pass reads a stable map.
+      std::vector<std::size_t> reps;
+      std::vector<std::vector<std::size_t>*> slots;
+      std::size_t hits = 0;
+      for (std::size_t v : level) {
+        if (t.children(v).empty()) continue;
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(tuple_id[v]) * 64 + run[v];
+        const auto [it, inserted] = extract_memo.try_emplace(key);
+        if (!inserted) {
+          ++hits;
+          continue;
+        }
+        reps.push_back(v);
+        slots.push_back(&it->second);
+      }
+      ctx.count_memo_misses(reps.size());
+      ctx.count_memo_hits(hits);
+      ctx.for_each_index(reps.size(), [&](std::size_t, std::size_t i) {
+        *slots[i] = extract_children(t, mask, reps[i], run[reps[i]]);
+      });
+      for (std::size_t v : level) {
+        const auto kids = t.children(v);
+        if (kids.empty()) continue;
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(tuple_id[v]) * 64 + run[v];
+        const std::vector<std::size_t>& chosen = extract_memo[key];
+        for (std::size_t j = 0; j < kids.size(); ++j) run[kids[j]] = chosen[j];
+      }
+    }
+
+    // Certificate payloads: the run state is shape-determined, the mod-3
+    // depth counter is the one ID/position-dependent field — "re-patching on
+    // reuse" is selecting the right one of 3 precomputed variants per state.
+    std::vector<Certificate> table(3 * k);
+    for (std::size_t d = 0; d < 3; ++d)
+      for (std::size_t q = 0; q < k; ++q) {
+        BitWriter& w = ctx.writer(0);
+        w.write(d, 2);
+        w.write(q, width);
+        table[d * k + q] = Certificate::from_writer(std::move(w));
+      }
+    std::vector<Certificate> certs(g.vertex_count());
+    ctx.for_each_index(g.vertex_count(), [&](std::size_t, std::size_t v) {
+      certs[v] = table[(t.depth(v) % 3) * k + run[v]];
+    });
+    return certs;
+  }
+  return std::nullopt;
 }
 
 namespace {

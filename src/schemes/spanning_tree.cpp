@@ -3,6 +3,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "src/cert/prove.hpp"
+
 namespace lcert {
 
 void SpanningTreeCert::encode(BitWriter& w) const {
@@ -104,8 +106,19 @@ std::vector<Certificate> encode_all(const std::vector<SpanningTreeCert>& fields)
   for (const auto& f : fields) {
     BitWriter w;
     f.encode(w);
-    out.push_back(Certificate::from_writer(w));
+    out.push_back(Certificate::from_writer(std::move(w)));
   }
+  return out;
+}
+
+std::vector<Certificate> encode_all_batch(const std::vector<SpanningTreeCert>& fields,
+                                          ProverContext& ctx) {
+  std::vector<Certificate> out(fields.size());
+  ctx.for_each_index(fields.size(), [&](std::size_t worker, std::size_t i) {
+    BitWriter& w = ctx.writer(worker);
+    fields[i].encode(w);
+    out[i] = Certificate::from_writer(std::move(w));
+  });
   return out;
 }
 
@@ -133,6 +146,12 @@ std::optional<std::vector<Certificate>> VertexParityScheme::assign(const Graph& 
   return encode_all(build_spanning_tree_cert(g, 0));
 }
 
+std::optional<std::vector<Certificate>> VertexParityScheme::prove_batch(
+    const Graph& g, ProverContext& ctx) const {
+  if (!holds(g)) return std::nullopt;
+  return encode_all_batch(build_spanning_tree_cert(g, 0), ctx);
+}
+
 bool VertexParityScheme::verify(const ViewRef& view) const {
   const auto d = decode_all(view);
   if (!check_spanning_tree_fields(view, d.mine, d.neighbors, /*check_total=*/true))
@@ -145,6 +164,12 @@ bool VertexParityScheme::verify(const ViewRef& view) const {
 std::optional<std::vector<Certificate>> VertexCountScheme::assign(const Graph& g) const {
   if (!holds(g)) return std::nullopt;
   return encode_all(build_spanning_tree_cert(g, 0));
+}
+
+std::optional<std::vector<Certificate>> VertexCountScheme::prove_batch(
+    const Graph& g, ProverContext& ctx) const {
+  if (!holds(g)) return std::nullopt;
+  return encode_all_batch(build_spanning_tree_cert(g, 0), ctx);
 }
 
 bool VertexCountScheme::verify(const ViewRef& view) const {

@@ -47,6 +47,10 @@ class VertexParityScheme final : public Scheme {
   std::string name() const override { return "vertex-count-parity"; }
   bool holds(const Graph& g) const override { return g.vertex_count() % 2 == 0; }
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  /// Batch path: serial BFS (inherently sequential, and cheap), parallel
+  /// arena-backed encoding. Bit-identical to assign().
+  std::optional<std::vector<Certificate>> prove_batch(const Graph& g,
+                                                      ProverContext& ctx) const override;
   bool verify(const ViewRef& view) const override;
 };
 
@@ -57,6 +61,8 @@ class VertexCountScheme final : public Scheme {
   std::string name() const override { return "vertex-count"; }
   bool holds(const Graph& g) const override { return g.vertex_count() == target_; }
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  std::optional<std::vector<Certificate>> prove_batch(const Graph& g,
+                                                      ProverContext& ctx) const override;
   bool verify(const ViewRef& view) const override;
 
  private:

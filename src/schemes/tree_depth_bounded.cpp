@@ -35,7 +35,7 @@ std::optional<std::vector<Certificate>> TreeDepthBoundedScheme::assign(const Gra
   for (Vertex v = 0; v < g.vertex_count(); ++v) {
     BitWriter w;
     w.write(dist[v], static_cast<unsigned>(certificate_bits()));
-    out[v] = Certificate::from_writer(w);
+    out[v] = Certificate::from_writer(std::move(w));
   }
   return out;
 }

@@ -45,7 +45,7 @@ std::optional<std::vector<Certificate>> TreeDiameterScheme::assign(const Graph& 
     BitWriter w;
     w.write(t.depth(v) % 3, 2);
     w.write(height[v], height_bits);
-    out[v] = Certificate::from_writer(w);
+    out[v] = Certificate::from_writer(std::move(w));
   }
   return out;
 }

@@ -1,9 +1,12 @@
 #include "src/schemes/treedepth_core.hpp"
 
+#include <memory>
 #include <queue>
+#include <span>
 #include <stdexcept>
 #include <unordered_map>
 
+#include "src/cert/prove.hpp"
 #include "src/treedepth/elimination.hpp"
 
 namespace lcert {
@@ -92,6 +95,90 @@ std::vector<TdCore> build_td_cores(const Graph& g, const RootedTree& t) {
       f.dist = dist.at(u);
     }
   }
+  return certs;
+}
+
+std::vector<TdCore> build_td_cores_batch(const Graph& g, const RootedTree& t,
+                                         ProverContext& ctx) {
+  if (!is_coherent_model(g, t))
+    throw std::invalid_argument("build_td_cores: model must be coherent");
+  const std::size_t n = g.vertex_count();
+  std::vector<TdCore> certs(n);
+  ctx.for_each_index(n, [&](std::size_t, std::size_t u) {
+    for (std::size_t a : t.ancestors(u)) certs[u].list.push_back(g.id(a));
+    certs[u].frags.resize(t.depth(u));
+  });
+
+  // Subtree membership as preorder intervals: a subtree is the contiguous
+  // run of t.preorder() starting at its root, in the same sequence as
+  // RootedTree::subtree (same DFS expansion rule) — which matters because
+  // the exit vertex is the *first* subtree vertex adjacent to the parent.
+  const std::vector<std::size_t> order = t.preorder();
+  std::vector<std::size_t> pos(n), sub_size(n, 1);
+  for (std::size_t i = 0; i < n; ++i) pos[order[i]] = i;
+  for (std::size_t i = n; i-- > 0;) {
+    const std::size_t v = order[i];
+    if (t.parent(v) != RootedTree::kNoParent) sub_size[t.parent(v)] += sub_size[v];
+  }
+
+  // One BFS over G_v per non-root v, from v's exit vertex: same neighbor
+  // order and FIFO discipline as build_td_cores, over epoch-stamped arrays
+  // instead of hash maps (no per-subtree allocations once a worker is warm).
+  struct Scratch {
+    std::vector<std::uint32_t> member_epoch, seen_epoch;
+    std::vector<Vertex> bfs, parent;
+    std::vector<std::uint64_t> dist;
+    std::uint32_t epoch = 0;
+    explicit Scratch(std::size_t count)
+        : member_epoch(count, 0), seen_epoch(count, 0), parent(count, 0), dist(count, 0) {
+      bfs.reserve(count);
+    }
+  };
+  std::vector<std::unique_ptr<Scratch>> scratch(ctx.worker_count());
+
+  ctx.for_each_index(n, [&](std::size_t worker, std::size_t v) {
+    if (t.parent(v) == RootedTree::kNoParent) return;
+    if (!scratch[worker]) scratch[worker] = std::make_unique<Scratch>(n);
+    Scratch& s = *scratch[worker];
+    ++s.epoch;
+    const std::size_t k = t.depth(v);
+    const Vertex p = t.parent(v);
+    const std::span<const std::size_t> members =
+        std::span<const std::size_t>(order).subspan(pos[v], sub_size[v]);
+    for (std::size_t m : members) s.member_epoch[m] = s.epoch;
+    Vertex exit = 0;
+    bool exit_found = false;
+    for (std::size_t x : members)
+      if (g.has_edge(x, p)) {
+        exit = x;
+        exit_found = true;
+        break;
+      }
+    if (!exit_found)
+      throw std::invalid_argument("exit_vertex: model is not coherent at this vertex");
+    s.bfs.clear();
+    s.bfs.push_back(exit);
+    s.seen_epoch[exit] = s.epoch;
+    s.dist[exit] = 0;
+    for (std::size_t head = 0; head < s.bfs.size(); ++head) {
+      const Vertex x = s.bfs[head];
+      for (Vertex y : g.neighbors(x)) {
+        if (s.member_epoch[y] != s.epoch || s.seen_epoch[y] == s.epoch) continue;
+        s.seen_epoch[y] = s.epoch;
+        s.dist[y] = s.dist[x] + 1;
+        s.parent[y] = x;
+        s.bfs.push_back(y);
+      }
+    }
+    if (s.bfs.size() != members.size())
+      throw std::logic_error("build_td_cores: G_v not connected (model not coherent?)");
+    for (std::size_t u : members) {
+      TdFragment& f = certs[u].frags[k - 1];
+      f.exit_root_id = g.id(exit);
+      f.parent_id = (u == exit) ? g.id(u) : g.id(s.parent[u]);
+      f.dist = s.dist[u];
+    }
+  });
   return certs;
 }
 

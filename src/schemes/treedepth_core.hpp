@@ -41,6 +41,15 @@ struct TdCore {
 /// Prover side: the per-vertex cores for a *coherent* model of g.
 std::vector<TdCore> build_td_cores(const Graph& g, const RootedTree& coherent_model);
 
+/// Batch twin of build_td_cores: identical cores (same exit vertices, same
+/// BFS spanning trees, same distances — pinned by the round-trip tests), but
+/// the per-subtree BFS runs over epoch-stamped flat scratch instead of hash
+/// maps and the subtrees are fanned out across the run's workers. For a
+/// fixed vertex u, distinct ancestors sit at distinct depths and fill
+/// distinct fragment slots, so all parallel writes are disjoint.
+std::vector<TdCore> build_td_cores_batch(const Graph& g, const RootedTree& coherent_model,
+                                         ProverContext& ctx);
+
 /// Verifier side: Section 5's steps 1-4 at one vertex. `t` is the depth bound
 /// (levels). `mine`/`nbs` must be pre-decoded; `nbs` is index-parallel to
 /// `view.neighbors`. Returns false on any violation.

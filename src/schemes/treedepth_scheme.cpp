@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "src/cert/prove.hpp"
 #include "src/schemes/treedepth_core.hpp"
 #include "src/treedepth/elimination.hpp"
 #include "src/treedepth/exact.hpp"
@@ -41,7 +42,7 @@ bool TreedepthScheme::holds(const Graph& g) const {
       "TreedepthScheme::holds: no witness and the instance is too large for the exact solver");
 }
 
-std::optional<std::vector<Certificate>> TreedepthScheme::assign(const Graph& g) const {
+std::optional<RootedTree> TreedepthScheme::find_model(const Graph& g) const {
   std::optional<RootedTree> model;
   if (witness_) {
     auto w = witness_(g);
@@ -53,14 +54,35 @@ std::optional<std::vector<Certificate>> TreedepthScheme::assign(const Graph& g) 
     if (!w.has_value()) return std::nullopt;
     model = make_coherent(g, *w);
   }
+  return model;
+}
+
+std::optional<std::vector<Certificate>> TreedepthScheme::assign(const Graph& g) const {
+  const auto model = find_model(g);
+  if (!model.has_value()) return std::nullopt;
 
   const auto cores = build_td_cores(g, *model);
   std::vector<Certificate> out(g.vertex_count());
   for (Vertex u = 0; u < g.vertex_count(); ++u) {
     BitWriter w;
     cores[u].encode(w);
-    out[u] = Certificate::from_writer(w);
+    out[u] = Certificate::from_writer(std::move(w));
   }
+  return out;
+}
+
+std::optional<std::vector<Certificate>> TreedepthScheme::prove_batch(
+    const Graph& g, ProverContext& ctx) const {
+  const auto model = find_model(g);
+  if (!model.has_value()) return std::nullopt;
+
+  const auto cores = build_td_cores_batch(g, *model, ctx);
+  std::vector<Certificate> out(g.vertex_count());
+  ctx.for_each_index(g.vertex_count(), [&](std::size_t worker, std::size_t u) {
+    BitWriter& w = ctx.writer(worker);
+    cores[u].encode(w);
+    out[u] = Certificate::from_writer(std::move(w));
+  });
   return out;
 }
 

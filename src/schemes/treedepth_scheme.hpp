@@ -50,9 +50,16 @@ class TreedepthScheme final : public Scheme {
   bool holds(const Graph& g) const override;
 
   std::optional<std::vector<Certificate>> assign(const Graph& g) const override;
+  /// Batch path: same witness/model selection as assign(), cores built by
+  /// build_td_cores_batch (bit-identical), certificates encoded in parallel
+  /// with per-worker arena writers.
+  std::optional<std::vector<Certificate>> prove_batch(const Graph& g,
+                                                      ProverContext& ctx) const override;
   bool verify(const ViewRef& view) const override;
 
  private:
+  std::optional<RootedTree> find_model(const Graph& g) const;
+
   std::size_t t_;
   WitnessProvider witness_;
 };

@@ -60,7 +60,7 @@ std::optional<std::vector<Certificate>> UniversalScheme::assign(const Graph& g) 
   for (auto [u, v] : g.edges()) d.adjacency[Description::tri_index(u, v, n)] = true;
   BitWriter w;
   d.encode(w);
-  const Certificate cert = Certificate::from_writer(w);
+  const Certificate cert = Certificate::from_writer(std::move(w));
   return std::vector<Certificate>(n, cert);
 }
 

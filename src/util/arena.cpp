@@ -1,0 +1,36 @@
+#include "src/util/arena.hpp"
+
+#include <type_traits>
+
+namespace lcert {
+
+void* Arena::allocate(std::size_t size, std::size_t align) {
+  if (size == 0) size = 1;
+  // Try the active chunk and any later chunk retained by a reset().
+  while (active_ < chunks_.size()) {
+    Chunk& c = chunks_[active_];
+    const std::size_t base = reinterpret_cast<std::uintptr_t>(c.data.get() + c.used);
+    const std::size_t pad = (align - (base & (align - 1))) & (align - 1);
+    if (c.used + pad + size <= c.size) {
+      void* out = c.data.get() + c.used + pad;
+      c.used += pad + size;
+      return out;
+    }
+    ++active_;
+  }
+  // Need a fresh chunk: doubled, and always large enough for the request
+  // (plus worst-case alignment padding).
+  std::size_t want = next_chunk_bytes_;
+  while (want < size + align) want *= 2;
+  next_chunk_bytes_ = want * 2;
+  chunks_.push_back(Chunk{std::make_unique<std::uint8_t[]>(want), want, 0});
+  active_ = chunks_.size() - 1;
+  Chunk& c = chunks_.back();
+  const std::size_t base = reinterpret_cast<std::uintptr_t>(c.data.get());
+  const std::size_t pad = (align - (base & (align - 1))) & (align - 1);
+  void* out = c.data.get() + pad;
+  c.used = pad + size;
+  return out;
+}
+
+}  // namespace lcert

@@ -1,18 +1,67 @@
 #include "src/util/bitio.hpp"
 
+#include <cstring>
+
+#include "src/util/arena.hpp"
+
 namespace lcert {
 
 void BitWriter::write(std::uint64_t value, unsigned width) {
   if (width > 64) throw std::invalid_argument("BitWriter::write: width > 64");
   if (width < 64 && (value >> width) != 0)
     throw std::invalid_argument("BitWriter::write: value does not fit width");
-  for (unsigned i = width; i-- > 0;) {
-    const bool bit = (value >> i) & 1u;
-    const std::size_t byte_index = bit_size_ / 8;
-    if (byte_index == bytes_.size()) bytes_.push_back(0);
-    if (bit) bytes_[byte_index] |= static_cast<std::uint8_t>(0x80u >> (bit_size_ % 8));
-    ++bit_size_;
+  if (width == 0) return;
+  const std::size_t old_bytes = (bit_size_ + 7) / 8;
+  const std::size_t need_bytes = (bit_size_ + width + 7) / 8;
+  if (need_bytes > capacity_) grow(need_bytes);
+  // Zero bytes touched for the first time: clear() and arena reuse leave
+  // stale data in the buffer, and everything below ORs bits in.
+  if (need_bytes > old_bytes)
+    std::memset(data_ + old_bytes, 0, need_bytes - old_bytes);
+  std::size_t pos = bit_size_;
+  unsigned left = width;
+  while (left > 0) {
+    const unsigned avail = 8 - static_cast<unsigned>(pos & 7);
+    const unsigned take = left < avail ? left : avail;
+    const std::uint8_t chunk =
+        static_cast<std::uint8_t>(value >> (left - take)) &
+        static_cast<std::uint8_t>((1u << take) - 1);
+    data_[pos >> 3] |= static_cast<std::uint8_t>(chunk << (avail - take));
+    pos += take;
+    left -= take;
   }
+  bit_size_ += width;
+}
+
+void BitWriter::grow(std::size_t need_bytes) {
+  std::size_t new_cap = capacity_ == 0 ? 64 : capacity_ * 2;
+  while (new_cap < need_bytes) new_cap *= 2;
+  if (arena_ != nullptr) {
+    auto* fresh = arena_->allocate_array<std::uint8_t>(new_cap);
+    if (bit_size_ > 0) std::memcpy(fresh, data_, (bit_size_ + 7) / 8);
+    data_ = fresh;
+  } else {
+    heap_.resize(new_cap);
+    data_ = heap_.data();
+  }
+  capacity_ = new_cap;
+}
+
+std::vector<std::uint8_t> BitWriter::take_bytes() && {
+  const std::size_t n = (bit_size_ + 7) / 8;
+  std::vector<std::uint8_t> out;
+  if (arena_ != nullptr) {
+    // Arena memory cannot change owners; copy out and keep the buffer.
+    if (n > 0) out.assign(data_, data_ + n);
+  } else {
+    heap_.resize(n);
+    out = std::move(heap_);
+    heap_.clear();
+    data_ = nullptr;
+    capacity_ = 0;
+  }
+  bit_size_ = 0;
+  return out;
 }
 
 void BitWriter::write_varnat(std::uint64_t value) {

@@ -6,15 +6,24 @@
 // a byte buffer and tracks the exact bit count; BitReader consumes the same
 // stream and fails loudly (CertificateTruncated) on truncated input, which the
 // verification engine treats as a rejection.
+//
+// A BitWriter is either heap-backed (default) or arena-backed
+// (BitWriter(Arena&)): the batch prover keeps one arena-backed writer per
+// worker and clear()s it between vertices, so steady-state encoding does no
+// allocations at all. The bit stream produced is byte-identical in both
+// modes.
 #pragma once
 
 #include <cstdint>
 #include <cstddef>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace lcert {
+
+class Arena;
 
 /// Thrown by BitReader when a certificate stream runs out (or a varnat never
 /// terminates) before the requested field is complete. The verification
@@ -29,6 +38,16 @@ class CertificateTruncated : public std::out_of_range {
 /// Append-only bit stream. Fields are written MSB-first.
 class BitWriter {
  public:
+  /// Heap-backed: the byte buffer is an owned vector, which
+  /// Certificate::from_writer(BitWriter&&) can steal without a copy.
+  BitWriter() = default;
+
+  /// Arena-backed: bytes live in `arena` (which must outlive the writer and
+  /// any view of bytes()). Growth bump-allocates; clear() rewinds the bit
+  /// cursor while keeping the high-water buffer, so re-encoding vertex after
+  /// vertex does zero steady-state allocations.
+  explicit BitWriter(Arena& arena) : arena_(&arena) {}
+
   /// Appends the low `width` bits of `value` (MSB of the field first).
   /// Requires width <= 64 and value < 2^width.
   void write(std::uint64_t value, unsigned width);
@@ -43,14 +62,30 @@ class BitWriter {
   /// Appends every bit of another stream (used to concatenate sub-certificates).
   void append(const BitWriter& other);
 
+  /// Rewinds to an empty stream, retaining the buffer (both modes).
+  void clear() noexcept { bit_size_ = 0; }
+
   /// Number of bits written so far.
   std::size_t bit_size() const noexcept { return bit_size_; }
 
-  /// Underlying bytes; the final partial byte is zero-padded.
-  const std::vector<std::uint8_t>& bytes() const noexcept { return bytes_; }
+  /// Bytes written so far; the final partial byte is zero-padded. The view
+  /// is invalidated by the next write or clear.
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return {data_, (bit_size_ + 7) / 8};
+  }
+
+  /// Surrenders the byte buffer, sized exactly ceil(bit_size/8), leaving the
+  /// writer empty. Heap mode moves the owned vector out (no copy); arena
+  /// mode must copy, since arena memory cannot change owners.
+  std::vector<std::uint8_t> take_bytes() &&;
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  void grow(std::size_t need_bytes);
+
+  Arena* arena_ = nullptr;
+  std::uint8_t* data_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::vector<std::uint8_t> heap_;  ///< heap-mode backing store for data_
   std::size_t bit_size_ = 0;
 };
 
@@ -58,7 +93,10 @@ class BitWriter {
 class BitReader {
  public:
   BitReader(const std::vector<std::uint8_t>& bytes, std::size_t bit_size)
-      : bytes_(&bytes), bit_size_(bit_size) {}
+      : data_(bytes.data()), bit_size_(bit_size) {}
+
+  BitReader(std::span<const std::uint8_t> bytes, std::size_t bit_size)
+      : data_(bytes.data()), bit_size_(bit_size) {}
 
   explicit BitReader(const BitWriter& w) : BitReader(w.bytes(), w.bit_size()) {}
 
@@ -72,12 +110,11 @@ class BitReader {
     // Consume up to a byte per step (the stream is MSB-first within each byte).
     std::uint64_t out = 0;
     unsigned left = width;
-    const std::uint8_t* data = bytes_->data();
     while (left > 0) {
       const unsigned avail = 8 - static_cast<unsigned>(pos_ & 7);
       const unsigned take = left < avail ? left : avail;
       const std::uint8_t chunk =
-          static_cast<std::uint8_t>(data[pos_ >> 3] >> (avail - take)) &
+          static_cast<std::uint8_t>(data_[pos_ >> 3] >> (avail - take)) &
           static_cast<std::uint8_t>((1u << take) - 1);
       out = (out << take) | chunk;
       pos_ += take;
@@ -96,7 +133,7 @@ class BitReader {
   bool exhausted() const noexcept { return pos_ == bit_size_; }
 
  private:
-  const std::vector<std::uint8_t>* bytes_;
+  const std::uint8_t* data_;
   std::size_t bit_size_;
   std::size_t pos_ = 0;
 };

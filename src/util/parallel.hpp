@@ -99,4 +99,51 @@ void parallel_for(std::size_t count, std::size_t num_threads, Fn&& fn) {
   parallel_for(count, num_threads, std::forward<Fn>(fn), [](auto&& run) { run(); });
 }
 
+/// parallel_for variant that passes a dense worker id to the callback:
+/// fn(worker, i) with worker in [0, resolve_thread_count(...)), and worker 0
+/// always the calling thread. Callers index per-worker scratch (arenas,
+/// writers) by it without thread-local storage. The determinism contract is
+/// the caller's, same as parallel_for: which worker runs an index is
+/// scheduling-dependent, so fn's *result* for index i must not depend on
+/// `worker` — scratch indexed by worker id is fine precisely because it is
+/// scratch.
+template <typename Fn>
+void parallel_for_workers(std::size_t count, std::size_t num_threads, Fn&& fn) {
+  const std::size_t workers = resolve_thread_count(num_threads, count);
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(std::size_t{0}, i);
+    return;
+  }
+
+  const std::size_t chunk = std::max<std::size_t>(1, count / (workers * 8));
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  auto drain = [&](std::size_t worker) {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) return;
+      const std::size_t end = std::min(begin + chunk, count);
+      try {
+        for (std::size_t i = begin; i < end; ++i) fn(worker, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 0; t + 1 < workers; ++t)
+    pool.emplace_back([&drain, t]() { drain(t + 1); });
+  drain(0);
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
 }  // namespace lcert

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "src/cert/scheme.hpp"
+#include "src/util/arena.hpp"
 #include "src/util/rng.hpp"
 
 namespace lcert {
@@ -95,6 +99,69 @@ TEST(BitIo, MixedInterleavedRoundTrip) {
     }
     BitReader r(w);
     for (auto [value, width] : fields) EXPECT_EQ(r.read(width), value);
+  }
+}
+
+// The arena-backed writer is a drop-in for the heap writer: same bytes, same
+// bit_size, for arbitrary interleaved field sequences.
+TEST(BitIo, ArenaWriterMatchesHeapWriter) {
+  Rng rng(13);
+  Arena arena;
+  for (int trial = 0; trial < 50; ++trial) {
+    BitWriter heap;
+    BitWriter in_arena(arena);
+    for (int i = 0; i < 60; ++i) {
+      const unsigned width = 1 + static_cast<unsigned>(rng.index(64));
+      const std::uint64_t value =
+          width == 64 ? rng.uniform(0, ~std::uint64_t{0})
+                      : rng.uniform(0, (std::uint64_t{1} << width) - 1);
+      heap.write(value, width);
+      in_arena.write(value, width);
+    }
+    heap.write_varnat(trial);
+    in_arena.write_varnat(trial);
+    ASSERT_EQ(heap.bit_size(), in_arena.bit_size());
+    const auto a = heap.bytes();
+    const auto b = in_arena.bytes();
+    ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end())) << trial;
+  }
+}
+
+// clear() rewinds without releasing the buffer — and crucially must not leak
+// stale bits from the previous stream into the next one.
+TEST(BitIo, ArenaWriterClearLeavesNoStaleBits) {
+  Arena arena;
+  BitWriter w(arena);
+  w.write(~std::uint64_t{0}, 64);  // all-ones fill
+  w.write(~std::uint64_t{0}, 64);
+  w.clear();
+  w.write(0, 3);  // shorter stream of zeros over the old ones
+  w.write(0, 64);
+  BitReader r(w);
+  EXPECT_EQ(r.read(3), 0u);
+  EXPECT_EQ(r.read(64), 0u);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(w.bytes().size(), (3u + 64u + 7u) / 8u);
+  for (const std::uint8_t byte : w.bytes()) EXPECT_EQ(byte, 0u);
+}
+
+// The move overload steals the heap buffer; on an arena writer it copies out
+// (arena memory cannot change owners) but leaves the writer reusable.
+TEST(BitIo, FromWriterMoveMatchesCopy) {
+  Arena arena;
+  for (const bool use_arena : {false, true}) {
+    BitWriter w = use_arena ? BitWriter(arena) : BitWriter();
+    w.write(0b1101, 4);
+    w.write_varnat(987654321);
+    const Certificate copied = Certificate::from_writer(w);
+    const Certificate moved = Certificate::from_writer(std::move(w));
+    EXPECT_EQ(copied.bit_size, moved.bit_size);
+    EXPECT_EQ(copied.bytes, moved.bytes);
+    // The writer is reusable after the move: cursor rewound, writes land.
+    w.write(0b11, 2);
+    EXPECT_EQ(w.bit_size(), 2u);
+    BitReader r(w);
+    EXPECT_EQ(r.read(2), 0b11u);
   }
 }
 
