@@ -8,6 +8,10 @@
 // pure work saved, not work changed.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "src/cert/engine.hpp"
 #include "src/cert/prove.hpp"
 #include "src/graph/generators.hpp"
@@ -179,12 +183,14 @@ void add_prove_record(obs::Report& report, const Family& fam, std::size_t n,
   const std::size_t rounds = 5;
   std::size_t hits = 0;
   std::size_t misses = 0;
+  FeasTierCounts feas;
   const obs::StopwatchMs timer;
   for (std::size_t i = 0; i < rounds; ++i) {
     const ProveResult result = prove_assignment(scheme, g, options);
     if (!result.certificates.has_value()) throw std::logic_error("bench: prover refused");
     hits = result.memo_hits;
     misses = result.memo_misses;
+    feas = result.feas;
   }
   const double wall_ms = timer.elapsed();
   report.add()
@@ -194,7 +200,10 @@ void add_prove_record(obs::Report& report, const Family& fam, std::size_t n,
       .set("n", g.vertex_count())
       .set("wall_ms_per_round", wall_ms / rounds)
       .set("memo_hits", hits)
-      .set("memo_misses", misses);
+      .set("memo_misses", misses)
+      .set("feas_greedy", feas.greedy)
+      .set("feas_warm", feas.warm)
+      .set("feas_flow", feas.flow);
 }
 
 }  // namespace
@@ -202,18 +211,51 @@ void add_prove_record(obs::Report& report, const Family& fam, std::size_t n,
 int main(int argc, char** argv) {
   // Strip --metrics-out / LCERT_METRICS before google-benchmark sees argv.
   auto report = obs::Report::from_cli("E14-prove-throughput", argc, argv);
+
+  // Our own flags, stripped before google-benchmark parses argv:
+  //   --family <name>   restrict the structured record rows to one family
+  //   --record-n <n>    instance size of the record rows (default 4096)
+  // Unknown family names exit 2 with the listing, matching lcert_cli.
+  std::vector<Family> record_families = {kCompleteBinary, kRandomTree};
+  std::size_t record_n = 4096;
+  {
+    const Family kAll[] = {kPath, kCaterpillar, kCompleteBinary, kRandomTree};
+    int out = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string flag = argv[i];
+      if (flag == "--family" && i + 1 < argc) {
+        const std::string name = argv[++i];
+        record_families.clear();
+        for (const Family& f : kAll)
+          if (name == f.name) record_families.push_back(f);
+        if (record_families.empty()) {
+          std::fprintf(stderr, "error: unknown family '%s'; valid families:\n",
+                       name.c_str());
+          for (const Family& f : kAll) std::fprintf(stderr, "  %s\n", f.name);
+          return 2;
+        }
+      } else if (flag == "--record-n" && i + 1 < argc) {
+        record_n = std::stoul(argv[++i]);
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    argc = out;
+  }
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
 
-  for (const Family& fam : {kCompleteBinary, kRandomTree}) {
-    add_prove_record(report, fam, 4096, 1, false, "serial-no-memo");
-    add_prove_record(report, fam, 4096, 1, true, "serial-memo");
-    add_prove_record(report, fam, 4096, 0, true, "parallel-memo");
+  for (const Family& fam : record_families) {
+    add_prove_record(report, fam, record_n, 1, false, "serial-no-memo");
+    add_prove_record(report, fam, record_n, 1, true, "serial-memo");
+    add_prove_record(report, fam, record_n, 0, true, "parallel-memo");
   }
   report.note("");
   report.note("micro numbers above are google-benchmark's; the table rows re-measure one");
-  report.note("prove_assignment round (5x) with memo counters for the structured artifact.");
+  report.note("prove_assignment round (5x) with memo + feasibility-tier counters for");
+  report.note("the structured artifact.");
   return report.finish();
 }

@@ -60,10 +60,13 @@ if [[ "$SMOKE" == 1 ]]; then
 fi
 
 # The obs table goes to stdout for the human; the google-benchmark JSON goes
-# straight to a file so the table cannot corrupt it.
+# straight to a file so the table cannot corrupt it. The structured record
+# rows (memo + feasibility-tier counters) follow the headline size, so smoke
+# runs record n=1024 instead of the full-sweep 4096.
 "$BIN" --benchmark_filter="$FILTER" \
        --benchmark_min_time=0.2 \
        --benchmark_out="$RAW" --benchmark_out_format=json \
+       --record-n "$HEADLINE_N" \
        --metrics-out "$METRICS"
 
 env RAW="$RAW" METRICS="$METRICS" OUT="$OUT" GIT_SHA="$GIT_SHA" RUN_DATE="$RUN_DATE" \
@@ -122,7 +125,12 @@ result = {
     "provenance": {
         "git_sha": os.environ["GIT_SHA"],
         "date": os.environ["RUN_DATE"],
-        "num_cpus": int(os.environ["NUM_CPUS"]),
+        # Same probe as context.num_cpus: google-benchmark's own host
+        # detection at run time, so the provenance block can never disagree
+        # with the context block it sits next to (the nproc value is only the
+        # fallback when the benchmark JSON carries no context).
+        "num_cpus": int(raw.get("context", {}).get("num_cpus")
+                        or os.environ["NUM_CPUS"]),
         "compiler": os.environ["CXX_COMPILER"],
         "compiler_version": os.environ["COMPILER_VERSION"],
         "build_type": os.environ["BUILD_TYPE"],
@@ -134,6 +142,18 @@ result = {
     "items_per_second": rates,
     "obs_records": obs.get("records", []),
     "speedup_vs_seed_by_family": speedups,
+    # The ROADMAP's irregular-shape gap: memoized serial batch throughput on
+    # random trees versus complete binary trees (target: within 50x).
+    "randomtree_cliff": {
+        "complete_binary_items_per_second": rate("BatchSerial", "CompleteBinary"),
+        "random_tree_items_per_second": rate("BatchSerial", "RandomTree"),
+        "ratio": (
+            rate("BatchSerial", "CompleteBinary") / rate("BatchSerial", "RandomTree")
+            if rate("BatchSerial", "CompleteBinary") and rate("BatchSerial", "RandomTree")
+            else None
+        ),
+        "target_ratio": 50.0,
+    },
     "headline": {
         "memo_friendly_family": best_memo_family,
         "speedup_vs_seed_serial": best_memo_speedup,
@@ -148,6 +168,10 @@ with open(os.environ["OUT"], "w") as f:
 print(f"wrote {os.environ['OUT']}")
 for fam, s in sorted(speedups.items()):
     print(f"  {fam}: {s:.2f}x vs seed serial at n={headline_n}")
+cliff = result["randomtree_cliff"]["ratio"]
+if cliff is not None:
+    print(f"randomtree cliff: CompleteBinary/RandomTree = {cliff:.1f}x "
+          f"({'within' if cliff <= 50.0 else 'OUTSIDE'} the 50x target)")
 if best_memo_speedup is not None:
     print(f"headline ({best_memo_family}): {best_memo_speedup:.2f}x "
           f"({'meets' if best_memo_speedup >= 4.0 else 'MISSES'} the 4x target)")

@@ -5,7 +5,13 @@
 //   lcert_cli run  <scheme> <file|->        # certify a graph in edge-list format
 //   lcert_cli audit <scheme> [n]            # completeness + soundness attack battery
 //   lcert_cli prove <scheme> [n] [--threads T] [--no-memo]
-//                                           # batch prover: timing + memo stats
+//                   [--family F] [--feas-tier-max T]
+//                                           # batch prover: timing + memo and
+//                                           # feasibility-tier stats. --family
+//                                           # swaps the instance shape (path,
+//                                           # caterpillar, complete-binary,
+//                                           # random-tree) for the scheme's
+//                                           # default yes-instance
 //   lcert_cli fuzz <scheme|all> [flags]     # differential fuzzing campaign
 //   lcert_cli dot  <file|->                 # print the graph as Graphviz DOT
 //
@@ -31,6 +37,7 @@
 #include "src/cert/engine.hpp"
 #include "src/cert/prove.hpp"
 #include "src/fuzz/campaign.hpp"
+#include "src/graph/generators.hpp"
 #include "src/graph/io.hpp"
 #include "src/logic/eval.hpp"
 #include "src/obs/report.hpp"
@@ -121,13 +128,51 @@ int audit_scheme(const RegisteredScheme& entry, std::size_t n, obs::Report& repo
   return forged.has_value() ? 1 : 0;
 }
 
+// Named instance shapes for `prove --family`, mirroring the bench harness
+// (bench_prove_throughput.cpp) so the RandomTree prover cliff reproduces from
+// the CLI: `lcert_cli prove mso-leaves4 4096 --family random-tree`.
+struct ShapeFamily {
+  const char* name;
+  Graph (*make)(std::size_t n, Rng& rng);
+};
+
+Graph shape_path(std::size_t n, Rng&) { return make_path(std::max<std::size_t>(n, 2)); }
+Graph shape_caterpillar(std::size_t n, Rng&) {
+  return make_caterpillar(std::max<std::size_t>(n / 2, 1), 1);
+}
+Graph shape_complete_binary(std::size_t n, Rng&) {
+  std::size_t levels = 1;
+  while (((std::size_t{1} << (levels + 1)) - 1) <= n) ++levels;
+  return make_complete_binary_tree(levels);  // largest 2^L - 1 <= n
+}
+Graph shape_random_tree(std::size_t n, Rng& rng) { return make_random_tree(n, rng); }
+
+constexpr ShapeFamily kShapeFamilies[] = {
+    {"path", &shape_path},
+    {"caterpillar", &shape_caterpillar},
+    {"complete-binary", &shape_complete_binary},
+    {"random-tree", &shape_random_tree},
+};
+
+/// Non-throwing shape lookup, same contract as lookup() above: unknown names
+/// list the valid ones on stderr, exit code 2 at the call site.
+const ShapeFamily* lookup_shape(const std::string& name) {
+  for (const ShapeFamily& f : kShapeFamilies)
+    if (name == f.name) return &f;
+  std::fprintf(stderr, "error: unknown family '%s'; valid families:\n", name.c_str());
+  for (const ShapeFamily& f : kShapeFamilies) std::fprintf(stderr, "  %s\n", f.name);
+  return nullptr;
+}
+
 // Run the batch prover on a generated yes-instance, verify the output, and
-// report wall time plus the memo counters — the CLI face of prove_assignment.
+// report wall time plus the memo and feasibility-tier counters — the CLI face
+// of prove_assignment.
 int prove_command(const std::vector<std::string>& args, obs::Report& report) {
   const RegisteredScheme* entry = lookup(args[1]);
   if (entry == nullptr) return 2;
   std::size_t n = 1024;
   RunOptions options;
+  const ShapeFamily* shape = nullptr;
   for (std::size_t i = 2; i < args.size(); ++i) {
     const std::string& flag = args[i];
     if (flag == "--metrics-out") {
@@ -137,6 +182,14 @@ int prove_command(const std::vector<std::string>& args, obs::Report& report) {
       options.num_threads = std::stoul(args[++i]);
     } else if (flag == "--no-memo") {
       options.memoize = false;
+    } else if (flag == "--family") {
+      if (i + 1 >= args.size()) throw std::invalid_argument("missing value for --family");
+      shape = lookup_shape(args[++i]);
+      if (shape == nullptr) return 2;
+    } else if (flag == "--feas-tier-max") {
+      if (i + 1 >= args.size())
+        throw std::invalid_argument("missing value for --feas-tier-max");
+      options.feas_tier_max = std::stoi(args[++i]);
     } else if (!flag.empty() && flag[0] != '-') {
       n = std::stoul(flag);
     } else {
@@ -146,10 +199,13 @@ int prove_command(const std::vector<std::string>& args, obs::Report& report) {
 
   const auto scheme = entry->make();
   Rng rng(42);
-  const Graph g = entry->family.yes_instance(n, rng);
+  Graph g = shape == nullptr ? entry->family.yes_instance(n, rng) : shape->make(n, rng);
+  if (shape != nullptr) assign_random_ids(g, rng);
   std::printf("scheme:   %s (%s)\n", entry->key.c_str(), entry->description.c_str());
-  std::printf("instance: n=%zu m=%zu, threads=%zu, memo=%s\n", g.vertex_count(),
-              g.edge_count(), options.num_threads, options.memoize ? "on" : "off");
+  std::printf("instance: %s n=%zu m=%zu, threads=%zu, memo=%s, feas-tiers<=%d\n",
+              shape == nullptr ? "yes-instance" : shape->name, g.vertex_count(),
+              g.edge_count(), options.num_threads, options.memoize ? "on" : "off",
+              options.feas_tier_max);
 
   const auto start = std::chrono::steady_clock::now();
   const ProveResult result = prove_assignment(*scheme, g, options);
@@ -157,12 +213,18 @@ int prove_command(const std::vector<std::string>& args, obs::Report& report) {
                         std::chrono::steady_clock::now() - start)
                         .count();
   if (!result.certificates.has_value()) {
-    std::printf("prover: refuses (BUG: family generated a no-instance?)\n");
+    std::printf(shape == nullptr
+                    ? "prover: refuses (BUG: family generated a no-instance?)\n"
+                    : "prover: refuses (the --family shape is a no-instance here)\n");
     return 1;
   }
   const auto outcome = verify_assignment(*scheme, g, *result.certificates, options);
   std::printf("prover: %.3f ms, memo hits %zu / misses %zu\n", ms, result.memo_hits,
               result.memo_misses);
+  std::printf("feasibility tiers: greedy %llu / warm-flow %llu / cold-flow %llu\n",
+              static_cast<unsigned long long>(result.feas.greedy),
+              static_cast<unsigned long long>(result.feas.warm),
+              static_cast<unsigned long long>(result.feas.flow));
   std::printf("certificates: max %zu bits/vertex (total %zu)\n",
               outcome.max_certificate_bits, outcome.total_certificate_bits);
   std::printf("verification: %s\n",
@@ -173,9 +235,14 @@ int prove_command(const std::vector<std::string>& args, obs::Report& report) {
       .set("n", g.vertex_count())
       .set("threads", options.num_threads)
       .set("memo", options.memoize ? "on" : "off")
+      .set("family", shape == nullptr ? "yes-instance" : shape->name)
+      .set("feas_tier_max", options.feas_tier_max)
       .set("prove_ms", ms)
       .set("memo_hits", result.memo_hits)
       .set("memo_misses", result.memo_misses)
+      .set("feas_greedy", result.feas.greedy)
+      .set("feas_warm", result.feas.warm)
+      .set("feas_flow", result.feas.flow)
       .set("max_bits", outcome.max_certificate_bits);
   std::printf("\n");
   report.print_metrics();
@@ -335,7 +402,8 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage: lcert_cli list | demo <scheme> [n] | run <scheme> <file|-> | "
-               "audit <scheme> [n] | prove <scheme> [n] [--threads T] [--no-memo] | "
+               "audit <scheme> [n] | prove <scheme> [n] [--threads T] [--no-memo] "
+               "[--family F] [--feas-tier-max T] | "
                "fuzz <scheme|all> [--trials N] [--time-budget S] "
                "[--seed S] [--threads T] [--base-n N] [--replay T] [--out DIR] | "
                "dot <file|->\n");

@@ -47,11 +47,18 @@ struct RunOptions {
   /// time budgets by nature are not).
   double time_budget_s = 0;
 
-  // --- proving (last field: existing aggregate initializers stay valid) ---
+  // --- proving (last fields: existing aggregate initializers stay valid) ---
   /// Enable the hash-consed subtree certificate cache in batch provers.
   /// Off is strictly a debugging/benchmarking mode: output is bit-identical
   /// either way (pinned by tests), only the work done changes.
   bool memoize = true;
+
+  /// Ceiling on the UOP feasibility fast-path tiers (kFeasTier* in
+  /// uop_automaton.hpp): 2 = greedy + warm flow (default), 1 = greedy only,
+  /// 0 = cold Dinic per query (the pre-tier reference path). Like `memoize`,
+  /// a debugging/benchmarking knob: output is bit-identical at every setting
+  /// (pinned by tests and the feas-tier-divergence fuzz oracle).
+  int feas_tier_max = 2;
 };
 
 }  // namespace lcert

@@ -11,6 +11,9 @@ struct ProverMetrics {
   obs::Counter prove_calls = obs::registry().counter("prover/prove_calls");
   obs::Counter memo_hits = obs::registry().counter("prover/memo_hits");
   obs::Counter memo_misses = obs::registry().counter("prover/memo_misses");
+  obs::Counter feas_greedy = obs::registry().counter("prover/feas_greedy");
+  obs::Counter feas_warm = obs::registry().counter("prover/feas_warm");
+  obs::Counter feas_flow = obs::registry().counter("prover/feas_flow");
 };
 
 const ProverMetrics& prover_metrics() {
@@ -28,7 +31,13 @@ ProverContext::ProverContext(std::size_t universe, const RunOptions& options)
       resolve_thread_count(options.num_threads, universe == 0 ? 1 : universe);
   scratch_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w)
-    scratch_.push_back(std::make_unique<WorkerScratch>());
+    scratch_.push_back(std::make_unique<WorkerScratch>(options.feas_tier_max));
+}
+
+FeasTierCounts ProverContext::feas_counts() const {
+  FeasTierCounts total;
+  for (const auto& s : scratch_) total += s->feasibility.counts();
+  return total;
 }
 
 void ProverContext::count_memo_hits(std::size_t k) {
@@ -52,6 +61,10 @@ ProveResult prove_assignment(const Scheme& scheme, const Graph& g,
   out.certificates = scheme.prove_batch(g, ctx);
   out.memo_hits = ctx.memo_hits();
   out.memo_misses = ctx.memo_misses();
+  out.feas = ctx.feas_counts();
+  prover_metrics().feas_greedy.add(out.feas.greedy);
+  prover_metrics().feas_warm.add(out.feas.warm);
+  prover_metrics().feas_flow.add(out.feas.flow);
   return out;
 }
 

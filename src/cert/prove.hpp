@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "src/automata/uop_automaton.hpp"
 #include "src/cert/options.hpp"
 #include "src/cert/scheme.hpp"
 #include "src/util/arena.hpp"
@@ -72,11 +73,25 @@ class ProverContext {
   std::size_t memo_hits() const noexcept { return memo_hits_; }
   std::size_t memo_misses() const noexcept { return memo_misses_; }
 
+  /// The worker's tiered UOP feasibility engine (DESIGN.md §12), already set
+  /// to options().feas_tier_max. Persistent per-worker scratch: warm across
+  /// vertices within the run, zero steady-state allocations.
+  UopFeasibility& feasibility(std::size_t worker) {
+    return scratch_[worker]->feasibility;
+  }
+
+  /// Sum of every worker's per-tier feasibility counts. Call after the last
+  /// fan-out (prove_assignment does, to fill ProveResult and the obs
+  /// counters prover/feas_greedy|warm|flow).
+  FeasTierCounts feas_counts() const;
+
  private:
   struct WorkerScratch {
     Arena arena;
     BitWriter writer;
-    WorkerScratch() : writer(arena) {}
+    UopFeasibility feasibility;
+    explicit WorkerScratch(int feas_tier_max)
+        : writer(arena), feasibility(feas_tier_max) {}
   };
 
   RunOptions options_;
@@ -89,6 +104,9 @@ struct ProveResult {
   std::optional<std::vector<Certificate>> certificates;
   std::size_t memo_hits = 0;
   std::size_t memo_misses = 0;
+  /// Per-tier resolution counts of the UOP feasibility engine (zero for
+  /// schemes that never query it). Totals are thread-count invariant.
+  FeasTierCounts feas;
 };
 
 /// Prover entry point: runs scheme.prove_batch under a fresh ProverContext.

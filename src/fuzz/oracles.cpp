@@ -5,6 +5,7 @@
 
 #include "src/cert/audit.hpp"
 #include "src/cert/engine.hpp"
+#include "src/cert/prove.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace lcert::fuzz {
@@ -21,6 +22,7 @@ struct OracleMetrics {
   obs::Counter batch = obs::registry().counter("fuzz/oracle/batch-divergence");
   obs::Counter round_trip = obs::registry().counter("fuzz/oracle/round-trip-mismatch");
   obs::Counter forgery = obs::registry().counter("fuzz/oracle/soundness-forgery");
+  obs::Counter feas_tier = obs::registry().counter("fuzz/oracle/feas-tier-divergence");
 };
 
 const OracleMetrics& oracle_metrics() {
@@ -38,6 +40,7 @@ void count_hit(Oracle oracle) {
     case Oracle::kBatchDivergence: m.batch.add(); break;
     case Oracle::kRoundTripMismatch: m.round_trip.add(); break;
     case Oracle::kSoundnessForgery: m.forgery.add(); break;
+    case Oracle::kFeasTierDivergence: m.feas_tier.add(); break;
   }
 }
 
@@ -79,6 +82,7 @@ std::string oracle_name(Oracle oracle) {
     case Oracle::kBatchDivergence: return "batch-divergence";
     case Oracle::kRoundTripMismatch: return "round-trip-mismatch";
     case Oracle::kSoundnessForgery: return "soundness-forgery";
+    case Oracle::kFeasTierDivergence: return "feas-tier-divergence";
   }
   throw std::invalid_argument("oracle_name: unknown oracle");
 }
@@ -147,6 +151,30 @@ CheckOutcome check_instance(const Scheme& scheme, const InstanceFamily& family,
       os << "certificate of vertex " << v << " changed under a bit-exact round trip";
       return violation(Oracle::kRoundTripMismatch, os.str());
     }
+
+  // Oracle 8: the UOP feasibility fast paths are pure speedups — the batch
+  // prover with tiers on (default) and with every tier forced off
+  // (feas_tier_max = 0, the cold reference flow per query) must both
+  // reproduce assign()'s certificates bit-for-bit.
+  {
+    RunOptions tiered;
+    tiered.num_threads = 1;
+    RunOptions cold = tiered;
+    cold.feas_tier_max = 0;
+    const ProveResult fast = prove_assignment(scheme, g, tiered);
+    const ProveResult slow = prove_assignment(scheme, g, cold);
+    const auto mismatch = [&](const ProveResult& r) -> std::optional<std::string> {
+      if (!r.certificates.has_value()) return "prove_assignment refused the yes-instance";
+      for (std::size_t v = 0; v < certificates->size(); ++v)
+        if (!((*r.certificates)[v] == (*certificates)[v]))
+          return "vertex " + std::to_string(v) + " diverged from assign()";
+      return std::nullopt;
+    };
+    if (const auto why = mismatch(fast))
+      return violation(Oracle::kFeasTierDivergence, "tiers on: " + *why);
+    if (const auto why = mismatch(slow))
+      return violation(Oracle::kFeasTierDivergence, "tiers off: " + *why);
+  }
 
   // Oracle 3 + 5: honest verification, and the batched path must agree with
   // the per-vertex path on every vertex.

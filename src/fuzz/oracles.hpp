@@ -19,6 +19,10 @@
 //                             BitReader -> BitWriter round trip
 //   soundness-forgery         attack_soundness forged an accepting
 //                             assignment on a no-instance
+//   feas-tier-divergence      prove_assignment with the feasibility fast
+//                             paths on (feas_tier_max default) vs forced off
+//                             (feas_tier_max = 0) did not both reproduce
+//                             assign()'s certificates bit-for-bit
 #pragma once
 
 #include <optional>
@@ -39,6 +43,7 @@ enum class Oracle {
   kBatchDivergence,
   kRoundTripMismatch,
   kSoundnessForgery,
+  kFeasTierDivergence,
 };
 
 /// Stable display name (appears in reports and repro files).

@@ -1,5 +1,6 @@
 #include "src/schemes/mso_tree.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 #include <unordered_map>
@@ -55,29 +56,36 @@ std::optional<std::vector<Certificate>> MsoTreeScheme::prove_batch(
   const unsigned width = state_bits_ == 0 ? 1 : state_bits_;
   const std::vector<IntervalBox>* boxes = transition_boxes_.data();
 
-  // Memo state shared across candidate roots: one interner makes codes
-  // comparable across the trees rooted at each candidate, so the second
-  // candidate starts warm (caterpillar/leaf-count try many roots).
-  SubtreeCodeInterner canon;
-  SubtreeCodeInterner ordered_tuples;
+  // Memo state shared across candidate roots, keyed on child feasibility
+  // masks instead of exact subtree iso codes (DESIGN.md §12): compute_mask is
+  // a pure function of the *multiset* of child masks (flow feasibility is
+  // child-order invariant), extract_children of the *ordered tuple* of child
+  // masks plus the parent state (the flow's choice follows edge insertion
+  // order). Distinct subtree shapes with the same child-mask profile now
+  // share one entry — on irregular trees this is the difference between a
+  // memo that collapses and one that converges to O(distinct profiles).
+  SubtreeCodeInterner mask_multisets;
+  SubtreeCodeInterner mask_tuples;
   std::vector<std::uint64_t> feas_memo;
   std::vector<std::uint8_t> feas_known;
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> extract_memo;
 
   // Feasibility mask of one vertex from its children's masks: bit q set iff
   // some box of delta(q) admits a child assignment — exactly the predicate
-  // find_accepting_run evaluates with per-vertex boolean rows.
+  // find_accepting_run evaluates, resolved through the worker's tiered
+  // engine (exact booleans, no assignment materialized).
   const auto compute_mask = [&](const RootedTree& t,
                                 const std::vector<std::uint64_t>& mask,
-                                std::size_t v) {
+                                std::size_t v, std::size_t worker) {
     std::vector<std::uint64_t> child_masks;
     child_masks.reserve(t.children(v).size());
     for (std::size_t c : t.children(v)) child_masks.push_back(mask[c]);
-    std::vector<std::size_t> assignment;
+    UopFeasibility& feas = ctx.feasibility(worker);
+    feas.begin(child_masks, k);
     std::uint64_t m = 0;
     for (std::size_t q = 0; q < k; ++q)
       for (const IntervalBox& box : boxes[q])
-        if (uop_assign_children_masked(child_masks, box, k, assignment)) {
+        if (feas.feasible(box)) {
           m |= std::uint64_t{1} << q;
           break;
         }
@@ -85,50 +93,76 @@ std::optional<std::vector<Certificate>> MsoTreeScheme::prove_batch(
   };
 
   // States for v's children given run state q at v: first feasible box wins,
-  // same box order and same flow construction as find_accepting_run.
+  // same box order and same flow construction as find_accepting_run. The
+  // tiered engine only pre-filters boxes (exact, so it skips precisely the
+  // boxes the pristine solver would reject); the assignment itself always
+  // comes from uop_assign_children_masked, keeping certificates bit-identical
+  // at every tier setting.
   const auto extract_children = [&](const RootedTree& t,
                                     const std::vector<std::uint64_t>& mask,
-                                    std::size_t v, std::size_t q) {
+                                    std::size_t v, std::size_t q,
+                                    std::size_t worker) {
     std::vector<std::uint64_t> child_masks;
     child_masks.reserve(t.children(v).size());
     for (std::size_t c : t.children(v)) child_masks.push_back(mask[c]);
+    UopFeasibility& feas = ctx.feasibility(worker);
+    feas.begin(child_masks, k);
     std::vector<std::size_t> assignment;
-    for (const IntervalBox& box : boxes[q])
-      if (uop_assign_children_masked(child_masks, box, k, assignment)) return assignment;
+    for (const IntervalBox& box : boxes[q]) {
+      if (!feas.feasible(box)) continue;
+      if (!uop_assign_children_masked(child_masks, box, k, assignment))
+        throw std::logic_error(name() + ": feasibility tier disagrees with flow");
+      return assignment;
+    }
     throw std::logic_error(name() + ": extraction failed after feasibility");
   };
 
   for (Vertex root : automaton_.good_roots(g)) {
     const RootedTree t = RootedTree::from_graph(g, root);
     const auto levels = t.levels();
-    std::vector<std::size_t> codes;
-    if (ctx.memoize()) codes = canonical_subtree_codes(t, canon);
 
     // Bottom-up feasibility, deepest level first: every child's mask is
-    // final before its parent's level starts.
+    // final before its parent's level starts. Memo key: the vertex's sorted
+    // child-mask multiset, interned once the children's masks are final —
+    // serial intern pass (the interner may rehash), parallel fill of the
+    // fresh entries, serial apply.
     std::vector<std::uint64_t> mask(t.size(), 0);
+    std::vector<std::size_t> vertex_code;
+    std::vector<std::size_t> key_scratch;
     for (auto lev = levels.rbegin(); lev != levels.rend(); ++lev) {
       const std::vector<std::size_t>& level = *lev;
       if (!ctx.memoize()) {
-        ctx.for_each_index(level.size(), [&](std::size_t, std::size_t i) {
-          mask[level[i]] = compute_mask(t, mask, level[i]);
+        ctx.for_each_index(level.size(), [&](std::size_t w, std::size_t i) {
+          mask[level[i]] = compute_mask(t, mask, level[i], w);
         });
         continue;
       }
-      feas_memo.resize(canon.size(), 0);
-      feas_known.resize(canon.size(), 0);
+      vertex_code.resize(level.size());
       std::vector<std::size_t> reps;  // first vertex per not-yet-cached code
-      for (std::size_t v : level) {
-        if (feas_known[codes[v]]) continue;
-        feas_known[codes[v]] = 1;
+      for (std::size_t i = 0; i < level.size(); ++i) {
+        const std::size_t v = level[i];
+        key_scratch.clear();
+        for (std::size_t c : t.children(v))
+          key_scratch.push_back(static_cast<std::size_t>(mask[c]));
+        std::sort(key_scratch.begin(), key_scratch.end());
+        const std::size_t code = mask_multisets.intern(key_scratch);
+        vertex_code[i] = code;
+        if (code < feas_known.size() && feas_known[code]) continue;
+        feas_known.resize(mask_multisets.size(), 0);
+        feas_memo.resize(mask_multisets.size(), 0);
+        feas_known[code] = 1;
         reps.push_back(v);
       }
       ctx.count_memo_misses(reps.size());
       ctx.count_memo_hits(level.size() - reps.size());
-      ctx.for_each_index(reps.size(), [&](std::size_t, std::size_t i) {
-        feas_memo[codes[reps[i]]] = compute_mask(t, mask, reps[i]);
+      std::vector<std::uint64_t> rep_mask(reps.size());
+      ctx.for_each_index(reps.size(), [&](std::size_t w, std::size_t i) {
+        rep_mask[i] = compute_mask(t, mask, reps[i], w);
       });
-      for (std::size_t v : level) mask[v] = feas_memo[codes[v]];
+      for (std::size_t i = 0, r = 0; i < level.size(); ++i) {
+        if (r < reps.size() && level[i] == reps[r]) feas_memo[vertex_code[i]] = rep_mask[r++];
+        mask[level[i]] = feas_memo[vertex_code[i]];
+      }
     }
 
     // Smallest accepting feasible root state — find_accepting_run's choice.
@@ -151,8 +185,8 @@ std::optional<std::vector<Certificate>> MsoTreeScheme::prove_batch(
         const auto kids = t.children(v);
         if (kids.empty()) continue;
         scratch.clear();
-        for (std::size_t c : kids) scratch.push_back(codes[c]);
-        tuple_id[v] = ordered_tuples.intern(scratch);
+        for (std::size_t c : kids) scratch.push_back(static_cast<std::size_t>(mask[c]));
+        tuple_id[v] = mask_tuples.intern(scratch);
       }
     }
 
@@ -160,11 +194,11 @@ std::optional<std::vector<Certificate>> MsoTreeScheme::prove_batch(
     // level chooses its children's states.
     for (const std::vector<std::size_t>& level : levels) {
       if (!ctx.memoize()) {
-        ctx.for_each_index(level.size(), [&](std::size_t, std::size_t i) {
+        ctx.for_each_index(level.size(), [&](std::size_t w, std::size_t i) {
           const std::size_t v = level[i];
           const auto kids = t.children(v);
           if (kids.empty()) return;
-          const auto chosen = extract_children(t, mask, v, run[v]);
+          const auto chosen = extract_children(t, mask, v, run[v], w);
           for (std::size_t j = 0; j < kids.size(); ++j) run[kids[j]] = chosen[j];
         });
         continue;
@@ -188,8 +222,8 @@ std::optional<std::vector<Certificate>> MsoTreeScheme::prove_batch(
       }
       ctx.count_memo_misses(reps.size());
       ctx.count_memo_hits(hits);
-      ctx.for_each_index(reps.size(), [&](std::size_t, std::size_t i) {
-        *slots[i] = extract_children(t, mask, reps[i], run[reps[i]]);
+      ctx.for_each_index(reps.size(), [&](std::size_t w, std::size_t i) {
+        *slots[i] = extract_children(t, mask, reps[i], run[reps[i]], w);
       });
       for (std::size_t v : level) {
         const auto kids = t.children(v);

@@ -440,6 +440,31 @@ std::vector<RegisteredScheme> scheme_registry() {
            [](const Graph& g) { return oracle_tree_diameter_at_most(g, 4); }, 1024)});
 
   out.push_back(
+      {"mso-leaves4", "Thm 2.2: MSO 'has >= 4 leaves' on trees, O(1) bits",
+       [] { return std::make_unique<MsoTreeScheme>(standard_tree_automata()[7]); },
+       with_oracle(
+           tree_family(
+               [](std::size_t n, Rng& rng) {
+                 // Random tree plus four pendant leaves on vertex 0: irregular
+                 // shape (this scheme is the RandomTree prover-cliff witness)
+                 // with the leaf count guaranteed.
+                 const std::size_t base = n < 5 ? 1 : n - 4;
+                 Graph t = make_random_tree(base, rng);
+                 auto edges = t.edges();
+                 for (std::size_t j = 0; j < 4; ++j) edges.push_back({0, base + j});
+                 return with_ids(Graph(base + 4, edges), rng);
+               },
+               [](std::size_t n, Rng& rng) {
+                 return with_ids(make_path(std::max<std::size_t>(n, 2)), rng);
+               }),
+           [](const Graph& g) {
+             std::size_t leaves = 0;
+             for (Vertex v = 0; v < g.vertex_count(); ++v) leaves += g.degree(v) == 1;
+             return leaves >= 4;
+           },
+           4096)});
+
+  out.push_back(
       {"universal-triangle-free", "folklore O(n^2) baseline, any property",
        [] {
          return std::make_unique<UniversalScheme>(

@@ -267,7 +267,8 @@ TEST_P(RegistryFuzz, SeededCampaignFindsNothing) {
                   << to_edge_list(f.graph);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllSchemes, RegistryFuzz, ::testing::Range<std::size_t>(0, 13),
+INSTANTIATE_TEST_SUITE_P(AllSchemes, RegistryFuzz,
+                         ::testing::Range<std::size_t>(0, scheme_registry().size()),
                          [](const ::testing::TestParamInfo<std::size_t>& info) {
                            std::string key = scheme_registry()[info.param].key;
                            std::replace(key.begin(), key.end(), '-', '_');

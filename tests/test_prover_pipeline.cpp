@@ -35,8 +35,9 @@ void expect_bit_identical(const std::vector<Certificate>& a,
 class ProverPipelineSweep : public ::testing::TestWithParam<std::size_t> {};
 
 // The contract every prove_batch override signs: its output is exactly
-// assign()'s output, for every thread count, memo on or off.
-TEST_P(ProverPipelineSweep, BatchMatchesAssignAcrossThreadsAndMemo) {
+// assign()'s output, for every thread count, memo on or off, and at every
+// feasibility-tier ceiling (fast paths on, greedy only, cold flow only).
+TEST_P(ProverPipelineSweep, BatchMatchesAssignAcrossThreadsMemoAndFeasTiers) {
   const auto entry = scheme_registry().at(GetParam());
   const auto scheme = entry.make();
   Rng rng(8100 + GetParam());
@@ -47,17 +48,46 @@ TEST_P(ProverPipelineSweep, BatchMatchesAssignAcrossThreadsAndMemo) {
 
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     for (const bool memo : {true, false}) {
-      RunOptions options;
-      options.num_threads = threads;
-      options.memoize = memo;
-      const ProveResult result = prove_assignment(*scheme, g, options);
-      ASSERT_TRUE(result.certificates.has_value())
-          << entry.key << " threads=" << threads << " memo=" << memo;
-      expect_bit_identical(*baseline, *result.certificates,
-                           entry.key + " threads=" + std::to_string(threads) +
-                               " memo=" + (memo ? std::string("on") : "off"));
+      for (const int tier_max : {kFeasTierFlowOnly, kFeasTierGreedy, kFeasTierWarm}) {
+        RunOptions options;
+        options.num_threads = threads;
+        options.memoize = memo;
+        options.feas_tier_max = tier_max;
+        const ProveResult result = prove_assignment(*scheme, g, options);
+        ASSERT_TRUE(result.certificates.has_value())
+            << entry.key << " threads=" << threads << " memo=" << memo
+            << " tiers<=" << tier_max;
+        expect_bit_identical(*baseline, *result.certificates,
+                             entry.key + " threads=" + std::to_string(threads) +
+                                 " memo=" + (memo ? std::string("on") : "off") +
+                                 " tiers<=" + std::to_string(tier_max));
+      }
     }
   }
+}
+
+// Feasibility-tier totals, like memo totals, are collected per worker and
+// summed serially — the same at every thread count.
+TEST(ProverPipeline, FeasTierCountersAreThreadCountInvariant) {
+  const MsoTreeScheme scheme(standard_tree_automata()[7]);  // leaves>=4
+  Rng rng(91);
+  Graph g = make_random_tree(256, rng);
+  assign_random_ids(g, rng);
+
+  RunOptions one;
+  one.num_threads = 1;
+  RunOptions eight;
+  eight.num_threads = 8;
+  const ProveResult a = prove_assignment(scheme, g, one);
+  const ProveResult b = prove_assignment(scheme, g, eight);
+  ASSERT_TRUE(a.certificates.has_value());
+  EXPECT_EQ(a.feas.greedy, b.feas.greedy);
+  EXPECT_EQ(a.feas.warm, b.feas.warm);
+  EXPECT_EQ(a.feas.flow, b.feas.flow);
+  // The greedy tier must be carrying real load on the cliff shape, and the
+  // run must have resolved at least one query somewhere.
+  EXPECT_GT(a.feas.greedy + a.feas.warm + a.feas.flow, 0u);
+  EXPECT_GT(a.feas.greedy, 0u);
 }
 
 // What the batch prover emits, the radius-1 verifier accepts.

@@ -73,12 +73,13 @@ TEST_P(RegistrySweep, InstancesSurviveEdgeListRoundTrip) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, RegistrySweep,
-                         ::testing::Range<std::size_t>(0, 13));
+                         ::testing::Range<std::size_t>(0, scheme_registry().size()));
 
 TEST(Registry, FindByKey) {
   EXPECT_NO_THROW(find_scheme("vertex-parity"));
+  EXPECT_NO_THROW(find_scheme("mso-leaves4"));
   EXPECT_THROW(find_scheme("nope"), std::out_of_range);
-  EXPECT_EQ(scheme_registry().size(), 13u);
+  EXPECT_EQ(scheme_registry().size(), 14u);
 }
 
 }  // namespace
