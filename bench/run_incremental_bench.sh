@@ -1,0 +1,176 @@
+#!/usr/bin/env bash
+# Runs the incremental-recertification benchmarks and records the headline
+# numbers in BENCH_incremental.json at the repo root.
+#
+# The headline metric is the amortized speedup of one incremental edit
+# (period-2 subtree rehang through a live incr::CertifiedInstance) over a
+# cold full prove_assignment of the same instance, on the matched-random-tree
+# family under the perfect-matching automaton at n=16384. Target: >=100x.
+# Usage:
+#
+#   bench/run_incremental_bench.sh [build-dir]          # default build dir: build/
+#   bench/run_incremental_bench.sh [build-dir] --smoke  # n=1024 rows only (CI)
+#
+# The artifact carries the same provenance block as BENCH_prove.json /
+# BENCH_verify.json (compiler, flags, CPU count, git SHA + dirty flag, run
+# date). Override the timestamp with LCERT_BENCH_DATE for reproducible
+# artifacts. A committed artifact is never overwritten from a build where the
+# git SHA cannot be resolved — set LCERT_BENCH_FORCE=1 to override.
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="$REPO_ROOT/build"
+SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+BIN="$BUILD_DIR/bench/bench_incremental"
+OUT="$REPO_ROOT/BENCH_incremental.json"
+RAW="$(mktemp)"
+METRICS="$(mktemp)"
+trap 'rm -f "$RAW" "$METRICS"' EXIT
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not found — build first: cmake --build '$BUILD_DIR' --target bench_incremental" >&2
+  exit 1
+fi
+
+cache_var() {  # cache_var <name> — value of a CMakeCache entry, empty if absent
+  sed -n "s/^$1:[^=]*=//p" "$BUILD_DIR/CMakeCache.txt" 2>/dev/null | head -n1
+}
+
+GIT_SHA="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+GIT_DIRTY=0
+if [[ "$GIT_SHA" != unknown ]] && \
+   [[ -n "$(git -C "$REPO_ROOT" status --porcelain 2>/dev/null)" ]]; then
+  GIT_DIRTY=1
+fi
+# Provenance guard: a tracked artifact must stay traceable to a commit. When
+# the SHA is unknown (no git, shallow mishap, …) refuse to clobber the
+# committed file rather than produce an orphaned artifact.
+if [[ "$GIT_SHA" == unknown && -z "${LCERT_BENCH_FORCE:-}" ]] && \
+   git -C "$REPO_ROOT" ls-files --error-unmatch "$(basename "$OUT")" >/dev/null 2>&1; then
+  echo "error: git SHA is unknown but $OUT is committed — refusing to overwrite" >&2
+  echo "       (set LCERT_BENCH_FORCE=1 to override)" >&2
+  exit 1
+fi
+RUN_DATE="${LCERT_BENCH_DATE:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
+NUM_CPUS="$(nproc 2>/dev/null || echo 1)"
+BUILD_TYPE="$(cache_var CMAKE_BUILD_TYPE)"
+CXX_COMPILER="$(cache_var CMAKE_CXX_COMPILER)"
+CXX_FLAGS="$(cache_var CMAKE_CXX_FLAGS)"
+TYPE_UPPER="$(echo "${BUILD_TYPE:-}" | tr '[:lower:]' '[:upper:]')"
+CXX_FLAGS_TYPE="$([[ -n "$TYPE_UPPER" ]] && cache_var "CMAKE_CXX_FLAGS_${TYPE_UPPER}" || true)"
+COMPILER_VERSION="$("${CXX_COMPILER:-c++}" --version 2>/dev/null | head -n1 || echo unknown)"
+
+# Smoke mode keeps only the n=1024 rows: the CI job wants the artifact shape
+# and a sanity signal, not the full sweep.
+FILTER='BM_(Incr|Cold)'
+HEADLINE_N=16384
+if [[ "$SMOKE" == 1 ]]; then
+  FILTER='BM_(Incr|Cold).*/1024$'
+  HEADLINE_N=1024
+fi
+
+# The obs table goes to stdout for the human; the google-benchmark JSON goes
+# straight to a file so the table cannot corrupt it. The structured record
+# rows (dirty-path, reuse, re-proved/re-verified counters) follow the
+# headline size.
+"$BIN" --benchmark_filter="$FILTER" \
+       --benchmark_min_time=0.2 \
+       --benchmark_out="$RAW" --benchmark_out_format=json \
+       --record-n "$HEADLINE_N" \
+       --metrics-out "$METRICS"
+
+env RAW="$RAW" METRICS="$METRICS" OUT="$OUT" GIT_SHA="$GIT_SHA" GIT_DIRTY="$GIT_DIRTY" \
+    RUN_DATE="$RUN_DATE" NUM_CPUS="$NUM_CPUS" BUILD_TYPE="$BUILD_TYPE" \
+    CXX_COMPILER="$CXX_COMPILER" CXX_FLAGS="$CXX_FLAGS" CXX_FLAGS_TYPE="$CXX_FLAGS_TYPE" \
+    COMPILER_VERSION="$COMPILER_VERSION" SMOKE="$SMOKE" HEADLINE_N="$HEADLINE_N" \
+    python3 - <<'EOF'
+import json
+import os
+
+with open(os.environ["RAW"]) as f:
+    raw = json.load(f)
+try:
+    with open(os.environ["METRICS"]) as f:
+        obs = json.load(f)
+except (OSError, json.JSONDecodeError):
+    obs = {}
+
+rates = {}  # benchmark name -> items (edits applied / full proves) per second
+for b in raw.get("benchmarks", []):
+    ips = b.get("items_per_second")
+    if ips is not None:
+        rates[b["name"]] = ips
+
+headline_n = int(os.environ["HEADLINE_N"])
+smoke = os.environ["SMOKE"] == "1"
+
+def speedup(incr_name, cold_name):
+    incr, cold = rates.get(incr_name), rates.get(cold_name)
+    return incr / cold if incr and cold else None
+
+# One speedup row per workload: amortized incremental edits/s over cold full
+# re-proves/s of the same instance. The matched-random-tree row under
+# perfect-matching is the headline; the leaves>=4 rows are breadth. The
+# complete-binary leaves>=4 row is honestly modest: its re-verified slice
+# reaches automaton states whose transition DNF carries ~29k interval boxes,
+# a verifier constant the incremental layer cannot remove.
+speedups = {}
+for n in sorted({int(name.rsplit("/", 1)[-1]) for name in rates}):
+    s = speedup(f"BM_IncrSubtreeSwapMatched/{n}", f"BM_ColdReproveMatched/{n}")
+    if s is not None:
+        speedups[f"matched-random-tree/perfect-matching/{n}"] = s
+    for fam in ("CompleteBinary", "RandomTree"):
+        s = speedup(f"BM_IncrSubtreeSwapLeaves/{fam}/{n}",
+                    f"BM_ColdReproveLeaves/{fam}/{n}")
+        if s is not None:
+            speedups[f"{fam}/leaves>=4/{n}"] = s
+
+headline_key = f"matched-random-tree/perfect-matching/{headline_n}"
+headline_speedup = speedups.get(headline_key)
+
+result = {
+    "benchmark": "incremental_recertification",
+    "scheme": "mso-tree (perfect-matching headline, leaves>=4 breadth)",
+    "n": headline_n,
+    "smoke": smoke,
+    "provenance": {
+        "git_sha": os.environ["GIT_SHA"],
+        "dirty": os.environ["GIT_DIRTY"] == "1",
+        "date": os.environ["RUN_DATE"],
+        "num_cpus": int(raw.get("context", {}).get("num_cpus")
+                        or os.environ["NUM_CPUS"]),
+        "compiler": os.environ["CXX_COMPILER"],
+        "compiler_version": os.environ["COMPILER_VERSION"],
+        "build_type": os.environ["BUILD_TYPE"],
+        "cxx_flags": " ".join(
+            s for s in (os.environ["CXX_FLAGS"], os.environ["CXX_FLAGS_TYPE"]) if s
+        ),
+    },
+    "context": raw.get("context", {}),
+    "items_per_second": rates,
+    "obs_records": obs.get("records", []),
+    "speedup_vs_cold_reprove": speedups,
+    "headline": {
+        "workload": "1-edit subtree rehang, matched-random-tree, perfect-matching",
+        "speedup_vs_cold_reprove": headline_speedup,
+        "target_speedup": 100.0,
+        "meets_target": headline_speedup is not None and headline_speedup >= 100.0,
+    },
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(result, f, indent=2)
+    f.write("\n")
+
+print(f"wrote {os.environ['OUT']}")
+for key, s in sorted(speedups.items()):
+    print(f"  {key}: {s:.1f}x vs cold full re-prove")
+if headline_speedup is not None:
+    print(f"headline (matched-random-tree @ n={headline_n}): {headline_speedup:.1f}x "
+          f"({'meets' if headline_speedup >= 100.0 else 'MISSES'} the 100x target)")
+EOF

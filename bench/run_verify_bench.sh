@@ -32,6 +32,20 @@ cache_var() {  # cache_var <name> — value of a CMakeCache entry, empty if abse
 }
 
 GIT_SHA="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+GIT_DIRTY=0
+if [[ "$GIT_SHA" != unknown ]] && \
+   [[ -n "$(git -C "$REPO_ROOT" status --porcelain 2>/dev/null)" ]]; then
+  GIT_DIRTY=1
+fi
+# Provenance guard: a tracked artifact must stay traceable to a commit. When
+# the SHA is unknown (no git, shallow mishap, ...) refuse to clobber the
+# committed file rather than produce an orphaned artifact.
+if [[ "$GIT_SHA" == unknown && -z "${LCERT_BENCH_FORCE:-}" ]] && \
+   git -C "$REPO_ROOT" ls-files --error-unmatch "$(basename "$OUT")" >/dev/null 2>&1; then
+  echo "error: git SHA is unknown but $OUT is committed — refusing to overwrite" >&2
+  echo "       (set LCERT_BENCH_FORCE=1 to override)" >&2
+  exit 1
+fi
 RUN_DATE="${LCERT_BENCH_DATE:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
 NUM_CPUS="$(nproc 2>/dev/null || echo 1)"
 BUILD_TYPE="$(cache_var CMAKE_BUILD_TYPE)"
@@ -48,7 +62,8 @@ COMPILER_VERSION="$("${CXX_COMPILER:-c++}" --version 2>/dev/null | head -n1 || e
        --benchmark_out="$RAW" --benchmark_out_format=json \
        --metrics-out "$METRICS"
 
-env RAW="$RAW" METRICS="$METRICS" OUT="$OUT" GIT_SHA="$GIT_SHA" RUN_DATE="$RUN_DATE" \
+env RAW="$RAW" METRICS="$METRICS" OUT="$OUT" GIT_SHA="$GIT_SHA" GIT_DIRTY="$GIT_DIRTY" \
+    RUN_DATE="$RUN_DATE" \
     NUM_CPUS="$NUM_CPUS" BUILD_TYPE="$BUILD_TYPE" CXX_COMPILER="$CXX_COMPILER" \
     CXX_FLAGS="$CXX_FLAGS" CXX_FLAGS_TYPE="$CXX_FLAGS_TYPE" \
     COMPILER_VERSION="$COMPILER_VERSION" \
@@ -82,6 +97,7 @@ result = {
     "n": 4096,
     "provenance": {
         "git_sha": os.environ["GIT_SHA"],
+        "dirty": os.environ["GIT_DIRTY"] == "1",
         "date": os.environ["RUN_DATE"],
         "num_cpus": int(os.environ["NUM_CPUS"]),
         "compiler": os.environ["CXX_COMPILER"],

@@ -13,6 +13,17 @@
 //                                           # random-tree) for the scheme's
 //                                           # default yes-instance
 //   lcert_cli fuzz <scheme|all> [flags]     # differential fuzzing campaign
+//   lcert_cli apply-edit <scheme> <file|-> <spec>... [--threads T] [--check]
+//                                           # certify a graph, then stream
+//                                           # textual edits through the
+//                                           # incremental layer; per-edit
+//                                           # stats on stdout
+//   lcert_cli watch <scheme> [n] [--family F] [--edits K] [--seed S]
+//                   [--threads T] [--check]
+//                                           # random streaming-edit workload:
+//                                           # amortized cost per edit vs the
+//                                           # cold full re-prove (the CI
+//                                           # incremental-smoke driver)
 //   lcert_cli dot  <file|->                 # print the graph as Graphviz DOT
 //
 // fuzz flags:
@@ -23,6 +34,13 @@
 //   --base-n N        base instance size (default 12)
 //   --replay T        re-run exactly one trial index and report it
 //   --out DIR         write <scheme>-trial<T>.lcg + .repro.txt per finding
+//
+// edit spec grammar (apply-edit): graft:U[:ID] | prune:V | swap:M:OP:NP |
+// edge-add:U:V | edge-del:U:V | permute:SEED — vertex indices refer to the
+// graph as it stands when the edit applies (prune renumbers: v > pruned
+// shifts down by one). swap deletes edge {M, OP} and inserts {M, NP}.
+// --check cross-checks every edit against a cold full re-prove
+// (bit-identity, the same oracle the fuzzer runs).
 //
 // Every subcommand accepts --metrics-out <file> (or the LCERT_METRICS env
 // var) to dump the obs metrics/trace artifact as JSON (.csv for CSV).
@@ -37,8 +55,11 @@
 #include "src/cert/engine.hpp"
 #include "src/cert/prove.hpp"
 #include "src/fuzz/campaign.hpp"
+#include "src/fuzz/mutators.hpp"
+#include "src/graph/edit.hpp"
 #include "src/graph/generators.hpp"
 #include "src/graph/io.hpp"
+#include "src/incr/incremental.hpp"
 #include "src/logic/eval.hpp"
 #include "src/obs/report.hpp"
 #include "src/schemes/registry.hpp"
@@ -345,6 +366,321 @@ int fuzz_command(const std::vector<std::string>& args, obs::Report& report) {
   return rc;
 }
 
+// --- incremental recertification subcommands (DESIGN.md §13) ---------------
+
+/// Parses one textual edit spec against the graph it will apply to. Grammar
+/// (see the header comment): graft:U[:ID] | prune:V | swap:M:OP:NP |
+/// edge-add:U:V | edge-del:U:V | permute:SEED. Throws std::invalid_argument
+/// on malformed specs; apply() rejects specs that are well-formed but illegal
+/// on the current graph.
+GraphEdit parse_edit_spec(const std::string& spec, const Graph& g) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  const auto arity = [&](std::size_t lo, std::size_t hi) {
+    if (parts.size() < lo || parts.size() > hi)
+      throw std::invalid_argument("malformed edit spec '" + spec + "'");
+  };
+  const auto num = [&](std::size_t i) -> std::uint64_t {
+    std::size_t used = 0;
+    const std::uint64_t value = std::stoull(parts[i], &used);
+    if (used != parts[i].size())
+      throw std::invalid_argument("malformed number in edit spec '" + spec + "'");
+    return value;
+  };
+
+  const std::string& kind = parts[0];
+  if (kind == "graft") {
+    arity(2, 3);
+    GraphEdit edit;
+    edit.kind = EditKind::kLeafGraft;
+    edit.a = num(1);
+    if (parts.size() == 3) {
+      edit.fresh_id = num(2);
+    } else {
+      // Default fresh ID: one past the current maximum, always distinct.
+      VertexId max_id = 0;
+      for (Vertex v = 0; v < g.vertex_count(); ++v)
+        max_id = std::max(max_id, g.id(v));
+      edit.fresh_id = max_id + 1;
+    }
+    return edit;
+  }
+  if (kind == "prune") {
+    arity(2, 2);
+    GraphEdit edit;
+    edit.kind = EditKind::kLeafPrune;
+    edit.a = num(1);
+    return edit;
+  }
+  if (kind == "swap") {
+    arity(4, 4);
+    GraphEdit edit;
+    edit.kind = EditKind::kSubtreeSwap;
+    edit.a = num(1);   // moved subtree root
+    edit.c = num(2);   // old parent
+    edit.b = num(3);   // new parent
+    return edit;
+  }
+  if (kind == "edge-add" || kind == "edge-del") {
+    arity(3, 3);
+    GraphEdit edit;
+    edit.kind = kind == "edge-add" ? EditKind::kEdgeAdd : EditKind::kEdgeDelete;
+    edit.a = num(1);
+    edit.b = num(2);
+    return edit;
+  }
+  if (kind == "permute") {
+    arity(2, 2);
+    GraphEdit edit;
+    edit.kind = EditKind::kIdPermute;
+    edit.ids.reserve(g.vertex_count());
+    for (Vertex v = 0; v < g.vertex_count(); ++v) edit.ids.push_back(g.id(v));
+    Rng rng(num(1));
+    rng.shuffle(edit.ids);
+    return edit;
+  }
+  throw std::invalid_argument("unknown edit kind '" + kind + "' in spec '" + spec +
+                              "' (valid: graft prune swap edge-add edge-del permute)");
+}
+
+void print_edit_stats(std::size_t step, const GraphEdit& edit,
+                      const IncrementalStats& st) {
+  std::printf("edit %zu: %s\n", step, to_string(edit).c_str());
+  std::printf(
+      "  %s, %s, dirty-path %zu, re-proved %zu, re-verified %zu, "
+      "changed certs %zu, reuse %.3f, memo %zu/%zu\n",
+      st.certified ? "certified" : "NOT CERTIFIABLE",
+      st.full_reprove ? "full re-prove" : "incremental",
+      st.dirty_path_len, st.reproved_vertices, st.reverified_vertices,
+      st.changed_certificates, st.reuse_ratio, st.memo_hits, st.memo_misses);
+}
+
+/// --check body shared by apply-edit and watch: the live certificates must be
+/// bit-identical to a cold full re-prove of the accumulated graph, and the
+/// changed slice must have re-verified cleanly.
+bool edits_check_clean(const Scheme& scheme, const incr::CertifiedInstance& live,
+                       const Graph& expected, const RunOptions& options,
+                       const IncrementalStats& st) {
+  const auto cold = prove_assignment(scheme, expected, options).certificates;
+  const auto& ours = live.certificates();
+  if (ours.has_value() != cold.has_value() || (ours.has_value() && !(*ours == *cold))) {
+    std::printf("  CHECK FAILED: diverged from a cold full re-prove\n");
+    return false;
+  }
+  if (!st.reverify_clean) {
+    std::printf("  CHECK FAILED: re-verification of the changed slice rejected\n");
+    return false;
+  }
+  return true;
+}
+
+int apply_edit_command(const std::vector<std::string>& args, obs::Report& report) {
+  const RegisteredScheme* entry = lookup(args[1]);
+  if (entry == nullptr) return 2;
+  RunOptions options;
+  bool check = false;
+  std::vector<std::string> specs;
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--metrics-out") {
+      ++i;  // consumed by obs::Report::from_cli
+    } else if (arg == "--threads") {
+      if (i + 1 >= args.size()) throw std::invalid_argument("missing value for --threads");
+      options.num_threads = std::stoul(args[++i]);
+    } else if (arg == "--check") {
+      check = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      throw std::invalid_argument("unknown apply-edit flag '" + arg + "'");
+    } else {
+      specs.push_back(arg);
+    }
+  }
+  if (specs.empty()) throw std::invalid_argument("apply-edit: no edit specs given");
+
+  const auto scheme = entry->make();
+  Graph cur = load(args[2]);
+  incr::CertifiedInstance live(*scheme, options);
+  const auto& init = live.init(cur);
+  std::printf("scheme:   %s (%s)\n", entry->key.c_str(), entry->description.c_str());
+  std::printf("instance: n=%zu m=%zu, path=%s\n", cur.vertex_count(), cur.edge_count(),
+              live.incremental() ? "incremental" : "full-reprove fallback");
+  std::printf("init: %s\n", init.has_value() ? "certified" : "not certifiable");
+
+  int rc = 0;
+  std::size_t applied = 0;
+  for (std::size_t step = 0; step < specs.size(); ++step) {
+    const GraphEdit edit = parse_edit_spec(specs[step], cur);
+    const IncrementalStats st = live.apply(edit);
+    cur = apply_edit(cur, edit);
+    ++applied;
+    print_edit_stats(step, edit, st);
+    if (check && !edits_check_clean(*scheme, live, cur, options, st)) rc = 1;
+  }
+
+  const bool certified = live.certificates().has_value();
+  std::printf("final: n=%zu, %s\n", cur.vertex_count(),
+              certified ? "certified" : "not certifiable");
+  report.add()
+      .set("scheme", entry->key)
+      .set("edits", applied)
+      .set("final_n", cur.vertex_count())
+      .set("certified", certified ? "yes" : "no")
+      .set("check", check ? (rc == 0 ? "pass" : "FAIL") : "off");
+  std::printf("\n");
+  report.print_metrics();
+  return rc;
+}
+
+int watch_command(const std::vector<std::string>& args, obs::Report& report) {
+  const RegisteredScheme* entry = lookup(args[1]);
+  if (entry == nullptr) return 2;
+  std::size_t n = 1024;
+  std::size_t edits = 64;
+  std::uint64_t seed = 1;
+  bool check = false;
+  RunOptions options;
+  const ShapeFamily* shape = nullptr;  // default: the scheme's own yes-instance
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--metrics-out") {
+      ++i;  // consumed by obs::Report::from_cli
+    } else if (flag == "--family") {
+      if (i + 1 >= args.size()) throw std::invalid_argument("missing value for --family");
+      shape = lookup_shape(args[++i]);
+      if (shape == nullptr) return 2;
+    } else if (flag == "--edits") {
+      if (i + 1 >= args.size()) throw std::invalid_argument("missing value for --edits");
+      edits = std::stoul(args[++i]);
+    } else if (flag == "--seed") {
+      if (i + 1 >= args.size()) throw std::invalid_argument("missing value for --seed");
+      seed = std::stoull(args[++i]);
+    } else if (flag == "--threads") {
+      if (i + 1 >= args.size()) throw std::invalid_argument("missing value for --threads");
+      options.num_threads = std::stoul(args[++i]);
+    } else if (flag == "--check") {
+      check = true;
+    } else if (!flag.empty() && flag[0] != '-') {
+      n = std::stoul(flag);
+    } else {
+      throw std::invalid_argument("unknown watch flag '" + flag + "'");
+    }
+  }
+
+  const auto scheme = entry->make();
+  Rng rng(seed);
+  Graph cur = shape == nullptr ? entry->family.yes_instance(n, rng) : shape->make(n, rng);
+  if (shape != nullptr) assign_random_ids(cur, rng);
+  incr::CertifiedInstance live(*scheme, options);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto& init = live.init(cur);
+  const double init_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  std::printf("scheme:   %s (%s)\n", entry->key.c_str(), entry->description.c_str());
+  std::printf("instance: %s n=%zu m=%zu, threads=%zu, path=%s\n",
+              shape == nullptr ? "yes-instance" : shape->name, cur.vertex_count(),
+              cur.edge_count(), options.num_threads,
+              live.incremental() ? "incremental" : "full-reprove fallback");
+  if (!init.has_value()) {
+    std::printf("init: the generated instance is not certifiable (pick a family "
+                "the scheme certifies, or drop --family for its yes-instance)\n");
+    return 1;
+  }
+  std::printf("init (cold full prove): %.3f ms\n", init_ms);
+
+  const std::vector<fuzz::MutatorKind> kinds = fuzz::tree_preserving_mutators();
+  int rc = 0;
+  std::size_t applied = 0, full_reproves = 0, rejected_draws = 0;
+  std::size_t sum_dirty = 0, max_dirty = 0;
+  std::size_t sum_reproved = 0, sum_reverified = 0, sum_changed = 0;
+  double sum_reuse = 0, edit_seconds = 0;
+  for (std::size_t step = 0; step < edits; ++step) {
+    // Drawing the edit is untimed — it is workload generation, not repair.
+    // Property-breaking edits are redrawn (the watch workload measures the
+    // repair cost on instances that stay certifiable; certified/uncertified
+    // transitions are the fuzz oracle's territory).
+    std::optional<GraphEdit> edit;
+    std::optional<Graph> next;
+    for (std::size_t attempt = 0; attempt < 16; ++attempt) {
+      edit = fuzz::draw_edit(cur, kinds[rng.index(kinds.size())], rng);
+      if (!edit.has_value()) continue;
+      next = apply_edit(cur, *edit);
+      if (scheme->holds(*next)) break;
+      ++rejected_draws;
+      edit.reset();
+    }
+    if (!edit.has_value()) continue;
+
+    const auto e0 = std::chrono::steady_clock::now();
+    const IncrementalStats st = live.apply(*edit);
+    edit_seconds += std::chrono::duration<double>(std::chrono::steady_clock::now() - e0)
+                        .count();
+    cur = std::move(*next);
+    ++applied;
+    if (st.full_reprove) ++full_reproves;
+    sum_dirty += st.dirty_path_len;
+    max_dirty = std::max(max_dirty, st.dirty_path_len);
+    sum_reproved += st.reproved_vertices;
+    sum_reverified += st.reverified_vertices;
+    sum_changed += st.changed_certificates;
+    sum_reuse += st.reuse_ratio;
+    if (!st.certified) {
+      std::printf("edit %zu (%s): NOT certified although holds() is true (bug)\n",
+                  step, to_string(*edit).c_str());
+      rc = 1;
+      break;
+    }
+    if (check && !edits_check_clean(*scheme, live, cur, options, st)) {
+      std::printf("  at edit %zu (%s)\n", step, to_string(*edit).c_str());
+      rc = 1;
+      break;
+    }
+  }
+
+  if (applied == 0) {
+    std::printf("no edits applied (every draw came up empty)\n");
+    return rc;
+  }
+  const double us_per_edit = edit_seconds * 1e6 / static_cast<double>(applied);
+  const double speedup = us_per_edit > 0 ? init_ms * 1e3 / us_per_edit : 0;
+  const double inv = 1.0 / static_cast<double>(applied);
+  std::printf("edits: %zu applied (%zu full re-proves, %zu property-breaking draws "
+              "redrawn), %.1f us/edit amortized\n",
+              applied, full_reproves, rejected_draws, us_per_edit);
+  std::printf("speedup vs cold full re-prove: %.1fx\n", speedup);
+  std::printf("dirty-path length: mean %.1f, max %zu\n",
+              static_cast<double>(sum_dirty) * inv, max_dirty);
+  std::printf("re-proved %.1f / re-verified %.1f vertices per edit, "
+              "%.1f changed certs per edit, mean reuse ratio %.3f\n",
+              static_cast<double>(sum_reproved) * inv,
+              static_cast<double>(sum_reverified) * inv,
+              static_cast<double>(sum_changed) * inv, sum_reuse * inv);
+  if (check) std::printf("check: %s\n", rc == 0 ? "all edits bit-identical to cold" : "FAILED");
+
+  report.add()
+      .set("scheme", entry->key)
+      .set("family", shape == nullptr ? "yes-instance" : shape->name)
+      .set("n", n)
+      .set("edits", applied)
+      .set("full_reproves", full_reproves)
+      .set("init_ms", init_ms)
+      .set("us_per_edit", us_per_edit)
+      .set("speedup", speedup)
+      .set("mean_reuse", sum_reuse * inv)
+      .set("mean_dirty_path", static_cast<double>(sum_dirty) * inv)
+      .set("check", check ? (rc == 0 ? "pass" : "FAIL") : "off");
+  std::printf("\n");
+  report.print_metrics();
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -392,6 +728,16 @@ int main(int argc, char** argv) {
       if (!report.output_path().empty()) report.write(report.output_path());
       return rc;
     }
+    if (args[0] == "apply-edit" && args.size() >= 4) {
+      const int rc = apply_edit_command(args, report);
+      if (!report.output_path().empty()) report.write(report.output_path());
+      return rc;
+    }
+    if (args[0] == "watch" && args.size() >= 2) {
+      const int rc = watch_command(args, report);
+      if (!report.output_path().empty()) report.write(report.output_path());
+      return rc;
+    }
     if (args[0] == "dot" && args.size() >= 2) {
       std::fputs(to_dot(load(args[1])).c_str(), stdout);
       return 0;
@@ -406,6 +752,9 @@ int main(int argc, char** argv) {
                "[--family F] [--feas-tier-max T] | "
                "fuzz <scheme|all> [--trials N] [--time-budget S] "
                "[--seed S] [--threads T] [--base-n N] [--replay T] [--out DIR] | "
+               "apply-edit <scheme> <file|-> <spec>... [--threads T] [--check] | "
+               "watch <scheme> [n] [--family F] [--edits K] [--seed S] [--threads T] "
+               "[--check] | "
                "dot <file|->\n");
   return 2;
 }

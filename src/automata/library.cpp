@@ -529,14 +529,20 @@ std::vector<Vertex> roots_centers(const Graph& g) {
 
 std::vector<NamedAutomaton> standard_tree_automata() {
   return {
-      {"path", aut_path(), &oracle_path, &roots_all},
-      {"star", aut_star(), &oracle_star, &roots_all},
-      {"caterpillar", aut_caterpillar(), &oracle_caterpillar, &roots_internal},
-      {"max-degree<=3", aut_max_degree_le(3), &oracle_max_degree_3, &roots_all},
-      {"perfect-matching", aut_perfect_matching(), &oracle_perfect_matching, &roots_all},
-      {"perfect-code", aut_perfect_code(), &oracle_perfect_code, &roots_all},
-      {"radius<=3", aut_radius_le(kRadiusBound), &oracle_radius_le_3, &roots_centers},
-      {"leaves>=4", aut_leaf_count_ge(kLeafBound), &oracle_leaf_count_ge_4, &roots_all},
+      {"path", aut_path(), &oracle_path, &roots_all, RootPolicy::kAllVertices},
+      {"star", aut_star(), &oracle_star, &roots_all, RootPolicy::kAllVertices},
+      {"caterpillar", aut_caterpillar(), &oracle_caterpillar, &roots_internal,
+       RootPolicy::kInternalVertices},
+      {"max-degree<=3", aut_max_degree_le(3), &oracle_max_degree_3, &roots_all,
+       RootPolicy::kAllVertices},
+      {"perfect-matching", aut_perfect_matching(), &oracle_perfect_matching, &roots_all,
+       RootPolicy::kAllVertices},
+      {"perfect-code", aut_perfect_code(), &oracle_perfect_code, &roots_all,
+       RootPolicy::kAllVertices},
+      {"radius<=3", aut_radius_le(kRadiusBound), &oracle_radius_le_3, &roots_centers,
+       RootPolicy::kGeneric},
+      {"leaves>=4", aut_leaf_count_ge(kLeafBound), &oracle_leaf_count_ge_4, &roots_all,
+       RootPolicy::kAllVertices},
   };
 }
 

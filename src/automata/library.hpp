@@ -58,6 +58,16 @@ UOPAutomaton aut_independent_set_ge(std::size_t c);
 /// one always exists, and n <= 2 is special-cased by an extra state).
 UOPAutomaton aut_leaf_count_ge(std::size_t c);
 
+/// How an automaton's good_roots depend on the tree — a cheap classification
+/// the incremental prover uses to recompute the *first* good root after an
+/// edit without materializing a Graph or calling good_roots (DESIGN.md §13).
+/// kGeneric makes no promise: callers must materialize and call good_roots.
+enum class RootPolicy {
+  kGeneric,           // arbitrary function of the tree (e.g. centers)
+  kAllVertices,       // good_roots == all vertices: first good root is 0
+  kInternalVertices,  // degree >= 2 vertices, all vertices when n <= 2
+};
+
 /// Named automaton + independent oracle over the *unrooted* tree.
 struct NamedAutomaton {
   std::string name;
@@ -66,6 +76,9 @@ struct NamedAutomaton {
   /// Returns candidate roots guaranteeing completeness on yes-instances
   /// (usually all vertices; restricted for caterpillar/leaf-count).
   std::vector<Vertex> (*good_roots)(const Graph& tree);
+  /// Must match good_roots (defaults to the no-promise classification, which
+  /// is always sound — just slower for incremental callers).
+  RootPolicy root_policy = RootPolicy::kGeneric;
 };
 
 std::vector<NamedAutomaton> standard_tree_automata();

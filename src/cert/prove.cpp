@@ -34,6 +34,13 @@ ProverContext::ProverContext(std::size_t universe, const RunOptions& options)
     scratch_.push_back(std::make_unique<WorkerScratch>(options.feas_tier_max));
 }
 
+void ProverContext::ensure_universe(std::size_t universe) {
+  const std::size_t workers =
+      resolve_thread_count(options_.num_threads, universe == 0 ? 1 : universe);
+  while (scratch_.size() < workers)
+    scratch_.push_back(std::make_unique<WorkerScratch>(options_.feas_tier_max));
+}
+
 FeasTierCounts ProverContext::feas_counts() const {
   FeasTierCounts total;
   for (const auto& s : scratch_) total += s->feasibility.counts();

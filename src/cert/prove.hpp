@@ -43,6 +43,14 @@ class ProverContext {
   /// can need under `options.num_threads`.
   ProverContext(std::size_t universe, const RunOptions& options);
 
+  /// Grows the worker scratch to cover fan-outs up to `universe` items. A
+  /// context held across streaming edits (the incremental prover keeps one
+  /// alive so arenas and feasibility scratch stay warm) must call this after
+  /// any edit that grows the instance, or for_each_index could hand out
+  /// worker ids beyond the scratch sized at construction. No-op when already
+  /// large enough; never shrinks (arenas stay warm).
+  void ensure_universe(std::size_t universe);
+
   const RunOptions& options() const noexcept { return options_; }
   bool memoize() const noexcept { return options_.memoize; }
 

@@ -15,11 +15,14 @@
 
 #include <cassert>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "src/cert/options.hpp"
+#include "src/graph/edit.hpp"
 #include "src/graph/graph.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/util/bitio.hpp"
@@ -125,6 +128,76 @@ struct View {
   std::vector<NeighborRef> ref_entries_;
 };
 
+/// Per-edit accounting returned by IncrementalProver::apply (DESIGN.md §13).
+/// Counters are exact, not sampled; the incr layer forwards them to obs.
+struct IncrementalStats {
+  /// Whether the mutated instance is certified (certificates() non-null).
+  bool certified = false;
+  /// True when the edit fell off the incremental fast path and the prover ran
+  /// a full warm re-prove (root changed, instance flipped from uncertified,
+  /// or the edit kind has no tree-local image).
+  bool full_reprove = false;
+  /// Length of the dirty root-to-leaf slice seeded by the edit (vertices
+  /// whose child multiset changed, before repair propagation).
+  std::size_t dirty_path_len = 0;
+  /// Vertices whose feasibility mask or run state was recomputed.
+  std::size_t reproved_vertices = 0;
+  /// Vertices re-checked by the radius-1 verifier (changed certs + their
+  /// neighborhood).
+  std::size_t reverified_vertices = 0;
+  /// Certificates that differ from before the edit.
+  std::size_t changed_certificates = 0;
+  /// Memo traffic attributable to this edit.
+  std::size_t memo_hits = 0;
+  std::size_t memo_misses = 0;
+  /// Fraction of the instance whose certificates survived untouched:
+  /// 1 - changed_certificates/n (0 when uncertified).
+  double reuse_ratio = 0.0;
+  /// Result of the internal radius-1 re-verification of the changed slice
+  /// (true when nothing changed or the instance is uncertified).
+  bool reverify_clean = true;
+};
+
+/// A live certified instance under streaming edits. Obtained from
+/// Scheme::make_incremental_prover; drives the lcert::incr layer.
+///
+/// Contract (pinned by the kIncrementalDivergence fuzz oracle and
+/// tests/test_incremental.cpp): after every apply(), certificates() is
+/// bit-identical to a cold prove_assignment over the accumulated graph —
+/// the incremental path is a pure speedup, never a semantic fork.
+class IncrementalProver {
+ public:
+  virtual ~IncrementalProver() = default;
+
+  /// Certifies the initial instance from cold; returns the certificates (or
+  /// nullopt when the instance is not certifiable). Must be called before
+  /// apply().
+  virtual const std::optional<std::vector<Certificate>>& init(const Graph& g) = 0;
+
+  /// Applies one edit, repairing certificates along the dirty slice only.
+  /// Throws std::invalid_argument when the edit is illegal against the
+  /// current graph (same validation as apply_edit) or when the edit kind is
+  /// outside the scheme's family (e.g. raw edge edits against a tree scheme).
+  virtual IncrementalStats apply(const GraphEdit& edit) = 0;
+
+  /// Certificates for the current (post-edit) instance; nullopt when it is
+  /// not certifiable.
+  virtual const std::optional<std::vector<Certificate>>& certificates() const = 0;
+
+  /// Vertices (post-edit indexing) whose certificates changed in the last
+  /// apply(). Meaningless when changed_all() is true.
+  virtual const std::vector<std::size_t>& changed_vertices() const = 0;
+
+  /// True when the last apply() invalidated every certificate (full
+  /// re-prove or certified-status flip). A renumbering prune does NOT set
+  /// this: changed_vertices() tracks vertex identity through the renumber,
+  /// so an unchanged certificate at a shifted index is still "unchanged".
+  virtual bool changed_all() const = 0;
+
+  /// The accumulated graph (materialized on demand).
+  virtual Graph graph() const = 0;
+};
+
 /// A local certification scheme for one graph property.
 class Scheme {
  public:
@@ -178,6 +251,15 @@ class Scheme {
         truncated.add();
       }
     }
+  }
+
+  /// Factory for the scheme's incremental prover (DESIGN.md §13), or nullptr
+  /// when the scheme has no incremental path — callers fall back to cold
+  /// re-proves per edit. The default is nullptr; MsoTreeScheme overrides it.
+  virtual std::unique_ptr<IncrementalProver> make_incremental_prover(
+      const RunOptions& options) const {
+    (void)options;
+    return nullptr;
   }
 };
 

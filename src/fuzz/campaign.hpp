@@ -47,8 +47,12 @@ struct CampaignOptions {
   bool shrink = true;             ///< delta-debug each finding
   /// Budget for the per-trial soundness attack (num_threads is forced to 1;
   /// campaign parallelism lives at the trial level).
-  RunOptions attack{1, true, 42, /*random_trials=*/32, /*mutation_trials=*/32,
-                    /*max_random_bits=*/48};
+  RunOptions attack{.num_threads = 1,
+                    .stop_at_first_reject = true,
+                    .seed = 42,
+                    .random_trials = 32,
+                    .mutation_trials = 32,
+                    .max_random_bits = 48};
 };
 
 struct Finding {

@@ -1,6 +1,5 @@
 #include "src/fuzz/mutators.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 #include <unordered_set>
 #include <utility>
@@ -8,13 +7,6 @@
 namespace lcert::fuzz {
 
 namespace {
-
-Graph rebuild(std::size_t n, std::vector<std::pair<Vertex, Vertex>> edges,
-              std::vector<VertexId> ids) {
-  Graph out(n, edges);
-  out.set_ids(std::move(ids));
-  return out;
-}
 
 std::vector<VertexId> ids_of(const Graph& g) {
   std::vector<VertexId> ids(g.vertex_count());
@@ -33,19 +25,18 @@ VertexId fresh_id(const std::vector<VertexId>& existing, std::size_t n, Rng& rng
   }
 }
 
-std::optional<Graph> edge_add(const Graph& g, Rng& rng) {
+std::optional<GraphEdit> draw_edge_add(const Graph& g, Rng& rng) {
   const std::size_t n = g.vertex_count();
   std::vector<std::pair<Vertex, Vertex>> non_edges;
   for (Vertex u = 0; u < n; ++u)
     for (Vertex v = u + 1; v < n; ++v)
       if (!g.has_edge(u, v)) non_edges.emplace_back(u, v);
   if (non_edges.empty()) return std::nullopt;
-  auto edges = g.edges();
-  edges.push_back(non_edges[rng.index(non_edges.size())]);
-  return rebuild(n, std::move(edges), ids_of(g));
+  const auto [u, v] = non_edges[rng.index(non_edges.size())];
+  return GraphEdit{EditKind::kEdgeAdd, u, v};
 }
 
-std::optional<Graph> edge_delete(const Graph& g, Rng& rng) {
+std::optional<GraphEdit> draw_edge_delete(const Graph& g, Rng& rng) {
   const auto edges = g.edges();
   // Non-bridge edges only (instances are tiny, so probe by rebuild).
   std::vector<std::size_t> deletable;
@@ -57,39 +48,30 @@ std::optional<Graph> edge_delete(const Graph& g, Rng& rng) {
     if (Graph(g.vertex_count(), rest).is_connected()) deletable.push_back(k);
   }
   if (deletable.empty()) return std::nullopt;
-  const std::size_t k = deletable[rng.index(deletable.size())];
-  std::vector<std::pair<Vertex, Vertex>> rest;
-  for (std::size_t j = 0; j < edges.size(); ++j)
-    if (j != k) rest.push_back(edges[j]);
-  return rebuild(g.vertex_count(), std::move(rest), ids_of(g));
+  const auto [u, v] = edges[deletable[rng.index(deletable.size())]];
+  return GraphEdit{EditKind::kEdgeDelete, u, v};
 }
 
-std::optional<Graph> leaf_graft(const Graph& g, Rng& rng) {
+std::optional<GraphEdit> draw_leaf_graft(const Graph& g, Rng& rng) {
   const std::size_t n = g.vertex_count();
   if (n == 0) return std::nullopt;
-  auto edges = g.edges();
-  edges.emplace_back(rng.index(n), n);
-  auto ids = ids_of(g);
-  ids.push_back(fresh_id(ids, n + 1, rng));
-  return rebuild(n + 1, std::move(edges), std::move(ids));
+  const Vertex anchor = static_cast<Vertex>(rng.index(n));
+  GraphEdit edit{EditKind::kLeafGraft, anchor};
+  edit.fresh_id = fresh_id(ids_of(g), n + 1, rng);
+  return edit;
 }
 
-std::optional<Graph> leaf_prune(const Graph& g, Rng& rng) {
+std::optional<GraphEdit> draw_leaf_prune(const Graph& g, Rng& rng) {
   const std::size_t n = g.vertex_count();
   if (n <= 2) return std::nullopt;  // keep instances nontrivial
   std::vector<Vertex> leaves;
   for (Vertex v = 0; v < n; ++v)
     if (g.degree(v) == 1) leaves.push_back(v);
   if (leaves.empty()) return std::nullopt;
-  const Vertex drop = leaves[rng.index(leaves.size())];
-  std::vector<Vertex> keep;
-  keep.reserve(n - 1);
-  for (Vertex v = 0; v < n; ++v)
-    if (v != drop) keep.push_back(v);
-  return g.induced(keep);  // inherits IDs
+  return GraphEdit{EditKind::kLeafPrune, leaves[rng.index(leaves.size())]};
 }
 
-std::optional<Graph> subtree_swap(const Graph& g, Rng& rng) {
+std::optional<GraphEdit> draw_subtree_swap(const Graph& g, Rng& rng) {
   const std::size_t n = g.vertex_count();
   if (n < 3 || g.edge_count() != n - 1 || !g.is_connected()) return std::nullopt;
   // Root anywhere, detach a random non-root subtree and re-hang it under a
@@ -118,40 +100,21 @@ std::optional<Graph> subtree_swap(const Graph& g, Rng& rng) {
     if (!in_subtree[v] && v != parent[moved]) candidates.push_back(v);
   if (candidates.empty()) return std::nullopt;
   const Vertex new_parent = candidates[rng.index(candidates.size())];
-  std::vector<std::pair<Vertex, Vertex>> edges;
-  edges.reserve(n - 1);
-  for (auto [u, v] : g.edges()) {
-    const bool is_old_link = (u == moved && v == parent[moved]) ||
-                             (v == moved && u == parent[moved]);
-    if (!is_old_link) edges.emplace_back(u, v);
-  }
-  edges.emplace_back(std::min(moved, new_parent), std::max(moved, new_parent));
-  return rebuild(n, std::move(edges), ids_of(g));
+  return GraphEdit{EditKind::kSubtreeSwap, moved, new_parent, parent[moved]};
 }
 
-std::optional<Graph> id_permute(const Graph& g, Rng& rng) {
+std::optional<GraphEdit> draw_id_permute(const Graph& g, Rng& rng) {
   const std::size_t n = g.vertex_count();
   if (n < 2) return std::nullopt;
-  auto ids = ids_of(g);
-  rng.shuffle(ids);
-  Graph out = g;
-  out.set_ids(std::move(ids));
-  return out;
+  GraphEdit edit{EditKind::kIdPermute};
+  edit.ids = ids_of(g);
+  rng.shuffle(edit.ids);
+  return edit;
 }
 
 }  // namespace
 
-std::string mutator_name(MutatorKind kind) {
-  switch (kind) {
-    case MutatorKind::kEdgeAdd: return "edge-add";
-    case MutatorKind::kEdgeDelete: return "edge-delete";
-    case MutatorKind::kLeafGraft: return "leaf-graft";
-    case MutatorKind::kLeafPrune: return "leaf-prune";
-    case MutatorKind::kSubtreeSwap: return "subtree-swap";
-    case MutatorKind::kIdPermute: return "id-permute";
-  }
-  throw std::invalid_argument("mutator_name: unknown kind");
-}
+std::string mutator_name(MutatorKind kind) { return edit_name(kind); }
 
 std::vector<MutatorKind> tree_preserving_mutators() {
   return {MutatorKind::kLeafGraft, MutatorKind::kLeafPrune,
@@ -164,16 +127,22 @@ std::vector<MutatorKind> all_mutators() {
           MutatorKind::kSubtreeSwap, MutatorKind::kIdPermute};
 }
 
-std::optional<Graph> apply_mutator(const Graph& g, MutatorKind kind, Rng& rng) {
+std::optional<GraphEdit> draw_edit(const Graph& g, MutatorKind kind, Rng& rng) {
   switch (kind) {
-    case MutatorKind::kEdgeAdd: return edge_add(g, rng);
-    case MutatorKind::kEdgeDelete: return edge_delete(g, rng);
-    case MutatorKind::kLeafGraft: return leaf_graft(g, rng);
-    case MutatorKind::kLeafPrune: return leaf_prune(g, rng);
-    case MutatorKind::kSubtreeSwap: return subtree_swap(g, rng);
-    case MutatorKind::kIdPermute: return id_permute(g, rng);
+    case EditKind::kEdgeAdd: return draw_edge_add(g, rng);
+    case EditKind::kEdgeDelete: return draw_edge_delete(g, rng);
+    case EditKind::kLeafGraft: return draw_leaf_graft(g, rng);
+    case EditKind::kLeafPrune: return draw_leaf_prune(g, rng);
+    case EditKind::kSubtreeSwap: return draw_subtree_swap(g, rng);
+    case EditKind::kIdPermute: return draw_id_permute(g, rng);
   }
-  throw std::invalid_argument("apply_mutator: unknown kind");
+  throw std::invalid_argument("draw_edit: unknown kind");
+}
+
+std::optional<Graph> apply_mutator(const Graph& g, MutatorKind kind, Rng& rng) {
+  const auto edit = draw_edit(g, kind, rng);
+  if (!edit.has_value()) return std::nullopt;
+  return apply_edit(g, *edit);
 }
 
 }  // namespace lcert::fuzz

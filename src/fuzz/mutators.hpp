@@ -8,31 +8,35 @@
 // throws off the promise) only receive tree-preserving mutators, while
 // any-graph schemes also get raw edge edits.
 //
+// Since the incremental recertification layer (DESIGN.md §13) the mutation
+// step is split in two: draw_edit picks the random parameters and returns a
+// first-class GraphEdit descriptor (src/graph/edit.hpp), apply_edit
+// materializes it. apply_mutator composes the two, preserving the historical
+// behavior bit-for-bit — the RNG call sequence inside draw_edit is exactly
+// the one the old closed-form mutators made, so every recorded (seed, trial)
+// replay coordinate still reproduces its instance.
+//
 // Every mutator is total and deterministic in (graph, Rng state): it either
-// returns the mutated graph or std::nullopt when no legal application exists
-// (e.g. EdgeDelete on a tree would disconnect, EdgeAdd on a clique). All
-// mutators preserve connectivity and simplicity — those are prerequisites of
-// every scheme in the registry, and violating them would only test the
-// generators' input validation, not the schemes.
+// returns the edit/mutated graph or std::nullopt when no legal application
+// exists (e.g. EdgeDelete on a tree would disconnect, EdgeAdd on a clique).
+// All mutators preserve connectivity and simplicity — those are
+// prerequisites of every scheme in the registry, and violating them would
+// only test the generators' input validation, not the schemes.
 #pragma once
 
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "src/graph/edit.hpp"
 #include "src/graph/graph.hpp"
 #include "src/util/rng.hpp"
 
 namespace lcert::fuzz {
 
-enum class MutatorKind {
-  kEdgeAdd,      ///< insert a uniformly random non-edge (keeps simplicity)
-  kEdgeDelete,   ///< delete a random non-bridge edge (keeps connectivity)
-  kLeafGraft,    ///< attach a fresh leaf to a random vertex (tree-preserving)
-  kLeafPrune,    ///< remove a random degree-1 vertex (tree-preserving)
-  kSubtreeSwap,  ///< re-hang a random subtree under a new parent (trees only)
-  kIdPermute,    ///< permute the ID assignment (property must be ID-invariant)
-};
+/// The mutator catalogue IS the edit catalogue: campaign configuration and
+/// the incremental layer speak the same enum.
+using MutatorKind = EditKind;
 
 /// Display name, stable across versions (appears in shrunk repro files).
 std::string mutator_name(MutatorKind kind);
@@ -45,8 +49,14 @@ std::vector<MutatorKind> tree_preserving_mutators();
 /// graphs.
 std::vector<MutatorKind> all_mutators();
 
-/// Applies one mutator. Returns std::nullopt when the mutator has no legal
-/// application on `g` (never throws for that case). The result is connected,
+/// Draws one random legal application of `kind` against `g` and returns its
+/// descriptor; std::nullopt when the mutator has no legal application on `g`
+/// (never throws for that case). Consumes exactly the random draws the
+/// historical closed-form mutator consumed.
+std::optional<GraphEdit> draw_edit(const Graph& g, MutatorKind kind, Rng& rng);
+
+/// Applies one mutator: draw_edit + apply_edit. Returns std::nullopt when
+/// the mutator has no legal application on `g`. The result is connected,
 /// simple, and carries fresh distinct IDs where the mutation created vertices
 /// (existing IDs are preserved where the vertices survive).
 std::optional<Graph> apply_mutator(const Graph& g, MutatorKind kind, Rng& rng);

@@ -6,6 +6,8 @@
 #include "src/cert/audit.hpp"
 #include "src/cert/engine.hpp"
 #include "src/cert/prove.hpp"
+#include "src/fuzz/mutators.hpp"
+#include "src/incr/incremental.hpp"
 #include "src/obs/metrics.hpp"
 
 namespace lcert::fuzz {
@@ -23,6 +25,8 @@ struct OracleMetrics {
   obs::Counter round_trip = obs::registry().counter("fuzz/oracle/round-trip-mismatch");
   obs::Counter forgery = obs::registry().counter("fuzz/oracle/soundness-forgery");
   obs::Counter feas_tier = obs::registry().counter("fuzz/oracle/feas-tier-divergence");
+  obs::Counter incremental =
+      obs::registry().counter("fuzz/oracle/incremental-divergence");
 };
 
 const OracleMetrics& oracle_metrics() {
@@ -41,6 +45,7 @@ void count_hit(Oracle oracle) {
     case Oracle::kRoundTripMismatch: m.round_trip.add(); break;
     case Oracle::kSoundnessForgery: m.forgery.add(); break;
     case Oracle::kFeasTierDivergence: m.feas_tier.add(); break;
+    case Oracle::kIncrementalDivergence: m.incremental.add(); break;
   }
 }
 
@@ -71,6 +76,60 @@ bool verify_single(const Scheme& scheme, const ViewRef& view) {
   }
 }
 
+bool same_assignment(const std::optional<std::vector<Certificate>>& a,
+                     const std::optional<std::vector<Certificate>>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  return !a.has_value() || *a == *b;
+}
+
+/// Oracle 9: the incremental recertification path is a pure speedup. Drives
+/// a CertifiedInstance through a short random walk of family edits and
+/// demands, after init and after every edit, bit-identical certificates to a
+/// cold full re-prove of the accumulated graph — plus a clean radius-1
+/// re-verification of the changed slice. Runs last in the battery so its rng
+/// draws never shift the streams of the older oracles (replay coordinates of
+/// recorded repro files stay valid).
+std::optional<CheckOutcome> incremental_divergence(const Scheme& scheme,
+                                                   const InstanceFamily& family,
+                                                   const Graph& g, Rng& rng) {
+  RunOptions opts;
+  opts.num_threads = 1;
+  incr::CertifiedInstance live(scheme, opts);
+  if (!live.incremental()) return std::nullopt;
+
+  Graph cur = g;
+  live.init(cur);
+  if (!same_assignment(live.certificates(),
+                       prove_assignment(scheme, cur, opts).certificates))
+    return violation(Oracle::kIncrementalDivergence,
+                     "init diverged from a cold prove_assignment");
+
+  if (family.mutators.empty()) return std::nullopt;
+  constexpr std::size_t kWalkLength = 4;
+  for (std::size_t step = 0; step < kWalkLength; ++step) {
+    const MutatorKind kind = family.mutators[rng.index(family.mutators.size())];
+    const auto edit = draw_edit(cur, kind, rng);
+    if (!edit.has_value()) continue;
+    const IncrementalStats st = live.apply(*edit);
+    cur = apply_edit(cur, *edit);
+    if (!same_assignment(live.certificates(),
+                         prove_assignment(scheme, cur, opts).certificates)) {
+      std::ostringstream os;
+      os << "edit " << step << " (" << to_string(*edit)
+         << ") diverged from a cold prove_assignment"
+         << (st.full_reprove ? " [full-reprove path]" : " [incremental path]");
+      return violation(Oracle::kIncrementalDivergence, os.str());
+    }
+    if (!st.reverify_clean) {
+      std::ostringstream os;
+      os << "edit " << step << " (" << to_string(*edit)
+         << "): re-verification of the changed slice rejected";
+      return violation(Oracle::kIncrementalDivergence, os.str());
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string oracle_name(Oracle oracle) {
@@ -83,6 +142,7 @@ std::string oracle_name(Oracle oracle) {
     case Oracle::kRoundTripMismatch: return "round-trip-mismatch";
     case Oracle::kSoundnessForgery: return "soundness-forgery";
     case Oracle::kFeasTierDivergence: return "feas-tier-divergence";
+    case Oracle::kIncrementalDivergence: return "incremental-divergence";
   }
   throw std::invalid_argument("oracle_name: unknown oracle");
 }
@@ -135,6 +195,7 @@ CheckOutcome check_instance(const Scheme& scheme, const InstanceFamily& family,
     if (forged.has_value())
       return violation(Oracle::kSoundnessForgery,
                        "attack '" + forged->attack + "' forged an accepting assignment");
+    if (const auto hit = incremental_divergence(scheme, family, g, rng)) return *hit;
     return out;
   }
 
@@ -199,6 +260,9 @@ CheckOutcome check_instance(const Scheme& scheme, const InstanceFamily& family,
       return violation(Oracle::kVerifierRejectedHonest, os.str());
     }
   }
+
+  // Oracle 9, last so its rng draws don't shift the older oracles' streams.
+  if (const auto hit = incremental_divergence(scheme, family, g, rng)) return *hit;
 
   return out;
 }

@@ -23,6 +23,12 @@
 //                             paths on (feas_tier_max default) vs forced off
 //                             (feas_tier_max = 0) did not both reproduce
 //                             assign()'s certificates bit-for-bit
+//   incremental-divergence    a CertifiedInstance driven by streaming edits
+//                             diverged from a cold full re-prove of the
+//                             accumulated graph (certificates must stay
+//                             bit-identical after every edit), or its
+//                             radius-1 re-verification of the changed slice
+//                             rejected
 #pragma once
 
 #include <optional>
@@ -44,6 +50,7 @@ enum class Oracle {
   kRoundTripMismatch,
   kSoundnessForgery,
   kFeasTierDivergence,
+  kIncrementalDivergence,
 };
 
 /// Stable display name (appears in reports and repro files).

@@ -1,0 +1,120 @@
+#include "src/graph/edit.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace lcert {
+
+namespace {
+
+std::vector<VertexId> ids_of(const Graph& g) {
+  std::vector<VertexId> ids(g.vertex_count());
+  for (Vertex v = 0; v < g.vertex_count(); ++v) ids[v] = g.id(v);
+  return ids;
+}
+
+Graph rebuild(std::size_t n, std::vector<std::pair<Vertex, Vertex>> edges,
+              std::vector<VertexId> ids) {
+  Graph out(n, edges);
+  out.set_ids(std::move(ids));
+  return out;
+}
+
+[[noreturn]] void bad(const GraphEdit& edit, const std::string& why) {
+  throw std::invalid_argument("apply_edit: " + to_string(edit) + ": " + why);
+}
+
+}  // namespace
+
+std::string edit_name(EditKind kind) {
+  switch (kind) {
+    case EditKind::kEdgeAdd: return "edge-add";
+    case EditKind::kEdgeDelete: return "edge-delete";
+    case EditKind::kLeafGraft: return "leaf-graft";
+    case EditKind::kLeafPrune: return "leaf-prune";
+    case EditKind::kSubtreeSwap: return "subtree-swap";
+    case EditKind::kIdPermute: return "id-permute";
+  }
+  throw std::invalid_argument("edit_name: unknown kind");
+}
+
+std::string to_string(const GraphEdit& edit) {
+  std::ostringstream os;
+  os << edit_name(edit.kind);
+  switch (edit.kind) {
+    case EditKind::kEdgeAdd:
+    case EditKind::kEdgeDelete: os << " {" << edit.a << "," << edit.b << "}"; break;
+    case EditKind::kLeafGraft: os << " anchor=" << edit.a << " id=" << edit.fresh_id; break;
+    case EditKind::kLeafPrune: os << " v=" << edit.a; break;
+    case EditKind::kSubtreeSwap:
+      os << " moved=" << edit.a << " old-parent=" << edit.c << " new-parent=" << edit.b;
+      break;
+    case EditKind::kIdPermute: os << " (" << edit.ids.size() << " ids)"; break;
+  }
+  return os.str();
+}
+
+Graph apply_edit(const Graph& g, const GraphEdit& edit) {
+  const std::size_t n = g.vertex_count();
+  switch (edit.kind) {
+    case EditKind::kEdgeAdd: {
+      if (edit.a >= n || edit.b >= n) bad(edit, "endpoint out of range");
+      if (edit.a == edit.b) bad(edit, "loop");
+      if (g.has_edge(edit.a, edit.b)) bad(edit, "edge already present");
+      auto edges = g.edges();
+      edges.emplace_back(std::min(edit.a, edit.b), std::max(edit.a, edit.b));
+      return rebuild(n, std::move(edges), ids_of(g));
+    }
+    case EditKind::kEdgeDelete: {
+      if (edit.a >= n || edit.b >= n) bad(edit, "endpoint out of range");
+      if (!g.has_edge(edit.a, edit.b)) bad(edit, "edge not present");
+      std::vector<std::pair<Vertex, Vertex>> rest;
+      rest.reserve(g.edge_count() - 1);
+      for (auto [u, v] : g.edges())
+        if (!((u == edit.a && v == edit.b) || (u == edit.b && v == edit.a)))
+          rest.emplace_back(u, v);
+      return rebuild(n, std::move(rest), ids_of(g));
+    }
+    case EditKind::kLeafGraft: {
+      if (edit.a >= n) bad(edit, "anchor out of range");
+      auto edges = g.edges();
+      edges.emplace_back(edit.a, n);
+      auto ids = ids_of(g);
+      ids.push_back(edit.fresh_id);
+      return rebuild(n + 1, std::move(edges), std::move(ids));
+    }
+    case EditKind::kLeafPrune: {
+      if (edit.a >= n) bad(edit, "vertex out of range");
+      if (g.degree(edit.a) != 1) bad(edit, "not a degree-1 vertex");
+      std::vector<Vertex> keep;
+      keep.reserve(n - 1);
+      for (Vertex v = 0; v < n; ++v)
+        if (v != edit.a) keep.push_back(v);
+      return g.induced(keep);  // inherits IDs
+    }
+    case EditKind::kSubtreeSwap: {
+      if (edit.a >= n || edit.b >= n || edit.c >= n) bad(edit, "endpoint out of range");
+      if (!g.has_edge(edit.a, edit.c)) bad(edit, "old-parent edge not present");
+      if (edit.a == edit.b) bad(edit, "loop");
+      if (g.has_edge(edit.a, edit.b)) bad(edit, "new-parent edge already present");
+      std::vector<std::pair<Vertex, Vertex>> edges;
+      edges.reserve(g.edge_count());
+      for (auto [u, v] : g.edges())
+        if (!((u == edit.a && v == edit.c) || (u == edit.c && v == edit.a)))
+          edges.emplace_back(u, v);
+      edges.emplace_back(std::min(edit.a, edit.b), std::max(edit.a, edit.b));
+      return rebuild(n, std::move(edges), ids_of(g));
+    }
+    case EditKind::kIdPermute: {
+      if (edit.ids.size() != n) bad(edit, "id vector size mismatch");
+      Graph out = g;
+      out.set_ids(edit.ids);
+      return out;
+    }
+  }
+  throw std::invalid_argument("apply_edit: unknown kind");
+}
+
+}  // namespace lcert

@@ -87,6 +87,88 @@ Graph RootedTree::to_graph() const {
   return Graph(size(), edges);
 }
 
+std::size_t RootedTree::graft_leaf(std::size_t parent) {
+  if (parent >= size()) throw std::out_of_range("graft_leaf: parent out of range");
+  const std::size_t v = size();
+  parent_.push_back(parent);
+  children_.emplace_back();
+  depth_.push_back(depth_[parent] + 1);
+  children_[parent].push_back(v);  // v > every existing index: stays sorted
+  return v;
+}
+
+void RootedTree::prune_leaf(std::size_t leaf) {
+  if (leaf >= size()) throw std::out_of_range("prune_leaf: leaf out of range");
+  if (!children_[leaf].empty())
+    throw std::invalid_argument("prune_leaf: vertex has children");
+  if (leaf == root_) throw std::invalid_argument("prune_leaf: cannot prune the root");
+  auto& siblings = children_[parent_[leaf]];
+  siblings.erase(std::find(siblings.begin(), siblings.end(), leaf));
+  parent_.erase(parent_.begin() + static_cast<std::ptrdiff_t>(leaf));
+  depth_.erase(depth_.begin() + static_cast<std::ptrdiff_t>(leaf));
+  children_.erase(children_.begin() + static_cast<std::ptrdiff_t>(leaf));
+  // Renumber: every index above the hole shifts down by one. Decrementing a
+  // suffix of values keeps each (sorted) children list sorted.
+  for (std::size_t& p : parent_)
+    if (p != kNoParent && p > leaf) --p;
+  for (auto& kids : children_)
+    for (std::size_t& k : kids)
+      if (k > leaf) --k;
+  if (root_ > leaf) --root_;
+}
+
+std::vector<std::size_t> RootedTree::reattach(std::size_t c, std::size_t a,
+                                              std::size_t p) {
+  if (c >= size() || a >= size() || p >= size())
+    throw std::out_of_range("reattach: vertex out of range");
+  if (c == root_) throw std::invalid_argument("reattach: cannot detach the root");
+  if (!is_ancestor(c, a))
+    throw std::invalid_argument("reattach: new subtree root outside the detached subtree");
+  if (is_ancestor(c, p))
+    throw std::invalid_argument("reattach: new parent inside the detached subtree");
+
+  // The a-to-c path, a first; these are the vertices whose children change.
+  std::vector<std::size_t> path;
+  for (std::size_t x = a;; x = parent_[x]) {
+    path.push_back(x);
+    if (x == c) break;
+  }
+
+  const auto remove_child = [&](std::size_t par, std::size_t child) {
+    auto& kids = children_[par];
+    kids.erase(std::find(kids.begin(), kids.end(), child));
+  };
+  const auto insert_child = [&](std::size_t par, std::size_t child) {
+    auto& kids = children_[par];
+    kids.insert(std::upper_bound(kids.begin(), kids.end(), child), child);
+  };
+
+  remove_child(parent_[c], c);
+  // Re-root the detached piece at `a`: parent pointers along the path flip.
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    const std::size_t child = path[i];
+    const std::size_t par = path[i + 1];
+    remove_child(par, child);
+    insert_child(child, par);
+    parent_[par] = child;
+  }
+  parent_[a] = p;
+  insert_child(p, a);
+
+  // Depths of the moved piece (now the subtree of `a`) from its new anchor.
+  depth_[a] = depth_[p] + 1;
+  std::vector<std::size_t> stack{a};
+  while (!stack.empty()) {
+    const std::size_t v = stack.back();
+    stack.pop_back();
+    for (std::size_t k : children_[v]) {
+      depth_[k] = depth_[v] + 1;
+      stack.push_back(k);
+    }
+  }
+  return path;
+}
+
 RootedTree RootedTree::from_graph(const Graph& g, Vertex root) {
   const std::size_t n = g.vertex_count();
   if (g.edge_count() != n - 1 || !g.is_connected())

@@ -62,6 +62,37 @@ class RootedTree {
   /// Roots an undirected tree (must be connected and acyclic) at `root`.
   static RootedTree from_graph(const Graph& g, Vertex root);
 
+  // --- Incremental patch API (DESIGN.md §13) -------------------------------
+  //
+  // Each operation edits the tree in place and leaves it in exactly the state
+  // a fresh construction over the mutated graph would produce: parent array,
+  // depths, and children lists (ascending vertex order — the invariant the
+  // batch prover's deterministic extraction relies on) all match
+  // from_graph(mutated, mapped root) bit for bit. Pinned by
+  // tests/test_incremental.cpp over randomized edit sequences.
+
+  /// Appends vertex size() as a new leaf under `parent`; returns its index.
+  /// O(1): the new index exceeds every existing one, so the children list
+  /// stays sorted by construction.
+  std::size_t graft_leaf(std::size_t parent);
+
+  /// Removes the childless non-root vertex `leaf`. Surviving indices are
+  /// renumbered exactly like Graph::induced's compaction: v maps to v-1 for
+  /// every v > leaf. O(n) for the renumber; children stay sorted because the
+  /// shift is order-preserving.
+  void prune_leaf(std::size_t leaf);
+
+  /// Detaches the subtree rooted at `c` (must not be the root), re-roots the
+  /// detached piece at `a` (must lie inside it — parent pointers along the
+  /// a-to-c path reverse), and hangs `a` under `p` (must lie outside the
+  /// detached piece). This is the tree-side image of the subtree-swap edit:
+  /// delete edge {c, parent(c)}, insert edge {a, p}. Depths of the moved
+  /// subtree are recomputed. Returns the a-to-c path (a first) — exactly the
+  /// vertices whose children sets changed inside the moved piece, which is
+  /// what the incremental prover seeds its dirty set with.
+  /// O(|moved subtree| + sum of path degrees).
+  std::vector<std::size_t> reattach(std::size_t c, std::size_t a, std::size_t p);
+
  private:
   std::vector<std::size_t> parent_;
   std::vector<std::vector<std::size_t>> children_;

@@ -1,0 +1,113 @@
+#include "src/incr/incremental.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/cert/prove.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace lcert::incr {
+
+namespace {
+
+struct IncrMetrics {
+  obs::Counter edits = obs::registry().counter("incr/edits");
+  obs::Counter full_reproves = obs::registry().counter("incr/full_reproves");
+  obs::Counter reproved = obs::registry().counter("incr/reproved_vertices");
+  obs::Counter reverified = obs::registry().counter("incr/reverified_vertices");
+  obs::Counter changed_certs = obs::registry().counter("incr/changed_certs");
+  obs::Histogram dirty_path_len = obs::registry().histogram("incr/dirty_path_len");
+};
+
+const IncrMetrics& incr_metrics() {
+  static const IncrMetrics metrics;
+  return metrics;
+}
+
+void record(const IncrementalStats& st) {
+  const IncrMetrics& m = incr_metrics();
+  m.edits.add();
+  if (st.full_reprove) m.full_reproves.add();
+  m.reproved.add(st.reproved_vertices);
+  m.reverified.add(st.reverified_vertices);
+  m.changed_certs.add(st.changed_certificates);
+  m.dirty_path_len.record(st.dirty_path_len);
+}
+
+}  // namespace
+
+CertifiedInstance::CertifiedInstance(const Scheme& scheme, const RunOptions& options)
+    : scheme_(scheme), options_(options),
+      prover_(scheme.make_incremental_prover(options)) {}
+
+const std::optional<std::vector<Certificate>>& CertifiedInstance::init(const Graph& g) {
+  if (prover_ != nullptr) return prover_->init(g);
+  graph_ = g;
+  certs_ = prove_assignment(scheme_, g, options_).certificates;
+  changed_.clear();
+  changed_all_ = true;
+  return certs_;
+}
+
+IncrementalStats CertifiedInstance::apply(const GraphEdit& edit) {
+  if (prover_ != nullptr) {
+    const IncrementalStats st = prover_->apply(edit);
+    record(st);
+    return st;
+  }
+
+  // Fallback: no incremental prover — every edit is a cold full re-prove.
+  if (!graph_.has_value())
+    throw std::logic_error("CertifiedInstance::apply before init");
+  Graph next = apply_edit(*graph_, edit);
+  ProveResult res = prove_assignment(scheme_, next, options_);
+
+  IncrementalStats st;
+  st.full_reprove = true;
+  st.certified = res.certificates.has_value();
+  st.memo_hits = res.memo_hits;
+  st.memo_misses = res.memo_misses;
+  st.reproved_vertices = next.vertex_count();
+
+  changed_.clear();
+  if (!certs_.has_value() || !res.certificates.has_value() ||
+      certs_->size() != res.certificates->size()) {
+    changed_all_ = certs_.has_value() || res.certificates.has_value();
+  } else {
+    changed_all_ = false;
+    for (std::size_t v = 0; v < certs_->size(); ++v)
+      if ((*certs_)[v] != (*res.certificates)[v]) changed_.push_back(v);
+  }
+  if (st.certified) {
+    const std::size_t n = next.vertex_count();
+    st.changed_certificates = changed_all_ ? n : changed_.size();
+    if (n > 0)
+      st.reuse_ratio =
+          1.0 - static_cast<double>(st.changed_certificates) / static_cast<double>(n);
+  }
+  certs_ = std::move(res.certificates);
+  graph_ = std::move(next);
+  record(st);
+  return st;
+}
+
+const std::optional<std::vector<Certificate>>& CertifiedInstance::certificates() const {
+  return prover_ != nullptr ? prover_->certificates() : certs_;
+}
+
+const std::vector<std::size_t>& CertifiedInstance::changed_vertices() const {
+  return prover_ != nullptr ? prover_->changed_vertices() : changed_;
+}
+
+bool CertifiedInstance::changed_all() const {
+  return prover_ != nullptr ? prover_->changed_all() : changed_all_;
+}
+
+Graph CertifiedInstance::graph() const {
+  if (prover_ != nullptr) return prover_->graph();
+  if (!graph_.has_value())
+    throw std::logic_error("CertifiedInstance::graph before init");
+  return *graph_;
+}
+
+}  // namespace lcert::incr

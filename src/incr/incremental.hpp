@@ -1,0 +1,69 @@
+// Dynamic certification layer (DESIGN.md §13).
+//
+// A CertifiedInstance is a live (graph, certificate assignment) pair under
+// streaming GraphEdits: apply() mutates the instance and repairs the
+// certificates, amortized O(dirty slice) per edit when the scheme ships an
+// incremental prover (Scheme::make_incremental_prover), falling back to a
+// cold full re-prove per edit otherwise — same results either way, the
+// incremental path is a pure speedup (pinned by the kIncrementalDivergence
+// fuzz oracle: certificates after every edit are bit-identical to a cold
+// prove_assignment over the accumulated graph).
+//
+// The layer also owns the observability surface: per-edit counters
+// (incr/edits, incr/full_reproves, incr/reproved_vertices,
+// incr/reverified_vertices, incr/changed_certs) and the incr/dirty_path_len
+// histogram feed the CLI `watch` subcommand and the incremental-smoke CI job.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/cert/options.hpp"
+#include "src/cert/scheme.hpp"
+#include "src/graph/edit.hpp"
+#include "src/graph/graph.hpp"
+
+namespace lcert::incr {
+
+/// A certified instance under streaming edits. The scheme must outlive the
+/// instance (the incremental prover may borrow from it).
+class CertifiedInstance {
+ public:
+  explicit CertifiedInstance(const Scheme& scheme, const RunOptions& options = {});
+
+  /// Certifies the initial instance; must be called before apply(). Returns
+  /// the certificates (nullopt when the instance is not certifiable).
+  const std::optional<std::vector<Certificate>>& init(const Graph& g);
+
+  /// Applies one edit and repairs the certification. Throws
+  /// std::invalid_argument on illegal edits (the instance is unchanged).
+  IncrementalStats apply(const GraphEdit& edit);
+
+  const std::optional<std::vector<Certificate>>& certificates() const;
+
+  /// Vertices (post-edit indexing) whose certificates changed in the last
+  /// apply(); meaningless when changed_all() is true.
+  const std::vector<std::size_t>& changed_vertices() const;
+  bool changed_all() const;
+
+  /// The accumulated graph.
+  Graph graph() const;
+
+  /// True when edits run through a scheme-provided incremental prover;
+  /// false when each apply() is a cold full re-prove.
+  bool incremental() const noexcept { return prover_ != nullptr; }
+
+ private:
+  const Scheme& scheme_;
+  RunOptions options_;
+  std::unique_ptr<IncrementalProver> prover_;  ///< null => fallback mode
+
+  // Fallback-mode state (unused when prover_ is set).
+  std::optional<Graph> graph_;
+  std::optional<std::vector<Certificate>> certs_;
+  std::vector<std::size_t> changed_;
+  bool changed_all_ = false;
+};
+
+}  // namespace lcert::incr

@@ -37,6 +37,13 @@ class InstrumentedScheme final : public Scheme {
                     std::span<std::uint8_t> accept) const override {
     inner_->verify_batch(views, accept);
   }
+  /// Forwards so registry schemes keep their incremental path (the lcert::incr
+  /// layer records its own counters; per-edit cert sizes are constant for
+  /// every scheme with an incremental prover, so no size accounting is lost).
+  std::unique_ptr<IncrementalProver> make_incremental_prover(
+      const RunOptions& options) const override {
+    return inner_->make_incremental_prover(options);
+  }
 
  private:
   std::unique_ptr<Scheme> inner_;

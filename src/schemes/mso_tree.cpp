@@ -3,11 +3,10 @@
 #include <algorithm>
 #include <cassert>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "src/cert/prove.hpp"
 #include "src/graph/rooted_tree.hpp"
-#include "src/graph/tree_iso.hpp"
+#include "src/schemes/mso_tree_detail.hpp"
 #include "src/util/bitio.hpp"
 
 namespace lcert {
@@ -46,206 +45,48 @@ std::optional<std::vector<Certificate>> MsoTreeScheme::assign(const Graph& g) co
   return std::nullopt;  // no good root admitted a run: library bug, caught by tests
 }
 
+mso_detail::SolveCore MsoTreeScheme::solve_core() const {
+  return {&automaton_.automaton, transition_boxes_.data(),
+          automaton_.automaton.state_count, state_bits_ == 0 ? 1 : state_bits_,
+          name()};
+}
+
 std::optional<std::vector<Certificate>> MsoTreeScheme::prove_batch(
     const Graph& g, ProverContext& ctx) const {
-  const UOPAutomaton& a = automaton_.automaton;
-  const std::size_t k = a.state_count;
+  const std::size_t k = automaton_.automaton.state_count;
   if (k > 64) return assign(g);
   if (!holds(g)) return std::nullopt;
 
-  const unsigned width = state_bits_ == 0 ? 1 : state_bits_;
-  const std::vector<IntervalBox>* boxes = transition_boxes_.data();
+  const mso_detail::SolveCore core = solve_core();
 
   // Memo state shared across candidate roots, keyed on child feasibility
-  // masks instead of exact subtree iso codes (DESIGN.md §12): compute_mask is
+  // masks instead of exact subtree iso codes (DESIGN.md §12): feasibility is
   // a pure function of the *multiset* of child masks (flow feasibility is
-  // child-order invariant), extract_children of the *ordered tuple* of child
-  // masks plus the parent state (the flow's choice follows edge insertion
-  // order). Distinct subtree shapes with the same child-mask profile now
-  // share one entry — on irregular trees this is the difference between a
-  // memo that collapses and one that converges to O(distinct profiles).
-  SubtreeCodeInterner mask_multisets;
-  SubtreeCodeInterner mask_tuples;
-  std::vector<std::uint64_t> feas_memo;
-  std::vector<std::uint8_t> feas_known;
-  std::unordered_map<std::uint64_t, std::vector<std::size_t>> extract_memo;
-
-  // Feasibility mask of one vertex from its children's masks: bit q set iff
-  // some box of delta(q) admits a child assignment — exactly the predicate
-  // find_accepting_run evaluates, resolved through the worker's tiered
-  // engine (exact booleans, no assignment materialized).
-  const auto compute_mask = [&](const RootedTree& t,
-                                const std::vector<std::uint64_t>& mask,
-                                std::size_t v, std::size_t worker) {
-    std::vector<std::uint64_t> child_masks;
-    child_masks.reserve(t.children(v).size());
-    for (std::size_t c : t.children(v)) child_masks.push_back(mask[c]);
-    UopFeasibility& feas = ctx.feasibility(worker);
-    feas.begin(child_masks, k);
-    std::uint64_t m = 0;
-    for (std::size_t q = 0; q < k; ++q)
-      for (const IntervalBox& box : boxes[q])
-        if (feas.feasible(box)) {
-          m |= std::uint64_t{1} << q;
-          break;
-        }
-    return m;
-  };
-
-  // States for v's children given run state q at v: first feasible box wins,
-  // same box order and same flow construction as find_accepting_run. The
-  // tiered engine only pre-filters boxes (exact, so it skips precisely the
-  // boxes the pristine solver would reject); the assignment itself always
-  // comes from uop_assign_children_masked, keeping certificates bit-identical
-  // at every tier setting.
-  const auto extract_children = [&](const RootedTree& t,
-                                    const std::vector<std::uint64_t>& mask,
-                                    std::size_t v, std::size_t q,
-                                    std::size_t worker) {
-    std::vector<std::uint64_t> child_masks;
-    child_masks.reserve(t.children(v).size());
-    for (std::size_t c : t.children(v)) child_masks.push_back(mask[c]);
-    UopFeasibility& feas = ctx.feasibility(worker);
-    feas.begin(child_masks, k);
-    std::vector<std::size_t> assignment;
-    for (const IntervalBox& box : boxes[q]) {
-      if (!feas.feasible(box)) continue;
-      if (!uop_assign_children_masked(child_masks, box, k, assignment))
-        throw std::logic_error(name() + ": feasibility tier disagrees with flow");
-      return assignment;
-    }
-    throw std::logic_error(name() + ": extraction failed after feasibility");
-  };
+  // child-order invariant), extraction of the *ordered tuple* of child masks
+  // plus the parent state (the flow's choice follows edge insertion order).
+  // Distinct subtree shapes with the same child-mask profile share one entry
+  // — on irregular trees this is the difference between a memo that
+  // collapses and one that converges to O(distinct profiles). The passes
+  // themselves live in mso_detail::SolveCore, shared verbatim with the
+  // incremental recertification prover (DESIGN.md §13).
+  mso_detail::MsoMemo memo_store;
+  mso_detail::MsoMemo* memo = ctx.memoize() ? &memo_store : nullptr;
 
   for (Vertex root : automaton_.good_roots(g)) {
     const RootedTree t = RootedTree::from_graph(g, root);
     const auto levels = t.levels();
 
-    // Bottom-up feasibility, deepest level first: every child's mask is
-    // final before its parent's level starts. Memo key: the vertex's sorted
-    // child-mask multiset, interned once the children's masks are final —
-    // serial intern pass (the interner may rehash), parallel fill of the
-    // fresh entries, serial apply.
     std::vector<std::uint64_t> mask(t.size(), 0);
-    std::vector<std::size_t> vertex_code;
-    std::vector<std::size_t> key_scratch;
-    for (auto lev = levels.rbegin(); lev != levels.rend(); ++lev) {
-      const std::vector<std::size_t>& level = *lev;
-      if (!ctx.memoize()) {
-        ctx.for_each_index(level.size(), [&](std::size_t w, std::size_t i) {
-          mask[level[i]] = compute_mask(t, mask, level[i], w);
-        });
-        continue;
-      }
-      vertex_code.resize(level.size());
-      std::vector<std::size_t> reps;  // first vertex per not-yet-cached code
-      for (std::size_t i = 0; i < level.size(); ++i) {
-        const std::size_t v = level[i];
-        key_scratch.clear();
-        for (std::size_t c : t.children(v))
-          key_scratch.push_back(static_cast<std::size_t>(mask[c]));
-        std::sort(key_scratch.begin(), key_scratch.end());
-        const std::size_t code = mask_multisets.intern(key_scratch);
-        vertex_code[i] = code;
-        if (code < feas_known.size() && feas_known[code]) continue;
-        feas_known.resize(mask_multisets.size(), 0);
-        feas_memo.resize(mask_multisets.size(), 0);
-        feas_known[code] = 1;
-        reps.push_back(v);
-      }
-      ctx.count_memo_misses(reps.size());
-      ctx.count_memo_hits(level.size() - reps.size());
-      std::vector<std::uint64_t> rep_mask(reps.size());
-      ctx.for_each_index(reps.size(), [&](std::size_t w, std::size_t i) {
-        rep_mask[i] = compute_mask(t, mask, reps[i], w);
-      });
-      for (std::size_t i = 0, r = 0; i < level.size(); ++i) {
-        if (r < reps.size() && level[i] == reps[r]) feas_memo[vertex_code[i]] = rep_mask[r++];
-        mask[level[i]] = feas_memo[vertex_code[i]];
-      }
-    }
+    core.bottom_up(t, levels, ctx, memo, mask);
 
-    // Smallest accepting feasible root state — find_accepting_run's choice.
-    std::size_t root_state = SIZE_MAX;
-    for (std::size_t q = 0; q < k; ++q)
-      if (a.accepting[q] && ((mask[t.root()] >> q) & 1u)) {
-        root_state = q;
-        break;
-      }
+    const std::size_t root_state = core.accepting_state(mask[t.root()]);
     if (root_state == SIZE_MAX) continue;
 
     std::vector<std::size_t> run(t.size(), SIZE_MAX);
     run[t.root()] = root_state;
+    core.top_down(t, levels, ctx, memo, mask, run);
 
-    std::vector<std::size_t> tuple_id;
-    if (ctx.memoize()) {
-      tuple_id.assign(t.size(), SIZE_MAX);
-      std::vector<std::size_t> scratch;
-      for (std::size_t v = 0; v < t.size(); ++v) {
-        const auto kids = t.children(v);
-        if (kids.empty()) continue;
-        scratch.clear();
-        for (std::size_t c : kids) scratch.push_back(static_cast<std::size_t>(mask[c]));
-        tuple_id[v] = mask_tuples.intern(scratch);
-      }
-    }
-
-    // Top-down extraction, root level first: run[v] is final before v's
-    // level chooses its children's states.
-    for (const std::vector<std::size_t>& level : levels) {
-      if (!ctx.memoize()) {
-        ctx.for_each_index(level.size(), [&](std::size_t w, std::size_t i) {
-          const std::size_t v = level[i];
-          const auto kids = t.children(v);
-          if (kids.empty()) return;
-          const auto chosen = extract_children(t, mask, v, run[v], w);
-          for (std::size_t j = 0; j < kids.size(); ++j) run[kids[j]] = chosen[j];
-        });
-        continue;
-      }
-      // Serial insert pass (the map may rehash), parallel fill of the fresh
-      // slots, then the apply pass reads a stable map.
-      std::vector<std::size_t> reps;
-      std::vector<std::vector<std::size_t>*> slots;
-      std::size_t hits = 0;
-      for (std::size_t v : level) {
-        if (t.children(v).empty()) continue;
-        const std::uint64_t key =
-            static_cast<std::uint64_t>(tuple_id[v]) * 64 + run[v];
-        const auto [it, inserted] = extract_memo.try_emplace(key);
-        if (!inserted) {
-          ++hits;
-          continue;
-        }
-        reps.push_back(v);
-        slots.push_back(&it->second);
-      }
-      ctx.count_memo_misses(reps.size());
-      ctx.count_memo_hits(hits);
-      ctx.for_each_index(reps.size(), [&](std::size_t w, std::size_t i) {
-        *slots[i] = extract_children(t, mask, reps[i], run[reps[i]], w);
-      });
-      for (std::size_t v : level) {
-        const auto kids = t.children(v);
-        if (kids.empty()) continue;
-        const std::uint64_t key =
-            static_cast<std::uint64_t>(tuple_id[v]) * 64 + run[v];
-        const std::vector<std::size_t>& chosen = extract_memo[key];
-        for (std::size_t j = 0; j < kids.size(); ++j) run[kids[j]] = chosen[j];
-      }
-    }
-
-    // Certificate payloads: the run state is shape-determined, the mod-3
-    // depth counter is the one ID/position-dependent field — "re-patching on
-    // reuse" is selecting the right one of 3 precomputed variants per state.
-    std::vector<Certificate> table(3 * k);
-    for (std::size_t d = 0; d < 3; ++d)
-      for (std::size_t q = 0; q < k; ++q) {
-        BitWriter& w = ctx.writer(0);
-        w.write(d, 2);
-        w.write(q, width);
-        table[d * k + q] = Certificate::from_writer(std::move(w));
-      }
+    const std::vector<Certificate> table = core.payload_table(ctx);
     std::vector<Certificate> certs(g.vertex_count());
     ctx.for_each_index(g.vertex_count(), [&](std::size_t, std::size_t v) {
       certs[v] = table[(t.depth(v) % 3) * k + run[v]];

@@ -27,6 +27,10 @@
 
 namespace lcert {
 
+namespace mso_detail {
+struct SolveCore;  // src/schemes/mso_tree_detail.hpp
+}
+
 class MsoTreeScheme final : public Scheme {
  public:
   explicit MsoTreeScheme(NamedAutomaton automaton);
@@ -51,10 +55,24 @@ class MsoTreeScheme final : public Scheme {
   void verify_batch(std::span<const ViewRef> views,
                     std::span<std::uint8_t> accept) const override;
 
+  /// Incremental recertification prover (DESIGN.md §13): maintains a live
+  /// rooted tree + feasibility masks + run states across streaming edits and
+  /// repairs only the dirty slice per edit. Returns nullptr when the
+  /// automaton has more than 64 states (masks are single words). The prover
+  /// copies this scheme, so it is self-contained.
+  std::unique_ptr<IncrementalProver> make_incremental_prover(
+      const RunOptions& options) const override;
+
   /// Exact certificate width in bits (constant across n).
   std::size_t certificate_bits() const noexcept { return 2 + state_bits_; }
 
  private:
+  friend class MsoTreeIncrementalProver;  // src/schemes/mso_tree_incr.cpp
+
+  /// Solver core view over this scheme's automaton (borrowing pointers; the
+  /// scheme must outlive the core).
+  mso_detail::SolveCore solve_core() const;
+
   NamedAutomaton automaton_;
   unsigned state_bits_;
   /// transition(q) compiled to DNF interval boxes once at construction: the

@@ -1,0 +1,513 @@
+// Incremental recertification prover for MSO tree schemes (DESIGN.md §13).
+//
+// Maintains a live certified instance — rooted tree, per-vertex feasibility
+// masks, run states, certificates — across streaming GraphEdits, repairing
+// only the dirty slice per edit:
+//
+//   bottom-up   recompute feasibility masks of exactly the vertices whose
+//               child-mask multiset changed (structural seeds + upward
+//               propagation, stopping as soon as a recomputed mask matches);
+//   top-down    re-extract child runs of exactly the vertices whose ordered
+//               child-mask tuple or own run state changed (downward
+//               propagation, stopping where the chosen child runs match);
+//   re-patch    swap in the precomputed 3*k payload for vertices whose run
+//               or depth-mod-3 changed.
+//
+// Both passes run through the same mso_detail::SolveCore the cold prover
+// uses, against a memo that persists across edits (values are pure functions
+// of their keys, so persistence is bit-identity-safe). The fast path is
+// gated on root stability: the certification root must still be the first
+// good root of the mutated tree — cold proving picks the first good root
+// whose run accepts, and in this library every good root accepts on
+// yes-instances (pinned by the automaton test battery), so first-good-root
+// equality is exactly what bit-identity with a cold re-prove requires. Any
+// gate failure falls back to a full re-prove that still reuses the warm memo
+// and prover context.
+//
+// Contract (enforced by the kIncrementalDivergence fuzz oracle and
+// tests/test_incremental.cpp): after every apply(), certificates() is
+// bit-identical to prove_assignment over the accumulated graph.
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "src/cert/prove.hpp"
+#include "src/graph/edit.hpp"
+#include "src/graph/rooted_tree.hpp"
+#include "src/schemes/mso_tree.hpp"
+#include "src/schemes/mso_tree_detail.hpp"
+
+namespace lcert {
+
+namespace {
+
+template <typename T>
+void erase_index(std::vector<T>& v, std::size_t i) {
+  v.erase(v.begin() + static_cast<std::ptrdiff_t>(i));
+}
+
+}  // namespace
+
+class MsoTreeIncrementalProver final : public IncrementalProver {
+ public:
+  MsoTreeIncrementalProver(const MsoTreeScheme& scheme, const RunOptions& options)
+      : scheme_(scheme), options_(options), ctx_(1, options) {
+    core_ = scheme_.solve_core();  // borrows from scheme_, a stable member
+    table_ = core_.payload_table(ctx_);
+  }
+
+  const std::optional<std::vector<Certificate>>& init(const Graph& g) override {
+    rebuild_from(g);
+    changed_.clear();
+    changed_all_ = true;
+    return certs_;
+  }
+
+  IncrementalStats apply(const GraphEdit& edit) override {
+    IncrementalStats st;
+    const std::size_t hits0 = ctx_.memo_hits();
+    const std::size_t miss0 = ctx_.memo_misses();
+    changed_.clear();
+    changed_all_ = false;
+    apply_impl(edit, st);
+    st.certified = certs_.has_value();
+    st.memo_hits = ctx_.memo_hits() - hits0;
+    st.memo_misses = ctx_.memo_misses() - miss0;
+    const std::size_t n = tree_.size();
+    if (st.certified && n > 0) {
+      st.changed_certificates = changed_all_ ? n : changed_.size();
+      st.reuse_ratio =
+          1.0 - static_cast<double>(st.changed_certificates) / static_cast<double>(n);
+    }
+    st.reverify_clean = reverify(st);
+    memo_.maybe_trim();  // bounds growth under unbounded edit streams
+    return st;
+  }
+
+  const std::optional<std::vector<Certificate>>& certificates() const override {
+    return certs_;
+  }
+  const std::vector<std::size_t>& changed_vertices() const override { return changed_; }
+  bool changed_all() const override { return changed_all_; }
+  Graph graph() const override { return materialize(); }
+
+ private:
+  mso_detail::MsoMemo* memo_ptr() { return options_.memoize ? &memo_ : nullptr; }
+
+  [[noreturn]] void reject(const GraphEdit& edit, const std::string& why) const {
+    throw std::invalid_argument(scheme_.name() + ": " + to_string(edit) + ": " + why);
+  }
+
+  /// The accumulated graph, rebuilt from the tree + IDs on demand. Equal as
+  /// a value to the apply_edit-accumulated graph: the tree patches replicate
+  /// apply_edit's index semantics, and Graph normalizes adjacency order.
+  Graph materialize() const {
+    if (!graph_cache_.has_value()) {
+      std::vector<std::pair<Vertex, Vertex>> edges;
+      edges.reserve(tree_.size() == 0 ? 0 : tree_.size() - 1);
+      for (std::size_t v = 0; v < tree_.size(); ++v)
+        if (tree_.parent(v) != RootedTree::kNoParent)
+          edges.emplace_back(static_cast<Vertex>(v),
+                             static_cast<Vertex>(tree_.parent(v)));
+      Graph g(tree_.size(), edges);
+      g.set_ids(ids_);
+      graph_cache_ = std::move(g);
+    }
+    return *graph_cache_;
+  }
+
+  /// First good root of the current tree — what a cold re-prove would pick.
+  /// Cheap under the kAllVertices/kInternalVertices policies; kGeneric
+  /// materializes the graph and asks good_roots itself.
+  std::size_t first_good_root() const {
+    switch (scheme_.automaton_.root_policy) {
+      case RootPolicy::kAllVertices:
+        return 0;
+      case RootPolicy::kInternalVertices: {
+        const std::size_t n = tree_.size();
+        if (n <= 2) return 0;  // roots_internal falls back to all vertices
+        for (std::size_t v = 0; v < n; ++v) {
+          const std::size_t deg =
+              tree_.children(v).size() + (v == tree_.root() ? 0 : 1);
+          if (deg >= 2) return v;
+        }
+        return 0;  // unreachable: an n>=3 tree has an internal vertex
+      }
+      case RootPolicy::kGeneric: {
+        const Graph g = materialize();
+        const auto roots = scheme_.automaton_.good_roots(g);
+        return roots.empty() ? 0 : static_cast<std::size_t>(roots[0]);
+      }
+    }
+    return 0;
+  }
+
+  /// Cold (but memo- and context-warm) full re-certification; mirrors
+  /// prove_batch's root loop exactly, additionally retaining the tree, mask
+  /// and run state of the successful root for later incremental repair.
+  void rebuild_from(const Graph& g) {
+    const std::size_t n = g.vertex_count();
+    ctx_.ensure_universe(n);
+    ids_.resize(n);
+    for (Vertex v = 0; v < n; ++v) ids_[v] = g.id(v);
+    graph_cache_.reset();
+    mso_detail::MsoMemo* memo = memo_ptr();
+    const bool yes = scheme_.holds(g);  // throws off the tree promise
+    const auto roots = scheme_.automaton_.good_roots(g);
+    if (yes) {
+      for (Vertex root : roots) {
+        RootedTree t = RootedTree::from_graph(g, root);
+        const auto levels = t.levels();
+        std::vector<std::uint64_t> mask(n, 0);
+        core_.bottom_up(t, levels, ctx_, memo, mask);
+        const std::size_t root_state = core_.accepting_state(mask[t.root()]);
+        if (root_state == SIZE_MAX) continue;
+        std::vector<std::size_t> run(n, SIZE_MAX);
+        run[t.root()] = root_state;
+        core_.top_down(t, levels, ctx_, memo, mask, run);
+        std::vector<Certificate> certs(n);
+        for (std::size_t v = 0; v < n; ++v)
+          certs[v] = table_[(t.depth(v) % 3) * core_.k + run[v]];
+        tree_ = std::move(t);
+        mask_ = std::move(mask);
+        run_ = std::move(run);
+        certs_ = std::move(certs);
+        return;
+      }
+    }
+    // Uncertified (or, defensively, a yes-instance no good root accepted,
+    // which cold also answers with nullopt): keep the first good root's
+    // masks warm so a later edit can revalidate incrementally.
+    const Vertex root = roots.empty() ? 0 : roots[0];
+    RootedTree t = RootedTree::from_graph(g, root);
+    const auto levels = t.levels();
+    std::vector<std::uint64_t> mask(n, 0);
+    core_.bottom_up(t, levels, ctx_, memo, mask);
+    tree_ = std::move(t);
+    mask_ = std::move(mask);
+    run_.assign(n, SIZE_MAX);
+    certs_.reset();
+  }
+
+  void full_rebuild(const Graph& g, IncrementalStats& st) {
+    st.full_reprove = true;
+    changed_all_ = true;
+    rebuild_from(g);
+    st.reproved_vertices += tree_.size();
+  }
+
+  void apply_impl(const GraphEdit& edit, IncrementalStats& st) {
+    const std::size_t n = tree_.size();
+    switch (edit.kind) {
+      case EditKind::kEdgeAdd:
+      case EditKind::kEdgeDelete:
+        reject(edit, "raw edge edits leave the tree family");
+      case EditKind::kIdPermute: {
+        if (edit.ids.size() != n) reject(edit, "id vector size mismatch");
+        ids_ = edit.ids;
+        graph_cache_.reset();
+        // Certificates encode (depth mod 3, run state) only — relabeling
+        // changes nothing. Zero-dirty edit.
+        return;
+      }
+      case EditKind::kLeafGraft: {
+        if (edit.a >= n) reject(edit, "anchor out of range");
+        const std::size_t leaf = tree_.graft_leaf(edit.a);
+        ids_.push_back(edit.fresh_id);
+        mask_.push_back(0);
+        run_.push_back(SIZE_MAX);
+        if (certs_.has_value()) certs_->emplace_back();
+        graph_cache_.reset();
+        ctx_.ensure_universe(tree_.size());
+        mask_[leaf] = core_.memo_mask(tree_, mask_, leaf, ctx_, memo_ptr());
+        ++st.reproved_vertices;
+        finish_structural({edit.a}, {}, {leaf}, st);
+        return;
+      }
+      case EditKind::kLeafPrune: {
+        if (edit.a >= n) reject(edit, "vertex out of range");
+        const bool is_tree_leaf = tree_.is_leaf(edit.a) && edit.a != tree_.root();
+        const bool is_degree1_root =
+            edit.a == tree_.root() && tree_.children(edit.a).size() == 1;
+        if (!is_tree_leaf && !is_degree1_root) reject(edit, "not a degree-1 vertex");
+        if (is_degree1_root) {
+          // Pruning the certification root: no incremental image — the root
+          // moves by definition. Warm full re-prove of the mutated graph.
+          full_rebuild(apply_edit(materialize(), edit), st);
+          return;
+        }
+        const std::size_t p = tree_.parent(edit.a);
+        tree_.prune_leaf(edit.a);
+        erase_index(ids_, edit.a);
+        erase_index(mask_, edit.a);
+        erase_index(run_, edit.a);
+        if (certs_.has_value()) erase_index(*certs_, edit.a);
+        graph_cache_.reset();
+        finish_structural({p > edit.a ? p - 1 : p}, {}, {}, st);
+        return;
+      }
+      case EditKind::kSubtreeSwap: {
+        if (edit.a >= n || edit.b >= n || edit.c >= n)
+          reject(edit, "endpoint out of range");
+        const std::size_t m = edit.a, np = edit.b, op = edit.c;
+        // Child endpoint of the deleted edge {m, op} under *our* rooting.
+        std::size_t c0;
+        if (tree_.parent(m) == op) c0 = m;
+        else if (tree_.parent(op) == m) c0 = op;
+        else reject(edit, "old-parent edge not present");
+        if (m == np) reject(edit, "loop");
+        if (tree_.parent(m) == np || tree_.parent(np) == m)
+          reject(edit, "new-parent edge already present");
+        // Attachment endpoint of the added edge {m, np}: the one inside the
+        // detached subtree; the other becomes its new parent. reattach
+        // validates both sides (a cycle-creating swap throws there).
+        const std::size_t a_end = tree_.is_ancestor(c0, np) ? np : m;
+        const std::size_t p_end = a_end == np ? m : np;
+        const std::vector<std::size_t> moved = tree_.subtree(c0);
+        std::vector<std::size_t> old_mod(moved.size());
+        for (std::size_t i = 0; i < moved.size(); ++i)
+          old_mod[i] = tree_.depth(moved[i]) % 3;
+        const std::size_t pc0 = tree_.parent(c0);
+        std::vector<std::size_t> seeds = tree_.reattach(c0, a_end, p_end);
+        graph_cache_.reset();
+        seeds.push_back(pc0);
+        seeds.push_back(p_end);
+        // Depth-mod-3 changes are confined to the moved piece.
+        std::vector<std::size_t> mod3_changed;
+        for (std::size_t i = 0; i < moved.size(); ++i)
+          if (tree_.depth(moved[i]) % 3 != old_mod[i]) mod3_changed.push_back(moved[i]);
+        finish_structural(std::move(seeds), std::move(mod3_changed), {}, st);
+        return;
+      }
+    }
+    reject(edit, "unknown edit kind");
+  }
+
+  /// Shared tail of every structural edit: root-stability gate, bottom-up
+  /// mask repair from `seeds`, certification-status transitions, top-down
+  /// run repair, certificate re-patch of `run changes + mod3_changed +
+  /// fresh`. The tree is already patched when this runs.
+  void finish_structural(std::vector<std::size_t> seeds,
+                         std::vector<std::size_t> mod3_changed,
+                         std::vector<std::size_t> fresh, IncrementalStats& st) {
+    const std::size_t n = tree_.size();
+    ctx_.ensure_universe(n);
+
+    std::size_t max_depth = 0;
+    for (std::size_t s : seeds) max_depth = std::max(max_depth, tree_.depth(s));
+    st.dirty_path_len = seeds.empty() ? 0 : max_depth + 1;
+
+    if (first_good_root() != tree_.root()) {
+      full_rebuild(materialize(), st);
+      return;
+    }
+
+    mso_detail::MsoMemo* memo = memo_ptr();
+
+    // Bottom-up repair, deepest bucket first: recompute the mask of every
+    // vertex whose child-mask multiset changed; a changed result marks the
+    // parent dirty, an unchanged one stops the upward propagation.
+    std::vector<char> in_dirty(n, 0);
+    std::vector<std::vector<std::size_t>> buckets(max_depth + 1);
+    std::vector<std::size_t> dirty_all;
+    for (std::size_t s : seeds)
+      if (!in_dirty[s]) {
+        in_dirty[s] = 1;
+        buckets[tree_.depth(s)].push_back(s);
+      }
+    for (std::size_t d = buckets.size(); d-- > 0;) {
+      for (std::size_t i = 0; i < buckets[d].size(); ++i) {
+        const std::size_t v = buckets[d][i];
+        dirty_all.push_back(v);
+        const std::uint64_t old = mask_[v];
+        const std::uint64_t neu = core_.memo_mask(tree_, mask_, v, ctx_, memo);
+        ++st.reproved_vertices;
+        if (neu == old) continue;
+        mask_[v] = neu;
+        if (v == tree_.root()) continue;
+        const std::size_t p = tree_.parent(v);
+        if (!in_dirty[p]) {
+          in_dirty[p] = 1;
+          buckets[tree_.depth(p)].push_back(p);
+        }
+      }
+    }
+
+    const std::size_t root_state = core_.accepting_state(mask_[tree_.root()]);
+    const bool was_certified = certs_.has_value();
+
+    if (root_state == SIZE_MAX) {
+      // The root mask rejects. If the property nevertheless holds this is a
+      // library bug (every good root accepts on yes-instances); cold would
+      // fall through to the next good root — mirror it with a warm full
+      // rebuild. Otherwise the instance flipped to uncertified: cold answers
+      // nullopt after its holds() guard, and the repaired masks stay warm.
+      const Graph g = materialize();
+      if (scheme_.holds(g)) {
+        full_rebuild(g, st);
+        return;
+      }
+      certs_.reset();
+      run_.assign(n, SIZE_MAX);
+      if (was_certified) changed_all_ = true;
+      return;
+    }
+
+    // The root mask accepts: by automaton soundness (no rooted tree lacking
+    // the property accepts) the property holds, so the holds() oracle is
+    // skipped on this hot path — that equivalence is pinned by the automaton
+    // test battery (DESIGN.md §13).
+    if (!was_certified) {
+      // Revalidation: the run is stale everywhere, so extraction is a full
+      // top-down (the repaired masks were kept warm for exactly this).
+      run_.assign(n, SIZE_MAX);
+      run_[tree_.root()] = root_state;
+      const auto levels = tree_.levels();
+      core_.top_down(tree_, levels, ctx_, memo, mask_, run_);
+      std::vector<Certificate> certs(n);
+      for (std::size_t v = 0; v < n; ++v)
+        certs[v] = table_[(tree_.depth(v) % 3) * core_.k + run_[v]];
+      certs_ = std::move(certs);
+      changed_all_ = true;
+      st.reproved_vertices += n;
+      return;
+    }
+
+    // Top-down repair, ascending depth: re-extract every vertex whose tuple
+    // changed (dirty_all) or whose run state changed (propagated); children
+    // whose chosen run matches the old one stop the downward propagation.
+    std::vector<char> done(n, 0);
+    std::vector<std::size_t> order = dirty_all;
+    std::vector<std::size_t> run_changed;
+    if (run_[tree_.root()] != root_state) {
+      run_[tree_.root()] = root_state;
+      run_changed.push_back(tree_.root());
+      if (!in_dirty[tree_.root()]) order.push_back(tree_.root());
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return tree_.depth(a) < tree_.depth(b); });
+    std::vector<std::size_t> stack;
+    std::vector<std::size_t> scratch;
+    const auto process = [&](std::size_t start) {
+      stack.push_back(start);
+      while (!stack.empty()) {
+        const std::size_t v = stack.back();
+        stack.pop_back();
+        if (done[v]) continue;
+        done[v] = 1;
+        const auto kids = tree_.children(v);
+        if (kids.empty()) continue;
+        const std::vector<std::size_t>& chosen =
+            core_.memo_extract(tree_, mask_, v, run_[v], ctx_, memo, scratch);
+        ++st.reproved_vertices;
+        for (std::size_t j = 0; j < kids.size(); ++j) {
+          const std::size_t c = kids[j];
+          if (run_[c] == chosen[j]) continue;
+          run_[c] = chosen[j];
+          run_changed.push_back(c);
+          stack.push_back(c);
+        }
+      }
+    };
+    for (std::size_t v : order)
+      if (!done[v]) process(v);
+
+    // Certificate re-patch: a cert changes iff its run or depth-mod-3 did.
+    std::vector<char> cand(n, 0);
+    const auto consider = [&](std::size_t v) {
+      if (cand[v]) return;
+      cand[v] = 1;
+      const Certificate& want = table_[(tree_.depth(v) % 3) * core_.k + run_[v]];
+      if ((*certs_)[v] != want) {
+        (*certs_)[v] = want;
+        changed_.push_back(v);
+      }
+    };
+    for (std::size_t v : run_changed) consider(v);
+    for (std::size_t v : mod3_changed) consider(v);
+    for (std::size_t v : fresh) consider(v);
+  }
+
+  /// Radius-1 re-verification of the changed slice: every changed vertex
+  /// plus its tree neighborhood, through the scheme's own verify_batch.
+  bool reverify(IncrementalStats& st) {
+    if (!certs_.has_value()) return true;
+    const std::size_t n = tree_.size();
+    std::vector<std::size_t> targets;
+    if (changed_all_) {
+      targets.resize(n);
+      std::iota(targets.begin(), targets.end(), std::size_t{0});
+    } else {
+      if (changed_.empty()) return true;
+      std::vector<char> mark(n, 0);
+      const auto add = [&](std::size_t v) {
+        if (!mark[v]) {
+          mark[v] = 1;
+          targets.push_back(v);
+        }
+      };
+      for (std::size_t v : changed_) {
+        add(v);
+        if (tree_.parent(v) != RootedTree::kNoParent) add(tree_.parent(v));
+        for (std::size_t c : tree_.children(v)) add(c);
+      }
+    }
+    st.reverified_vertices = targets.size();
+
+    std::size_t total = 0;
+    for (std::size_t v : targets)
+      total += tree_.children(v).size() + (v == tree_.root() ? 0 : 1);
+    std::vector<NeighborRef> flat;
+    flat.reserve(total);
+    std::vector<std::size_t> offs;
+    offs.reserve(targets.size() + 1);
+    offs.push_back(0);
+    const auto& certs = *certs_;
+    for (std::size_t v : targets) {
+      if (tree_.parent(v) != RootedTree::kNoParent) {
+        const std::size_t p = tree_.parent(v);
+        flat.push_back({ids_[p], &certs[p]});
+      }
+      for (std::size_t c : tree_.children(v)) flat.push_back({ids_[c], &certs[c]});
+      offs.push_back(flat.size());
+    }
+    std::vector<ViewRef> views(targets.size());
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const std::size_t v = targets[i];
+      views[i] = ViewRef{ids_[v], &certs[v], flat.data() + offs[i],
+                         offs[i + 1] - offs[i]};
+    }
+    std::vector<std::uint8_t> accept(targets.size(), 0);
+    scheme_.verify_batch(views, accept);
+    return std::all_of(accept.begin(), accept.end(),
+                       [](std::uint8_t a) { return a == 1; });
+  }
+
+  MsoTreeScheme scheme_;  ///< own copy: the prover is self-contained
+  RunOptions options_;
+  ProverContext ctx_;  ///< persistent: arenas + feasibility scratch stay warm
+  mso_detail::SolveCore core_;
+  mso_detail::MsoMemo memo_;  ///< persists across edits (pure values)
+  std::vector<Certificate> table_;  ///< 3*k payloads, built once
+
+  RootedTree tree_;
+  std::vector<VertexId> ids_;
+  std::vector<std::uint64_t> mask_;
+  std::vector<std::size_t> run_;
+  std::optional<std::vector<Certificate>> certs_;
+  std::vector<std::size_t> changed_;
+  bool changed_all_ = false;
+  mutable std::optional<Graph> graph_cache_;
+};
+
+std::unique_ptr<IncrementalProver> MsoTreeScheme::make_incremental_prover(
+    const RunOptions& options) const {
+  if (automaton_.automaton.state_count > 64) return nullptr;  // masks are words
+  return std::make_unique<MsoTreeIncrementalProver>(*this, options);
+}
+
+}  // namespace lcert
