@@ -56,6 +56,22 @@ if [[ "$GIT_SHA" == unknown && -z "${LCERT_BENCH_FORCE:-}" ]] && \
   exit 1
 fi
 RUN_DATE="${LCERT_BENCH_DATE:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
+
+# Artifact schema guard (companion to the provenance guard above): refuse to
+# overwrite an artifact written under a different schema version — a silent
+# cross-schema overwrite corrupts the bench trajectory that EXPERIMENTS.md
+# tables and tools/bench_compare.py read. LCERT_BENCH_FORCE=1 overrides.
+SCHEMA_VERSION=2
+if [[ -f "$OUT" && -z "${LCERT_BENCH_FORCE:-}" ]]; then
+  EXISTING_SCHEMA="$(python3 -c \
+      'import json,sys; print(json.load(open(sys.argv[1])).get("schema", 1))' \
+      "$OUT" 2>/dev/null || echo unreadable)"
+  if [[ "$EXISTING_SCHEMA" != "$SCHEMA_VERSION" ]]; then
+    echo "error: $OUT carries schema $EXISTING_SCHEMA but this script writes schema $SCHEMA_VERSION — refusing to overwrite" >&2
+    echo "       (set LCERT_BENCH_FORCE=1 to override)" >&2
+    exit 1
+  fi
+fi
 NUM_CPUS="$(nproc 2>/dev/null || echo 1)"
 BUILD_TYPE="$(cache_var CMAKE_BUILD_TYPE)"
 CXX_COMPILER="$(cache_var CMAKE_CXX_COMPILER)"
@@ -81,9 +97,10 @@ fi
        --benchmark_min_time=0.2 \
        --benchmark_out="$RAW" --benchmark_out_format=json \
        --record-n "$HEADLINE_N" \
-       --metrics-out "$METRICS"
+       --metrics-out "$METRICS" \
+       ${LCERT_TRACE_OUT:+--trace-out "$LCERT_TRACE_OUT"}
 
-env RAW="$RAW" METRICS="$METRICS" OUT="$OUT" GIT_SHA="$GIT_SHA" GIT_DIRTY="$GIT_DIRTY" \
+env RAW="$RAW" METRICS="$METRICS" OUT="$OUT" SCHEMA_VERSION="$SCHEMA_VERSION" GIT_SHA="$GIT_SHA" GIT_DIRTY="$GIT_DIRTY" \
     RUN_DATE="$RUN_DATE" \
     NUM_CPUS="$NUM_CPUS" BUILD_TYPE="$BUILD_TYPE" CXX_COMPILER="$CXX_COMPILER" \
     CXX_FLAGS="$CXX_FLAGS" CXX_FLAGS_TYPE="$CXX_FLAGS_TYPE" \
@@ -133,6 +150,8 @@ for fam in ("CompleteBinary", "RandomTree"):
         best_memo_family, best_memo_speedup = fam, s
 
 result = {
+    "schema": int(os.environ["SCHEMA_VERSION"]),
+    "written_at": os.environ["RUN_DATE"],
     "benchmark": "prover_pipeline_throughput",
     "scheme": "mso-tree (standard automata) + treedepth + spanning-tree",
     "n": headline_n,

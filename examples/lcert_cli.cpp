@@ -43,7 +43,10 @@
 // (bit-identity, the same oracle the fuzzer runs).
 //
 // Every subcommand accepts --metrics-out <file> (or the LCERT_METRICS env
-// var) to dump the obs metrics/trace artifact as JSON (.csv for CSV).
+// var) to dump the obs metrics/trace artifact as JSON (.csv for CSV), and
+// --trace-out <file> (or LCERT_TRACE) to record a Chrome trace-event
+// timeline (chrome://tracing / Perfetto). An unwritable artifact path is
+// rejected up front with exit code 2.
 // Edge-list format: see src/graph/io.hpp.
 #include <chrono>
 #include <cstdio>
@@ -196,7 +199,7 @@ int prove_command(const std::vector<std::string>& args, obs::Report& report) {
   const ShapeFamily* shape = nullptr;
   for (std::size_t i = 2; i < args.size(); ++i) {
     const std::string& flag = args[i];
-    if (flag == "--metrics-out") {
+    if (flag == "--metrics-out" || flag == "--trace-out") {
       ++i;  // consumed by obs::Report::from_cli
     } else if (flag == "--threads") {
       if (i + 1 >= args.size()) throw std::invalid_argument("missing value for --threads");
@@ -282,8 +285,8 @@ FuzzCliOptions parse_fuzz_flags(const std::vector<std::string>& args, std::size_
   FuzzCliOptions out;
   for (std::size_t i = from; i < args.size(); ++i) {
     const std::string& flag = args[i];
-    // --metrics-out is consumed by obs::Report::from_cli; skip it here.
-    if (flag == "--metrics-out") {
+    // --metrics-out/--trace-out are consumed by obs::Report::from_cli.
+    if (flag == "--metrics-out" || flag == "--trace-out") {
       ++i;
       continue;
     }
@@ -488,7 +491,7 @@ int apply_edit_command(const std::vector<std::string>& args, obs::Report& report
   std::vector<std::string> specs;
   for (std::size_t i = 3; i < args.size(); ++i) {
     const std::string& arg = args[i];
-    if (arg == "--metrics-out") {
+    if (arg == "--metrics-out" || arg == "--trace-out") {
       ++i;  // consumed by obs::Report::from_cli
     } else if (arg == "--threads") {
       if (i + 1 >= args.size()) throw std::invalid_argument("missing value for --threads");
@@ -548,7 +551,7 @@ int watch_command(const std::vector<std::string>& args, obs::Report& report) {
   const ShapeFamily* shape = nullptr;  // default: the scheme's own yes-instance
   for (std::size_t i = 2; i < args.size(); ++i) {
     const std::string& flag = args[i];
-    if (flag == "--metrics-out") {
+    if (flag == "--metrics-out" || flag == "--trace-out") {
       ++i;  // consumed by obs::Report::from_cli
     } else if (flag == "--family") {
       if (i + 1 >= args.size()) throw std::invalid_argument("missing value for --family");
@@ -681,10 +684,22 @@ int watch_command(const std::vector<std::string>& args, obs::Report& report) {
   return rc;
 }
 
+// Artifact writes gate the exit code: a run whose --metrics-out/--trace-out
+// cannot be written exits 2 instead of silently dropping the report.
+int finish_cli(obs::Report& report, int rc) {
+  const int wrc = report.write_artifacts();
+  return rc != 0 ? rc : wrc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   auto report = obs::Report::from_cli("lcert-cli", argc, argv);
+  std::string probe_error;
+  if (!report.outputs_writable(&probe_error)) {
+    std::fprintf(stderr, "error: %s\n", probe_error.c_str());
+    return 2;
+  }
   const std::vector<std::string> args(argv + 1, argv + argc);
   try {
     if (args.empty() || args[0] == "list") {
@@ -700,43 +715,36 @@ int main(int argc, char** argv) {
       Rng rng(42);
       const Graph g = entry->family.yes_instance(n, rng);
       const int rc = run_scheme_on(*entry, g);
-      if (!report.output_path().empty()) report.write(report.output_path());
-      return rc;
+      return finish_cli(report, rc);
     }
     if (args[0] == "run" && args.size() >= 3) {
       const RegisteredScheme* entry = lookup(args[1]);
       if (entry == nullptr) return 2;
       const int rc = run_scheme_on(*entry, load(args[2]));
-      if (!report.output_path().empty()) report.write(report.output_path());
-      return rc;
+      return finish_cli(report, rc);
     }
     if (args[0] == "audit" && args.size() >= 2) {
       const RegisteredScheme* entry = lookup(args[1]);
       if (entry == nullptr) return 2;
       const std::size_t n = args.size() >= 3 ? std::stoul(args[2]) : 24;
       const int rc = audit_scheme(*entry, n, report);
-      if (!report.output_path().empty()) report.write(report.output_path());
-      return rc;
+      return finish_cli(report, rc);
     }
     if (args[0] == "prove" && args.size() >= 2) {
       const int rc = prove_command(args, report);
-      if (!report.output_path().empty()) report.write(report.output_path());
-      return rc;
+      return finish_cli(report, rc);
     }
     if (args[0] == "fuzz" && args.size() >= 2) {
       const int rc = fuzz_command(args, report);
-      if (!report.output_path().empty()) report.write(report.output_path());
-      return rc;
+      return finish_cli(report, rc);
     }
     if (args[0] == "apply-edit" && args.size() >= 4) {
       const int rc = apply_edit_command(args, report);
-      if (!report.output_path().empty()) report.write(report.output_path());
-      return rc;
+      return finish_cli(report, rc);
     }
     if (args[0] == "watch" && args.size() >= 2) {
       const int rc = watch_command(args, report);
-      if (!report.output_path().empty()) report.write(report.output_path());
-      return rc;
+      return finish_cli(report, rc);
     }
     if (args[0] == "dot" && args.size() >= 2) {
       std::fputs(to_dot(load(args[1])).c_str(), stdout);

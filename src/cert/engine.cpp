@@ -10,6 +10,7 @@
 #include "src/obs/instrumented_scheme.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/span.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/parallel.hpp"
 
 namespace lcert {
@@ -27,6 +28,13 @@ struct EngineMetrics {
   obs::Counter busy_ns = obs::registry().counter("engine/worker_busy_ns");
   obs::Counter verify_calls = obs::registry().counter("engine/verify_calls");
   obs::Histogram batch_size = obs::registry().histogram("engine/batch_size");
+  // Tracing-gated latency attribution (DESIGN.md §14): exact quantiles per
+  // batch and per vertex, plus one instant event per batch keyed by the
+  // deterministic block index. All behind trace_enabled() so the disabled
+  // path keeps its once-per-worker clock discipline (<1% budget).
+  obs::Quantile batch_ns = obs::registry().quantile("engine/verify_batch_ns");
+  obs::Quantile vertex_ns = obs::registry().quantile("engine/verify_vertex_ns");
+  std::uint32_t trace_batch = obs::trace_sink().name_id("engine/verify_batch");
 };
 
 const EngineMetrics& engine_metrics() {
@@ -93,6 +101,7 @@ VerificationOutcome verify_assignment(const Scheme& scheme, const ViewCache& cac
   const ViewCache::Binding binding = cache.bind(certificates);
   const std::size_t n = cache.vertex_count();
   const bool metrics_on = obs::registry().enabled();
+  const bool tracing = obs::trace_enabled();
   const EngineMetrics& metrics = engine_metrics();
   if (metrics_on) {
     metrics.verify_calls.add();
@@ -125,8 +134,26 @@ VerificationOutcome verify_assignment(const Scheme& scheme, const ViewCache& cac
         std::uint8_t accept[kBatch];
         for (std::size_t i = 0; i < count; ++i)
           views[i] = binding.view(static_cast<Vertex>(begin + i));
+        const std::uint64_t batch_t0 = tracing ? obs::trace_now_ns() : 0;
         scheme.verify_batch(std::span<const ViewRef>(views, count),
                             std::span<std::uint8_t>(accept, count));
+        if (tracing) {
+          const std::uint64_t batch_ns = obs::trace_now_ns() - batch_t0;
+          metrics.batch_ns.record(batch_ns);
+          metrics.vertex_ns.record(batch_ns / count);
+          obs::trace_sink().emit(metrics.trace_batch, obs::TraceEventKind::kInstant,
+                                 block, static_cast<std::int64_t>(count));
+          if (obs::outliers().would_admit(batch_ns)) {
+            obs::OutlierRecord rec;
+            rec.ns = batch_ns;
+            rec.site = "verify-batch";
+            rec.scheme = scheme.name();
+            rec.unit = begin;
+            rec.detail =
+                scheme.slow_batch_attribution(std::span<const ViewRef>(views, count));
+            obs::outliers().record(std::move(rec));
+          }
+        }
         std::size_t block_rejections = 0;
         for (std::size_t i = 0; i < count; ++i)
           if (!accept[i]) {

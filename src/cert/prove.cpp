@@ -2,6 +2,7 @@
 
 #include "src/obs/metrics.hpp"
 #include "src/obs/span.hpp"
+#include "src/obs/trace.hpp"
 
 namespace lcert {
 
@@ -14,6 +15,9 @@ struct ProverMetrics {
   obs::Counter feas_greedy = obs::registry().counter("prover/feas_greedy");
   obs::Counter feas_warm = obs::registry().counter("prover/feas_warm");
   obs::Counter feas_flow = obs::registry().counter("prover/feas_flow");
+  obs::Quantile prove_ns = obs::registry().quantile("prover/prove_ns");
+  std::uint32_t trace_memo_hits = obs::trace_sink().name_id("prover/memo_hits");
+  std::uint32_t trace_memo_misses = obs::trace_sink().name_id("prover/memo_misses");
 };
 
 const ProverMetrics& prover_metrics() {
@@ -62,16 +66,39 @@ void ProverContext::count_memo_misses(std::size_t k) {
 ProveResult prove_assignment(const Scheme& scheme, const Graph& g,
                              const RunOptions& options) {
   LCERT_SPAN("prover/prove_assignment");
-  prover_metrics().prove_calls.add();
+  const ProverMetrics& metrics = prover_metrics();
+  metrics.prove_calls.add();
+  const bool tracing = obs::trace_enabled();
+  const std::uint64_t t0 = tracing ? obs::trace_now_ns() : 0;
   ProverContext ctx(g.vertex_count(), options);
   ProveResult out;
   out.certificates = scheme.prove_batch(g, ctx);
   out.memo_hits = ctx.memo_hits();
   out.memo_misses = ctx.memo_misses();
   out.feas = ctx.feas_counts();
-  prover_metrics().feas_greedy.add(out.feas.greedy);
-  prover_metrics().feas_warm.add(out.feas.warm);
-  prover_metrics().feas_flow.add(out.feas.flow);
+  metrics.feas_greedy.add(out.feas.greedy);
+  metrics.feas_warm.add(out.feas.warm);
+  metrics.feas_flow.add(out.feas.flow);
+  if (tracing) {
+    const std::uint64_t ns = obs::trace_now_ns() - t0;
+    metrics.prove_ns.record(ns);
+    // Counter samples: memo traffic is thread-count-invariant (collected
+    // serially), so these land identically in every logical stream.
+    obs::trace_sink().emit(metrics.trace_memo_hits, obs::TraceEventKind::kCounter, 0,
+                           static_cast<std::int64_t>(out.memo_hits));
+    obs::trace_sink().emit(metrics.trace_memo_misses, obs::TraceEventKind::kCounter, 0,
+                           static_cast<std::int64_t>(out.memo_misses));
+    if (obs::outliers().would_admit(ns)) {
+      obs::OutlierRecord rec;
+      rec.ns = ns;
+      rec.site = "prove";
+      rec.scheme = scheme.name();
+      rec.unit = g.vertex_count();
+      rec.detail = "memo_hits=" + std::to_string(out.memo_hits) +
+                   " memo_misses=" + std::to_string(out.memo_misses);
+      obs::outliers().record(std::move(rec));
+    }
+  }
   return out;
 }
 

@@ -253,6 +253,18 @@ class Scheme {
     }
   }
 
+  /// Structured latency attribution for a verify batch the obs outlier
+  /// sampler admitted as a top-K slowest unit (DESIGN.md §14). Called off the
+  /// hot path — only for batches already measured as outliers — so it may
+  /// decode certificates. Returns "" when the scheme has nothing to add;
+  /// MsoTreeScheme reports the automaton state with the largest interval-box
+  /// fan-out in the batch ("state=<name> boxes=<count>"), which is what makes
+  /// the leaves>=4 DNF cliff attributable from a metrics artifact.
+  virtual std::string slow_batch_attribution(std::span<const ViewRef> views) const {
+    (void)views;
+    return {};
+  }
+
   /// Factory for the scheme's incremental prover (DESIGN.md §13), or nullptr
   /// when the scheme has no incremental path — callers fall back to cold
   /// re-proves per edit. The default is nullptr; MsoTreeScheme overrides it.

@@ -12,6 +12,7 @@
 #include "src/graph/io.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/span.hpp"
+#include "src/obs/trace.hpp"
 #include "src/util/parallel.hpp"
 
 namespace lcert::fuzz {
@@ -91,6 +92,11 @@ TrialOutcome run_one_trial(const Scheme& scheme, const InstanceFamily& family,
   metrics.trials.add();
   out.yes = checked.ground_truth;
   (out.yes ? metrics.yes_instances : metrics.no_instances).add();
+  // Timeline marker per completed trial: logical = trial index (seed-derived
+  // work identity, scheduling-independent), arg = yes/no ground truth.
+  static const std::uint32_t trace_trial = obs::trace_sink().name_id("fuzz/trial");
+  obs::trace_sink().emit(trace_trial, obs::TraceEventKind::kInstant, trial,
+                         out.yes ? 1 : 0);
   if (checked.violation.has_value()) {
     metrics.findings.add();
     Finding f;

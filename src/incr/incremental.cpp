@@ -5,6 +5,7 @@
 
 #include "src/cert/prove.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace lcert::incr {
 
@@ -17,6 +18,8 @@ struct IncrMetrics {
   obs::Counter reverified = obs::registry().counter("incr/reverified_vertices");
   obs::Counter changed_certs = obs::registry().counter("incr/changed_certs");
   obs::Histogram dirty_path_len = obs::registry().histogram("incr/dirty_path_len");
+  obs::Quantile edit_ns = obs::registry().quantile("incr/edit_ns");
+  std::uint32_t trace_apply = obs::trace_sink().name_id("incr/apply");
 };
 
 const IncrMetrics& incr_metrics() {
@@ -24,7 +27,10 @@ const IncrMetrics& incr_metrics() {
   return metrics;
 }
 
-void record(const IncrementalStats& st) {
+// edit_seq is the deterministic logical id of the edit in its stream (edits
+// apply serially per instance); ns is 0 when tracing was off for this edit.
+void record(const IncrementalStats& st, const Scheme& scheme, std::uint64_t edit_seq,
+            std::uint64_t ns) {
   const IncrMetrics& m = incr_metrics();
   m.edits.add();
   if (st.full_reprove) m.full_reproves.add();
@@ -32,6 +38,22 @@ void record(const IncrementalStats& st) {
   m.reverified.add(st.reverified_vertices);
   m.changed_certs.add(st.changed_certificates);
   m.dirty_path_len.record(st.dirty_path_len);
+  if (ns != 0) {
+    m.edit_ns.record(ns);
+    obs::trace_sink().emit(m.trace_apply, obs::TraceEventKind::kInstant, edit_seq,
+                           static_cast<std::int64_t>(st.dirty_path_len));
+    if (obs::outliers().would_admit(ns)) {
+      obs::OutlierRecord rec;
+      rec.ns = ns;
+      rec.site = "incr-edit";
+      rec.scheme = scheme.name();
+      rec.unit = edit_seq;
+      rec.detail = "dirty_path_len=" + std::to_string(st.dirty_path_len) +
+                   (st.full_reprove ? " full_reprove" : "") +
+                   " reproved=" + std::to_string(st.reproved_vertices);
+      obs::outliers().record(std::move(rec));
+    }
+  }
 }
 
 }  // namespace
@@ -50,15 +72,19 @@ const std::optional<std::vector<Certificate>>& CertifiedInstance::init(const Gra
 }
 
 IncrementalStats CertifiedInstance::apply(const GraphEdit& edit) {
+  const bool tracing = obs::trace_enabled();
+  const std::uint64_t edit_seq = edit_seq_++;
   if (prover_ != nullptr) {
+    const std::uint64_t t0 = tracing ? obs::trace_now_ns() : 0;
     const IncrementalStats st = prover_->apply(edit);
-    record(st);
+    record(st, scheme_, edit_seq, tracing ? obs::trace_now_ns() - t0 : 0);
     return st;
   }
 
   // Fallback: no incremental prover — every edit is a cold full re-prove.
   if (!graph_.has_value())
     throw std::logic_error("CertifiedInstance::apply before init");
+  const std::uint64_t t0 = tracing ? obs::trace_now_ns() : 0;
   Graph next = apply_edit(*graph_, edit);
   ProveResult res = prove_assignment(scheme_, next, options_);
 
@@ -87,7 +113,7 @@ IncrementalStats CertifiedInstance::apply(const GraphEdit& edit) {
   }
   certs_ = std::move(res.certificates);
   graph_ = std::move(next);
-  record(st);
+  record(st, scheme_, edit_seq, tracing ? obs::trace_now_ns() - t0 : 0);
   return st;
 }
 

@@ -64,6 +64,8 @@ class CertifiedInstance {
   std::optional<std::vector<Certificate>> certs_;
   std::vector<std::size_t> changed_;
   bool changed_all_ = false;
+
+  std::uint64_t edit_seq_ = 0;  ///< logical id of the next edit (trace events)
 };
 
 }  // namespace lcert::incr

@@ -37,6 +37,9 @@ class InstrumentedScheme final : public Scheme {
                     std::span<std::uint8_t> accept) const override {
     inner_->verify_batch(views, accept);
   }
+  std::string slow_batch_attribution(std::span<const ViewRef> views) const override {
+    return inner_->slow_batch_attribution(views);
+  }
   /// Forwards so registry schemes keep their incremental path (the lcert::incr
   /// layer records its own counters; per-edit cert sizes are constant for
   /// every scheme with an incremental prover, so no size accounting is lost).

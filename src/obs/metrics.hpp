@@ -51,10 +51,31 @@ struct HistogramSnapshot {
   }
 };
 
+/// Exact order statistics over recorded samples (DESIGN.md §14). count, sum,
+/// min and max are exact for every recorded value; the percentiles are
+/// nearest-rank over the retained samples — exact until a per-thread sample
+/// buffer or the retired pool overflows, after which the overflow is counted
+/// in `dropped` (aggregates stay exact; percentiles become a sample).
+struct QuantileSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t dropped = 0;  ///< samples not retained for percentile math
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when count == 0
+  std::uint64_t max = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p90 = 0;
+  std::uint64_t p99 = 0;
+
+  double mean() const noexcept {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / static_cast<double>(count);
+  }
+};
+
 struct MetricsSnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, QuantileSnapshot> quantiles;
 
   std::uint64_t counter(const std::string& name) const {
     const auto it = counters.find(name);
@@ -63,6 +84,10 @@ struct MetricsSnapshot {
   HistogramSnapshot histogram(const std::string& name) const {
     const auto it = histograms.find(name);
     return it == histograms.end() ? HistogramSnapshot{} : it->second;
+  }
+  QuantileSnapshot quantile(const std::string& name) const {
+    const auto it = quantiles.find(name);
+    return it == quantiles.end() ? QuantileSnapshot{} : it->second;
   }
 };
 
@@ -107,6 +132,22 @@ class Histogram {
   std::uint32_t id_ = 0;
 };
 
+/// Handle to one quantile metric (latency distributions: per-batch and
+/// per-vertex verify times, per-edit incr times). Recording appends the raw
+/// sample to a lazily-allocated per-thread buffer — heavier than a histogram
+/// bump, so call sites gate on trace_enabled() or keep to phase granularity.
+class Quantile {
+ public:
+  Quantile() = default;
+  inline void record(std::uint64_t value) const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  Quantile(MetricsRegistry* reg, std::uint32_t id) : reg_(reg), id_(id) {}
+  MetricsRegistry* reg_ = nullptr;
+  std::uint32_t id_ = 0;
+};
+
 class MetricsRegistry {
  public:
   /// The process-wide registry (benches, the CLI and the library share it).
@@ -120,6 +161,7 @@ class MetricsRegistry {
   Counter counter(std::string_view name);
   Gauge gauge(std::string_view name);
   Histogram histogram(std::string_view name);
+  Quantile quantile(std::string_view name);
 
   /// Merged view of every shard (live and retired). Safe to call while
   /// workers are updating; in-flight updates may or may not be included.
@@ -129,6 +171,14 @@ class MetricsRegistry {
   /// Convenience lookups (zero / empty when the metric is unknown).
   std::uint64_t counter_value(std::string_view name) const;
   HistogramSnapshot histogram_snapshot(std::string_view name) const;
+  QuantileSnapshot quantile_snapshot(std::string_view name) const;
+
+  /// Unconditional gauge write, bypassing the enabled() gate: registration-
+  /// time facts (e.g. verify/<scheme>/boxes_per_state) should appear in
+  /// every snapshot whether or not a run enabled metrics.
+  void gauge_set_always(const Gauge& g, std::int64_t value) noexcept {
+    gauge_set(g.id_, value);
+  }
 
   /// Zeroes every cell, keeping registrations and handles valid. Test-only:
   /// callers must ensure no worker is updating concurrently.
@@ -138,6 +188,7 @@ class MetricsRegistry {
   friend class Counter;
   friend class Gauge;
   friend class Histogram;
+  friend class Quantile;
 
   struct HistCell {
     std::atomic<std::uint64_t> count{0};
@@ -147,17 +198,45 @@ class MetricsRegistry {
     std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets{};
   };
 
+  /// Sample buffer of one quantile metric on one thread, allocated lazily on
+  /// first record (most threads touch no quantile). Single writer; snapshot
+  /// readers synchronize on the release store of `size` — events below a
+  /// loaded size are fully written. Past the fixed capacity, samples are
+  /// dropped (counted); aggregates keep updating.
+  struct QuantCell {
+    std::atomic<std::uint64_t*> samples{nullptr};
+    std::atomic<std::size_t> size{0};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> min{0};  ///< valid iff count > 0
+    std::atomic<std::uint64_t> max{0};
+  };
+
   /// One thread's private cells. Only the owning thread writes (relaxed
   /// load-then-store, no RMW needed); snapshot() reads concurrently.
   struct Shard {
     std::vector<std::atomic<std::uint64_t>> counters;
     std::vector<HistCell> histograms;
+    std::vector<QuantCell> quantiles;
+    ~Shard();  ///< frees the lazily-allocated sample buffers
+  };
+
+  /// Merged, capped sample pool of one retired quantile metric.
+  struct RetiredQuant {
+    std::uint64_t count = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::vector<std::uint64_t> samples;
   };
 
   /// Plain (single-threaded) totals retired from exited threads.
   struct Retired {
     std::vector<std::uint64_t> counters;
     std::vector<HistogramSnapshot> histograms;
+    std::vector<RetiredQuant> quantiles;
   };
 
   MetricsRegistry();
@@ -166,6 +245,8 @@ class MetricsRegistry {
   void counter_add(std::uint32_t id, std::uint64_t delta) noexcept;
   void gauge_set(std::uint32_t id, std::int64_t value) noexcept;
   void histogram_record(std::uint32_t id, std::uint64_t value) noexcept;
+  void quantile_record(std::uint32_t id, std::uint64_t value);
+  QuantileSnapshot merge_quantile_locked(std::size_t i) const;
   std::uint32_t intern(std::vector<std::string>& names,
                        std::map<std::string, std::uint32_t, std::less<>>& index,
                        std::string_view name, std::size_t capacity);
@@ -176,9 +257,11 @@ class MetricsRegistry {
   std::vector<std::string> counter_names_;
   std::vector<std::string> gauge_names_;
   std::vector<std::string> histogram_names_;
+  std::vector<std::string> quantile_names_;
   std::map<std::string, std::uint32_t, std::less<>> counter_index_;
   std::map<std::string, std::uint32_t, std::less<>> gauge_index_;
   std::map<std::string, std::uint32_t, std::less<>> histogram_index_;
+  std::map<std::string, std::uint32_t, std::less<>> quantile_index_;
   std::vector<std::atomic<std::int64_t>> gauges_;  ///< fixed capacity, see .cpp
   std::vector<Shard*> shards_;
   Retired retired_;
@@ -202,6 +285,11 @@ inline void Gauge::set(std::int64_t value) const noexcept {
 inline void Histogram::record(std::uint64_t value) const noexcept {
   if (reg_ == nullptr || !reg_->enabled()) return;
   reg_->histogram_record(id_, value);
+}
+
+inline void Quantile::record(std::uint64_t value) const noexcept {
+  if (reg_ == nullptr || !reg_->enabled()) return;
+  reg_->quantile_record(id_, value);
 }
 
 }  // namespace lcert::obs

@@ -9,6 +9,7 @@
 
 #include "src/obs/metrics.hpp"
 #include "src/obs/span.hpp"
+#include "src/obs/trace.hpp"
 
 namespace lcert::obs {
 
@@ -142,6 +143,14 @@ Report Report::from_cli(std::string experiment, int& argc, char** argv) {
       report.set_output(std::string(arg.substr(std::strlen("--metrics-out="))));
       continue;
     }
+    if (arg == "--trace-out" && i + 1 < argc) {
+      report.set_trace_output(argv[++i]);
+      continue;
+    }
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      report.set_trace_output(std::string(arg.substr(std::strlen("--trace-out="))));
+      continue;
+    }
     argv[write_at++] = argv[i];
   }
   argc = write_at;
@@ -149,7 +158,11 @@ Report Report::from_cli(std::string experiment, int& argc, char** argv) {
   if (report.out_path_.empty())
     if (const char* env = std::getenv("LCERT_METRICS"); env != nullptr && *env != '\0')
       report.set_output(env);
+  if (report.trace_path_.empty())
+    if (const char* env = std::getenv("LCERT_TRACE"); env != nullptr && *env != '\0')
+      report.set_trace_output(env);
   registry().set_enabled(true);
+  if (!report.trace_path_.empty()) trace_sink().set_enabled(true);
   return report;
 }
 
@@ -198,6 +211,23 @@ void Report::print_metrics(std::FILE* out) const {
     for (const auto& [name, value] : snap.counters)
       if (value != 0) std::fprintf(out, "  %-40s %12llu\n", name.c_str(),
                                    static_cast<unsigned long long>(value));
+  }
+  {
+    bool header = false;
+    for (const auto& [name, q] : snap.quantiles) {
+      if (q.count == 0) continue;
+      if (!header) {
+        std::fprintf(out, "quantiles:%43s %10s %10s %10s %10s\n", "count", "p50", "p90",
+                     "p99", "max");
+        header = true;
+      }
+      std::fprintf(out, "  %-40s %10llu %10llu %10llu %10llu %10llu\n", name.c_str(),
+                   static_cast<unsigned long long>(q.count),
+                   static_cast<unsigned long long>(q.p50),
+                   static_cast<unsigned long long>(q.p90),
+                   static_cast<unsigned long long>(q.p99),
+                   static_cast<unsigned long long>(q.max));
+    }
   }
   if (!snap.histograms.empty()) {
     bool header = false;
@@ -264,7 +294,29 @@ std::string Report::json() const {
     os << '"' << json_escape(name) << "\":";
     append_histogram_json(os, h);
   }
+  os << "},\"quantiles\":{";
+  first = true;
+  for (const auto& [name, q] : snap.quantiles) {
+    if (q.count == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << json_escape(name) << "\":{\"count\":" << q.count
+       << ",\"dropped\":" << q.dropped << ",\"sum\":" << q.sum << ",\"min\":" << q.min
+       << ",\"p50\":" << q.p50 << ",\"p90\":" << q.p90 << ",\"p99\":" << q.p99
+       << ",\"max\":" << q.max << '}';
+  }
   os << "}}";
+
+  os << ",\"outliers\":[";
+  const std::vector<OutlierRecord> outlier_top = outliers().top();
+  for (std::size_t i = 0; i < outlier_top.size(); ++i) {
+    if (i) os << ',';
+    const OutlierRecord& rec = outlier_top[i];
+    os << "{\"ns\":" << rec.ns << ",\"site\":\"" << json_escape(rec.site)
+       << "\",\"scheme\":\"" << json_escape(rec.scheme) << "\",\"unit\":" << rec.unit
+       << ",\"detail\":\"" << json_escape(rec.detail) << "\"}";
+  }
+  os << ']';
 
   os << ",\"trace_dropped\":" << trace_dropped() << ",\"trace\":[";
   const std::vector<SpanNode> trace = take_trace();
@@ -301,16 +353,62 @@ bool Report::write(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+bool Report::outputs_writable(std::string* error) const {
+  for (const std::string* path : {&out_path_, &trace_path_}) {
+    if (path->empty()) continue;
+    // Append mode: creates a missing file but never truncates an artifact
+    // that a failed run would then have destroyed.
+    std::ofstream probe(*path, std::ios::app);
+    if (!probe) {
+      if (error != nullptr) *error = "cannot open " + *path + " for writing";
+      return false;
+    }
+  }
+  return true;
+}
+
+int Report::write_artifacts() const {
+  if (!out_path_.empty()) {
+    if (!write(out_path_)) {
+      std::fprintf(stderr, "error: cannot write metrics to %s\n", out_path_.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "metrics written to %s\n", out_path_.c_str());
+  }
+  if (!trace_path_.empty()) {
+    const TraceSnapshot snap = trace_sink().take();
+    // The rollup is both embedded in the artifact and printed here — the
+    // human-readable flame summary of where the run's wall time went.
+    const std::vector<TraceRollupRow> rollup = trace_rollup(snap);
+    if (!rollup.empty()) {
+      std::fprintf(stdout, "trace rollup:%33s %12s %12s %12s\n", "count", "total_ms",
+                   "self_ms", "max_ms");
+      for (const TraceRollupRow& row : rollup)
+        std::fprintf(stdout, "  %-40s %4llu %12.3f %12.3f %12.3f\n", row.name.c_str(),
+                     static_cast<unsigned long long>(row.count), row.total_ms,
+                     row.self_ms, row.max_ms);
+    }
+    std::ofstream trace_file(trace_path_);
+    bool ok = static_cast<bool>(trace_file);
+    if (ok) {
+      trace_file << chrome_trace_json(snap) << '\n';
+      ok = static_cast<bool>(trace_file);
+    }
+    if (!ok) {
+      std::fprintf(stderr, "error: cannot write trace to %s\n", trace_path_.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "trace written to %s (%zu events, %llu dropped)\n",
+                 trace_path_.c_str(), snap.events.size(),
+                 static_cast<unsigned long long>(snap.dropped));
+  }
+  return 0;
+}
+
 int Report::finish(std::FILE* out) {
   print_table(out);
   for (const std::string& line : notes_) std::fprintf(out, "%s\n", line.c_str());
-  if (out_path_.empty()) return 0;
-  if (!write(out_path_)) {
-    std::fprintf(stderr, "error: cannot write metrics to %s\n", out_path_.c_str());
-    return 2;
-  }
-  std::fprintf(stderr, "metrics written to %s\n", out_path_.c_str());
-  return 0;
+  return write_artifacts();
 }
 
 StopwatchMs::StopwatchMs()

@@ -55,13 +55,18 @@ class Report {
   explicit Report(std::string experiment) : experiment_(std::move(experiment)) {}
 
   /// Builds a report from a main()'s argument list: consumes (removes from
-  /// argv) `--metrics-out <file>` / `--metrics-out=<file>`, falls back to
-  /// the LCERT_METRICS environment variable, and enables the metrics
-  /// registry so the instrumented pipelines actually count.
+  /// argv) `--metrics-out <file>` / `--metrics-out=<file>` and
+  /// `--trace-out <file>` / `--trace-out=<file>`, falls back to the
+  /// LCERT_METRICS / LCERT_TRACE environment variables, and enables the
+  /// metrics registry so the instrumented pipelines actually count. A trace
+  /// output also enables the trace sink (timeline recording is otherwise
+  /// off — its per-batch clocks are not free).
   static Report from_cli(std::string experiment, int& argc, char** argv);
 
   void set_output(std::string path) { out_path_ = std::move(path); }
   const std::string& output_path() const noexcept { return out_path_; }
+  void set_trace_output(std::string path) { trace_path_ = std::move(path); }
+  const std::string& trace_output_path() const noexcept { return trace_path_; }
 
   template <typename T>
   void meta(std::string key, T v) {
@@ -90,13 +95,26 @@ class Report {
   /// Writes by extension (.csv => CSV, else JSON). Returns false on I/O error.
   bool write(const std::string& path) const;
 
-  /// Prints the table and the notes, then writes the artifact if an output
-  /// path is set. Returns a main()-ready exit code (2 on write failure).
+  /// Probes that every configured output path (metrics and trace) is
+  /// writable, before the run burns any time. On failure, fills *error with
+  /// a user-facing message and returns false. Probing opens in append mode,
+  /// so an existing artifact is not clobbered by the check.
+  bool outputs_writable(std::string* error = nullptr) const;
+
+  /// Writes the metrics artifact and the Chrome trace (whichever paths are
+  /// set), draining the trace sink. Returns 0, or 2 on any write failure
+  /// (with a message on stderr) — never silently drops a report.
+  int write_artifacts() const;
+
+  /// Prints the table, the notes and (when tracing ran) the per-phase
+  /// rollup, then writes the artifacts. Returns a main()-ready exit code
+  /// (2 on write failure).
   int finish(std::FILE* out = stdout);
 
  private:
   std::string experiment_;
   std::string out_path_;
+  std::string trace_path_;
   std::vector<std::pair<std::string, Value>> meta_;
   std::vector<Record> records_;
   std::vector<std::string> notes_;

@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 
 namespace lcert::obs {
 
@@ -34,6 +35,13 @@ std::uint64_t g_trace_dropped = 0;
 }  // namespace
 
 Span::Span(std::string name) {
+  // The timeline sees every span whether or not metrics are on: the trace
+  // sink has its own enable gate and its own (lock-free) buffers.
+  if (trace_enabled()) {
+    traced_ = true;
+    trace_name_id_ = trace_sink().name_id(name);
+    trace_sink().emit(trace_name_id_, TraceEventKind::kSpanBegin, 0, 0);
+  }
   if (!registry().enabled()) return;
   active_ = true;
   PendingSpan pending;
@@ -44,6 +52,7 @@ Span::Span(std::string name) {
 }
 
 Span::~Span() {
+  if (traced_) trace_sink().emit(trace_name_id_, TraceEventKind::kSpanEnd, 0, 0);
   if (!active_ || t_open_spans.empty()) return;
   PendingSpan pending = std::move(t_open_spans.back());
   t_open_spans.pop_back();

@@ -34,6 +34,8 @@ class Span {
 
  private:
   bool active_ = false;
+  bool traced_ = false;        ///< begin/end also emitted to the trace sink
+  std::uint32_t trace_name_id_ = 0;
 };
 
 /// Completed root spans of every thread, in completion order; clears the

@@ -19,6 +19,50 @@ MsoTreeScheme::MsoTreeScheme(NamedAutomaton automaton)
   for (std::size_t q = 0; q < automaton_.automaton.state_count; ++q)
     transition_boxes_.push_back(
         automaton_.automaton.transition(q).to_boxes(automaton_.automaton.state_count));
+  // Registration-time gauge (unconditional: visible in every snapshot, not
+  // just enabled runs) exposing the DNF cliff — ~29k boxes for leaves>=4
+  // against 1-3 everywhere else (ROADMAP open item).
+  const obs::Gauge boxes_gauge =
+      obs::registry().gauge("verify/" + name() + "/boxes_per_state");
+  obs::registry().gauge_set_always(
+      boxes_gauge, static_cast<std::int64_t>(max_boxes_per_state()));
+}
+
+std::size_t MsoTreeScheme::max_boxes_per_state() const noexcept {
+  std::size_t max_boxes = 0;
+  for (const auto& boxes : transition_boxes_) max_boxes = std::max(max_boxes, boxes.size());
+  return max_boxes;
+}
+
+std::string MsoTreeScheme::slow_batch_attribution(std::span<const ViewRef> views) const {
+  const std::size_t k = automaton_.automaton.state_count;
+  const unsigned state_width = state_bits_ == 0 ? 1 : state_bits_;
+  std::size_t worst_state = SIZE_MAX, worst_boxes = 0, worst_hits = 0;
+  for (const ViewRef& view : views) {
+    if (view.certificate == nullptr ||
+        view.certificate->bit_size < 2 + state_width)
+      continue;
+    BitReader r = view.certificate->reader();
+    r.read(2);  // mod-3 counter
+    const std::uint64_t state = r.read(state_width);
+    if (state >= k) continue;
+    const std::size_t boxes = transition_boxes_[state].size();
+    if (boxes > worst_boxes) {
+      worst_state = state;
+      worst_boxes = boxes;
+      worst_hits = 1;
+    } else if (state == worst_state) {
+      ++worst_hits;
+    }
+  }
+  if (worst_state == SIZE_MAX) return {};
+  const auto& names = automaton_.automaton.state_names;
+  const std::string state_name = worst_state < names.size() &&
+                                         !names[worst_state].empty()
+                                     ? names[worst_state]
+                                     : "q" + std::to_string(worst_state);
+  return "state=" + state_name + " boxes=" + std::to_string(worst_boxes) +
+         " vertices=" + std::to_string(worst_hits);
 }
 
 bool MsoTreeScheme::holds(const Graph& g) const {

@@ -54,6 +54,14 @@ class MsoTreeScheme final : public Scheme {
   /// each view exactly as verify() does.
   void verify_batch(std::span<const ViewRef> views,
                     std::span<std::uint8_t> accept) const override;
+  /// Names the automaton state with the widest DNF fan-out among the batch's
+  /// vertices ("state=<name> boxes=<count> vertices=<k>") — the outlier
+  /// sampler's attribution for slow batches (the leaves>=4 cliff).
+  std::string slow_batch_attribution(std::span<const ViewRef> views) const override;
+
+  /// Max interval boxes compiled into any single automaton state — the DNF
+  /// fan-out the verifier sweeps linearly (~29k for leaves>=4).
+  std::size_t max_boxes_per_state() const noexcept;
 
   /// Incremental recertification prover (DESIGN.md §13): maintains a live
   /// rooted tree + feasibility masks + run states across streaming edits and

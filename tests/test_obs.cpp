@@ -12,12 +12,17 @@
 #include <cstring>
 #include <string>
 
+#include <chrono>
+#include <thread>
+
 #include "src/cert/engine.hpp"
+#include "src/cert/prove.hpp"
 #include "src/graph/generators.hpp"
 #include "src/obs/instrumented_scheme.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/report.hpp"
 #include "src/obs/span.hpp"
+#include "src/obs/trace.hpp"
 #include "src/schemes/mso_tree.hpp"
 #include "src/schemes/registry.hpp"
 #include "src/util/parallel.hpp"
@@ -373,6 +378,335 @@ TEST_F(ObsTest, RegistrySweepProverHistogramMatchesEngineAccounting) {
     EXPECT_EQ(h.max, outcome.verification.max_certificate_bits) << entry.key;
     EXPECT_GE(registry().counter_value("prover/assign_calls"), 1u) << entry.key;
   }
+}
+
+// --- timeline tracing, quantiles, outlier attribution (DESIGN.md §14) ------
+
+/// Like ObsTest, plus the trace sink and outlier sampler: enabled for the
+/// body, drained + disabled + restored to default capacities afterwards so
+/// tracing never leaks into unrelated tests in this binary.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry().reset();
+    obs::take_trace();
+    obs::trace_sink().reset();
+    obs::outliers().reset();
+    registry().set_enabled(true);
+    obs::trace_sink().set_enabled(true);
+  }
+  void TearDown() override {
+    obs::trace_sink().set_enabled(false);
+    obs::trace_sink().set_capacity(std::size_t{1} << 16);
+    obs::trace_sink().reset();
+    obs::outliers().set_capacity(16);
+    obs::outliers().reset();
+    registry().set_enabled(false);
+    registry().reset();
+    obs::take_trace();
+  }
+};
+
+TEST_F(TraceTest, EmitAndTakeRoundTrip) {
+  const std::uint32_t id = obs::trace_sink().name_id("test/instant");
+  obs::trace_sink().emit(id, obs::TraceEventKind::kInstant, 7, 42);
+  const obs::TraceSnapshot snap = obs::trace_sink().take();
+  ASSERT_EQ(snap.events.size(), 1u);
+  EXPECT_EQ(snap.name(snap.events[0]), "test/instant");
+  EXPECT_EQ(snap.events[0].logical, 7u);
+  EXPECT_EQ(snap.events[0].arg, 42);
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_TRUE(obs::trace_sink().take().events.empty());  // drained
+}
+
+TEST_F(TraceTest, DisabledSinkIsInert) {
+  obs::trace_sink().set_enabled(false);
+  const std::uint32_t id = obs::trace_sink().name_id("test/invisible");
+  obs::trace_sink().emit(id, obs::TraceEventKind::kInstant, 0, 0);
+  {
+    obs::TraceSpan span(id);
+  }
+  const obs::TraceSnapshot snap = obs::trace_sink().take();
+  EXPECT_TRUE(snap.events.empty());
+  EXPECT_EQ(snap.dropped, 0u);
+}
+
+// Ring-buffer contract: a full buffer stops recording and counts drops —
+// events are never overwritten and never silently lost.
+TEST_F(TraceTest, OverflowStopsRecordingAndCountsDrops) {
+  obs::trace_sink().reset();
+  obs::trace_sink().set_capacity(8);
+  // A fresh thread gets a buffer at the new capacity (set_capacity applies
+  // to buffers created after the call; the main thread may hold an old one).
+  std::thread writer([&] {
+    const std::uint32_t id = obs::trace_sink().name_id("test/overflow");
+    for (std::uint64_t i = 0; i < 20; ++i)
+      obs::trace_sink().emit(id, obs::TraceEventKind::kInstant, i, 0);
+  });
+  writer.join();
+  const obs::TraceSnapshot snap = obs::trace_sink().take();
+  EXPECT_EQ(snap.events.size(), 8u);
+  EXPECT_EQ(snap.dropped, 12u);
+  // The retained prefix is the *first* 8 events, in emission order.
+  for (std::size_t i = 0; i < snap.events.size(); ++i)
+    EXPECT_EQ(snap.events[i].logical, i);
+}
+
+// The determinism contract: logical sequence numbers come from work identity
+// (batch block, level index), never arrival order, so the sorted
+// (name, kind, logical, arg) stream is bit-identical across thread counts.
+TEST_F(TraceTest, LogicalStreamIsThreadCountInvariant) {
+  MsoTreeScheme scheme(standard_tree_automata()[0]);  // "path"
+  Rng rng(21);
+  Graph g = make_path(700);
+  assign_random_ids(g, rng);
+
+  std::string streams[3];
+  const std::size_t thread_counts[3] = {1, 4, 8};
+  for (int run = 0; run < 3; ++run) {
+    registry().reset();
+    obs::trace_sink().reset();
+    const RunOptions options{thread_counts[run], true};
+    const ProveResult proved = prove_assignment(scheme, g, options);
+    ASSERT_TRUE(proved.certificates.has_value());
+    const auto outcome = verify_assignment(scheme, g, *proved.certificates, options);
+    ASSERT_TRUE(outcome.all_accept);
+    streams[run] = obs::logical_stream(obs::trace_sink().take());
+  }
+  EXPECT_FALSE(streams[0].empty());
+  EXPECT_EQ(streams[0], streams[1]);
+  EXPECT_EQ(streams[0], streams[2]);
+  // The run actually traced the pipeline: spans and per-batch instants.
+  EXPECT_NE(streams[0].find("prover/prove_assignment"), std::string::npos);
+  EXPECT_NE(streams[0].find("engine/verify_batch"), std::string::npos);
+}
+
+// Acceptance: the exported Chrome trace is valid JSON and its span events
+// reconcile with the metrics counters (one prover/prove_assignment begin per
+// prover/prove_calls increment).
+TEST_F(TraceTest, ChromeTraceJsonIsValidAndReconcilesWithCounters) {
+  MsoTreeScheme scheme(standard_tree_automata()[0]);
+  Rng rng(22);
+  Graph g = make_path(300);
+  assign_random_ids(g, rng);
+  for (int i = 0; i < 3; ++i) {
+    const ProveResult proved = prove_assignment(scheme, g, RunOptions{1, true});
+    ASSERT_TRUE(proved.certificates.has_value());
+  }
+  const std::uint64_t prove_calls = registry().counter_value("prover/prove_calls");
+  ASSERT_EQ(prove_calls, 3u);
+
+  const obs::TraceSnapshot snap = obs::trace_sink().take();
+  std::uint64_t begins = 0;
+  for (const obs::TraceEvent& e : snap.events)
+    if (e.kind == obs::TraceEventKind::kSpanBegin &&
+        snap.name(e) == "prover/prove_assignment")
+      ++begins;
+  EXPECT_EQ(begins, prove_calls);
+
+  const std::string json = obs::chrome_trace_json(snap);
+  ASSERT_TRUE(is_valid_json(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"rollup\""), std::string::npos);
+  EXPECT_NE(json.find("prover/prove_assignment"), std::string::npos);
+}
+
+TEST_F(TraceTest, RollupPairsSpansAndComputesSelfTime) {
+  const std::uint32_t outer = obs::trace_sink().name_id("test/outer");
+  const std::uint32_t inner = obs::trace_sink().name_id("test/inner");
+  {
+    obs::TraceSpan a(outer);
+    obs::TraceSpan b(inner);
+  }
+  const auto rows = obs::trace_rollup(obs::trace_sink().take());
+  ASSERT_EQ(rows.size(), 2u);
+  const auto find = [&](const std::string& name) -> const obs::TraceRollupRow* {
+    for (const auto& r : rows)
+      if (r.name == name) return &r;
+    return nullptr;
+  };
+  const obs::TraceRollupRow* o = find("test/outer");
+  const obs::TraceRollupRow* i = find("test/inner");
+  ASSERT_NE(o, nullptr);
+  ASSERT_NE(i, nullptr);
+  EXPECT_EQ(o->count, 1u);
+  EXPECT_EQ(i->count, 1u);
+  EXPECT_GE(o->total_ms, i->total_ms);  // inner nests inside outer
+  EXPECT_GE(o->total_ms, o->self_ms);   // self excludes the inner span
+  EXPECT_LE(o->max_ms, o->total_ms + 1e-9);
+}
+
+// Acceptance: with tracing off, the per-batch instrumentation must be a
+// structural no-op (no events, no quantile samples) and an emit attempt must
+// be cheap. The time bound is deliberately generous (sanitizer builds): the
+// real <1% budget is asserted on the n=4096 prove bench, this test only pins
+// that the disabled path never grows a lock or an allocation.
+TEST_F(TraceTest, DisabledTracingIsStructurallyFree) {
+  obs::trace_sink().set_enabled(false);
+  MsoTreeScheme scheme(standard_tree_automata()[0]);
+  Rng rng(23);
+  Graph g = make_path(256);
+  assign_random_ids(g, rng);
+  const ProveResult proved = prove_assignment(scheme, g, RunOptions{2, true});
+  ASSERT_TRUE(proved.certificates.has_value());
+  verify_assignment(scheme, g, *proved.certificates, RunOptions{2, false});
+  EXPECT_TRUE(obs::trace_sink().take().events.empty());
+  EXPECT_EQ(registry().quantile_snapshot("engine/verify_batch_ns").count, 0u);
+  EXPECT_EQ(registry().quantile_snapshot("prover/prove_ns").count, 0u);
+
+  constexpr int kCalls = 100000;
+  const std::uint32_t id = obs::trace_sink().name_id("test/disabled");
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kCalls; ++i)
+    obs::trace_sink().emit(id, obs::TraceEventKind::kInstant, 0, 0);
+  const double ns_per_call =
+      std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() - t0)
+          .count() /
+      kCalls;
+  EXPECT_LT(ns_per_call, 1000.0);  // one relaxed load + branch, with huge margin
+}
+
+TEST_F(TraceTest, QuantilesAreExactOnSmallStreams) {
+  const obs::Quantile q = registry().quantile("test/q");
+  for (std::uint64_t v = 1; v <= 100; ++v) q.record(v);
+  const obs::QuantileSnapshot snap = registry().quantile_snapshot("test/q");
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_EQ(snap.sum, 5050u);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, 100u);
+  EXPECT_EQ(snap.p50, 50u);  // nearest-rank on the full stream: exact
+  EXPECT_EQ(snap.p90, 90u);
+  EXPECT_EQ(snap.p99, 99u);
+  EXPECT_DOUBLE_EQ(snap.mean(), 50.5);
+}
+
+TEST_F(TraceTest, QuantileAggregatesStayExactPastSampleCap) {
+  const obs::Quantile q = registry().quantile("test/q_overflow");
+  constexpr std::uint64_t kN = 10000;  // > the 8192 per-thread sample cap
+  std::uint64_t sum = 0;
+  for (std::uint64_t v = 1; v <= kN; ++v) {
+    q.record(v);
+    sum += v;
+  }
+  const obs::QuantileSnapshot snap = registry().quantile_snapshot("test/q_overflow");
+  EXPECT_EQ(snap.count, kN);       // count/sum/min/max never sampled
+  EXPECT_EQ(snap.sum, sum);
+  EXPECT_EQ(snap.min, 1u);
+  EXPECT_EQ(snap.max, kN);
+  EXPECT_EQ(snap.dropped, kN - 8192);  // percentile samples beyond the cap
+  EXPECT_GT(snap.p50, 0u);             // percentiles still computed on retained
+}
+
+TEST_F(TraceTest, QuantileTotalsAreThreadCountInvariant) {
+  const obs::Quantile q = registry().quantile("test/q_par");
+  obs::QuantileSnapshot snaps[2];
+  const std::size_t thread_counts[2] = {1, 4};
+  for (int run = 0; run < 2; ++run) {
+    registry().reset();
+    parallel_for(2000, thread_counts[run], [&](std::size_t i) { q.record(i % 97 + 1); });
+    snaps[run] = registry().quantile_snapshot("test/q_par");
+  }
+  EXPECT_EQ(snaps[0].count, 2000u);
+  EXPECT_EQ(snaps[0].count, snaps[1].count);
+  EXPECT_EQ(snaps[0].sum, snaps[1].sum);
+  EXPECT_EQ(snaps[0].min, snaps[1].min);
+  EXPECT_EQ(snaps[0].max, snaps[1].max);
+  EXPECT_EQ(snaps[0].p50, snaps[1].p50);  // full retention: exact either way
+}
+
+TEST_F(TraceTest, OutlierSamplerKeepsSlowestK) {
+  obs::outliers().set_capacity(3);
+  for (std::uint64_t ns : {10u, 50u, 20u, 90u, 30u, 70u}) {
+    if (!obs::outliers().would_admit(ns)) continue;
+    obs::OutlierRecord rec;
+    rec.ns = ns;
+    rec.site = "test";
+    obs::outliers().record(std::move(rec));
+  }
+  const auto top = obs::outliers().top();
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].ns, 90u);  // slowest first
+  EXPECT_EQ(top[1].ns, 70u);
+  EXPECT_EQ(top[2].ns, 50u);
+  // Once full, the floor rejects anything at or below the current K-th.
+  EXPECT_FALSE(obs::outliers().would_admit(50));
+  EXPECT_TRUE(obs::outliers().would_admit(60));
+}
+
+// Acceptance: the slowest verify batches of the leaves>=4 scheme are
+// attributed to the automaton state whose transition DNF carries the box
+// blow-up — the ~29k-box cliff gets a name instead of staying folklore.
+TEST_F(TraceTest, OutlierAttributionNamesTheLeavesDnfState) {
+  MsoTreeScheme scheme(standard_tree_automata()[7]);  // leaves >= 4
+  // boxes_per_state gauge: registered at construction, visible even though
+  // the batch instrumentation has not run yet.
+  const std::string gauge_name = "verify/" + scheme.name() + "/boxes_per_state";
+  const auto gauges = registry().snapshot().gauges;
+  ASSERT_TRUE(gauges.count(gauge_name)) << gauge_name;
+  EXPECT_GE(gauges.at(gauge_name), 1000) << "leaves>=4 DNF should be box-heavy";
+
+  Rng rng(24);
+  Graph g = make_random_tree(512, rng);
+  assign_random_ids(g, rng);
+  const auto certs = scheme.assign(g);
+  ASSERT_TRUE(certs.has_value());
+  const auto outcome = verify_assignment(scheme, g, *certs, RunOptions{2, false});
+  ASSERT_TRUE(outcome.all_accept);
+
+  const auto top = obs::outliers().top();
+  ASSERT_FALSE(top.empty());
+  bool found = false;
+  for (const obs::OutlierRecord& rec : top) {
+    if (rec.site != "verify-batch") continue;
+    EXPECT_EQ(rec.scheme, scheme.name());
+    EXPECT_NE(rec.detail.find("state="), std::string::npos) << rec.detail;
+    EXPECT_NE(rec.detail.find("boxes="), std::string::npos) << rec.detail;
+    found = true;
+  }
+  EXPECT_TRUE(found) << "no verify-batch outlier recorded";
+}
+
+TEST_F(TraceTest, FromCliStripsTraceFlagAndEnablesSink) {
+  obs::trace_sink().set_enabled(false);
+  char prog[] = "prog", flag[] = "--trace-out", path[] = "/tmp/t.json", keep[] = "other";
+  char* argv[] = {prog, flag, path, keep, nullptr};
+  int argc = 4;
+  const obs::Report report = obs::Report::from_cli("cli-test", argc, argv);
+  EXPECT_EQ(report.trace_output_path(), "/tmp/t.json");
+  EXPECT_TRUE(obs::trace_enabled());
+  ASSERT_EQ(argc, 2);
+  EXPECT_STREQ(argv[1], "other");
+}
+
+TEST_F(TraceTest, ReportJsonCarriesQuantilesAndOutliers) {
+  registry().quantile("test/report_q").record(5);
+  obs::OutlierRecord rec;
+  rec.ns = 123;
+  rec.site = "test";
+  rec.detail = "state=\"K_4\"";  // quotes must be escaped in the export
+  obs::outliers().record(std::move(rec));
+
+  obs::Report report("unit-test");
+  const std::string json = report.json();
+  ASSERT_TRUE(is_valid_json(json)) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"quantiles\""), std::string::npos);
+  EXPECT_NE(json.find("\"test/report_q\""), std::string::npos);
+  EXPECT_NE(json.find("\"outliers\""), std::string::npos);
+  EXPECT_NE(json.find("state="), std::string::npos);
+}
+
+TEST_F(TraceTest, UnwritableArtifactPathsAreRejectedUpFront) {
+  obs::Report report("unit-test");
+  report.set_output("/nonexistent-dir/metrics.json");
+  std::string error;
+  EXPECT_FALSE(report.outputs_writable(&error));
+  EXPECT_NE(error.find("/nonexistent-dir/metrics.json"), std::string::npos);
+  EXPECT_EQ(report.write_artifacts(), 2);
+
+  obs::Report ok("unit-test");  // no outputs configured: nothing to fail
+  EXPECT_TRUE(ok.outputs_writable());
+  EXPECT_EQ(ok.write_artifacts(), 0);
 }
 
 }  // namespace
