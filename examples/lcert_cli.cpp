@@ -3,15 +3,22 @@
 //   lcert_cli list                          # available schemes
 //   lcert_cli demo <scheme> [n]             # generate a yes-instance, certify it
 //   lcert_cli run  <scheme> <file|->        # certify a graph in edge-list format
-//   lcert_cli audit <scheme> [n]            # completeness + soundness attack battery
+//   lcert_cli audit <scheme|all> [n]        # completeness + the per-strategy
+//                                           # soundness attack plan (random,
+//                                           # empty, replay, bit-flip, SAT-
+//                                           # guided run search)
 //   lcert_cli prove <scheme> [n] [--threads T] [--no-memo]
-//                   [--family F] [--feas-tier-max T]
+//                   [--family F] [--solver S]
 //                                           # batch prover: timing + memo and
-//                                           # feasibility-tier stats. --family
+//                                           # solver decision stats. --family
 //                                           # swaps the instance shape (path,
 //                                           # caterpillar, complete-binary,
 //                                           # random-tree) for the scheme's
-//                                           # default yes-instance
+//                                           # default yes-instance; --solver
+//                                           # picks the feasibility backend
+//                                           # (greedy|warm-flow|cold-flow|sat;
+//                                           # --feas-tier-max is a deprecated
+//                                           # alias)
 //   lcert_cli fuzz <scheme|all> [flags]     # differential fuzzing campaign
 //   lcert_cli apply-edit <scheme> <file|-> <spec>... [--threads T] [--check]
 //                                           # certify a graph, then stream
@@ -34,6 +41,8 @@
 //   --base-n N        base instance size (default 12)
 //   --replay T        re-run exactly one trial index and report it
 //   --out DIR         write <scheme>-trial<T>.lcg + .repro.txt per finding
+//   --solver S        feasibility backend for the incremental re-proves (the
+//                     solver-divergence oracle sweeps all backends anyway)
 //
 // edit spec grammar (apply-edit): graft:U[:ID] | prune:V | swap:M:OP:NP |
 // edge-add:U:V | edge-del:U:V | permute:SEED — vertex indices refer to the
@@ -66,6 +75,7 @@
 #include "src/logic/eval.hpp"
 #include "src/obs/report.hpp"
 #include "src/schemes/registry.hpp"
+#include "src/solve/backend.hpp"
 #include "src/util/rng.hpp"
 
 namespace {
@@ -89,6 +99,40 @@ const RegisteredScheme* lookup(const std::string& key) {
       std::fprintf(stderr, "  %s\n", e.key.c_str());
   }
   return entry;
+}
+
+/// Non-throwing solver lookup, same contract as lookup() above: unknown names
+/// list the valid backends on stderr, exit code 2 at the call site.
+std::optional<solve::Backend> lookup_solver(const std::string& name) {
+  const auto backend = solve::parse_backend(name);
+  if (!backend.has_value())
+    std::fprintf(stderr, "error: unknown solver '%s'; valid solvers: %s\n",
+                 name.c_str(), solve::backend_listing().c_str());
+  return backend;
+}
+
+/// Deprecated --feas-tier-max alias: tier numbers map onto the backend that
+/// used to sit at that tier (0=cold-flow, 1=greedy, 2=warm-flow). Out-of-range
+/// tiers are rejected with the backend listing (they used to be accepted
+/// silently); in-range ones warn once and select the named solver.
+std::optional<solve::Backend> solver_from_tier_flag(const std::string& value) {
+  const int tier = std::stoi(value);
+  const auto backend = solve::backend_from_tier(tier);
+  if (!backend.has_value()) {
+    std::fprintf(stderr,
+                 "error: --feas-tier-max %d is out of range; use --solver with "
+                 "one of: %s\n",
+                 tier, solve::backend_listing().c_str());
+    return std::nullopt;
+  }
+  static bool warned = false;
+  if (!warned) {
+    warned = true;
+    std::fprintf(stderr,
+                 "warning: --feas-tier-max is deprecated; use --solver %s\n",
+                 solve::backend_name(*backend));
+  }
+  return backend;
 }
 
 int run_scheme_on(const RegisteredScheme& entry, const Graph& g) {
@@ -117,10 +161,14 @@ int run_scheme_on(const RegisteredScheme& entry, const Graph& g) {
   return outcome.all_accept && truth ? 0 : 1;
 }
 
-// Completeness check plus the full soundness-attack battery on generated
-// instances, reported through the shared obs pipeline: audit/* counters say
-// how many trials each attack family executed, prover/* histograms where the
-// honest certificate sizes landed.
+// Completeness check plus the full per-strategy soundness attack plan on
+// generated instances, reported through the shared obs pipeline: audit/*
+// counters say how many trials each attack family executed, prover/*
+// histograms where the honest certificate sizes landed. Prints one row per
+// AttackOutcome so "no forgery" is attributable: which strategies applied,
+// how much of their budget they spent, and — for the SAT-guided run search —
+// whether every rooting was exhausted (a completeness statement for that
+// forgery family).
 int audit_scheme(const RegisteredScheme& entry, std::size_t n, obs::Report& report) {
   const auto scheme = entry.make();
   Rng rng(42);
@@ -132,13 +180,20 @@ int audit_scheme(const RegisteredScheme& entry, std::size_t n, obs::Report& repo
   std::printf("completeness: ok on a yes-instance with n=%zu\n", yes.vertex_count());
 
   const Graph no = entry.family.no_instance(n, rng);
-  const auto forged =
-      attack_soundness(*scheme, no, tmpl ? &*tmpl : nullptr, rng, RunOptions{});
-  if (forged.has_value()) {
+  const SoundnessAuditReport audit =
+      run_soundness_audit(*scheme, no, tmpl ? &*tmpl : nullptr, rng, RunOptions{});
+  std::printf("soundness attack plan (no-instance n=%zu):\n", no.vertex_count());
+  for (const AttackOutcome& out : audit.outcomes) {
+    const char* status =
+        out.forged ? "FORGED" : (out.applicable ? "no forgery" : "skipped");
+    std::printf("  %-16s trials %3zu/%-3zu %-10s %s\n", out.strategy.c_str(),
+                out.trials, out.budget, status, out.detail.c_str());
+  }
+  if (audit.forgery.has_value()) {
     std::printf("soundness: FORGED via '%s' attack on n=%zu — scheme is unsound\n",
-                forged->attack.c_str(), no.vertex_count());
+                audit.forgery->attack.c_str(), no.vertex_count());
   } else {
-    std::printf("soundness: no forgery found on a no-instance with n=%zu\n",
+    std::printf("soundness: every strategy exhausted without a forgery (n=%zu)\n",
                 no.vertex_count());
   }
 
@@ -146,10 +201,39 @@ int audit_scheme(const RegisteredScheme& entry, std::size_t n, obs::Report& repo
       .set("scheme", entry.key)
       .set("n", yes.vertex_count())
       .set("complete", "yes")
-      .set("forged", forged.has_value() ? forged->attack : "no");
-  std::printf("\n");
+      .set("forged", audit.forgery.has_value() ? audit.forgery->attack : "no");
+  return audit.forgery.has_value() ? 1 : 0;
+}
+
+// `audit <scheme|all> [n]`: per-scheme audit, or the whole registry (the CI
+// solver-audit-smoke job runs `audit all` so the SAT forgery search sweeps
+// every scheme's no-instances).
+int audit_command(const std::vector<std::string>& args, obs::Report& report) {
+  std::size_t n = 24;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    if (flag == "--metrics-out" || flag == "--trace-out") {
+      ++i;  // consumed by obs::Report::from_cli
+    } else if (!flag.empty() && flag[0] != '-') {
+      n = std::stoul(flag);
+    } else {
+      throw std::invalid_argument("unknown audit flag '" + flag + "'");
+    }
+  }
+  int rc = 0;
+  if (args[1] == "all") {
+    for (const auto& entry : scheme_registry()) {
+      rc = std::max(rc, audit_scheme(entry, n, report));
+      std::printf("\n");
+    }
+  } else {
+    const RegisteredScheme* entry = lookup(args[1]);
+    if (entry == nullptr) return 2;
+    rc = audit_scheme(*entry, n, report);
+    std::printf("\n");
+  }
   report.print_metrics();
-  return forged.has_value() ? 1 : 0;
+  return rc;
 }
 
 // Named instance shapes for `prove --family`, mirroring the bench harness
@@ -189,7 +273,7 @@ const ShapeFamily* lookup_shape(const std::string& name) {
 }
 
 // Run the batch prover on a generated yes-instance, verify the output, and
-// report wall time plus the memo and feasibility-tier counters — the CLI face
+// report wall time plus the memo and solver decision counters — the CLI face
 // of prove_assignment.
 int prove_command(const std::vector<std::string>& args, obs::Report& report) {
   const RegisteredScheme* entry = lookup(args[1]);
@@ -210,10 +294,17 @@ int prove_command(const std::vector<std::string>& args, obs::Report& report) {
       if (i + 1 >= args.size()) throw std::invalid_argument("missing value for --family");
       shape = lookup_shape(args[++i]);
       if (shape == nullptr) return 2;
+    } else if (flag == "--solver") {
+      if (i + 1 >= args.size()) throw std::invalid_argument("missing value for --solver");
+      const auto backend = lookup_solver(args[++i]);
+      if (!backend.has_value()) return 2;
+      options.solver = *backend;
     } else if (flag == "--feas-tier-max") {
       if (i + 1 >= args.size())
         throw std::invalid_argument("missing value for --feas-tier-max");
-      options.feas_tier_max = std::stoi(args[++i]);
+      const auto backend = solver_from_tier_flag(args[++i]);
+      if (!backend.has_value()) return 2;
+      options.solver = *backend;
     } else if (!flag.empty() && flag[0] != '-') {
       n = std::stoul(flag);
     } else {
@@ -226,10 +317,10 @@ int prove_command(const std::vector<std::string>& args, obs::Report& report) {
   Graph g = shape == nullptr ? entry->family.yes_instance(n, rng) : shape->make(n, rng);
   if (shape != nullptr) assign_random_ids(g, rng);
   std::printf("scheme:   %s (%s)\n", entry->key.c_str(), entry->description.c_str());
-  std::printf("instance: %s n=%zu m=%zu, threads=%zu, memo=%s, feas-tiers<=%d\n",
+  std::printf("instance: %s n=%zu m=%zu, threads=%zu, memo=%s, solver=%s\n",
               shape == nullptr ? "yes-instance" : shape->name, g.vertex_count(),
               g.edge_count(), options.num_threads, options.memoize ? "on" : "off",
-              options.feas_tier_max);
+              solve::backend_name(options.solver));
 
   const auto start = std::chrono::steady_clock::now();
   const ProveResult result = prove_assignment(*scheme, g, options);
@@ -245,10 +336,13 @@ int prove_command(const std::vector<std::string>& args, obs::Report& report) {
   const auto outcome = verify_assignment(*scheme, g, *result.certificates, options);
   std::printf("prover: %.3f ms, memo hits %zu / misses %zu\n", ms, result.memo_hits,
               result.memo_misses);
-  std::printf("feasibility tiers: greedy %llu / warm-flow %llu / cold-flow %llu\n",
-              static_cast<unsigned long long>(result.feas.greedy),
-              static_cast<unsigned long long>(result.feas.warm),
-              static_cast<unsigned long long>(result.feas.flow));
+  std::printf(
+      "solver decisions: pruned %llu / greedy %llu / warm %llu / flow %llu / sat %llu\n",
+      static_cast<unsigned long long>(result.feas.pruned),
+      static_cast<unsigned long long>(result.feas.greedy),
+      static_cast<unsigned long long>(result.feas.warm),
+      static_cast<unsigned long long>(result.feas.flow),
+      static_cast<unsigned long long>(result.feas.sat));
   std::printf("certificates: max %zu bits/vertex (total %zu)\n",
               outcome.max_certificate_bits, outcome.total_certificate_bits);
   std::printf("verification: %s\n",
@@ -260,13 +354,15 @@ int prove_command(const std::vector<std::string>& args, obs::Report& report) {
       .set("threads", options.num_threads)
       .set("memo", options.memoize ? "on" : "off")
       .set("family", shape == nullptr ? "yes-instance" : shape->name)
-      .set("feas_tier_max", options.feas_tier_max)
+      .set("solver", solve::backend_name(options.solver))
       .set("prove_ms", ms)
       .set("memo_hits", result.memo_hits)
       .set("memo_misses", result.memo_misses)
+      .set("feas_pruned", result.feas.pruned)
       .set("feas_greedy", result.feas.greedy)
       .set("feas_warm", result.feas.warm)
       .set("feas_flow", result.feas.flow)
+      .set("feas_sat", result.feas.sat)
       .set("max_bits", outcome.max_certificate_bits);
   std::printf("\n");
   report.print_metrics();
@@ -302,6 +398,22 @@ FuzzCliOptions parse_fuzz_flags(const std::vector<std::string>& args, std::size_
     else if (flag == "--base-n") out.campaign.base_n = std::stoul(value());
     else if (flag == "--replay") out.replay = std::stoul(value());
     else if (flag == "--out") out.out_dir = value();
+    else if (flag == "--solver") {
+      // Drives the incremental-divergence re-proves; the solver-divergence
+      // oracle still sweeps every registered backend regardless.
+      const auto backend = solve::parse_backend(value());
+      if (!backend.has_value())
+        throw std::invalid_argument(std::string("unknown solver; valid solvers: ") +
+                                    solve::backend_listing());
+      out.campaign.attack.solver = *backend;
+    } else if (flag == "--feas-tier-max") {
+      const auto backend = solver_from_tier_flag(value());
+      if (!backend.has_value())
+        throw std::invalid_argument(std::string("--feas-tier-max out of range; valid "
+                                                "solvers: ") +
+                                    solve::backend_listing());
+      out.campaign.attack.solver = *backend;
+    }
     else throw std::invalid_argument("unknown fuzz flag '" + flag + "'");
   }
   return out;
@@ -724,10 +836,7 @@ int main(int argc, char** argv) {
       return finish_cli(report, rc);
     }
     if (args[0] == "audit" && args.size() >= 2) {
-      const RegisteredScheme* entry = lookup(args[1]);
-      if (entry == nullptr) return 2;
-      const std::size_t n = args.size() >= 3 ? std::stoul(args[2]) : 24;
-      const int rc = audit_scheme(*entry, n, report);
+      const int rc = audit_command(args, report);
       return finish_cli(report, rc);
     }
     if (args[0] == "prove" && args.size() >= 2) {
@@ -756,10 +865,11 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage: lcert_cli list | demo <scheme> [n] | run <scheme> <file|-> | "
-               "audit <scheme> [n] | prove <scheme> [n] [--threads T] [--no-memo] "
-               "[--family F] [--feas-tier-max T] | "
+               "audit <scheme|all> [n] | prove <scheme> [n] [--threads T] [--no-memo] "
+               "[--family F] [--solver greedy|warm-flow|cold-flow|sat] | "
                "fuzz <scheme|all> [--trials N] [--time-budget S] "
-               "[--seed S] [--threads T] [--base-n N] [--replay T] [--out DIR] | "
+               "[--seed S] [--threads T] [--base-n N] [--replay T] [--out DIR] "
+               "[--solver S] | "
                "apply-edit <scheme> <file|-> <spec>... [--threads T] [--check] | "
                "watch <scheme> [n] [--family F] [--edits K] [--seed S] [--threads T] "
                "[--check] | "

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/solve/solver.hpp"
 #include "src/util/flow.hpp"
 
 namespace lcert {
@@ -179,254 +180,6 @@ bool uop_assign_children_masked(std::span<const std::uint64_t> child_masks,
   return true;
 }
 
-void UopFeasibility::begin(std::span<const std::uint64_t> child_masks,
-                           std::size_t state_count) {
-  if (state_count > 64)
-    throw std::invalid_argument("UopFeasibility::begin: state_count > 64");
-  state_count_ = state_count;
-  // The pristine path only ever tests bits q < state_count; truncating here
-  // keeps every popcount / union below exact.
-  const std::uint64_t keep =
-      state_count == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << state_count) - 1);
-  masks_.assign(child_masks.begin(), child_masks.end());
-  for (std::uint64_t& mask : masks_) mask &= keep;
-  net_built_ = false;
-}
-
-bool UopFeasibility::feasible(const IntervalBox& box) {
-  if (tier_max_ >= kFeasTierGreedy) {
-    switch (greedy_decide(box)) {
-      case Verdict::kFeasible:
-        ++counts_.greedy;
-        return true;
-      case Verdict::kInfeasible:
-        ++counts_.greedy;
-        return false;
-      case Verdict::kInconclusive:
-        break;
-    }
-    if (tier_max_ >= kFeasTierWarm) return flow_decide(box);
-  }
-  // Cold fallback: the pristine reference build, one BoundedFlowProblem per
-  // query. This *is* the pre-tier path, so tier_max == 0 reproduces it.
-  ++counts_.flow;
-  return uop_assign_children_masked(masks_, box, state_count_, cold_assignment_);
-}
-
-UopFeasibility::Verdict UopFeasibility::greedy_decide(const IntervalBox& box) {
-  const std::size_t m = masks_.size();
-  const std::size_t k = state_count_;
-
-  // Pristine pre-checks first, so their rejections resolve in this tier.
-  std::size_t lo_sum = 0;
-  for (std::size_t q = 0; q < k; ++q) {
-    if (box.hi[q] != IntervalBox::kUnbounded && box.lo[q] > box.hi[q])
-      return Verdict::kInfeasible;
-    lo_sum += box.lo[q];
-  }
-  if (lo_sum > m) return Verdict::kInfeasible;
-  if (m == 0) return Verdict::kFeasible;  // lo_sum == 0 and nothing to place
-
-  // cap_[q]: the ceiling the flow network would use (m when unbounded). After
-  // the pre-checks, cap_[q] >= lo[q] always: a finite hi >= lo caps at
-  // min(hi, m) with lo <= lo_sum <= m.
-  cap_.assign(k, 0);
-  std::uint64_t usable = 0;   // states some child could take (cap > 0)
-  std::uint64_t slack = 0;    // states whose cap never binds (cap == m)
-  for (std::size_t q = 0; q < k; ++q) {
-    cap_[q] = box.hi[q] == IntervalBox::kUnbounded
-                  ? static_cast<std::int64_t>(m)
-                  : static_cast<std::int64_t>(std::min(box.hi[q], m));
-    if (cap_[q] > 0) usable |= std::uint64_t{1} << q;
-    if (cap_[q] >= static_cast<std::int64_t>(m)) slack |= std::uint64_t{1} << q;
-  }
-
-  // Effective per-child masks; a child with no usable state sinks the box.
-  supply_.assign(k, 0);
-  eff_.resize(m);
-  std::uint64_t union_eff = 0;
-  std::size_t confined = 0;  // children whose every usable state has cap < m
-  for (std::size_t i = 0; i < m; ++i) {
-    const std::uint64_t e = masks_[i] & usable;
-    if (e == 0) return Verdict::kInfeasible;
-    eff_[i] = e;
-    union_eff |= e;
-    if ((e & slack) == 0) ++confined;
-    for (std::uint64_t rest = e; rest != 0; rest &= rest - 1)
-      ++supply_[static_cast<std::size_t>(std::countr_zero(rest))];
-  }
-
-  // Per-state demand needs that many distinct children able to supply it.
-  for (std::size_t q = 0; q < k; ++q)
-    if (supply_[q] < box.lo[q]) return Verdict::kInfeasible;
-
-  // Hall cut on the capped side: every confined child consumes one unit of
-  // finitely-capped capacity.
-  if (confined > 0) {
-    std::int64_t cap_finite = 0;
-    for (std::uint64_t rest = union_eff & ~slack; rest != 0; rest &= rest - 1)
-      cap_finite += cap_[static_cast<std::size_t>(std::countr_zero(rest))];
-    if (static_cast<std::int64_t>(confined) > cap_finite) return Verdict::kInfeasible;
-  }
-
-  // No lower bounds and every child can park on a never-binding state.
-  if (lo_sum == 0 && confined == 0) return Verdict::kFeasible;
-
-  // Exact subset-Hall when no cap binds (every reachable state takes all m
-  // children): feasibility reduces to Hall's condition over the demanded
-  // states D = {q : lo[q] > 0}. Expand lo[q] into lo[q] demand slots; a
-  // saturating matching exists iff for every T subseteq D,
-  //   lo(T) <= #{children i : eff_i meets T} = m - #{i : eff_i cap T empty}.
-  // Surplus children always place (eff nonempty, caps never bind), so the
-  // condition is necessary AND sufficient — both answers are conclusive.
-  std::uint64_t demand = 0;
-  std::size_t demand_states[64];
-  std::size_t dk = 0;
-  for (std::size_t q = 0; q < k; ++q)
-    if (box.lo[q] > 0) {
-      demand |= std::uint64_t{1} << q;
-      demand_states[dk++] = q;
-    }
-  if ((union_eff & ~slack) == 0 && dk <= 8) {
-    const std::size_t subsets = std::size_t{1} << dk;
-    hall_count_.assign(subsets, 0);
-    for (std::size_t i = 0; i < m; ++i) {
-      std::size_t pattern = 0;
-      for (std::size_t j = 0; j < dk; ++j)
-        pattern |= ((eff_[i] >> demand_states[j]) & 1u) << j;
-      ++hall_count_[pattern];
-    }
-    // Zeta transform: hall_count_[S] = #children whose demand-pattern is in S.
-    for (std::size_t j = 0; j < dk; ++j)
-      for (std::size_t s = 0; s < subsets; ++s)
-        if (s >> j & 1u) hall_count_[s] += hall_count_[s ^ (std::size_t{1} << j)];
-    // greedy_count_[T] = sum of lower bounds over the states in T.
-    greedy_count_.assign(subsets, 0);
-    for (std::size_t s = 1; s < subsets; ++s) {
-      const std::size_t j = static_cast<std::size_t>(std::countr_zero(s));
-      greedy_count_[s] =
-          greedy_count_[s ^ (std::size_t{1} << j)] + box.lo[demand_states[j]];
-    }
-    for (std::size_t s = 0; s < subsets; ++s)
-      if (greedy_count_[s] + hall_count_[(subsets - 1) ^ s] > m)
-        return Verdict::kInfeasible;
-    return Verdict::kFeasible;
-  }
-
-  // Mixed case (binding caps and lower bounds): build a witness greedily,
-  // most-constrained children first. Only a completed witness is conclusive —
-  // greedy failure says nothing, so fall through to the flow tier.
-  order_.resize(m);
-  for (std::size_t i = 0; i < m; ++i) order_[i] = i;
-  std::sort(order_.begin(), order_.end(), [this](std::size_t x, std::size_t y) {
-    const int px = std::popcount(eff_[x]);
-    const int py = std::popcount(eff_[y]);
-    return px != py ? px < py : x < y;
-  });
-  // Satisfy lower bounds first, tightest supply slack first. cap_ doubles as
-  // remaining capacity from here on; eff_[i] == 0 marks an assigned child.
-  std::pair<std::size_t, std::size_t> demand_order[64];  // (slack, state)
-  for (std::size_t j = 0; j < dk; ++j)
-    demand_order[j] = {supply_[demand_states[j]] - box.lo[demand_states[j]],
-                       demand_states[j]};
-  std::sort(demand_order, demand_order + dk);
-  for (std::size_t j = 0; j < dk; ++j) {
-    const std::size_t q = demand_order[j].second;
-    std::size_t need = box.lo[q];
-    for (std::size_t idx = 0; idx < m && need > 0; ++idx) {
-      const std::size_t i = order_[idx];
-      if ((eff_[i] >> q & 1u) == 0 || eff_[i] == 0) continue;
-      eff_[i] = 0;
-      --cap_[q];
-      --need;
-    }
-    if (need > 0) return Verdict::kInconclusive;
-  }
-  // Park the rest on whichever usable state has the most room left.
-  for (std::size_t idx = 0; idx < m; ++idx) {
-    const std::size_t i = order_[idx];
-    if (eff_[i] == 0) continue;
-    std::size_t best = SIZE_MAX;
-    std::int64_t best_room = 0;
-    for (std::uint64_t rest = eff_[i]; rest != 0; rest &= rest - 1) {
-      const std::size_t q = static_cast<std::size_t>(std::countr_zero(rest));
-      if (cap_[q] > best_room) {
-        best = q;
-        best_room = cap_[q];
-      }
-    }
-    if (best == SIZE_MAX) return Verdict::kInconclusive;
-    eff_[i] = 0;
-    --cap_[best];
-  }
-  return Verdict::kFeasible;
-}
-
-void UopFeasibility::build_flow_structure() {
-  // Circulation-with-lower-bounds over the bipartite assignment network,
-  // pre-reduced so only capacities change between boxes. Original problem:
-  // S -> child [1,1], child -> state [0,1], state_q -> T [lo_q, cap_q], plus
-  // the T -> S return edge. The standard reduction moves every lower bound
-  // onto super-source/super-sink edges:
-  //   SS -> child (1)        from the child's saturated S -> child edge
-  //   S  -> TT (m)           the m units S owes its children
-  //   state_q -> T (cap-lo)  the residual choice above the lower bound
-  //   state_q -> TT (lo_q)   the lower bound itself
-  //   SS -> T (lo_sum)       T's matching surplus
-  // Feasible iff maxflow(SS, TT) == m + lo_sum. Only the three starred-by-box
-  // capacities move per query; adjacency is built once per vertex.
-  const std::size_t m = masks_.size();
-  const std::size_t k = state_count_;
-  const std::size_t s_node = m + k;
-  const std::size_t t_node = m + k + 1;
-  const std::size_t super_source = m + k + 2;
-  const std::size_t super_sink = m + k + 3;
-  net_.reset(m + k + 4);
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::uint64_t rest = masks_[i]; rest != 0; rest &= rest - 1)
-      net_.add_edge(i, m + static_cast<std::size_t>(std::countr_zero(rest)), 1);
-    net_.add_edge(super_source, i, 1);
-  }
-  state_sink_edge_.assign(k, 0);
-  state_super_edge_.assign(k, 0);
-  for (std::size_t q = 0; q < k; ++q) {
-    state_sink_edge_[q] = net_.add_edge(m + q, t_node, 0);
-    state_super_edge_[q] = net_.add_edge(m + q, super_sink, 0);
-  }
-  net_.add_edge(t_node, s_node, std::numeric_limits<std::int64_t>::max() / 4);
-  net_.add_edge(s_node, super_sink, static_cast<std::int64_t>(m));
-  super_child_sink_edge_ = net_.add_edge(super_source, t_node, 0);
-  net_built_ = true;
-}
-
-bool UopFeasibility::flow_decide(const IntervalBox& box) {
-  // Reached only when greedy_decide was inconclusive, so the pristine
-  // pre-checks already passed: m > 0, lo <= hi, lo_sum <= m, cap >= lo.
-  const bool rebuilt = !net_built_;
-  if (!net_built_) build_flow_structure();
-  const std::size_t m = masks_.size();
-  const std::size_t k = state_count_;
-  std::int64_t lo_sum = 0;
-  for (std::size_t q = 0; q < k; ++q) {
-    const auto lo = static_cast<std::int64_t>(box.lo[q]);
-    const std::int64_t cap =
-        box.hi[q] == IntervalBox::kUnbounded
-            ? static_cast<std::int64_t>(m)
-            : static_cast<std::int64_t>(std::min(box.hi[q], m));
-    net_.set_capacity(state_sink_edge_[q], cap - lo);
-    net_.set_capacity(state_super_edge_[q], lo);
-    lo_sum += lo;
-  }
-  net_.set_capacity(super_child_sink_edge_, lo_sum);
-  net_.reset_flows();
-  const std::int64_t achieved = net_.run(m + k + 2, m + k + 3);
-  if (rebuilt)
-    ++counts_.flow;
-  else
-    ++counts_.warm;
-  return achieved == static_cast<std::int64_t>(m) + lo_sum;
-}
-
 std::optional<Run> find_accepting_run(const UOPAutomaton& a, const RootedTree& t,
                                       const std::vector<std::size_t>* labels) {
   a.validate();
@@ -442,22 +195,23 @@ std::optional<Run> find_accepting_run(const UOPAutomaton& a, const RootedTree& t
   const auto order = t.preorder();
 
   if (a.state_count <= 64) {
-    // Mask fast path: feasibility decisions through the tiered engine (exact
-    // booleans), assignments through the pristine masked solver — so the run
-    // produced is bit-identical to the vector<bool> reference path below.
+    // Mask fast path: feasibility decisions through the default solver
+    // backend (exact booleans), assignments through the pristine masked
+    // solver — so the run produced is bit-identical to the vector<bool>
+    // reference path below.
     const std::size_t k = a.state_count;
     std::vector<std::uint64_t> feasible(t.size(), 0);
     std::vector<std::uint64_t> child_masks;
-    UopFeasibility feas;
+    const auto feas = solve::SolverFactory::make(solve::kDefaultBackend);
 
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       const std::size_t v = *it;
       child_masks.clear();
       for (std::size_t c : t.children(v)) child_masks.push_back(feasible[c]);
-      feas.begin(child_masks, k);
+      feas->begin(child_masks, k);
       for (std::size_t q = 0; q < k; ++q)
         for (const IntervalBox& box : boxes[q * a.label_count + label_of(labels, v)])
-          if (feas.feasible(box)) {
+          if (feas->decide(box)) {
             feasible[v] |= std::uint64_t{1} << q;
             break;
           }
@@ -480,12 +234,12 @@ std::optional<Run> find_accepting_run(const UOPAutomaton& a, const RootedTree& t
       if (children_span.empty()) continue;
       child_masks.clear();
       for (std::size_t c : children_span) child_masks.push_back(feasible[c]);
-      feas.begin(child_masks, k);
+      feas->begin(child_masks, k);
       bool placed = false;
       for (const IntervalBox& box : boxes[q * a.label_count + label_of(labels, v)]) {
-        if (!feas.feasible(box)) continue;  // exact: skips only what fails below
+        if (!feas->decide(box)) continue;  // exact: skips only what fails below
         if (!uop_assign_children_masked(child_masks, box, k, assignment))
-          throw std::logic_error("find_accepting_run: tier/flow disagreement");
+          throw std::logic_error("find_accepting_run: solver/flow disagreement");
         for (std::size_t i = 0; i < children_span.size(); ++i)
           run[children_span[i]] = assignment[i];
         placed = true;

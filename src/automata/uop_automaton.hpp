@@ -21,7 +21,6 @@
 
 #include "src/automata/presburger.hpp"
 #include "src/graph/rooted_tree.hpp"
-#include "src/util/flow.hpp"
 
 namespace lcert {
 
@@ -98,104 +97,5 @@ inline bool accepts(const UOPAutomaton& a, const RootedTree& t,
 bool uop_assign_children_masked(std::span<const std::uint64_t> child_masks,
                                 const IntervalBox& box, std::size_t state_count,
                                 std::vector<std::size_t>& assignment);
-
-/// Fast-path tier ceiling for the feasibility *decision* (DESIGN.md §12).
-/// 0 = cold Dinic per query (the pre-tier reference path), 1 = + greedy /
-/// combinatorial pre-checks, 2 = + warm-started flow (structure reused across
-/// the boxes and states queried at one vertex). Tiers change only how fast a
-/// query resolves, never its answer.
-inline constexpr int kFeasTierFlowOnly = 0;
-inline constexpr int kFeasTierGreedy = 1;
-inline constexpr int kFeasTierWarm = 2;
-inline constexpr int kFeasTierDefault = kFeasTierWarm;
-
-/// How many queries each tier resolved. "warm" vs "flow" splits the flow
-/// fallback by whether the scratch network was rebuilt for this vertex
-/// (first flow query after begin(): flow) or reused (every later one: warm).
-/// Classification depends only on the query sequence at a vertex, so totals
-/// are thread-count invariant when the per-vertex sequence is.
-struct FeasTierCounts {
-  std::uint64_t greedy = 0;
-  std::uint64_t warm = 0;
-  std::uint64_t flow = 0;
-
-  FeasTierCounts& operator+=(const FeasTierCounts& o) {
-    greedy += o.greedy;
-    warm += o.warm;
-    flow += o.flow;
-    return *this;
-  }
-};
-
-/// Tiered decision engine for the per-vertex assignment problem: answers
-/// "can the children pick states from their masks so the counts land in
-/// `box`?" with the exact boolean of uop_assign_children_masked, resolving
-/// through the cheapest conclusive tier:
-///
-///   tier 1  greedy/combinatorial — unit (unconstrained) boxes, per-state
-///           supply vs lower-bound demand, Hall checks on the bounded and
-///           demanded state sets, and a most-constrained-first greedy witness;
-///           conclusive answers only, falls through when inconclusive;
-///   tier 2  warm flow — one DinicScratch circulation per vertex whose
-///           structure (child->state edges) is built on the first flow query
-///           and re-bounded in place for every later box/state at the vertex;
-///   tier 0  cold flow — the pristine BoundedFlowProblem build, used when
-///           tier_max disables the tiers above (differential testing).
-///
-/// One instance is per-worker scratch: zero steady-state allocations once
-/// warm, not thread-safe. It never produces assignments — extraction goes
-/// through uop_assign_children_masked on the box this engine said is
-/// feasible, so certificates stay bit-identical to the untiered path.
-class UopFeasibility {
- public:
-  explicit UopFeasibility(int tier_max = kFeasTierDefault) : tier_max_(tier_max) {}
-
-  /// Tier ceiling (clamped to [0, 2]); see kFeasTier* above.
-  void set_tier_max(int tier_max) { tier_max_ = tier_max; }
-  int tier_max() const noexcept { return tier_max_; }
-
-  /// Starts a new vertex: the child feasibility masks every following
-  /// feasible() call is judged against. Copies the masks; also invalidates
-  /// the warm flow structure so warm/flow accounting restarts per vertex.
-  void begin(std::span<const std::uint64_t> child_masks, std::size_t state_count);
-
-  /// Decision for one interval box at the current vertex. Exact: same boolean
-  /// as uop_assign_children_masked(child_masks, box, state_count, ...).
-  bool feasible(const IntervalBox& box);
-
-  const FeasTierCounts& counts() const noexcept { return counts_; }
-
- private:
-  enum class Verdict { kFeasible, kInfeasible, kInconclusive };
-
-  Verdict greedy_decide(const IntervalBox& box);
-  bool flow_decide(const IntervalBox& box);
-  void build_flow_structure();
-
-  int tier_max_;
-  FeasTierCounts counts_;
-
-  // Current vertex.
-  std::vector<std::uint64_t> masks_;  ///< truncated to state_count bits
-  std::size_t state_count_ = 0;
-
-  // Greedy-tier scratch.
-  std::vector<std::int64_t> cap_;         ///< per state: min(hi, m), m for unbounded
-  std::vector<std::uint64_t> eff_;        ///< per child: mask & usable states
-  std::vector<std::size_t> supply_;       ///< per state: children able to take it
-  std::vector<std::size_t> order_;        ///< children, most-constrained first
-  std::vector<std::size_t> greedy_count_; ///< per demand-subset: sum of lower bounds
-  std::vector<std::size_t> hall_count_;   ///< per demand-subset histogram / zeta
-
-  // Warm-flow-tier scratch (tier 2).
-  DinicScratch net_;
-  bool net_built_ = false;
-  std::vector<std::size_t> state_sink_edge_;  ///< per state: state->sink slot
-  std::vector<std::size_t> state_super_edge_; ///< per state: state->super-sink slot
-  std::size_t super_child_sink_edge_ = 0;     ///< super-source->sink slot
-  // Cold-flow-tier scratch (tier 0 fallback), reused across calls.
-  std::vector<std::int64_t> cold_flow_;
-  std::vector<std::size_t> cold_assignment_;
-};
 
 }  // namespace lcert

@@ -14,6 +14,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "src/solve/backend.hpp"
+
 namespace lcert {
 
 struct RunOptions {
@@ -53,12 +55,12 @@ struct RunOptions {
   /// either way (pinned by tests), only the work done changes.
   bool memoize = true;
 
-  /// Ceiling on the UOP feasibility fast-path tiers (kFeasTier* in
-  /// uop_automaton.hpp): 2 = greedy + warm flow (default), 1 = greedy only,
-  /// 0 = cold Dinic per query (the pre-tier reference path). Like `memoize`,
-  /// a debugging/benchmarking knob: output is bit-identical at every setting
-  /// (pinned by tests and the feas-tier-divergence fuzz oracle).
-  int feas_tier_max = 2;
+  /// Which FeasibilitySolver backend (src/solve/) decides the per-vertex UOP
+  /// assignment problem: warm-flow (default), greedy, cold-flow (the pristine
+  /// reference) or sat. Like `memoize`, a debugging/benchmarking/differential
+  /// knob: output is bit-identical under every backend (pinned by tests and
+  /// the solver-divergence fuzz oracle).
+  solve::Backend solver = solve::kDefaultBackend;
 };
 
 }  // namespace lcert

@@ -12,9 +12,11 @@ struct ProverMetrics {
   obs::Counter prove_calls = obs::registry().counter("prover/prove_calls");
   obs::Counter memo_hits = obs::registry().counter("prover/memo_hits");
   obs::Counter memo_misses = obs::registry().counter("prover/memo_misses");
+  obs::Counter feas_pruned = obs::registry().counter("prover/feas_pruned");
   obs::Counter feas_greedy = obs::registry().counter("prover/feas_greedy");
   obs::Counter feas_warm = obs::registry().counter("prover/feas_warm");
   obs::Counter feas_flow = obs::registry().counter("prover/feas_flow");
+  obs::Counter feas_sat = obs::registry().counter("prover/feas_sat");
   obs::Quantile prove_ns = obs::registry().quantile("prover/prove_ns");
   std::uint32_t trace_memo_hits = obs::trace_sink().name_id("prover/memo_hits");
   std::uint32_t trace_memo_misses = obs::trace_sink().name_id("prover/memo_misses");
@@ -35,19 +37,19 @@ ProverContext::ProverContext(std::size_t universe, const RunOptions& options)
       resolve_thread_count(options.num_threads, universe == 0 ? 1 : universe);
   scratch_.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w)
-    scratch_.push_back(std::make_unique<WorkerScratch>(options.feas_tier_max));
+    scratch_.push_back(std::make_unique<WorkerScratch>(options.solver));
 }
 
 void ProverContext::ensure_universe(std::size_t universe) {
   const std::size_t workers =
       resolve_thread_count(options_.num_threads, universe == 0 ? 1 : universe);
   while (scratch_.size() < workers)
-    scratch_.push_back(std::make_unique<WorkerScratch>(options_.feas_tier_max));
+    scratch_.push_back(std::make_unique<WorkerScratch>(options_.solver));
 }
 
-FeasTierCounts ProverContext::feas_counts() const {
-  FeasTierCounts total;
-  for (const auto& s : scratch_) total += s->feasibility.counts();
+solve::DecisionCounts ProverContext::feas_counts() const {
+  solve::DecisionCounts total;
+  for (const auto& s : scratch_) total += s->feasibility->counts();
   return total;
 }
 
@@ -76,9 +78,11 @@ ProveResult prove_assignment(const Scheme& scheme, const Graph& g,
   out.memo_hits = ctx.memo_hits();
   out.memo_misses = ctx.memo_misses();
   out.feas = ctx.feas_counts();
+  metrics.feas_pruned.add(out.feas.pruned);
   metrics.feas_greedy.add(out.feas.greedy);
   metrics.feas_warm.add(out.feas.warm);
   metrics.feas_flow.add(out.feas.flow);
+  metrics.feas_sat.add(out.feas.sat);
   if (tracing) {
     const std::uint64_t ns = obs::trace_now_ns() - t0;
     metrics.prove_ns.record(ns);

@@ -22,9 +22,9 @@
 #include <optional>
 #include <vector>
 
-#include "src/automata/uop_automaton.hpp"
 #include "src/cert/options.hpp"
 #include "src/cert/scheme.hpp"
+#include "src/solve/solver.hpp"
 #include "src/util/arena.hpp"
 #include "src/util/bitio.hpp"
 #include "src/util/parallel.hpp"
@@ -81,25 +81,25 @@ class ProverContext {
   std::size_t memo_hits() const noexcept { return memo_hits_; }
   std::size_t memo_misses() const noexcept { return memo_misses_; }
 
-  /// The worker's tiered UOP feasibility engine (DESIGN.md §12), already set
-  /// to options().feas_tier_max. Persistent per-worker scratch: warm across
-  /// vertices within the run, zero steady-state allocations.
-  UopFeasibility& feasibility(std::size_t worker) {
-    return scratch_[worker]->feasibility;
+  /// The worker's feasibility solver backend (DESIGN.md §15), built by
+  /// SolverFactory from options().solver. Persistent per-worker scratch: warm
+  /// across vertices within the run, zero steady-state allocations.
+  solve::FeasibilitySolver& feasibility(std::size_t worker) {
+    return *scratch_[worker]->feasibility;
   }
 
-  /// Sum of every worker's per-tier feasibility counts. Call after the last
+  /// Sum of every worker's per-stage decision counts. Call after the last
   /// fan-out (prove_assignment does, to fill ProveResult and the obs
-  /// counters prover/feas_greedy|warm|flow).
-  FeasTierCounts feas_counts() const;
+  /// counters prover/feas_pruned|greedy|warm|flow|sat).
+  solve::DecisionCounts feas_counts() const;
 
  private:
   struct WorkerScratch {
     Arena arena;
     BitWriter writer;
-    UopFeasibility feasibility;
-    explicit WorkerScratch(int feas_tier_max)
-        : writer(arena), feasibility(feas_tier_max) {}
+    std::unique_ptr<solve::FeasibilitySolver> feasibility;
+    explicit WorkerScratch(solve::Backend backend)
+        : writer(arena), feasibility(solve::SolverFactory::make(backend)) {}
   };
 
   RunOptions options_;
@@ -112,9 +112,9 @@ struct ProveResult {
   std::optional<std::vector<Certificate>> certificates;
   std::size_t memo_hits = 0;
   std::size_t memo_misses = 0;
-  /// Per-tier resolution counts of the UOP feasibility engine (zero for
-  /// schemes that never query it). Totals are thread-count invariant.
-  FeasTierCounts feas;
+  /// Per-stage decision counts of the feasibility solver (zero for schemes
+  /// that never query it). Totals are thread-count invariant.
+  solve::DecisionCounts feas;
 };
 
 /// Prover entry point: runs scheme.prove_batch under a fresh ProverContext.

@@ -15,6 +15,7 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -29,7 +30,8 @@
 
 namespace lcert {
 
-class ProverContext;  // src/cert/prove.hpp
+class ProverContext;   // src/cert/prove.hpp
+struct UOPAutomaton;   // src/automata/uop_automaton.hpp
 
 /// A certificate is an exact-length bit string.
 struct Certificate {
@@ -198,6 +200,22 @@ class IncrementalProver {
   virtual Graph graph() const = 0;
 };
 
+/// What the SAT-guided forgery search (src/cert/audit.hpp, strategy
+/// "sat-run") needs to attack a run-encoding scheme semantically instead of
+/// syntactically: the automaton whose accepting runs enumerate exactly the
+/// certificate assignments the verifier could accept, plus the scheme's
+/// encoding of one run entry into a per-vertex certificate. A scheme that
+/// exposes this surface asserts that every assignment accepted at all
+/// vertices decodes to (an orientation of) an accepting run — so a solver
+/// that finds an accepting run on a no-instance has found a forgery, and one
+/// that exhausts every rooting has proven this attack family empty.
+struct RunForgerySurface {
+  const UOPAutomaton* automaton = nullptr;
+  /// Encodes one vertex of a run: the vertex's depth below the chosen root
+  /// (mod 3, the orientation gadget) and its automaton state.
+  std::function<Certificate(std::size_t depth_mod3, std::size_t state)> encode;
+};
+
 /// A local certification scheme for one graph property.
 class Scheme {
  public:
@@ -272,6 +290,13 @@ class Scheme {
       const RunOptions& options) const {
     (void)options;
     return nullptr;
+  }
+
+  /// Semantic attack surface for the SAT-guided forgery search, or nullopt
+  /// when the scheme's certificates are not run encodings (the default; the
+  /// audit then skips the "sat-run" strategy for this scheme).
+  virtual std::optional<RunForgerySurface> run_forgery_surface() const {
+    return std::nullopt;
   }
 };
 

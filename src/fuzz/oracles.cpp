@@ -9,6 +9,7 @@
 #include "src/fuzz/mutators.hpp"
 #include "src/incr/incremental.hpp"
 #include "src/obs/metrics.hpp"
+#include "src/solve/solver.hpp"
 
 namespace lcert::fuzz {
 
@@ -24,7 +25,7 @@ struct OracleMetrics {
   obs::Counter batch = obs::registry().counter("fuzz/oracle/batch-divergence");
   obs::Counter round_trip = obs::registry().counter("fuzz/oracle/round-trip-mismatch");
   obs::Counter forgery = obs::registry().counter("fuzz/oracle/soundness-forgery");
-  obs::Counter feas_tier = obs::registry().counter("fuzz/oracle/feas-tier-divergence");
+  obs::Counter solver = obs::registry().counter("fuzz/oracle/solver-divergence");
   obs::Counter incremental =
       obs::registry().counter("fuzz/oracle/incremental-divergence");
 };
@@ -44,7 +45,7 @@ void count_hit(Oracle oracle) {
     case Oracle::kBatchDivergence: m.batch.add(); break;
     case Oracle::kRoundTripMismatch: m.round_trip.add(); break;
     case Oracle::kSoundnessForgery: m.forgery.add(); break;
-    case Oracle::kFeasTierDivergence: m.feas_tier.add(); break;
+    case Oracle::kSolverDivergence: m.solver.add(); break;
     case Oracle::kIncrementalDivergence: m.incremental.add(); break;
   }
 }
@@ -91,9 +92,11 @@ bool same_assignment(const std::optional<std::vector<Certificate>>& a,
 /// recorded repro files stay valid).
 std::optional<CheckOutcome> incremental_divergence(const Scheme& scheme,
                                                    const InstanceFamily& family,
-                                                   const Graph& g, Rng& rng) {
+                                                   const Graph& g, Rng& rng,
+                                                   solve::Backend solver) {
   RunOptions opts;
   opts.num_threads = 1;
+  opts.solver = solver;  // the campaign's --solver choice drives the re-proves
   incr::CertifiedInstance live(scheme, opts);
   if (!live.incremental()) return std::nullopt;
 
@@ -141,7 +144,7 @@ std::string oracle_name(Oracle oracle) {
     case Oracle::kBatchDivergence: return "batch-divergence";
     case Oracle::kRoundTripMismatch: return "round-trip-mismatch";
     case Oracle::kSoundnessForgery: return "soundness-forgery";
-    case Oracle::kFeasTierDivergence: return "feas-tier-divergence";
+    case Oracle::kSolverDivergence: return "solver-divergence";
     case Oracle::kIncrementalDivergence: return "incremental-divergence";
   }
   throw std::invalid_argument("oracle_name: unknown oracle");
@@ -195,7 +198,9 @@ CheckOutcome check_instance(const Scheme& scheme, const InstanceFamily& family,
     if (forged.has_value())
       return violation(Oracle::kSoundnessForgery,
                        "attack '" + forged->attack + "' forged an accepting assignment");
-    if (const auto hit = incremental_divergence(scheme, family, g, rng)) return *hit;
+    if (const auto hit =
+            incremental_divergence(scheme, family, g, rng, attack_budget.solver))
+      return *hit;
     return out;
   }
 
@@ -213,17 +218,10 @@ CheckOutcome check_instance(const Scheme& scheme, const InstanceFamily& family,
       return violation(Oracle::kRoundTripMismatch, os.str());
     }
 
-  // Oracle 8: the UOP feasibility fast paths are pure speedups — the batch
-  // prover with tiers on (default) and with every tier forced off
-  // (feas_tier_max = 0, the cold reference flow per query) must both
-  // reproduce assign()'s certificates bit-for-bit.
+  // Oracle 8: every FeasibilitySolver backend is a pure speedup — the batch
+  // prover must reproduce assign()'s certificates bit-for-bit under each of
+  // them, from the cold pristine reference to the SAT core.
   {
-    RunOptions tiered;
-    tiered.num_threads = 1;
-    RunOptions cold = tiered;
-    cold.feas_tier_max = 0;
-    const ProveResult fast = prove_assignment(scheme, g, tiered);
-    const ProveResult slow = prove_assignment(scheme, g, cold);
     const auto mismatch = [&](const ProveResult& r) -> std::optional<std::string> {
       if (!r.certificates.has_value()) return "prove_assignment refused the yes-instance";
       for (std::size_t v = 0; v < certificates->size(); ++v)
@@ -231,10 +229,14 @@ CheckOutcome check_instance(const Scheme& scheme, const InstanceFamily& family,
           return "vertex " + std::to_string(v) + " diverged from assign()";
       return std::nullopt;
     };
-    if (const auto why = mismatch(fast))
-      return violation(Oracle::kFeasTierDivergence, "tiers on: " + *why);
-    if (const auto why = mismatch(slow))
-      return violation(Oracle::kFeasTierDivergence, "tiers off: " + *why);
+    for (const auto& info : solve::SolverFactory::registry()) {
+      RunOptions opts;
+      opts.num_threads = 1;
+      opts.solver = info.backend;
+      if (const auto why = mismatch(prove_assignment(scheme, g, opts)))
+        return violation(Oracle::kSolverDivergence,
+                         std::string(info.name) + ": " + *why);
+    }
   }
 
   // Oracle 3 + 5: honest verification, and the batched path must agree with
@@ -262,7 +264,8 @@ CheckOutcome check_instance(const Scheme& scheme, const InstanceFamily& family,
   }
 
   // Oracle 9, last so its rng draws don't shift the older oracles' streams.
-  if (const auto hit = incremental_divergence(scheme, family, g, rng)) return *hit;
+  if (const auto hit = incremental_divergence(scheme, family, g, rng, attack_budget.solver))
+    return *hit;
 
   return out;
 }

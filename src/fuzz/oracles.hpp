@@ -19,10 +19,10 @@
 //                             BitReader -> BitWriter round trip
 //   soundness-forgery         attack_soundness forged an accepting
 //                             assignment on a no-instance
-//   feas-tier-divergence      prove_assignment with the feasibility fast
-//                             paths on (feas_tier_max default) vs forced off
-//                             (feas_tier_max = 0) did not both reproduce
-//                             assign()'s certificates bit-for-bit
+//   solver-divergence         prove_assignment under some FeasibilitySolver
+//                             backend (greedy / warm-flow / cold-flow / sat)
+//                             did not reproduce assign()'s certificates
+//                             bit-for-bit
 //   incremental-divergence    a CertifiedInstance driven by streaming edits
 //                             diverged from a cold full re-prove of the
 //                             accumulated graph (certificates must stay
@@ -49,7 +49,7 @@ enum class Oracle {
   kBatchDivergence,
   kRoundTripMismatch,
   kSoundnessForgery,
-  kFeasTierDivergence,
+  kSolverDivergence,
   kIncrementalDivergence,
 };
 

@@ -47,6 +47,11 @@ class InstrumentedScheme final : public Scheme {
       const RunOptions& options) const override {
     return inner_->make_incremental_prover(options);
   }
+  /// Forwards so the audit's SAT-guided forgery search sees through the
+  /// wrapper (registry schemes are always wrapped).
+  std::optional<RunForgerySurface> run_forgery_surface() const override {
+    return inner_->run_forgery_surface();
+  }
 
  private:
   std::unique_ptr<Scheme> inner_;

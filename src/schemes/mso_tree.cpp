@@ -89,6 +89,21 @@ std::optional<std::vector<Certificate>> MsoTreeScheme::assign(const Graph& g) co
   return std::nullopt;  // no good root admitted a run: library bug, caught by tests
 }
 
+std::optional<RunForgerySurface> MsoTreeScheme::run_forgery_surface() const {
+  RunForgerySurface surface;
+  surface.automaton = &automaton_.automaton;
+  // Mirrors assign()'s encoding exactly: 2 bits of depth mod 3, then the
+  // state in state_bits_ (floor of 1) bits.
+  const unsigned width = state_bits_ == 0 ? 1 : state_bits_;
+  surface.encode = [width](std::size_t depth_mod3, std::size_t state) {
+    BitWriter w;
+    w.write(depth_mod3, 2);
+    w.write(state, width);
+    return Certificate::from_writer(std::move(w));
+  };
+  return surface;
+}
+
 mso_detail::SolveCore MsoTreeScheme::solve_core() const {
   return {&automaton_.automaton, transition_boxes_.data(),
           automaton_.automaton.state_count, state_bits_ == 0 ? 1 : state_bits_,

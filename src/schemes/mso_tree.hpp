@@ -74,6 +74,11 @@ class MsoTreeScheme final : public Scheme {
   /// Exact certificate width in bits (constant across n).
   std::size_t certificate_bits() const noexcept { return 2 + state_bits_; }
 
+  /// Semantic attack surface for the SAT-guided forgery search: certificates
+  /// here ARE run encodings (depth mod 3, then the state), so the audit can
+  /// search the space of accepting runs directly instead of flipping bits.
+  std::optional<RunForgerySurface> run_forgery_surface() const override;
+
  private:
   friend class MsoTreeIncrementalProver;  // src/schemes/mso_tree_incr.cpp
 

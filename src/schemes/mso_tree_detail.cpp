@@ -8,12 +8,12 @@ namespace lcert::mso_detail {
 std::uint64_t SolveCore::mask_from_children(
     const std::vector<std::uint64_t>& child_masks, ProverContext& ctx,
     std::size_t worker) const {
-  UopFeasibility& feas = ctx.feasibility(worker);
+  solve::FeasibilitySolver& feas = ctx.feasibility(worker);
   feas.begin(child_masks, k);
   std::uint64_t m = 0;
   for (std::size_t q = 0; q < k; ++q)
     for (const IntervalBox& box : boxes[q])
-      if (feas.feasible(box)) {
+      if (feas.decide(box)) {
         m |= std::uint64_t{1} << q;
         break;
       }
@@ -23,17 +23,17 @@ std::uint64_t SolveCore::mask_from_children(
 std::vector<std::size_t> SolveCore::extract_from_children(
     const std::vector<std::uint64_t>& child_masks, std::size_t q,
     ProverContext& ctx, std::size_t worker) const {
-  UopFeasibility& feas = ctx.feasibility(worker);
+  solve::FeasibilitySolver& feas = ctx.feasibility(worker);
   feas.begin(child_masks, k);
   std::vector<std::size_t> assignment;
-  // The tiered engine only pre-filters boxes (exact, so it skips precisely
+  // The solver backend only pre-filters boxes (exact, so it skips precisely
   // the boxes the pristine solver would reject); the assignment itself always
   // comes from uop_assign_children_masked, keeping certificates bit-identical
-  // at every tier setting.
+  // under every backend.
   for (const IntervalBox& box : boxes[q]) {
-    if (!feas.feasible(box)) continue;
+    if (!feas.decide(box)) continue;
     if (!uop_assign_children_masked(child_masks, box, k, assignment))
-      throw std::logic_error(scheme_name + ": feasibility tier disagrees with flow");
+      throw std::logic_error(scheme_name + ": solver disagrees with the pristine flow");
     return assignment;
   }
   throw std::logic_error(scheme_name + ": extraction failed after feasibility");

@@ -1,0 +1,98 @@
+// MiniCdcl: a self-contained propositional solver for cardinality problems
+// (DESIGN.md §15). No external dependencies by design — the container rule
+// is "no new packages", and the problems are tiny (<= 64 children x 64
+// states), so a chronological DPLL with counting propagation over native
+// cardinality constraints beats dragging in a real CDCL solver.
+//
+// Constraint forms:
+//   clause      OR of literals (var or negation);
+//   cardinality lo <= (number of true vars among a set) <= hi, propagated by
+//               counters (true/unassigned per constraint): hi reached =>
+//               remaining vars forced false, lo only reachable by taking
+//               every unassigned var => remaining forced true.
+//
+// Search: deterministic — branch on the lowest-indexed unassigned variable,
+// true first; conflicts backtrack chronologically to the deepest decision
+// with an untried polarity. No clause learning, no restarts, no heuristics
+// that could make two runs differ: for a fixed problem the trail, the model
+// and the answer are always the same (a determinism-contract requirement,
+// not just a simplification).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lcert::solve {
+
+class MiniCdcl {
+ public:
+  /// Clears every variable and constraint; keeps buffer capacity.
+  void reset();
+
+  /// Adds a variable (initially unassigned); returns its index.
+  std::size_t new_var();
+
+  /// Literal encoding for clauses: 2*var for the positive literal,
+  /// 2*var + 1 for the negation.
+  static std::size_t pos(std::size_t var) { return 2 * var; }
+  static std::size_t neg(std::size_t var) { return 2 * var + 1; }
+
+  /// Adds a disjunction of literals. An empty clause makes the instance
+  /// trivially unsatisfiable.
+  void add_clause(std::vector<std::size_t> lits);
+
+  /// Adds lo <= #{v in vars : v true} <= hi over distinct variables.
+  /// hi >= vars.size() means "no upper bound".
+  void add_cardinality(std::vector<std::size_t> vars, std::size_t lo, std::size_t hi);
+
+  /// Decides satisfiability; deterministic. May be called once per
+  /// reset()+encode cycle.
+  bool solve();
+
+  /// Model access after solve() returned true.
+  bool value(std::size_t var) const { return assign_[var] == 1; }
+
+  /// Branch decisions made by the last solve() (the forgery search's budget
+  /// currency — propagation is linear, decisions are where time goes).
+  std::size_t decisions() const noexcept { return decisions_; }
+
+ private:
+  struct Clause {
+    std::vector<std::size_t> lits;
+    std::size_t n_false = 0;
+  };
+  struct Card {
+    std::vector<std::size_t> vars;
+    std::size_t lo = 0, hi = 0;
+    std::size_t n_true = 0, n_unassigned = 0;
+  };
+
+  bool enqueue(std::size_t var, bool value);
+  bool propagate();  ///< advances qhead_ through the trail; false on conflict
+  void unassign_from(std::size_t trail_pos);
+
+  /// A decision point: where on the trail it sits, which variable, and
+  /// whether the false branch has been tried (chronological backtracking
+  /// pops the deepest entry with an untried polarity).
+  struct Decision {
+    std::size_t trail_pos;
+    std::size_t var;
+    bool flipped;
+  };
+
+  // assign_[v]: -1 unassigned, 0 false, 1 true.
+  std::vector<std::int8_t> assign_;
+  std::vector<Clause> clauses_;
+  std::vector<Card> cards_;
+  // Per variable: constraints watching it (indices into clauses_/cards_).
+  std::vector<std::vector<std::size_t>> var_clauses_;
+  std::vector<std::vector<std::size_t>> var_cards_;
+  std::vector<std::size_t> trail_;  ///< assigned vars, assignment order
+  std::size_t qhead_ = 0;           ///< propagation frontier into trail_
+  std::vector<Decision> dstack_;
+  bool trivially_unsat_ = false;
+  std::size_t decisions_ = 0;
+};
+
+}  // namespace lcert::solve

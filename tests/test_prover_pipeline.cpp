@@ -16,6 +16,7 @@
 #include "src/graph/tree_iso.hpp"
 #include "src/schemes/mso_tree.hpp"
 #include "src/schemes/registry.hpp"
+#include "src/solve/solver.hpp"
 #include "src/util/arena.hpp"
 #include "src/util/bitio.hpp"
 #include "src/util/rng.hpp"
@@ -35,9 +36,9 @@ void expect_bit_identical(const std::vector<Certificate>& a,
 class ProverPipelineSweep : public ::testing::TestWithParam<std::size_t> {};
 
 // The contract every prove_batch override signs: its output is exactly
-// assign()'s output, for every thread count, memo on or off, and at every
-// feasibility-tier ceiling (fast paths on, greedy only, cold flow only).
-TEST_P(ProverPipelineSweep, BatchMatchesAssignAcrossThreadsMemoAndFeasTiers) {
+// assign()'s output, for every thread count, memo on or off, and under every
+// FeasibilitySolver backend (cold-flow reference, greedy, warm-flow, SAT).
+TEST_P(ProverPipelineSweep, BatchMatchesAssignAcrossThreadsMemoAndSolvers) {
   const auto entry = scheme_registry().at(GetParam());
   const auto scheme = entry.make();
   Rng rng(8100 + GetParam());
@@ -48,27 +49,27 @@ TEST_P(ProverPipelineSweep, BatchMatchesAssignAcrossThreadsMemoAndFeasTiers) {
 
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     for (const bool memo : {true, false}) {
-      for (const int tier_max : {kFeasTierFlowOnly, kFeasTierGreedy, kFeasTierWarm}) {
+      for (const auto& info : solve::SolverFactory::registry()) {
         RunOptions options;
         options.num_threads = threads;
         options.memoize = memo;
-        options.feas_tier_max = tier_max;
+        options.solver = info.backend;
         const ProveResult result = prove_assignment(*scheme, g, options);
         ASSERT_TRUE(result.certificates.has_value())
             << entry.key << " threads=" << threads << " memo=" << memo
-            << " tiers<=" << tier_max;
+            << " solver=" << info.name;
         expect_bit_identical(*baseline, *result.certificates,
                              entry.key + " threads=" + std::to_string(threads) +
                                  " memo=" + (memo ? std::string("on") : "off") +
-                                 " tiers<=" + std::to_string(tier_max));
+                                 " solver=" + info.name);
       }
     }
   }
 }
 
-// Feasibility-tier totals, like memo totals, are collected per worker and
+// Solver decision totals, like memo totals, are collected per worker and
 // summed serially — the same at every thread count.
-TEST(ProverPipeline, FeasTierCountersAreThreadCountInvariant) {
+TEST(ProverPipeline, SolverDecisionCountersAreThreadCountInvariant) {
   const MsoTreeScheme scheme(standard_tree_automata()[7]);  // leaves>=4
   Rng rng(91);
   Graph g = make_random_tree(256, rng);
@@ -81,13 +82,15 @@ TEST(ProverPipeline, FeasTierCountersAreThreadCountInvariant) {
   const ProveResult a = prove_assignment(scheme, g, one);
   const ProveResult b = prove_assignment(scheme, g, eight);
   ASSERT_TRUE(a.certificates.has_value());
+  EXPECT_EQ(a.feas.pruned, b.feas.pruned);
   EXPECT_EQ(a.feas.greedy, b.feas.greedy);
   EXPECT_EQ(a.feas.warm, b.feas.warm);
   EXPECT_EQ(a.feas.flow, b.feas.flow);
-  // The greedy tier must be carrying real load on the cliff shape, and the
+  EXPECT_EQ(a.feas.sat, b.feas.sat);
+  // The cheap stages must be carrying real load on the cliff shape, and the
   // run must have resolved at least one query somewhere.
-  EXPECT_GT(a.feas.greedy + a.feas.warm + a.feas.flow, 0u);
-  EXPECT_GT(a.feas.greedy, 0u);
+  EXPECT_GT(a.feas.total(), 0u);
+  EXPECT_GT(a.feas.pruned + a.feas.greedy, 0u);
 }
 
 // What the batch prover emits, the radius-1 verifier accepts.

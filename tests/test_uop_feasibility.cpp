@@ -1,15 +1,17 @@
-// The UOP per-vertex feasibility core (DESIGN.md §12): edge cases of the
+// The UOP per-vertex feasibility core (DESIGN.md §12/§15): edge cases of the
 // pristine uop_assign_children_masked solver, and the exactness contract of
-// the tiered UopFeasibility engine — every tier ceiling must produce the
-// same boolean as brute-force enumeration, and the tier-filtered extraction
+// the FeasibilitySolver backends — every backend must produce the same
+// boolean as brute-force enumeration, and the backend-filtered extraction
 // must land on the same box (hence the same assignment) as the pristine scan.
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "src/automata/presburger.hpp"
 #include "src/automata/uop_automaton.hpp"
+#include "src/solve/solver.hpp"
 #include "src/util/rng.hpp"
 
 namespace lcert {
@@ -43,6 +45,13 @@ bool brute_force_feasible(const std::vector<std::uint64_t>& masks,
   }
 }
 
+std::vector<std::unique_ptr<solve::FeasibilitySolver>> all_backends() {
+  std::vector<std::unique_ptr<solve::FeasibilitySolver>> backends;
+  for (const auto& info : solve::SolverFactory::registry())
+    backends.push_back(solve::SolverFactory::make(info.backend));
+  return backends;
+}
+
 TEST(UopAssignMasked, EmptyChildSpan) {
   std::vector<std::uint64_t> no_children;
   std::vector<std::size_t> assignment{99};  // must be cleared on success
@@ -68,11 +77,15 @@ TEST(UopAssignMasked, StateCount64Boundary) {
   EXPECT_EQ(assignment[0], 63u);
   EXPECT_EQ(assignment[1], 62u);
 
-  UopFeasibility feas;
-  feas.begin(masks, k);
-  EXPECT_TRUE(feas.feasible(box));
+  for (const auto& feas : all_backends()) {
+    feas->begin(masks, k);
+    EXPECT_TRUE(feas->decide(box)) << solve::backend_name(feas->backend());
+  }
   box.lo[61] = 1;  // no child can supply state 61
-  EXPECT_FALSE(feas.feasible(box));
+  for (const auto& feas : all_backends()) {
+    feas->begin(masks, k);
+    EXPECT_FALSE(feas->decide(box)) << solve::backend_name(feas->backend());
+  }
   EXPECT_FALSE(uop_assign_children_masked(masks, box, k, assignment));
 }
 
@@ -93,21 +106,20 @@ TEST(UopAssignMasked, JustInfeasibleBox) {
   EXPECT_FALSE(uop_assign_children_masked(masks, over, 2, assignment));
 }
 
-// The exactness contract: for every tier ceiling, UopFeasibility::feasible
-// equals brute force equals the pristine solver — and when feasible, the
-// pristine solver's assignment is valid.
-TEST(UopFeasibilityTiers, RandomizedCrossCheckAgainstBruteForce) {
+// The exactness contract: for every registered backend, decide() equals
+// brute force equals the pristine solver — and when feasible, the pristine
+// solver's assignment is valid.
+TEST(FeasibilitySolverBackends, RandomizedCrossCheckAgainstBruteForce) {
   Rng rng(20260809);
-  UopFeasibility tiers[3] = {UopFeasibility(kFeasTierFlowOnly),
-                             UopFeasibility(kFeasTierGreedy),
-                             UopFeasibility(kFeasTierWarm)};
+  const auto backends = all_backends();
   for (int trial = 0; trial < 3000; ++trial) {
     const std::size_t k = rng.uniform(1, 4);
     const std::size_t m = rng.uniform(0, 6);
     std::vector<std::uint64_t> masks(m);
     for (auto& mask : masks)
       mask = rng.uniform(0, (std::uint64_t{1} << k) - 1);  // empty masks included
-    // A batch of boxes against one begin(): exercises the warm-network reuse.
+    // A batch of boxes against one begin(): exercises the warm-network reuse
+    // and the SAT backend's per-vertex variable layout.
     std::vector<IntervalBox> boxes;
     const std::size_t box_count = rng.uniform(1, 4);
     for (std::size_t b = 0; b < box_count; ++b) {
@@ -118,15 +130,15 @@ TEST(UopFeasibilityTiers, RandomizedCrossCheckAgainstBruteForce) {
       }
       boxes.push_back(box);
     }
-    for (auto& feas : tiers) feas.begin(masks, k);
+    for (const auto& feas : backends) feas->begin(masks, k);
     for (const IntervalBox& box : boxes) {
       const bool truth = brute_force_feasible(masks, box, k);
       std::vector<std::size_t> assignment;
       ASSERT_EQ(uop_assign_children_masked(masks, box, k, assignment), truth)
           << "pristine solver diverged at trial " << trial;
-      for (auto& feas : tiers)
-        ASSERT_EQ(feas.feasible(box), truth)
-            << "tier_max=" << feas.tier_max() << " diverged at trial " << trial;
+      for (const auto& feas : backends)
+        ASSERT_EQ(feas->decide(box), truth)
+            << solve::backend_name(feas->backend()) << " diverged at trial " << trial;
       if (truth) {
         std::vector<std::size_t> counts(k, 0);
         ASSERT_EQ(assignment.size(), m);
@@ -141,20 +153,35 @@ TEST(UopFeasibilityTiers, RandomizedCrossCheckAgainstBruteForce) {
       }
     }
   }
-  // Every query must have resolved in some tier.
-  for (auto& feas : tiers) {
-    const FeasTierCounts& c = feas.counts();
-    EXPECT_GT(c.greedy + c.warm + c.flow, 0u);
-    if (feas.tier_max() == kFeasTierFlowOnly) EXPECT_EQ(c.greedy + c.warm, 0u);
-    if (feas.tier_max() == kFeasTierGreedy) EXPECT_EQ(c.warm, 0u);
+  // Every query must have resolved in some stage, and each backend's counts
+  // must respect its stage topology: cold-flow answers everything with cold
+  // flow builds; greedy never touches the warm network or the SAT core; sat
+  // never runs the combinatorial stage or any flow.
+  for (const auto& feas : backends) {
+    const solve::DecisionCounts& c = feas->counts();
+    EXPECT_GT(c.total(), 0u) << solve::backend_name(feas->backend());
+    switch (feas->backend()) {
+      case solve::Backend::kColdFlow:
+        EXPECT_EQ(c.total(), c.flow);
+        break;
+      case solve::Backend::kGreedy:
+        EXPECT_EQ(c.warm + c.sat, 0u);
+        break;
+      case solve::Backend::kWarmFlow:
+        EXPECT_EQ(c.sat, 0u);
+        break;
+      case solve::Backend::kSat:
+        EXPECT_EQ(c.greedy + c.warm + c.flow, 0u);
+        break;
+    }
   }
 }
 
-// Box selection is part of the bit-identity contract: the first box the
-// tiered engine accepts must be the first box the pristine scan accepts.
-TEST(UopFeasibilityTiers, TierFilteredExtractionPicksTheSameBox) {
+// Box selection is part of the bit-identity contract: the first box any
+// backend accepts must be the first box the pristine scan accepts.
+TEST(FeasibilitySolverBackends, BackendFilteredExtractionPicksTheSameBox) {
   Rng rng(77);
-  UopFeasibility feas;  // default tiers
+  const auto backends = all_backends();
   for (int trial = 0; trial < 500; ++trial) {
     const std::size_t k = rng.uniform(1, 4);
     const std::size_t m = rng.uniform(1, 6);
@@ -169,13 +196,6 @@ TEST(UopFeasibilityTiers, TierFilteredExtractionPicksTheSameBox) {
       }
       boxes.push_back(box);
     }
-    feas.begin(masks, k);
-    std::size_t tier_first = SIZE_MAX;
-    for (std::size_t b = 0; b < boxes.size(); ++b)
-      if (feas.feasible(boxes[b])) {
-        tier_first = b;
-        break;
-      }
     std::size_t pristine_first = SIZE_MAX;
     std::vector<std::size_t> assignment;
     for (std::size_t b = 0; b < boxes.size(); ++b)
@@ -183,7 +203,17 @@ TEST(UopFeasibilityTiers, TierFilteredExtractionPicksTheSameBox) {
         pristine_first = b;
         break;
       }
-    ASSERT_EQ(tier_first, pristine_first) << "trial " << trial;
+    for (const auto& feas : backends) {
+      feas->begin(masks, k);
+      std::size_t backend_first = SIZE_MAX;
+      for (std::size_t b = 0; b < boxes.size(); ++b)
+        if (feas->decide(boxes[b])) {
+          backend_first = b;
+          break;
+        }
+      ASSERT_EQ(backend_first, pristine_first)
+          << solve::backend_name(feas->backend()) << " trial " << trial;
+    }
   }
 }
 
