@@ -9,6 +9,7 @@
 // fans out across a worker pool.
 #include <benchmark/benchmark.h>
 
+#include "src/automata/box_index.hpp"
 #include "src/cert/audit.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/report.hpp"
@@ -183,6 +184,119 @@ BENCHMARK(BM_AuditSerial)->Arg(512);
 
 void BM_AuditParallel(benchmark::State& state) { run_audit(state, 0); }
 BENCHMARK(BM_AuditParallel)->Arg(512);
+
+// ---------------------------------------------------------------------------
+// The leaves>=4 cliff (E19): one automaton state expands to ~29k raw DNF
+// boxes, so the seed verifier's linear sweep cost ~140µs per vertex in that
+// state. The rows below isolate the fix: canonicalization (raw -> a handful
+// of boxes) plus the per-state BoxIndex.
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kLeaves4 = 7;  // standard_tree_automata() index
+
+// levels such that 2^levels - 1 is the largest complete binary tree <= n.
+std::size_t levels_for(std::size_t n) {
+  std::size_t levels = 1;
+  while (((std::size_t{1} << (levels + 1)) - 1) <= n) ++levels;
+  return levels;
+}
+
+Prepared prepare_leaves4(std::size_t n) {
+  Rng rng(8);
+  MsoTreeScheme scheme(standard_tree_automata()[kLeaves4]);
+  return prepare(scheme, make_complete_binary_tree(levels_for(n)), rng);
+}
+
+// Whole-round engine throughput on the scheme that used to fall off the
+// cliff (n=1023 / n=4095 complete binary trees).
+void BM_EngineLeaves4(benchmark::State& state) {
+  MsoTreeScheme scheme(standard_tree_automata()[kLeaves4]);
+  const auto p = prepare_leaves4(static_cast<std::size_t>(state.range(0)));
+  const ViewCache cache(p.graph);
+  const RunOptions options{1, /*stop_at_first_reject=*/false};
+  for (auto _ : state) {
+    const auto outcome = verify_assignment(scheme, cache, p.certs, options);
+    benchmark::DoNotOptimize(outcome.all_accept);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.graph.vertex_count()));
+}
+BENCHMARK(BM_EngineLeaves4)->Arg(1024)->Arg(4096);
+
+// The worst state of the leaves>=4 automaton, as the verifier probes it:
+// child-state count vectors with total <= 2 (binary-tree child multisets).
+struct Leaves4WorstState {
+  std::size_t k = 0;
+  std::size_t worst = 0;
+  std::vector<IntervalBox> raw;                    // seed representation
+  std::vector<std::vector<std::size_t>> probes;    // realistic counts vectors
+};
+
+Leaves4WorstState leaves4_worst_state() {
+  Leaves4WorstState w;
+  const auto entry = standard_tree_automata()[kLeaves4];
+  w.k = entry.automaton.state_count;
+  for (std::size_t q = 0; q < w.k; ++q) {
+    auto boxes = entry.automaton.transition(q).to_boxes_raw(w.k);
+    if (boxes.size() > w.raw.size()) {
+      w.worst = q;
+      w.raw = std::move(boxes);
+    }
+  }
+  // Every multiset of <= 2 children over k states, the exact vectors
+  // verify_view feeds first_containing on a binary tree.
+  w.probes.push_back(std::vector<std::size_t>(w.k, 0));
+  for (std::size_t a = 0; a < w.k; ++a) {
+    std::vector<std::size_t> one(w.k, 0);
+    one[a] = 1;
+    w.probes.push_back(one);
+    for (std::size_t b = a; b < w.k; ++b) {
+      std::vector<std::size_t> two(w.k, 0);
+      ++two[a];
+      ++two[b];
+      w.probes.push_back(two);
+    }
+  }
+  return w;
+}
+
+// Seed path: linear sweep over the raw DNF of the worst state.
+void BM_Leaves4WorstStateRawLinear(benchmark::State& state) {
+  const auto w = leaves4_worst_state();
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& counts : w.probes) {
+      for (std::size_t i = 0; i < w.raw.size(); ++i)
+        if (w.raw[i].contains(counts)) {
+          ++hits;
+          break;
+        }
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.probes.size()));
+  state.counters["boxes"] = static_cast<double>(w.raw.size());
+}
+BENCHMARK(BM_Leaves4WorstStateRawLinear);
+
+// Fixed path: canonical DNF behind the per-state BoxIndex.
+void BM_Leaves4WorstStateIndexed(benchmark::State& state) {
+  const auto w = leaves4_worst_state();
+  const auto entry = standard_tree_automata()[kLeaves4];
+  const BoxIndex index(entry.automaton.transition(w.worst).to_boxes(w.k));
+  for (auto _ : state) {
+    std::size_t hits = 0;
+    for (const auto& counts : w.probes)
+      if (index.first_containing(counts.data(), w.k).index != BoxIndex::npos)
+        ++hits;
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(w.probes.size()));
+  state.counters["boxes"] = static_cast<double>(index.size());
+}
+BENCHMARK(BM_Leaves4WorstStateIndexed);
 
 // One timed verify_assignment round for the structured record: the
 // google-benchmark reporters above stay authoritative for the micro numbers;

@@ -57,6 +57,15 @@ if [[ "$GIT_SHA" == unknown && -z "${LCERT_BENCH_FORCE:-}" ]] && \
   echo "       (set LCERT_BENCH_FORCE=1 to override)" >&2
   exit 1
 fi
+# Dirty-tree guard: a committed artifact must be reproducible from the SHA in
+# its provenance block. A run from a dirty tree would stamp dirty=true over a
+# clean artifact, so refuse outright instead of warning.
+if [[ "$GIT_DIRTY" == 1 && -z "${LCERT_BENCH_FORCE:-}" ]] && \
+   git -C "$REPO_ROOT" ls-files --error-unmatch "$(basename "$OUT")" >/dev/null 2>&1; then
+  echo "error: working tree is dirty but $OUT is committed — refusing to overwrite" >&2
+  echo "       (commit or stash first, or set LCERT_BENCH_FORCE=1 to override)" >&2
+  exit 1
+fi
 RUN_DATE="${LCERT_BENCH_DATE:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
 
 # Artifact schema guard (companion to the provenance guard above): refuse to
@@ -133,10 +142,10 @@ def speedup(incr_name, cold_name):
 
 # One speedup row per workload: amortized incremental edits/s over cold full
 # re-proves/s of the same instance. The matched-random-tree row under
-# perfect-matching is the headline; the leaves>=4 rows are breadth. The
-# complete-binary leaves>=4 row is honestly modest: its re-verified slice
-# reaches automaton states whose transition DNF carries ~29k interval boxes,
-# a verifier constant the incremental layer cannot remove.
+# perfect-matching is the headline; the leaves>=4 rows are breadth. (The
+# leaves>=4 verifier constant — formerly ~29k raw DNF boxes in one state —
+# is gone since canonicalization + the per-state BoxIndex, so its rows now
+# track the same prover-side costs as the others.)
 speedups = {}
 for n in sorted({int(name.rsplit("/", 1)[-1]) for name in rates}):
     s = speedup(f"BM_IncrSubtreeSwapMatched/{n}", f"BM_ColdReproveMatched/{n}")

@@ -55,6 +55,15 @@ if [[ "$GIT_SHA" == unknown && -z "${LCERT_BENCH_FORCE:-}" ]] && \
   echo "       (set LCERT_BENCH_FORCE=1 to override)" >&2
   exit 1
 fi
+# Dirty-tree guard: a committed artifact must be reproducible from the SHA in
+# its provenance block. A run from a dirty tree would stamp dirty=true over a
+# clean artifact, so refuse outright instead of warning.
+if [[ "$GIT_DIRTY" == 1 && -z "${LCERT_BENCH_FORCE:-}" ]] && \
+   git -C "$REPO_ROOT" ls-files --error-unmatch "$(basename "$OUT")" >/dev/null 2>&1; then
+  echo "error: working tree is dirty but $OUT is committed — refusing to overwrite" >&2
+  echo "       (commit or stash first, or set LCERT_BENCH_FORCE=1 to override)" >&2
+  exit 1
+fi
 RUN_DATE="${LCERT_BENCH_DATE:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
 
 # Artifact schema guard (companion to the provenance guard above): refuse to

@@ -6,7 +6,8 @@
 # seed engine's per-vertex-copy loop (BM_EngineSeedCopies emulates it) on the
 # MsoTree scheme at n=4096. Usage:
 #
-#   bench/run_verify_bench.sh [build-dir]      # default build dir: build/
+#   bench/run_verify_bench.sh [build-dir]          # default build dir: build/
+#   bench/run_verify_bench.sh [build-dir] --smoke  # n=1024 + cliff rows (CI)
 #
 # The artifact carries a "provenance" block (compiler, flags, CPU count, git
 # SHA, run date) so a stored BENCH_verify.json can always be traced back to
@@ -15,7 +16,14 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-BUILD_DIR="${1:-$REPO_ROOT/build}"
+BUILD_DIR="$REPO_ROOT/build"
+SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
 BIN="$BUILD_DIR/bench/bench_verify_throughput"
 OUT="$REPO_ROOT/BENCH_verify.json"
 RAW="$(mktemp)"
@@ -46,6 +54,15 @@ if [[ "$GIT_SHA" == unknown && -z "${LCERT_BENCH_FORCE:-}" ]] && \
   echo "       (set LCERT_BENCH_FORCE=1 to override)" >&2
   exit 1
 fi
+# Dirty-tree guard: a committed artifact must be reproducible from the SHA in
+# its provenance block. A run from a dirty tree would stamp dirty=true over a
+# clean artifact, so refuse outright instead of warning.
+if [[ "$GIT_DIRTY" == 1 && -z "${LCERT_BENCH_FORCE:-}" ]] && \
+   git -C "$REPO_ROOT" ls-files --error-unmatch "$(basename "$OUT")" >/dev/null 2>&1; then
+  echo "error: working tree is dirty but $OUT is committed — refusing to overwrite" >&2
+  echo "       (commit or stash first, or set LCERT_BENCH_FORCE=1 to override)" >&2
+  exit 1
+fi
 RUN_DATE="${LCERT_BENCH_DATE:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
 
 # Artifact schema guard (companion to the provenance guard above): refuse to
@@ -71,16 +88,24 @@ TYPE_UPPER="$(echo "${BUILD_TYPE:-}" | tr '[:lower:]' '[:upper:]')"
 CXX_FLAGS_TYPE="$([[ -n "$TYPE_UPPER" ]] && cache_var "CMAKE_CXX_FLAGS_${TYPE_UPPER}" || true)"
 COMPILER_VERSION="$("${CXX_COMPILER:-c++}" --version 2>/dev/null | head -n1 || echo unknown)"
 
+# Smoke mode keeps the n=1024 engine rows plus the leaves>=4 cliff micro
+# rows: the CI job wants the artifact shape, the raw-vs-canonical box counts,
+# and a regression signal on the cliff — not the full sweep.
+FILTER='BM_Engine|BM_Audit|BM_Leaves4'
+if [[ "$SMOKE" == 1 ]]; then
+  FILTER='BM_Engine.*/1024$|BM_Leaves4WorstState'
+fi
+
 # The obs table goes to stdout for the human; the google-benchmark JSON goes
 # straight to a file so the table cannot corrupt it.
-"$BIN" --benchmark_filter='BM_Engine|BM_Audit' \
+"$BIN" --benchmark_filter="$FILTER" \
        --benchmark_min_time=0.3 \
        --benchmark_out="$RAW" --benchmark_out_format=json \
        --metrics-out "$METRICS" \
        ${LCERT_TRACE_OUT:+--trace-out "$LCERT_TRACE_OUT"}
 
 env RAW="$RAW" METRICS="$METRICS" OUT="$OUT" SCHEMA_VERSION="$SCHEMA_VERSION" GIT_SHA="$GIT_SHA" GIT_DIRTY="$GIT_DIRTY" \
-    RUN_DATE="$RUN_DATE" \
+    RUN_DATE="$RUN_DATE" SMOKE="$SMOKE" \
     NUM_CPUS="$NUM_CPUS" BUILD_TYPE="$BUILD_TYPE" CXX_COMPILER="$CXX_COMPILER" \
     CXX_FLAGS="$CXX_FLAGS" CXX_FLAGS_TYPE="$CXX_FLAGS_TYPE" \
     COMPILER_VERSION="$COMPILER_VERSION" \
@@ -97,16 +122,27 @@ except (OSError, json.JSONDecodeError):
     obs = {}
 
 rates = {}  # benchmark name -> items per second
+boxes = {}  # benchmark name -> user counter "boxes" (DNF size of the row)
 for b in raw.get("benchmarks", []):
     ips = b.get("items_per_second")
     if ips is not None:
         rates[b["name"]] = ips
+    if "boxes" in b:
+        boxes[b["name"]] = int(b["boxes"])
 
+smoke = os.environ["SMOKE"] == "1"
 seed = rates.get("BM_EngineSeedCopies/4096")
 serial = rates.get("BM_EngineZeroCopySerial/4096")
 parallel = rates.get("BM_EngineZeroCopyParallel/4096")
-best = max(v for v in (serial, parallel) if v is not None)
-speedup = best / seed if seed else None
+best_rates = [v for v in (serial, parallel) if v is not None]
+best = max(best_rates) if best_rates else None
+speedup = best / seed if seed and best else None
+
+# The leaves>=4 cliff (E19): per-probe throughput of the seed linear sweep
+# over the worst state's raw DNF vs the canonical DNF behind the BoxIndex.
+cliff_raw = rates.get("BM_Leaves4WorstStateRawLinear")
+cliff_indexed = rates.get("BM_Leaves4WorstStateIndexed")
+cliff_improvement = cliff_indexed / cliff_raw if cliff_raw and cliff_indexed else None
 
 result = {
     "schema": int(os.environ["SCHEMA_VERSION"]),
@@ -127,6 +163,7 @@ result = {
         ),
     },
     "context": raw.get("context", {}),
+    "smoke": smoke,
     "items_per_second": rates,
     "obs_records": obs.get("records", []),
     "headline": {
@@ -137,6 +174,15 @@ result = {
         "target_speedup": 5.0,
         "meets_target": speedup is not None and speedup >= 5.0,
     },
+    "leaves4_cliff": {
+        "worst_state_raw_boxes": boxes.get("BM_Leaves4WorstStateRawLinear"),
+        "worst_state_canonical_boxes": boxes.get("BM_Leaves4WorstStateIndexed"),
+        "raw_linear_probes_per_second": cliff_raw,
+        "indexed_probes_per_second": cliff_indexed,
+        "per_vertex_improvement": cliff_improvement,
+        "target_improvement": 25.0,
+        "meets_target": cliff_improvement is not None and cliff_improvement >= 25.0,
+    },
 }
 with open(os.environ["OUT"], "w") as f:
     json.dump(result, f, indent=2)
@@ -146,4 +192,10 @@ print(f"wrote {os.environ['OUT']}")
 if speedup is not None:
     print(f"speedup vs seed engine at n=4096: {speedup:.2f}x "
           f"({'meets' if speedup >= 5.0 else 'MISSES'} the 5x target)")
+if boxes:
+    print(f"leaves>=4 worst state: {boxes.get('BM_Leaves4WorstStateRawLinear')} raw boxes "
+          f"-> {boxes.get('BM_Leaves4WorstStateIndexed')} canonical boxes")
+if cliff_improvement is not None:
+    print(f"leaves>=4 worst-state per-vertex improvement: {cliff_improvement:.1f}x "
+          f"({'meets' if cliff_improvement >= 25.0 else 'MISSES'} the 25x target)")
 EOF

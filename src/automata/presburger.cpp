@@ -1,7 +1,9 @@
 #include "src/automata/presburger.hpp"
 
 #include <algorithm>
+#include <map>
 #include <stdexcept>
+#include <utility>
 
 namespace lcert {
 
@@ -107,7 +109,141 @@ bool UnaryConstraint::eval(const std::vector<std::size_t>& counts) const {
   return Eval{counts}.run(*node_);
 }
 
+bool box_subsumes(const IntervalBox& outer, const IntervalBox& inner) {
+  if (outer.lo.size() != inner.lo.size())
+    throw std::invalid_argument("box_subsumes: wrong arity");
+  if (inner.empty()) return true;
+  for (std::size_t q = 0; q < outer.lo.size(); ++q) {
+    if (outer.lo[q] > inner.lo[q]) return false;
+    if (outer.hi[q] == IntervalBox::kUnbounded) continue;
+    if (inner.hi[q] == IntervalBox::kUnbounded || inner.hi[q] > outer.hi[q]) return false;
+  }
+  return true;
+}
+
+namespace {
+
+bool box_lex_less(const IntervalBox& a, const IntervalBox& b) {
+  if (a.lo != b.lo) return a.lo < b.lo;
+  return a.hi < b.hi;
+}
+
+bool box_equal(const IntervalBox& a, const IntervalBox& b) {
+  return a.lo == b.lo && a.hi == b.hi;
+}
+
+}  // namespace
+
+std::vector<IntervalBox> canonicalize_boxes(std::vector<IntervalBox> boxes) {
+  if (boxes.empty()) return boxes;
+  const std::size_t k = boxes.front().lo.size();
+  for (const IntervalBox& b : boxes)
+    if (b.lo.size() != k || b.hi.size() != k)
+      throw std::invalid_argument("canonicalize_boxes: mixed arity");
+  boxes.erase(std::remove_if(boxes.begin(), boxes.end(),
+                             [](const IntervalBox& b) { return b.empty(); }),
+              boxes.end());
+
+  // Full pairwise subsumption is quadratic; above this size only the
+  // per-coordinate coalescing runs (it is the load-bearing shrink — the
+  // leaves>=4 cliff collapses through coalescing alone).
+  constexpr std::size_t kSubsumptionLimit = 2048;
+
+  bool changed = true;
+  while (changed && boxes.size() > 1) {
+    changed = false;
+
+    // Coalesce along each coordinate: group boxes agreeing on every other
+    // coordinate, merge overlapping/adjacent intervals along this one. The
+    // (ordered) map keeps the pass deterministic regardless of input order.
+    for (std::size_t c = 0; c < k && boxes.size() > 1; ++c) {
+      std::map<std::vector<std::size_t>, std::vector<std::pair<std::size_t, std::size_t>>>
+          groups;
+      std::vector<std::size_t> key(2 * (k - 1));
+      for (const IntervalBox& b : boxes) {
+        std::size_t w = 0;
+        for (std::size_t q = 0; q < k; ++q) {
+          if (q == c) continue;
+          key[w++] = b.lo[q];
+          key[w++] = b.hi[q];
+        }
+        groups[key].emplace_back(b.lo[c], b.hi[c]);
+      }
+      std::vector<IntervalBox> next;
+      next.reserve(boxes.size());
+      for (auto& [group_key, intervals] : groups) {
+        std::sort(intervals.begin(), intervals.end());
+        std::size_t cur_lo = intervals.front().first;
+        std::size_t cur_hi = intervals.front().second;
+        const auto emit = [&]() {
+          IntervalBox b(k);
+          std::size_t w = 0;
+          for (std::size_t q = 0; q < k; ++q) {
+            if (q == c) continue;
+            b.lo[q] = group_key[w++];
+            b.hi[q] = group_key[w++];
+          }
+          b.lo[c] = cur_lo;
+          b.hi[c] = cur_hi;
+          next.push_back(std::move(b));
+        };
+        for (std::size_t i = 1; i < intervals.size(); ++i) {
+          const auto [lo, hi] = intervals[i];
+          // kUnbounded == SIZE_MAX: an unbounded cur_hi absorbs everything,
+          // and max() keeps unboundedness on merge. Any merge shrinks the
+          // box count, which the size comparison below reports as a change.
+          if (cur_hi == IntervalBox::kUnbounded || lo <= cur_hi + 1) {
+            cur_hi = std::max(cur_hi, hi);
+          } else {
+            emit();
+            cur_lo = lo;
+            cur_hi = hi;
+          }
+        }
+        emit();
+      }
+      if (next.size() != boxes.size()) changed = true;
+      boxes = std::move(next);
+    }
+
+    // Subsumption: drop any box another box fully contains. After the
+    // dedup below the relation is a strict partial order, so transitivity
+    // makes unguarded drops safe (whatever subsumed the dropper also
+    // subsumes the dropped).
+    if (boxes.size() <= kSubsumptionLimit) {
+      std::sort(boxes.begin(), boxes.end(), box_lex_less);
+      const auto dup = std::unique(boxes.begin(), boxes.end(), box_equal);
+      if (dup != boxes.end()) {
+        boxes.erase(dup, boxes.end());
+        changed = true;
+      }
+      std::vector<char> dead(boxes.size(), 0);
+      for (std::size_t i = 0; i < boxes.size(); ++i)
+        for (std::size_t j = 0; j < boxes.size(); ++j)
+          if (i != j && box_subsumes(boxes[j], boxes[i])) {
+            dead[i] = 1;
+            changed = true;
+            break;
+          }
+      std::size_t w = 0;
+      for (std::size_t i = 0; i < boxes.size(); ++i)
+        if (!dead[i]) {
+          if (w != i) boxes[w] = std::move(boxes[i]);
+          ++w;
+        }
+      boxes.erase(boxes.begin() + static_cast<std::ptrdiff_t>(w), boxes.end());
+    }
+  }
+
+  std::sort(boxes.begin(), boxes.end(), box_lex_less);
+  return boxes;
+}
+
 std::vector<IntervalBox> UnaryConstraint::to_boxes(std::size_t state_count) const {
+  return canonicalize_boxes(to_boxes_raw(state_count));
+}
+
+std::vector<IntervalBox> UnaryConstraint::to_boxes_raw(std::size_t state_count) const {
   struct Dnf {
     std::size_t k;
     std::vector<IntervalBox> run(const Node& n, bool negated) const {

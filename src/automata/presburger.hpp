@@ -63,10 +63,21 @@ class UnaryConstraint {
   /// Direct evaluation on a counts vector.
   bool eval(const std::vector<std::size_t>& counts) const;
 
-  /// DNF as interval boxes over `state_count` states. Negation is pushed to
-  /// atoms first (~(y<=c) == y>=c+1), so the result is exact. Empty boxes are
-  /// dropped; an unsatisfiable constraint yields an empty vector.
+  /// Canonical DNF as interval boxes over `state_count` states: the raw
+  /// expansion of to_boxes_raw() pushed through canonicalize_boxes(). Exact
+  /// (same membership as eval()); an unsatisfiable constraint yields an
+  /// empty vector. Every box consumer — verifier, prover, audit — compiles
+  /// through this entry point, so they all iterate one shared canonical
+  /// list and the "first matching box" is the same box everywhere.
   std::vector<IntervalBox> to_boxes(std::size_t state_count) const;
+
+  /// Raw DNF as interval boxes, no canonicalization. Negation is pushed to
+  /// atoms first (~(y<=c) == y>=c+1), so the result is exact; empty boxes
+  /// are dropped. Exposed for the boxes_per_state_raw gauge and for
+  /// membership-equivalence tests against the canonical form — the
+  /// leaves>=4 automaton expands to ~29k raw boxes in one state where the
+  /// canonical form is a handful.
+  std::vector<IntervalBox> to_boxes_raw(std::size_t state_count) const;
 
   std::string to_string() const;
 
@@ -85,5 +96,24 @@ class UnaryConstraint {
 
   std::shared_ptr<const Node> node_;
 };
+
+/// True iff `outer` contains every point of `inner` (componentwise
+/// lo <= lo and hi >= hi, with kUnbounded as +infinity). Both boxes must
+/// share one arity; empty boxes are subsumed by everything of that arity.
+bool box_subsumes(const IntervalBox& outer, const IntervalBox& inner);
+
+/// Canonicalizes a DNF of interval boxes without changing its membership
+/// predicate (DESIGN.md §16):
+///   1. empty boxes are dropped;
+///   2. boxes identical in all coordinates but one whose intervals on that
+///      coordinate overlap or are adjacent are coalesced into their union;
+///   3. boxes subsumed by another box are dropped (skipped above an internal
+///      size limit — coalescing is the load-bearing shrink);
+///   4. the survivors are sorted lexicographically by (lo, hi).
+/// Runs 2–3 to a fixpoint, so the result is idempotent and deterministic:
+/// equal input sets (in any order) produce the identical output vector.
+/// Exactness and idempotence are pinned by tests and the
+/// box-index-divergence fuzz oracle. All boxes must share one arity.
+std::vector<IntervalBox> canonicalize_boxes(std::vector<IntervalBox> boxes);
 
 }  // namespace lcert

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "src/automata/box_index.hpp"
 #include "src/solve/solver.hpp"
 #include "src/util/flow.hpp"
 
@@ -186,11 +187,14 @@ std::optional<Run> find_accepting_run(const UOPAutomaton& a, const RootedTree& t
   if (labels != nullptr && labels->size() != t.size())
     throw std::invalid_argument("find_accepting_run: labels size mismatch");
 
-  // Pre-compute boxes per (state, label).
-  std::vector<std::vector<IntervalBox>> boxes(a.state_count * a.label_count);
+  // Pre-compute the indexed canonical boxes per (state, label) — the same
+  // compilation MsoTreeScheme holds, so the "first feasible box" both paths
+  // land on is the same box.
+  std::vector<BoxIndex> boxes;
+  boxes.reserve(a.state_count * a.label_count);
   for (std::size_t q = 0; q < a.state_count; ++q)
     for (std::size_t l = 0; l < a.label_count; ++l)
-      boxes[q * a.label_count + l] = a.transition(q, l).to_boxes(a.state_count);
+      boxes.emplace_back(a.transition(q, l).to_boxes(a.state_count));
 
   const auto order = t.preorder();
 
@@ -210,11 +214,9 @@ std::optional<Run> find_accepting_run(const UOPAutomaton& a, const RootedTree& t
       for (std::size_t c : t.children(v)) child_masks.push_back(feasible[c]);
       feas->begin(child_masks, k);
       for (std::size_t q = 0; q < k; ++q)
-        for (const IntervalBox& box : boxes[q * a.label_count + label_of(labels, v)])
-          if (feas->decide(box)) {
-            feasible[v] |= std::uint64_t{1} << q;
-            break;
-          }
+        if (feas->decide_first(boxes[q * a.label_count + label_of(labels, v)]) !=
+            BoxIndex::npos)
+          feasible[v] |= std::uint64_t{1} << q;
     }
 
     std::size_t root_state = SIZE_MAX;
@@ -235,17 +237,16 @@ std::optional<Run> find_accepting_run(const UOPAutomaton& a, const RootedTree& t
       child_masks.clear();
       for (std::size_t c : children_span) child_masks.push_back(feasible[c]);
       feas->begin(child_masks, k);
-      bool placed = false;
-      for (const IntervalBox& box : boxes[q * a.label_count + label_of(labels, v)]) {
-        if (!feas->decide(box)) continue;  // exact: skips only what fails below
-        if (!uop_assign_children_masked(child_masks, box, k, assignment))
-          throw std::logic_error("find_accepting_run: solver/flow disagreement");
-        for (std::size_t i = 0; i < children_span.size(); ++i)
-          run[children_span[i]] = assignment[i];
-        placed = true;
-        break;
-      }
-      if (!placed) throw std::logic_error("find_accepting_run: extraction failed");
+      const BoxIndex& idx = boxes[q * a.label_count + label_of(labels, v)];
+      // decide_first is exact: it skips only boxes the full sweep would
+      // reject, so this is the same first box as the pre-index linear scan.
+      const std::size_t bi = feas->decide_first(idx);
+      if (bi == BoxIndex::npos)
+        throw std::logic_error("find_accepting_run: extraction failed");
+      if (!uop_assign_children_masked(child_masks, idx.box(bi), k, assignment))
+        throw std::logic_error("find_accepting_run: solver/flow disagreement");
+      for (std::size_t i = 0; i < children_span.size(); ++i)
+        run[children_span[i]] = assignment[i];
     }
 
     if (!is_accepting_run(a, t, run, labels))
@@ -253,17 +254,31 @@ std::optional<Run> find_accepting_run(const UOPAutomaton& a, const RootedTree& t
     return run;
   }
 
-  // Reference path for automata too wide for 64-bit masks.
+  // Reference path for automata too wide for 64-bit masks. The index's
+  // feasibility candidates drop only boxes whose necessary conditions
+  // (lo <= supply, lo-sum <= child count) fail — assign_children rejects
+  // those too, so the first candidate it accepts is the first box overall.
   std::vector<std::vector<bool>> feasible(t.size(),
                                           std::vector<bool>(a.state_count, false));
+  std::vector<std::size_t> supply(a.state_count);
+  const auto compute_supply = [&](const std::vector<std::size_t>& children) {
+    std::fill(supply.begin(), supply.end(), 0);
+    for (const std::size_t c : children)
+      for (std::size_t q = 0; q < a.state_count; ++q)
+        supply[q] += feasible[c][q] ? 1 : 0;
+  };
   std::vector<std::size_t> scratch_assignment;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const std::size_t v = *it;
     const auto children_span = t.children(v);
     const std::vector<std::size_t> children(children_span.begin(), children_span.end());
+    compute_supply(children);
     for (std::size_t q = 0; q < a.state_count; ++q) {
-      for (const IntervalBox& box : boxes[q * a.label_count + label_of(labels, v)]) {
-        if (assign_children(children, feasible, box, a.state_count, scratch_assignment)) {
+      const BoxIndex& idx = boxes[q * a.label_count + label_of(labels, v)];
+      auto cur = idx.feasibility_candidates(supply.data(), children.size());
+      for (std::size_t bi = cur.next(); bi != BoxIndex::npos; bi = cur.next()) {
+        if (assign_children(children, feasible, idx.box(bi), a.state_count,
+                            scratch_assignment)) {
           feasible[v][q] = true;
           break;
         }
@@ -288,10 +303,13 @@ std::optional<Run> find_accepting_run(const UOPAutomaton& a, const RootedTree& t
     const auto children_span = t.children(v);
     if (children_span.empty()) continue;
     const std::vector<std::size_t> children(children_span.begin(), children_span.end());
+    compute_supply(children);
     bool placed = false;
-    for (const IntervalBox& box : boxes[q * a.label_count + label_of(labels, v)]) {
+    const BoxIndex& idx = boxes[q * a.label_count + label_of(labels, v)];
+    auto cur = idx.feasibility_candidates(supply.data(), children.size());
+    for (std::size_t bi = cur.next(); bi != BoxIndex::npos; bi = cur.next()) {
       std::vector<std::size_t> assignment;
-      if (assign_children(children, feasible, box, a.state_count, assignment)) {
+      if (assign_children(children, feasible, idx.box(bi), a.state_count, assignment)) {
         for (std::size_t i = 0; i < children.size(); ++i) run[children[i]] = assignment[i];
         placed = true;
         break;

@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/automata/box_index.hpp"
 #include "src/automata/uop_automaton.hpp"
 #include "src/graph/rooted_tree.hpp"
 #include "src/obs/metrics.hpp"
@@ -134,8 +135,10 @@ std::optional<std::vector<Certificate>> sat_run_attack(const AttackContext& ctx,
   }
 
   const std::size_t k = a.state_count;
-  std::vector<std::vector<IntervalBox>> boxes(k);
-  for (std::size_t q = 0; q < k; ++q) boxes[q] = a.transition(q, 0).to_boxes(k);
+  std::vector<BoxIndex> boxes;
+  boxes.reserve(k);
+  for (std::size_t q = 0; q < k; ++q)
+    boxes.emplace_back(a.transition(q, 0).to_boxes(k));
 
   const auto solver = solve::SolverFactory::make(solve::Backend::kSat);
   const AuditMetrics& metrics = audit_metrics();
@@ -162,11 +165,8 @@ std::optional<std::vector<Certificate>> sat_run_attack(const AttackContext& ctx,
       for (std::size_t c : t.children(v)) child_masks.push_back(feasible[c]);
       solver->begin(child_masks, k);
       for (std::size_t q = 0; q < k; ++q)
-        for (const IntervalBox& box : boxes[q])
-          if (solver->decide(box)) {
-            feasible[v] |= std::uint64_t{1} << q;
-            break;
-          }
+        if (solver->decide_first(boxes[q]) != BoxIndex::npos)
+          feasible[v] |= std::uint64_t{1} << q;
     }
 
     std::size_t root_state = SIZE_MAX;
@@ -190,8 +190,13 @@ std::optional<std::vector<Certificate>> sat_run_attack(const AttackContext& ctx,
       for (std::size_t c : children_span) child_masks.push_back(feasible[c]);
       solver->begin(child_masks, k);
       bool placed = false;
-      for (const IntervalBox& box : boxes[q]) {
-        if (!solver->decide_witness(box, witness)) continue;
+      // Candidate iteration: the cursor drops only boxes decide_witness
+      // would reject on the necessary conditions, so the witness comes from
+      // the same box a full sweep would pick.
+      auto cur = boxes[q].feasibility_candidates(solver->supply().data(),
+                                                 child_masks.size());
+      for (std::size_t bi = cur.next(); bi != BoxIndex::npos; bi = cur.next()) {
+        if (!solver->decide_witness(boxes[q].box(bi), witness)) continue;
         for (std::size_t i = 0; i < children_span.size(); ++i)
           run[children_span[i]] = witness[i];
         placed = true;

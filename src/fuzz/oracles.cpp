@@ -3,6 +3,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/automata/box_index.hpp"
+#include "src/automata/uop_automaton.hpp"
 #include "src/cert/audit.hpp"
 #include "src/cert/engine.hpp"
 #include "src/cert/prove.hpp"
@@ -28,6 +30,8 @@ struct OracleMetrics {
   obs::Counter solver = obs::registry().counter("fuzz/oracle/solver-divergence");
   obs::Counter incremental =
       obs::registry().counter("fuzz/oracle/incremental-divergence");
+  obs::Counter box_index =
+      obs::registry().counter("fuzz/oracle/box-index-divergence");
 };
 
 const OracleMetrics& oracle_metrics() {
@@ -47,6 +51,7 @@ void count_hit(Oracle oracle) {
     case Oracle::kSoundnessForgery: m.forgery.add(); break;
     case Oracle::kSolverDivergence: m.solver.add(); break;
     case Oracle::kIncrementalDivergence: m.incremental.add(); break;
+    case Oracle::kBoxIndexDivergence: m.box_index.add(); break;
   }
 }
 
@@ -87,9 +92,10 @@ bool same_assignment(const std::optional<std::vector<Certificate>>& a,
 /// a CertifiedInstance through a short random walk of family edits and
 /// demands, after init and after every edit, bit-identical certificates to a
 /// cold full re-prove of the accumulated graph — plus a clean radius-1
-/// re-verification of the changed slice. Runs last in the battery so its rng
-/// draws never shift the streams of the older oracles (replay coordinates of
-/// recorded repro files stay valid).
+/// re-verification of the changed slice. Runs after the older oracles so its
+/// rng draws never shift their streams (replay coordinates of recorded repro
+/// files stay valid); box-index-divergence runs after it for the same
+/// reason.
 std::optional<CheckOutcome> incremental_divergence(const Scheme& scheme,
                                                    const InstanceFamily& family,
                                                    const Graph& g, Rng& rng,
@@ -133,6 +139,83 @@ std::optional<CheckOutcome> incremental_divergence(const Scheme& scheme,
   return std::nullopt;
 }
 
+/// Oracle 10: the BoxIndex must be invisible. For every state of the
+/// scheme's automaton it rebuilds the canonical index and demands, on random
+/// probes, (a) indexed first_containing == the reference linear sweep's
+/// first match, (b) canonical-DNF membership == the constraint AST's eval()
+/// (exactness of canonicalize_boxes end to end), and (c) decide_first
+/// through the feasibility-candidate cursor == a full per-box decide sweep
+/// on the cold-flow reference backend. Runs last in the battery so its rng
+/// draws never shift the streams of the older oracles.
+std::optional<CheckOutcome> box_index_divergence(const Scheme& scheme, Rng& rng) {
+  const auto surface = scheme.run_forgery_surface();
+  if (!surface.has_value() || surface->automaton == nullptr) return std::nullopt;
+  const UOPAutomaton& a = *surface->automaton;
+  if (a.label_count != 1) return std::nullopt;
+  const std::size_t k = a.state_count;
+
+  std::vector<std::size_t> counts(k);
+  std::vector<std::uint64_t> child_masks;
+  for (std::size_t q = 0; q < k; ++q) {
+    const UnaryConstraint& delta = a.transition(q, 0);
+    const BoxIndex idx(delta.to_boxes(k));
+
+    // Probe bound: beyond every finite endpoint the membership landscape is
+    // constant, so counts in [0, bound + 2] reach every cell of the DNF.
+    std::size_t bound = 2;
+    for (const IntervalBox& b : idx.boxes())
+      for (std::size_t c = 0; c < k; ++c) {
+        bound = std::max(bound, b.lo[c]);
+        if (b.hi[c] != IntervalBox::kUnbounded) bound = std::max(bound, b.hi[c]);
+      }
+
+    for (int trial = 0; trial < 8; ++trial) {
+      for (std::size_t c = 0; c < k; ++c) counts[c] = rng.index(bound + 3);
+      const BoxIndex::Hit lin = idx.first_containing_linear(counts.data(), k);
+      const BoxIndex::Hit fast = idx.first_containing(counts.data(), k);
+      if (lin.index != fast.index) {
+        std::ostringstream os;
+        os << "state " << q << ": indexed first_containing=" << fast.index
+           << " but the linear sweep says " << lin.index;
+        return violation(Oracle::kBoxIndexDivergence, os.str());
+      }
+      if ((fast.index != BoxIndex::npos) != delta.eval(counts)) {
+        std::ostringstream os;
+        os << "state " << q << ": canonical DNF membership "
+           << (fast.index != BoxIndex::npos) << " disagrees with eval()";
+        return violation(Oracle::kBoxIndexDivergence, os.str());
+      }
+    }
+
+    if (k > 64) continue;
+    // Candidate path: decide_first's feasibility cursor against a full
+    // decide sweep, both on the cold-flow reference backend.
+    const std::uint64_t keep =
+        k == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << k) - 1);
+    for (int trial = 0; trial < 4; ++trial) {
+      child_masks.resize(rng.index(5));
+      for (std::uint64_t& mask : child_masks) mask = rng.uniform(0, keep);
+      const auto feas = solve::SolverFactory::make(solve::Backend::kColdFlow);
+      feas->begin(child_masks, k);
+      std::size_t sweep_first = BoxIndex::npos;
+      for (std::size_t i = 0; i < idx.size(); ++i)
+        if (feas->decide(idx.box(i))) {
+          sweep_first = i;
+          break;
+        }
+      const std::size_t fast_first = feas->decide_first(idx);
+      if (sweep_first != fast_first) {
+        std::ostringstream os;
+        os << "state " << q << " (m=" << child_masks.size()
+           << "): decide_first=" << fast_first << " but the decide sweep says "
+           << sweep_first;
+        return violation(Oracle::kBoxIndexDivergence, os.str());
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string oracle_name(Oracle oracle) {
@@ -146,6 +229,7 @@ std::string oracle_name(Oracle oracle) {
     case Oracle::kSoundnessForgery: return "soundness-forgery";
     case Oracle::kSolverDivergence: return "solver-divergence";
     case Oracle::kIncrementalDivergence: return "incremental-divergence";
+    case Oracle::kBoxIndexDivergence: return "box-index-divergence";
   }
   throw std::invalid_argument("oracle_name: unknown oracle");
 }
@@ -201,6 +285,9 @@ CheckOutcome check_instance(const Scheme& scheme, const InstanceFamily& family,
     if (const auto hit =
             incremental_divergence(scheme, family, g, rng, attack_budget.solver))
       return *hit;
+    // Oracle 10, after incremental-divergence for the same stream-stability
+    // reason: recorded repro coordinates predate this oracle.
+    if (const auto hit = box_index_divergence(scheme, rng)) return *hit;
     return out;
   }
 
@@ -263,9 +350,11 @@ CheckOutcome check_instance(const Scheme& scheme, const InstanceFamily& family,
     }
   }
 
-  // Oracle 9, last so its rng draws don't shift the older oracles' streams.
+  // Oracles 9 and 10, last (and in enum order) so their rng draws don't
+  // shift the older oracles' streams.
   if (const auto hit = incremental_divergence(scheme, family, g, rng, attack_budget.solver))
     return *hit;
+  if (const auto hit = box_index_divergence(scheme, rng)) return *hit;
 
   return out;
 }

@@ -29,6 +29,11 @@
 //                             bit-identical after every edit), or its
 //                             radius-1 re-verification of the changed slice
 //                             rejected
+//   box-index-divergence      the per-state BoxIndex answered differently
+//                             from the reference linear sweep: first match
+//                             on a probe, canonical-DNF membership vs the
+//                             constraint's eval(), or decide_first vs a
+//                             full per-box decide sweep
 #pragma once
 
 #include <optional>
@@ -51,6 +56,7 @@ enum class Oracle {
   kSoundnessForgery,
   kSolverDivergence,
   kIncrementalDivergence,
+  kBoxIndexDivergence,
 };
 
 /// Stable display name (appears in reports and repro files).

@@ -22,8 +22,10 @@
 #include <string>
 #include <vector>
 
+#include "src/automata/box_index.hpp"
 #include "src/automata/library.hpp"
 #include "src/cert/scheme.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace lcert {
 
@@ -55,12 +57,15 @@ class MsoTreeScheme final : public Scheme {
   void verify_batch(std::span<const ViewRef> views,
                     std::span<std::uint8_t> accept) const override;
   /// Names the automaton state with the widest DNF fan-out among the batch's
-  /// vertices ("state=<name> boxes=<count> vertices=<k>") — the outlier
-  /// sampler's attribution for slow batches (the leaves>=4 cliff).
+  /// vertices ("state=<name> boxes=<canonical> raw_boxes=<raw>
+  /// vertices=<k> probes/vertex=<avg>") — the outlier sampler's attribution
+  /// for slow batches. probes/vertex is measured by replaying a sample of
+  /// the worst state's views through the indexed check.
   std::string slow_batch_attribution(std::span<const ViewRef> views) const override;
 
-  /// Max interval boxes compiled into any single automaton state — the DNF
-  /// fan-out the verifier sweeps linearly (~29k for leaves>=4).
+  /// Max canonical interval boxes in any single automaton state — the DNF
+  /// fan-out after canonicalization (the raw fan-out, ~29k for leaves>=4,
+  /// is exposed by the boxes_per_state_raw gauge).
   std::size_t max_boxes_per_state() const noexcept;
 
   /// Incremental recertification prover (DESIGN.md §13): maintains a live
@@ -88,10 +93,15 @@ class MsoTreeScheme final : public Scheme {
 
   NamedAutomaton automaton_;
   unsigned state_bits_;
-  /// transition(q) compiled to DNF interval boxes once at construction: the
-  /// verifier runs per vertex per round, and the box check is a flat pass
-  /// over 2k integers versus a pointer-chasing walk of the constraint AST.
-  std::vector<std::vector<IntervalBox>> transition_boxes_;
+  /// transition(q) compiled to the canonical DNF and indexed once at
+  /// construction: the verifier runs per vertex per round, and the indexed
+  /// first-match probe replaces both the constraint-AST walk and the linear
+  /// box sweep (the leaves>=4 cliff) while answering with the identical box.
+  std::vector<BoxIndex> transition_index_;
+  /// Raw (pre-canonicalization) DNF size per state, kept for the
+  /// boxes_per_state_raw gauge and slow-batch attribution.
+  std::vector<std::size_t> raw_boxes_per_state_;
+  obs::Counter box_probes_;  ///< verify/box_probes: boxes fully tested
 };
 
 }  // namespace lcert

@@ -12,11 +12,7 @@ std::uint64_t SolveCore::mask_from_children(
   feas.begin(child_masks, k);
   std::uint64_t m = 0;
   for (std::size_t q = 0; q < k; ++q)
-    for (const IntervalBox& box : boxes[q])
-      if (feas.decide(box)) {
-        m |= std::uint64_t{1} << q;
-        break;
-      }
+    if (feas.decide_first(boxes[q]) != BoxIndex::npos) m |= std::uint64_t{1} << q;
   return m;
 }
 
@@ -26,17 +22,16 @@ std::vector<std::size_t> SolveCore::extract_from_children(
   solve::FeasibilitySolver& feas = ctx.feasibility(worker);
   feas.begin(child_masks, k);
   std::vector<std::size_t> assignment;
-  // The solver backend only pre-filters boxes (exact, so it skips precisely
-  // the boxes the pristine solver would reject); the assignment itself always
-  // comes from uop_assign_children_masked, keeping certificates bit-identical
-  // under every backend.
-  for (const IntervalBox& box : boxes[q]) {
-    if (!feas.decide(box)) continue;
-    if (!uop_assign_children_masked(child_masks, box, k, assignment))
-      throw std::logic_error(scheme_name + ": solver disagrees with the pristine flow");
-    return assignment;
-  }
-  throw std::logic_error(scheme_name + ": extraction failed after feasibility");
+  // The solver backend only pre-filters boxes (exact, so decide_first lands
+  // on precisely the first box the pristine sweep would accept); the
+  // assignment itself always comes from uop_assign_children_masked, keeping
+  // certificates bit-identical under every backend.
+  const std::size_t bi = feas.decide_first(boxes[q]);
+  if (bi == BoxIndex::npos)
+    throw std::logic_error(scheme_name + ": extraction failed after feasibility");
+  if (!uop_assign_children_masked(child_masks, boxes[q].box(bi), k, assignment))
+    throw std::logic_error(scheme_name + ": solver disagrees with the pristine flow");
+  return assignment;
 }
 
 namespace {

@@ -22,6 +22,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/automata/box_index.hpp"
 #include "src/automata/uop_automaton.hpp"
 #include "src/cert/prove.hpp"
 #include "src/graph/rooted_tree.hpp"
@@ -67,7 +68,7 @@ struct MsoMemo {
 /// Pointers borrow from the owning MsoTreeScheme and must outlive the core.
 struct SolveCore {
   const UOPAutomaton* automaton = nullptr;
-  const std::vector<IntervalBox>* boxes = nullptr;  ///< per-state DNF boxes
+  const BoxIndex* boxes = nullptr;  ///< per-state canonical DNF, indexed
   std::size_t k = 0;                                ///< state count (<= 64)
   unsigned width = 1;                               ///< state field bit width
   std::string scheme_name;                          ///< for error messages

@@ -6,8 +6,10 @@
 namespace lcert::solve {
 
 void BoxPruner::begin(std::span<const std::uint64_t> child_masks,
-                      std::size_t state_count) {
+                      std::size_t state_count,
+                      std::span<const std::size_t> raw_supply) {
   masks_ = child_masks;
+  raw_supply_ = raw_supply;
   state_count_ = state_count;
 }
 
@@ -15,11 +17,15 @@ Verdict BoxPruner::prune(const IntervalBox& box) {
   const std::size_t m = masks_.size();
   const std::size_t k = state_count_;
 
-  // Pristine pre-checks first, so their rejections resolve here.
+  // Pristine pre-checks first, so their rejections resolve here. The raw-
+  // supply reject is exact (raw supply >= effective supply, so it is a
+  // subset of the effective-supply rejections below) but needs no per-box
+  // mask scan — the BoxIndex feasibility filter shares the same condition.
   lo_sum_ = 0;
   for (std::size_t q = 0; q < k; ++q) {
     if (box.hi[q] != IntervalBox::kUnbounded && box.lo[q] > box.hi[q])
       return Verdict::kInfeasible;
+    if (box.lo[q] > raw_supply_[q]) return Verdict::kInfeasible;
     lo_sum_ += box.lo[q];
   }
   if (lo_sum_ > m) return Verdict::kInfeasible;

@@ -34,8 +34,11 @@ class BoxPruner {
  public:
   /// Starts a new vertex. `child_masks` must already be truncated to
   /// state_count bits (FeasibilitySolver::begin does this) and must outlive
-  /// every prune()/combinatorial() call of the vertex.
-  void begin(std::span<const std::uint64_t> child_masks, std::size_t state_count);
+  /// every prune()/combinatorial() call of the vertex, as must `raw_supply`
+  /// (per state: children whose mask allows it, state_count entries —
+  /// FeasibilitySolver computes it once per begin()).
+  void begin(std::span<const std::uint64_t> child_masks, std::size_t state_count,
+             std::span<const std::size_t> raw_supply);
 
   /// Stage 1: conclusive-only pre-checks. After kInconclusive the residual
   /// accessors below describe the prepared problem.
@@ -62,6 +65,7 @@ class BoxPruner {
 
  private:
   std::span<const std::uint64_t> masks_;
+  std::span<const std::size_t> raw_supply_;
   std::size_t state_count_ = 0;
 
   std::vector<std::int64_t> cap_;          ///< per state: min(hi, m), m for unbounded

@@ -23,7 +23,21 @@ void FeasibilitySolver::begin(std::span<const std::uint64_t> child_masks,
       state_count == 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << state_count) - 1);
   masks_.assign(child_masks.begin(), child_masks.end());
   for (std::uint64_t& mask : masks_) mask &= keep;
+  supply_.assign(state_count, 0);
+  for (const std::uint64_t mask : masks_)
+    for (std::uint64_t rest = mask; rest != 0; rest &= rest - 1)
+      ++supply_[static_cast<std::size_t>(std::countr_zero(rest))];
   on_begin();
+}
+
+std::size_t FeasibilitySolver::decide_first(const BoxIndex& index) {
+  if (index.size() == 0) return BoxIndex::npos;
+  if (index.arity() != state_count_)
+    throw std::invalid_argument("FeasibilitySolver::decide_first: wrong arity");
+  BoxIndex::Cursor cur = index.feasibility_candidates(supply_.data(), masks_.size());
+  for (std::size_t i = cur.next(); i != BoxIndex::npos; i = cur.next())
+    if (decide(index.box(i))) return i;
+  return BoxIndex::npos;
 }
 
 bool FeasibilitySolver::decide_witness(const IntervalBox& box,
@@ -83,7 +97,7 @@ class GreedyBackend : public FeasibilitySolver {
   }
 
  protected:
-  void on_begin() override { pruner_.begin(masks(), state_count()); }
+  void on_begin() override { pruner_.begin(masks(), state_count(), supply()); }
 
   /// Exact decision for the residue both stages left inconclusive.
   virtual bool residual_decide(const IntervalBox& box) {
@@ -232,7 +246,7 @@ class SatBackend final : public FeasibilitySolver {
   }
 
  protected:
-  void on_begin() override { pruner_.begin(masks(), state_count()); }
+  void on_begin() override { pruner_.begin(masks(), state_count(), supply()); }
 
  private:
   bool sat_decide(const IntervalBox& box) {

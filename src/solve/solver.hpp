@@ -33,6 +33,7 @@
 #include <span>
 #include <vector>
 
+#include "src/automata/box_index.hpp"
 #include "src/automata/presburger.hpp"
 #include "src/solve/backend.hpp"
 #include "src/solve/pruner.hpp"
@@ -80,6 +81,14 @@ class FeasibilitySolver {
   /// boolean as uop_assign_children_masked(child_masks, box, ...).
   virtual bool decide(const IntervalBox& box) = 0;
 
+  /// First feasible box of an indexed DNF at the current vertex, or
+  /// BoxIndex::npos. Iterates the index's feasibility candidates (boxes the
+  /// necessary conditions lo[q] <= supply[q], sum(lo) <= child_count cannot
+  /// reject) in DNF order, so the answer equals a full decide() sweep —
+  /// skipped boxes are provably infeasible. Shared by every backend; this is
+  /// how all four iterate candidates instead of the full DNF.
+  std::size_t decide_first(const BoxIndex& index);
+
   /// decide() plus a witness (one valid state per child) when feasible. The
   /// witness is any valid assignment, NOT necessarily the pristine flow's
   /// choice — provers that need bit-identical certificates must extract via
@@ -97,10 +106,18 @@ class FeasibilitySolver {
   std::span<const std::uint64_t> masks() const noexcept { return masks_; }
   std::size_t state_count() const noexcept { return state_count_; }
 
+ public:
+  /// Per-state raw supply for the current vertex: supply()[q] = number of
+  /// children whose (truncated) mask allows state q. Computed once in
+  /// begin(); feeds decide_first and the pruner's raw-supply early reject.
+  std::span<const std::size_t> supply() const noexcept { return supply_; }
+
+ protected:
   DecisionCounts counts_;
 
  private:
   std::vector<std::uint64_t> masks_;  ///< truncated to state_count bits
+  std::vector<std::size_t> supply_;   ///< per state: children able to take it
   std::size_t state_count_ = 0;
 };
 

@@ -67,6 +67,130 @@ TEST(Presburger, BoxesAgreeWithEvalExhaustively) {
   }
 }
 
+TEST(IntervalBox, ContainsAndUnboundedEdges) {
+  IntervalBox b(2);
+  b.lo = {1, 0};
+  b.hi = {3, IntervalBox::kUnbounded};
+  EXPECT_TRUE(b.contains({1, 0}));
+  EXPECT_TRUE(b.contains({3, 1000000}));
+  EXPECT_FALSE(b.contains({0, 5}));
+  EXPECT_FALSE(b.contains({4, 0}));
+  EXPECT_FALSE(b.empty());
+  // Arity mismatch is a contract violation, not a silent false.
+  EXPECT_THROW(b.contains({1}), std::invalid_argument);
+  EXPECT_THROW(b.contains({1, 2, 3}), std::invalid_argument);
+}
+
+TEST(IntervalBox, EmptyAndIntersect) {
+  IntervalBox a(2), b(2);
+  a.lo = {0, 2};
+  a.hi = {5, 4};
+  b.lo = {3, 0};
+  b.hi = {IntervalBox::kUnbounded, 3};
+  const IntervalBox c = a.intersect(b);
+  EXPECT_EQ(c.lo, (std::vector<std::size_t>{3, 2}));
+  EXPECT_EQ(c.hi, (std::vector<std::size_t>{5, 3}));
+  EXPECT_FALSE(c.empty());
+  // Disjoint on coordinate 1 -> empty intersection (lo > hi).
+  IntervalBox d(2);
+  d.lo = {0, 5};
+  d.hi = {IntervalBox::kUnbounded, 9};
+  EXPECT_TRUE(a.intersect(d).empty());
+  // An empty box (lo > bounded hi) reports empty, and an unbounded hi never
+  // makes a box empty regardless of lo.
+  IntervalBox e(1);
+  e.lo = {4};
+  e.hi = {2};
+  EXPECT_TRUE(e.empty());
+  e.hi = {IntervalBox::kUnbounded};
+  EXPECT_FALSE(e.empty());
+  EXPECT_THROW(a.intersect(e), std::invalid_argument);
+}
+
+TEST(Canonicalize, DropsSubsumedCoalescesAdjacent) {
+  // [0,2] and [3,5] on one coordinate with equal other coordinates are
+  // adjacent: they coalesce; the strictly-inside box is then subsumed.
+  IntervalBox left(2), right(2), inside(2);
+  left.lo = {0, 1};
+  left.hi = {2, 1};
+  right.lo = {3, 1};
+  right.hi = {5, 1};
+  inside.lo = {1, 1};
+  inside.hi = {4, 1};
+  const auto canon = canonicalize_boxes({left, inside, right});
+  ASSERT_EQ(canon.size(), 1u);
+  EXPECT_EQ(canon[0].lo, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(canon[0].hi, (std::vector<std::size_t>{5, 1}));
+}
+
+TEST(Canonicalize, EmptyBoxesAndMixedArity) {
+  IntervalBox dead(2);
+  dead.lo = {3, 0};
+  dead.hi = {1, 0};  // lo > hi
+  EXPECT_TRUE(canonicalize_boxes({dead}).empty());
+  EXPECT_TRUE(canonicalize_boxes({}).empty());
+  EXPECT_THROW(canonicalize_boxes({IntervalBox(2), IntervalBox(3)}),
+               std::invalid_argument);
+}
+
+TEST(Canonicalize, SubsumptionWithUnboundedSides) {
+  IntervalBox wide(1), narrow(1);
+  wide.lo = {2};
+  wide.hi = {IntervalBox::kUnbounded};
+  narrow.lo = {5};
+  narrow.hi = {9};
+  EXPECT_TRUE(box_subsumes(wide, narrow));
+  EXPECT_FALSE(box_subsumes(narrow, wide));
+  const auto canon = canonicalize_boxes({narrow, wide});
+  ASSERT_EQ(canon.size(), 1u);
+  EXPECT_EQ(canon[0].lo[0], 2u);
+  EXPECT_EQ(canon[0].hi[0], IntervalBox::kUnbounded);
+}
+
+// canonicalize_boxes must be idempotent and membership-preserving. Random
+// raw DNFs over <= 4 states, exhaustive count sweep over [0,6]^k.
+TEST(Canonicalize, IdempotentAndMembershipEquivalentExhaustively) {
+  Rng rng(77);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t k = 1 + rng.index(4);
+    std::vector<UC> pool;
+    for (int i = 0; i < 5; ++i) {
+      const std::size_t q = rng.index(k);
+      const std::size_t b = rng.index(6);
+      pool.push_back(rng.coin() ? UC::le(q, b) : UC::ge(q, b));
+    }
+    UC c = pool[0];
+    for (std::size_t i = 1; i < pool.size(); ++i) {
+      switch (rng.index(3)) {
+        case 0: c = c && pool[i]; break;
+        case 1: c = c || pool[i]; break;
+        default: c = !c || pool[i]; break;
+      }
+    }
+    const auto raw = c.to_boxes_raw(k);
+    const auto canon = canonicalize_boxes(raw);
+    const auto twice = canonicalize_boxes(canon);
+    ASSERT_EQ(canon.size(), twice.size()) << c.to_string();
+    for (std::size_t i = 0; i < canon.size(); ++i) {
+      EXPECT_EQ(canon[i].lo, twice[i].lo) << c.to_string();
+      EXPECT_EQ(canon[i].hi, twice[i].hi) << c.to_string();
+    }
+
+    std::vector<std::size_t> counts(k, 0);
+    while (true) {
+      bool in_raw = false, in_canon = false;
+      for (const auto& box : raw) in_raw = in_raw || box.contains(counts);
+      for (const auto& box : canon) in_canon = in_canon || box.contains(counts);
+      ASSERT_EQ(in_raw, in_canon) << c.to_string();
+      // Odometer over [0,6]^k.
+      std::size_t d = 0;
+      while (d < k && counts[d] == 6) counts[d++] = 0;
+      if (d == k) break;
+      ++counts[d];
+    }
+  }
+}
+
 TEST(UopAutomaton, BuilderAndValidation) {
   AutomatonBuilder b;
   const auto q0 = b.add_state("leaf", false);

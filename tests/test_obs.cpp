@@ -639,12 +639,18 @@ TEST_F(TraceTest, OutlierSamplerKeepsSlowestK) {
 // blow-up — the ~29k-box cliff gets a name instead of staying folklore.
 TEST_F(TraceTest, OutlierAttributionNamesTheLeavesDnfState) {
   MsoTreeScheme scheme(standard_tree_automata()[7]);  // leaves >= 4
-  // boxes_per_state gauge: registered at construction, visible even though
-  // the batch instrumentation has not run yet.
-  const std::string gauge_name = "verify/" + scheme.name() + "/boxes_per_state";
+  // boxes_per_state gauges: registered at construction, visible even though
+  // the batch instrumentation has not run yet. The raw DNF carries the
+  // cliff; the canonical form the verifier actually probes is tiny.
+  const std::string raw_name = "verify/" + scheme.name() + "/boxes_per_state_raw";
+  const std::string canon_name =
+      "verify/" + scheme.name() + "/boxes_per_state_canonical";
   const auto gauges = registry().snapshot().gauges;
-  ASSERT_TRUE(gauges.count(gauge_name)) << gauge_name;
-  EXPECT_GE(gauges.at(gauge_name), 1000) << "leaves>=4 DNF should be box-heavy";
+  ASSERT_TRUE(gauges.count(raw_name)) << raw_name;
+  EXPECT_GE(gauges.at(raw_name), 1000) << "leaves>=4 raw DNF should be box-heavy";
+  ASSERT_TRUE(gauges.count(canon_name)) << canon_name;
+  EXPECT_LE(gauges.at(canon_name), 64)
+      << "canonicalization should collapse the leaves>=4 DNF";
 
   Rng rng(24);
   Graph g = make_random_tree(512, rng);
