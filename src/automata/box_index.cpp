@@ -16,6 +16,12 @@ constexpr std::size_t kWordBudget = 131072;
 // At most this many segment indexes feed a containment cursor; past the
 // few most selective coordinates extra streams cost more than they prune.
 constexpr std::size_t kMaxContainmentStreams = 4;
+// Below this many boxes a direct ascending SoA scan beats building a
+// cursor (the canonical DNF of most automata is 1-3 boxes per state; the
+// filters only pay for themselves on post-cliff outliers). The scan visits
+// candidates in the same ascending order, so the first-match contract is
+// unaffected.
+constexpr std::size_t kLinearScanCutoff = 16;
 
 std::size_t segment_of(const std::vector<std::size_t>& breakpoints, std::size_t v) {
   // breakpoints[0] == 0 and v >= 0, so the upper_bound is never begin().
@@ -255,6 +261,18 @@ BoxIndex::Cursor BoxIndex::feasibility_candidates(const std::size_t* supply,
 BoxIndex::Hit BoxIndex::first_containing(const std::size_t* counts,
                                          std::size_t count_len) const {
   Hit hit;
+  if (boxes_.size() <= kLinearScanCutoff) {
+    if (!boxes_.empty() && count_len != arity_)
+      throw std::invalid_argument("BoxIndex::first_containing: wrong arity");
+    for (std::size_t i = 0; i < boxes_.size(); ++i) {
+      ++hit.probes;
+      if (contains_soa(i, counts)) {
+        hit.index = i;
+        return hit;
+      }
+    }
+    return hit;
+  }
   Cursor cur = containment_candidates(counts, count_len);
   for (std::size_t i = cur.next(); i != npos; i = cur.next()) {
     ++hit.probes;
